@@ -1,0 +1,39 @@
+//! GF(2^8) kernel throughput: the coding hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ncvnf_gf256::{bulk, Field, Gf256};
+
+fn bench_bulk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256_bulk");
+    for size in [64usize, 1460, 16 * 1460] {
+        let src: Vec<u8> = (0..size).map(|i| (i * 31 + 7) as u8).collect();
+        let mut dst = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("mul_add_slice_{size}"), |b| {
+            b.iter(|| {
+                bulk::mul_add_slice(black_box(&mut dst), black_box(&src), black_box(0x53));
+            })
+        });
+        group.bench_function(format!("mul_slice_{size}"), |b| {
+            b.iter(|| {
+                bulk::mul_slice(black_box(&mut dst), black_box(&src), black_box(0x53));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scalar(c: &mut Criterion) {
+    c.bench_function("gf256_scalar_mul", |b| {
+        let x = Gf256::new(0x53);
+        let y = Gf256::new(0xCA);
+        b.iter(|| black_box(x) * black_box(y))
+    });
+    c.bench_function("gf256_inv", |b| {
+        let x = Gf256::new(0x53);
+        b.iter(|| black_box(x).inv())
+    });
+}
+
+criterion_group!(benches, bench_bulk, bench_scalar);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! LP/deployment solve times (the controller's per-event work).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ncvnf_deploy::presets::random_workload;
+use ncvnf_deploy::Planner;
+
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deployment_plan");
+    group.sample_size(20);
+    for sessions in [2usize, 4, 6] {
+        let w = random_workload(sessions, 920e6, 150.0, 7);
+        let planner = Planner::new();
+        group.bench_function(format!("lp_round_{sessions}_sessions"), |b| {
+            b.iter(|| black_box(planner.plan(&w.topology, &w.sessions, 20e6).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deployment_exact");
+    group.sample_size(10);
+    let w = random_workload(2, 920e6, 150.0, 7);
+    let planner = Planner::new();
+    group.bench_function("branch_and_bound_2_sessions", |b| {
+        b.iter(|| black_box(planner.plan_exact(&w.topology, &w.sessions, 20e6, 4000).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan, bench_exact);
+criterion_main!(benches);

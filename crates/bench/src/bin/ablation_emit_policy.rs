@@ -1,0 +1,8 @@
+//! Ablation: coding-point emission policy (see DESIGN.md note 1).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let result = ncvnf_bench::experiments::ablations::emit_policy(quick);
+    println!("== {} ==\n\n{}", result.title, result.rendered);
+    let _ = result.write_csv(std::path::Path::new("results"));
+}

@@ -1,0 +1,8 @@
+//! Ablation: field-size tradeoff behind the paper's GF(2^8) choice.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let result = ncvnf_bench::experiments::ablations::field_size(quick);
+    println!("== {} ==\n\n{}", result.title, result.rendered);
+    let _ = result.write_csv(std::path::Path::new("results"));
+}

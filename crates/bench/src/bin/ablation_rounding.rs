@@ -1,0 +1,8 @@
+//! Ablation: LP-relaxation rounding quality vs exact branch-and-bound.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let result = ncvnf_bench::experiments::ablations::rounding(quick);
+    println!("== {} ==\n\n{}", result.title, result.rendered);
+    let _ = result.write_csv(std::path::Path::new("results"));
+}

@@ -1,0 +1,14 @@
+//! Harness binary regenerating the paper's fig4 (pass --quick for a fast run).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let result = ncvnf_bench::experiments::fig4::run(quick);
+    println!("== {} ==\n", result.title);
+    println!("{}", result.rendered);
+    let dir = std::path::Path::new("results");
+    if let Err(e) = result.write_csv(dir) {
+        eprintln!("warning: could not write results CSV: {e}");
+    } else {
+        println!("csv written to results/{}.csv", result.id);
+    }
+}

@@ -1,0 +1,46 @@
+//! Runs every table/figure harness and writes results/ + a summary.
+
+use std::path::Path;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    use ncvnf_bench::experiments as ex;
+    let runs: Vec<(&str, fn(bool) -> ncvnf_bench::report::ExperimentResult)> = vec![
+        ("table1", ex::table1::run),
+        ("fig4", ex::fig4::run),
+        ("fig5", ex::fig5::run),
+        ("fig7", ex::fig7::run),
+        ("table2", ex::table2::run),
+        ("fig8", ex::fig8::run),
+        ("fig9", ex::fig9::run),
+        ("fig10", ex::fig10::run),
+        ("fig11", ex::fig11::run),
+        ("fig12", ex::fig12::run),
+        ("fig13", ex::fig13::run),
+        ("table3", ex::table3::run),
+        ("case5", ex::case5::run),
+        ("ablation_field_size", ex::ablations::field_size),
+        ("ablation_rounding", ex::ablations::rounding),
+        ("ablation_emit_policy", ex::ablations::emit_policy),
+        ("validation", ex::validation::run),
+    ];
+    let dir = Path::new("results");
+    let mut summary = String::new();
+    for (name, run) in runs {
+        eprintln!("running {name} ...");
+        let t0 = std::time::Instant::now();
+        let result = run(quick);
+        let secs = t0.elapsed().as_secs_f64();
+        eprintln!("  done in {secs:.1}s");
+        println!("== {} ==\n\n{}\n", result.title, result.rendered);
+        summary.push_str(&format!("## {}\n\n```text\n{}```\n\n", result.title, result.rendered));
+        if let Err(e) = result.write_csv(dir) {
+            eprintln!("warning: csv for {name} not written: {e}");
+        }
+    }
+    if let Err(e) = std::fs::write(dir.join("summary.md"), &summary) {
+        eprintln!("warning: summary not written: {e}");
+    } else {
+        eprintln!("results written under results/");
+    }
+}

@@ -1,0 +1,8 @@
+//! Plan-vs-packets validation harness (see experiments::validation).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let result = ncvnf_bench::experiments::validation::run(quick);
+    println!("== {} ==\n\n{}", result.title, result.rendered);
+    let _ = result.write_csv(std::path::Path::new("results"));
+}

@@ -1,0 +1,38 @@
+//! Fig. 13 — throughput and #VNFs vs the cost factor α.
+//!
+//! "The throughput decreases as α increases; meanwhile the number of VNFs
+//! launched ... decreases. ... the system refuses to launch any new VNF
+//! when α = 200" (α in Mbps per VNF; at large α the deployment cost
+//! outweighs the throughput gain and only direct paths remain).
+
+use crate::report::{fmt, render_csv, render_table, ExperimentResult};
+use ncvnf_deploy::presets::random_workload;
+use ncvnf_deploy::Planner;
+
+/// α values swept, in Mbps per VNF (the paper's axis is 0–200).
+pub const ALPHA_MBPS: [f64; 7] = [0.0, 20.0, 50.0, 100.0, 150.0, 200.0, 400.0];
+
+/// Runs the sweep.
+pub fn run(_quick: bool) -> ExperimentResult {
+    let planner = Planner::new();
+    let w = random_workload(6, 920e6, 150.0, 2024);
+    let mut rows = Vec::new();
+    for &alpha in &ALPHA_MBPS {
+        let dep = planner
+            .plan(&w.topology, &w.sessions, alpha * 1e6)
+            .expect("plan solves");
+        rows.push(vec![
+            fmt(alpha, 0),
+            fmt(dep.total_rate_bps() / 1e6, 1),
+            dep.total_vnfs().to_string(),
+        ]);
+    }
+    let headers = ["alpha_mbps_per_vnf", "total_throughput_mbps", "vnfs"];
+    let rendered = render_table(&headers, &rows);
+    ExperimentResult {
+        id: "fig13".into(),
+        title: "Fig. 13: throughput & #VNFs vs alpha".into(),
+        rendered,
+        csv: render_csv(&headers, &rows),
+    }
+}

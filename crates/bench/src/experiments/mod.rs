@@ -1,0 +1,17 @@
+//! One module per paper table/figure.
+
+pub mod ablations;
+pub mod case5;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod validation;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,102 @@
+//! Plain-text table/CSV rendering for experiment output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The output of one experiment harness.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Short id, e.g. "fig4".
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Rendered table for the terminal / EXPERIMENTS.md.
+    pub rendered: String,
+    /// Machine-readable CSV (header + rows).
+    pub csv: String,
+}
+
+impl ExperimentResult {
+    /// Writes the CSV under `dir/<id>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), &self.csv)
+    }
+}
+
+/// Renders rows as an aligned plain-text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            let _ = write!(out, "{cell:>w$}  ");
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().map(|w| w + 2).sum();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Renders rows as CSV.
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let rows = vec![
+            vec!["1".to_string(), "long-value".to_string()],
+            vec!["200".to_string(), "x".to_string()],
+        ];
+        let t = render_table(&["id", "value"], &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("value"));
+        assert!(lines[2].contains("long-value"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rows = vec![vec!["1".to_string(), "2".to_string()]];
+        let c = render_csv(&["a", "b"], &rows);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+}

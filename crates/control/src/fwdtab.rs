@@ -1,0 +1,241 @@
+//! The forwarding table, as a text file.
+//!
+//! "The forwarding table is a text file, recording the next hops' IP
+//! addresses for each relevant multicast session the coding function
+//! belongs to" (Sec. III-A). Format, one line per session:
+//!
+//! ```text
+//! session <id> <next-hop> [<next-hop> ...]
+//! ```
+//!
+//! Next hops are opaque address strings (`ip:port` in the real-socket
+//! deployment, `node:port` in the simulator). Lines starting with `#` and
+//! blank lines are ignored.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use ncvnf_rlnc::SessionId;
+
+/// Parse errors for the table text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A line did not match the `session <id> <hops...>` shape.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::BadLine { line, reason } => {
+                write!(f, "bad forwarding table line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TableError {}
+
+/// A per-VNF forwarding table: session → next-hop addresses.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ForwardingTable {
+    entries: BTreeMap<SessionId, Vec<String>>,
+}
+
+impl ForwardingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the next hops of a session (replacing any previous entry).
+    pub fn set(&mut self, session: SessionId, hops: Vec<String>) {
+        self.entries.insert(session, hops);
+    }
+
+    /// Removes a session's entry; returns true if present.
+    pub fn remove(&mut self, session: SessionId) -> bool {
+        self.entries.remove(&session).is_some()
+    }
+
+    /// Next hops for a session.
+    pub fn next_hops(&self, session: SessionId) -> Option<&[String]> {
+        self.entries.get(&session).map(|v| v.as_slice())
+    }
+
+    /// Number of session entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in session order.
+    pub fn iter(&self) -> impl Iterator<Item = (SessionId, &[String])> {
+        self.entries.iter().map(|(&s, h)| (s, h.as_slice()))
+    }
+
+    /// Serializes to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (session, hops) in &self.entries {
+            out.push_str(&format!("session {}", session.value()));
+            for h in hops {
+                out.push(' ');
+                out.push_str(h);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::BadLine`] on any malformed line.
+    pub fn parse(text: &str) -> Result<Self, TableError> {
+        let mut table = ForwardingTable::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("session") => {}
+                _ => {
+                    return Err(TableError::BadLine {
+                        line: i + 1,
+                        reason: "expected 'session' keyword".into(),
+                    })
+                }
+            }
+            let id: u16 = parts
+                .next()
+                .ok_or_else(|| TableError::BadLine {
+                    line: i + 1,
+                    reason: "missing session id".into(),
+                })?
+                .parse()
+                .map_err(|e| TableError::BadLine {
+                    line: i + 1,
+                    reason: format!("bad session id: {e}"),
+                })?;
+            let hops: Vec<String> = parts.map(str::to_owned).collect();
+            if hops.is_empty() {
+                return Err(TableError::BadLine {
+                    line: i + 1,
+                    reason: "no next hops".into(),
+                });
+            }
+            table.set(SessionId::new(id), hops);
+        }
+        Ok(table)
+    }
+
+    /// Number of entries that differ between the two tables (added,
+    /// removed, or changed) — the "update percentage" of Table III is
+    /// `differing / max(len)`.
+    pub fn diff_count(&self, other: &ForwardingTable) -> usize {
+        let mut n = 0;
+        for (s, hops) in &self.entries {
+            match other.entries.get(s) {
+                Some(o) if o == hops => {}
+                _ => n += 1,
+            }
+        }
+        for s in other.entries.keys() {
+            if !self.entries.contains_key(s) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Applies `other` entry-by-entry, returning how many entries changed.
+    pub fn apply(&mut self, other: &ForwardingTable) -> usize {
+        let changed = self.diff_count(other);
+        self.entries = other.entries.clone();
+        changed
+    }
+
+    /// Merges `other` into this table (delta update): entries present in
+    /// `other` replace or add to the current table, everything else is
+    /// kept. Returns how many entries actually changed. This is the
+    /// Table III operation — the controller ships only the changed
+    /// fraction of the table.
+    pub fn merge(&mut self, other: &ForwardingTable) -> usize {
+        let mut changed = 0;
+        for (&session, hops) in &other.entries {
+            match self.entries.get(&session) {
+                Some(existing) if existing == hops => {}
+                _ => {
+                    self.entries.insert(session, hops.clone());
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ForwardingTable {
+        let mut t = ForwardingTable::new();
+        t.set(SessionId::new(1), vec!["10.0.0.1:4000".into(), "10.0.0.2:4000".into()]);
+        t.set(SessionId::new(3), vec!["10.0.0.9:4000".into()]);
+        t
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = sample();
+        let text = t.to_text();
+        assert!(text.contains("session 1 10.0.0.1:4000 10.0.0.2:4000"));
+        let back = ForwardingTable::parse(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# comment\n\nsession 5 a:1\n";
+        let t = ForwardingTable::parse(text).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.next_hops(SessionId::new(5)).unwrap(), ["a:1"]);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(ForwardingTable::parse("nonsense").is_err());
+        assert!(ForwardingTable::parse("session x a:1").is_err());
+        assert!(ForwardingTable::parse("session 5").is_err());
+    }
+
+    #[test]
+    fn diff_counts_changes() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(a.diff_count(&b), 0);
+        b.set(SessionId::new(1), vec!["10.9.9.9:4000".into()]); // changed
+        b.set(SessionId::new(4), vec!["x:1".into()]); // added
+        b.remove(SessionId::new(3)); // removed
+        assert_eq!(a.diff_count(&b), 3);
+        let mut c = sample();
+        let changed = c.apply(&b);
+        assert_eq!(changed, 3);
+        assert_eq!(c, b);
+    }
+}

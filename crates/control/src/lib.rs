@@ -1,0 +1,31 @@
+//! The NFV control plane (Sec. III-A of the paper).
+//!
+//! A central controller launches coding VNFs in data centers, configures
+//! them and steers traffic by talking to a daemon on every coding node:
+//!
+//! * [`signal`] — the five control signals (`NC_START`, `NC_VNF_START`,
+//!   `NC_VNF_END`, `NC_FORWARD_TAB`, `NC_SETTINGS`) with a length-prefixed
+//!   wire codec usable over any byte transport;
+//! * [`fwdtab`] — the forwarding table, which the paper keeps as "a text
+//!   file, recording the next hops' IP addresses for each relevant
+//!   multicast session": parser, serializer, and diff (Table III measures
+//!   partial updates);
+//! * [`daemon`] — the per-VNF daemon state machine: applies settings,
+//!   pauses/swaps/resumes on table updates (the paper's `SIGUSR1` dance),
+//!   honours the τ-delayed `NC_VNF_END` shutdown;
+//! * [`diff`] — turns two [`ncvnf_deploy::Deployment`]s into the signal
+//!   batch that morphs one into the other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod diff;
+pub mod fwdtab;
+pub mod signal;
+pub mod telemetry;
+
+pub use daemon::{Daemon, DaemonEvent, DaemonState};
+pub use fwdtab::ForwardingTable;
+pub use signal::{Signal, SignalError, VnfRoleWire};
+pub use telemetry::Telemetry;

@@ -1,0 +1,351 @@
+//! Control signals and their wire codec.
+//!
+//! "The signals below are designed to carry these messages from the
+//! controller to the VNFs: `NC_START` ... `NC_VNF_START` ... `NC_VNF_END`
+//! ... `NC_FORWARD_TAB` ... `NC_SETTINGS`" (Sec. III-A).
+//!
+//! Wire format: a 1-byte tag, a 4-byte big-endian body length, then the
+//! body. Strings are UTF-8 with 2-byte length prefixes.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ncvnf_rlnc::SessionId;
+use std::error::Error;
+use std::fmt;
+
+/// The VNF role carried in `NC_SETTINGS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VnfRoleWire {
+    /// Encode/recode packets.
+    Encoder,
+    /// Decode packets near a destination.
+    Decoder,
+    /// Forward without coding.
+    Forwarder,
+}
+
+impl VnfRoleWire {
+    fn to_byte(self) -> u8 {
+        match self {
+            VnfRoleWire::Encoder => 1,
+            VnfRoleWire::Decoder => 2,
+            VnfRoleWire::Forwarder => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(VnfRoleWire::Encoder),
+            2 => Some(VnfRoleWire::Decoder),
+            3 => Some(VnfRoleWire::Forwarder),
+            _ => None,
+        }
+    }
+}
+
+/// A control-plane message from the controller to a daemon (or itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Signal {
+    /// Start network-coding-enabled transmission for a session.
+    NcStart {
+        /// The session to start.
+        session: SessionId,
+    },
+    /// Launch `count` new VNFs (VMs) in the named data center.
+    NcVnfStart {
+        /// Data-center name (cloud-API region identifier).
+        data_center: String,
+        /// Number of VNFs to launch.
+        count: u32,
+    },
+    /// Inform a VNF it is no longer used; it shuts down after `tau_secs`.
+    NcVnfEnd {
+        /// Grace period before the VM powers off.
+        tau_secs: u32,
+    },
+    /// Replace the daemon's forwarding table (serialized text format).
+    NcForwardTab {
+        /// The table text (see [`crate::fwdtab`]).
+        table: String,
+    },
+    /// Initial settings for a VNF: role, session, ports, layout.
+    NcSettings {
+        /// The session this configuration applies to.
+        session: SessionId,
+        /// The VNF's role for the session.
+        role: VnfRoleWire,
+        /// UDP port for NC data.
+        data_port: u16,
+        /// Block size in bytes.
+        block_size: u32,
+        /// Blocks per generation.
+        generation_size: u32,
+        /// Buffer capacity in generations.
+        buffer_generations: u32,
+    },
+}
+
+/// Wire-decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignalError {
+    /// Fewer bytes than a complete frame.
+    Truncated,
+    /// Unknown message tag.
+    UnknownTag(u8),
+    /// Body contents inconsistent with the tag.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for SignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalError::Truncated => write!(f, "truncated signal frame"),
+            SignalError::UnknownTag(t) => write!(f, "unknown signal tag {t:#04x}"),
+            SignalError::Malformed(what) => write!(f, "malformed signal body: {what}"),
+        }
+    }
+}
+
+impl Error for SignalError {}
+
+const TAG_START: u8 = 1;
+const TAG_VNF_START: u8 = 2;
+const TAG_VNF_END: u8 = 3;
+const TAG_FORWARD_TAB: u8 = 4;
+const TAG_SETTINGS: u8 = 5;
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, SignalError> {
+    if buf.len() < 2 {
+        return Err(SignalError::Truncated);
+    }
+    let len = buf.get_u16() as usize;
+    if buf.len() < len {
+        return Err(SignalError::Truncated);
+    }
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|_| SignalError::Malformed("invalid utf-8"))?
+        .to_owned();
+    buf.advance(len);
+    Ok(s)
+}
+
+impl Signal {
+    /// Serializes the signal into one length-prefixed frame.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        let tag = match self {
+            Signal::NcStart { session } => {
+                body.put_u16(session.value());
+                TAG_START
+            }
+            Signal::NcVnfStart { data_center, count } => {
+                put_string(&mut body, data_center);
+                body.put_u32(*count);
+                TAG_VNF_START
+            }
+            Signal::NcVnfEnd { tau_secs } => {
+                body.put_u32(*tau_secs);
+                TAG_VNF_END
+            }
+            Signal::NcForwardTab { table } => {
+                body.put_u32(table.len() as u32);
+                body.put_slice(table.as_bytes());
+                TAG_FORWARD_TAB
+            }
+            Signal::NcSettings {
+                session,
+                role,
+                data_port,
+                block_size,
+                generation_size,
+                buffer_generations,
+            } => {
+                body.put_u16(session.value());
+                body.put_u8(role.to_byte());
+                body.put_u16(*data_port);
+                body.put_u32(*block_size);
+                body.put_u32(*generation_size);
+                body.put_u32(*buffer_generations);
+                TAG_SETTINGS
+            }
+        };
+        let mut frame = BytesMut::with_capacity(5 + body.len());
+        frame.put_u8(tag);
+        frame.put_u32(body.len() as u32);
+        frame.put_slice(&body);
+        frame.freeze()
+    }
+
+    /// Decodes one frame; returns the signal and the bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`SignalError::Truncated`], [`SignalError::UnknownTag`] or
+    /// [`SignalError::Malformed`].
+    pub fn from_bytes(data: &[u8]) -> Result<(Self, usize), SignalError> {
+        if data.len() < 5 {
+            return Err(SignalError::Truncated);
+        }
+        let tag = data[0];
+        let len = u32::from_be_bytes([data[1], data[2], data[3], data[4]]) as usize;
+        if data.len() < 5 + len {
+            return Err(SignalError::Truncated);
+        }
+        let mut body = &data[5..5 + len];
+        let sig = match tag {
+            TAG_START => {
+                if body.len() < 2 {
+                    return Err(SignalError::Truncated);
+                }
+                Signal::NcStart {
+                    session: SessionId::new(body.get_u16()),
+                }
+            }
+            TAG_VNF_START => {
+                let data_center = get_string(&mut body)?;
+                if body.len() < 4 {
+                    return Err(SignalError::Truncated);
+                }
+                Signal::NcVnfStart {
+                    data_center,
+                    count: body.get_u32(),
+                }
+            }
+            TAG_VNF_END => {
+                if body.len() < 4 {
+                    return Err(SignalError::Truncated);
+                }
+                Signal::NcVnfEnd {
+                    tau_secs: body.get_u32(),
+                }
+            }
+            TAG_FORWARD_TAB => {
+                let mut b = body;
+                if b.len() < 4 {
+                    return Err(SignalError::Truncated);
+                }
+                let tl = b.get_u32() as usize;
+                if b.len() < tl {
+                    return Err(SignalError::Truncated);
+                }
+                let table = std::str::from_utf8(&b[..tl])
+                    .map_err(|_| SignalError::Malformed("invalid utf-8 table"))?
+                    .to_owned();
+                Signal::NcForwardTab { table }
+            }
+            TAG_SETTINGS => {
+                if body.len() < 2 + 1 + 2 + 4 + 4 + 4 {
+                    return Err(SignalError::Truncated);
+                }
+                let session = SessionId::new(body.get_u16());
+                let role = VnfRoleWire::from_byte(body.get_u8())
+                    .ok_or(SignalError::Malformed("bad role byte"))?;
+                Signal::NcSettings {
+                    session,
+                    role,
+                    data_port: body.get_u16(),
+                    block_size: body.get_u32(),
+                    generation_size: body.get_u32(),
+                    buffer_generations: body.get_u32(),
+                }
+            }
+            t => return Err(SignalError::UnknownTag(t)),
+        };
+        Ok((sig, 5 + len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Signal> {
+        vec![
+            Signal::NcStart {
+                session: SessionId::new(7),
+            },
+            Signal::NcVnfStart {
+                data_center: "ec2-oregon".into(),
+                count: 3,
+            },
+            Signal::NcVnfEnd { tau_secs: 600 },
+            Signal::NcForwardTab {
+                table: "session 1 10.0.0.1:4000 10.0.0.2:4000\n".into(),
+            },
+            Signal::NcSettings {
+                session: SessionId::new(9),
+                role: VnfRoleWire::Encoder,
+                data_port: 4000,
+                block_size: 1460,
+                generation_size: 4,
+                buffer_generations: 1024,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for sig in samples() {
+            let wire = sig.to_bytes();
+            let (back, consumed) = Signal::from_bytes(&wire).unwrap();
+            assert_eq!(back, sig);
+            assert_eq!(consumed, wire.len());
+        }
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let mut stream = Vec::new();
+        for sig in samples() {
+            stream.extend_from_slice(&sig.to_bytes());
+        }
+        let mut offset = 0;
+        let mut decoded = Vec::new();
+        while offset < stream.len() {
+            let (sig, used) = Signal::from_bytes(&stream[offset..]).unwrap();
+            decoded.push(sig);
+            offset += used;
+        }
+        assert_eq!(decoded, samples());
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_detected() {
+        let wire = samples()[1].to_bytes();
+        for cut in 0..wire.len() {
+            assert_eq!(
+                Signal::from_bytes(&wire[..cut]).unwrap_err(),
+                SignalError::Truncated,
+                "cut at {cut}"
+            );
+        }
+        let mut bad = wire.to_vec();
+        bad[0] = 0xEE;
+        assert_eq!(
+            Signal::from_bytes(&bad).unwrap_err(),
+            SignalError::UnknownTag(0xEE)
+        );
+    }
+
+    #[test]
+    fn bad_role_byte_rejected() {
+        let sig = Signal::NcSettings {
+            session: SessionId::new(1),
+            role: VnfRoleWire::Decoder,
+            data_port: 1,
+            block_size: 2,
+            generation_size: 3,
+            buffer_generations: 4,
+        };
+        let mut wire = sig.to_bytes().to_vec();
+        wire[5 + 2] = 0xFF; // role byte
+        assert_eq!(
+            Signal::from_bytes(&wire).unwrap_err(),
+            SignalError::Malformed("bad role byte")
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the control-plane wire formats.
+
+use ncvnf_control::signal::{Signal, VnfRoleWire};
+use ncvnf_control::ForwardingTable;
+use ncvnf_rlnc::SessionId;
+use proptest::prelude::*;
+
+fn arb_role() -> impl Strategy<Value = VnfRoleWire> {
+    prop_oneof![
+        Just(VnfRoleWire::Encoder),
+        Just(VnfRoleWire::Decoder),
+        Just(VnfRoleWire::Forwarder),
+    ]
+}
+
+fn arb_signal() -> impl Strategy<Value = Signal> {
+    prop_oneof![
+        any::<u16>().prop_map(|s| Signal::NcStart {
+            session: SessionId::new(s)
+        }),
+        ("[a-z0-9-]{1,32}", any::<u32>()).prop_map(|(dc, count)| Signal::NcVnfStart {
+            data_center: dc,
+            count,
+        }),
+        any::<u32>().prop_map(|tau_secs| Signal::NcVnfEnd { tau_secs }),
+        prop::collection::vec((any::<u16>(), "[a-z0-9.:]{1,24}"), 0..20).prop_map(|entries| {
+            let mut t = ForwardingTable::new();
+            for (s, hop) in entries {
+                t.set(SessionId::new(s), vec![hop]);
+            }
+            Signal::NcForwardTab { table: t.to_text() }
+        }),
+        (any::<u16>(), arb_role(), any::<u16>(), 1u32..9000, 1u32..64, 1u32..4096).prop_map(
+            |(s, role, port, bs, gs, buf)| Signal::NcSettings {
+                session: SessionId::new(s),
+                role,
+                data_port: port,
+                block_size: bs,
+                generation_size: gs,
+                buffer_generations: buf,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    /// Every signal round-trips through the wire codec.
+    #[test]
+    fn signal_wire_roundtrip(sig in arb_signal()) {
+        let wire = sig.to_bytes();
+        let (back, used) = Signal::from_bytes(&wire).unwrap();
+        prop_assert_eq!(&back, &sig);
+        prop_assert_eq!(used, wire.len());
+    }
+
+    /// Concatenated frames decode one by one without desync.
+    #[test]
+    fn signal_streams_decode(sigs in prop::collection::vec(arb_signal(), 1..8)) {
+        let mut stream = Vec::new();
+        for s in &sigs {
+            stream.extend_from_slice(&s.to_bytes());
+        }
+        let mut off = 0;
+        let mut decoded = Vec::new();
+        while off < stream.len() {
+            let (s, used) = Signal::from_bytes(&stream[off..]).unwrap();
+            decoded.push(s);
+            off += used;
+        }
+        prop_assert_eq!(decoded, sigs);
+    }
+
+    /// Truncating any frame is always detected, never mis-parsed.
+    #[test]
+    fn truncation_always_detected(sig in arb_signal(), cut_frac in 0.0f64..1.0) {
+        let wire = sig.to_bytes();
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        if cut < wire.len() {
+            prop_assert!(Signal::from_bytes(&wire[..cut]).is_err());
+        }
+    }
+
+    /// Forwarding tables round-trip through the text format.
+    #[test]
+    fn table_text_roundtrip(
+        entries in prop::collection::vec((any::<u16>(), prop::collection::vec("[a-z0-9.:]{1,20}", 1..4)), 0..30)
+    ) {
+        let mut t = ForwardingTable::new();
+        for (s, hops) in entries {
+            t.set(SessionId::new(s), hops);
+        }
+        let parsed = ForwardingTable::parse(&t.to_text()).unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    /// merge() changes exactly the entries that differ, and after a merge
+    /// the merged entries are present verbatim.
+    #[test]
+    fn merge_counts_and_applies(
+        base in prop::collection::vec((0u16..32, "[a-z]{1,8}"), 0..16),
+        delta in prop::collection::vec((0u16..32, "[a-z]{1,8}"), 0..16),
+    ) {
+        let mut t = ForwardingTable::new();
+        for (s, h) in &base {
+            t.set(SessionId::new(*s), vec![h.clone()]);
+        }
+        let mut d = ForwardingTable::new();
+        for (s, h) in &delta {
+            d.set(SessionId::new(*s), vec![h.clone()]);
+        }
+        let expected_changes = d
+            .iter()
+            .filter(|(s, hops)| t.next_hops(*s) != Some(*hops))
+            .count();
+        let changed = t.merge(&d);
+        prop_assert_eq!(changed, expected_changes);
+        for (s, hops) in d.iter() {
+            prop_assert_eq!(t.next_hops(s), Some(hops));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-session generation buffers with FIFO eviction.
+
+use std::collections::VecDeque;
+
+use ncvnf_rlnc::{GenerationConfig, Recoder, SessionId};
+
+/// Counters exposed by a [`SessionBuffer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Generations created in the buffer.
+    pub generations_opened: u64,
+    /// Generations evicted by the FIFO policy.
+    pub evictions: u64,
+}
+
+/// Bounded buffer of per-generation recoders for one session.
+///
+/// "Buffer space is needed for storing packets received so far. ... We
+/// employ a FIFO buffer management strategy that discards the oldest
+/// packets once the buffer is full. ... buffer size of 1024 generations is
+/// sufficient to guarantee good performance" (Sec. III-B). Capacity is in
+/// generations; evicting a generation drops all its buffered packets.
+#[derive(Debug)]
+pub struct SessionBuffer {
+    config: GenerationConfig,
+    session: SessionId,
+    capacity: usize,
+    /// FIFO of live generations, oldest first.
+    order: VecDeque<u64>,
+    entries: Vec<(u64, Recoder)>,
+    stats: BufferStats,
+}
+
+impl SessionBuffer {
+    /// The paper's buffer size: 1024 generations per session.
+    pub const PAPER_CAPACITY: usize = 1024;
+
+    /// Creates a buffer holding at most `capacity` generations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(config: GenerationConfig, session: SessionId, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        SessionBuffer {
+            config,
+            session,
+            capacity,
+            order: VecDeque::new(),
+            entries: Vec::new(),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// The session this buffer serves.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Number of generations currently buffered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no generation is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Buffer statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Returns the recoder for `generation`, creating it (and evicting the
+    /// oldest generation if at capacity).
+    pub fn recoder_for(&mut self, generation: u64) -> &mut Recoder {
+        if let Some(pos) = self.entries.iter().position(|(g, _)| *g == generation) {
+            return &mut self.entries[pos].1;
+        }
+        if self.order.len() == self.capacity {
+            let evict = self.order.pop_front().expect("capacity > 0");
+            self.entries.retain(|(g, _)| *g != evict);
+            self.stats.evictions += 1;
+        }
+        self.order.push_back(generation);
+        self.stats.generations_opened += 1;
+        self.entries
+            .push((generation, Recoder::new(self.config, self.session, generation)));
+        let last = self.entries.len() - 1;
+        &mut self.entries[last].1
+    }
+
+    /// Looks up an existing generation without creating it.
+    pub fn get(&self, generation: u64) -> Option<&Recoder> {
+        self.entries
+            .iter()
+            .find(|(g, _)| *g == generation)
+            .map(|(_, r)| r)
+    }
+
+    /// True if `generation` is still buffered.
+    pub fn contains(&self, generation: u64) -> bool {
+        self.order.contains(&generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(cap: usize) -> SessionBuffer {
+        SessionBuffer::new(
+            GenerationConfig::new(8, 2).unwrap(),
+            SessionId::new(1),
+            cap,
+        )
+    }
+
+    #[test]
+    fn creates_and_reuses_generations() {
+        let mut b = buf(4);
+        b.recoder_for(0);
+        b.recoder_for(1);
+        b.recoder_for(0);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.stats().generations_opened, 2);
+        assert!(b.contains(0));
+        assert!(b.get(2).is_none());
+    }
+
+    #[test]
+    fn fifo_eviction_drops_oldest() {
+        let mut b = buf(3);
+        for g in 0..5 {
+            b.recoder_for(g);
+        }
+        assert_eq!(b.len(), 3);
+        assert!(!b.contains(0));
+        assert!(!b.contains(1));
+        assert!(b.contains(2) && b.contains(3) && b.contains(4));
+        assert_eq!(b.stats().evictions, 2);
+    }
+
+    #[test]
+    fn evicted_generation_can_reopen() {
+        let mut b = buf(2);
+        b.recoder_for(0);
+        b.recoder_for(1);
+        b.recoder_for(2); // evicts 0
+        assert!(!b.contains(0));
+        b.recoder_for(0); // evicts 1, reopens 0 fresh
+        assert!(b.contains(0));
+        assert_eq!(b.get(0).unwrap().rank(), 0);
+        assert_eq!(b.stats().generations_opened, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = buf(0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Dispatching flows across multiple VNF instances in one data center.
+
+use ncvnf_rlnc::SessionId;
+
+/// Chooses which VNF instance handles a packet when a data center runs
+/// several.
+///
+/// "In case of multiple VNFs launched in one data center, we dispatch the
+/// incoming packets across these VNFs based on session id and generation
+/// id ... Packets belonging to the same generation are dispatched to the
+/// same VNF instance" (Sec. IV-A). The mapping must be stable across
+/// packets and across the upstream VNFs computing it, so it is a pure
+/// function of `(session, generation, instance count)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Dispatcher;
+
+impl Dispatcher {
+    /// Creates a dispatcher.
+    pub fn new() -> Self {
+        Dispatcher
+    }
+
+    /// Instance index in `0..instances` for a packet of
+    /// `(session, generation)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is zero.
+    pub fn instance_for(&self, session: SessionId, generation: u64, instances: usize) -> usize {
+        assert!(instances > 0, "need at least one instance");
+        // Fibonacci-hash the pair for an even spread.
+        let key = ((session.value() as u64) << 32) ^ generation;
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (mixed >> 33) as usize % instances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_mapping() {
+        let d = Dispatcher::new();
+        for g in 0..100 {
+            let a = d.instance_for(SessionId::new(1), g, 4);
+            let b = d.instance_for(SessionId::new(1), g, 4);
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn single_instance_gets_everything() {
+        let d = Dispatcher::new();
+        for g in 0..50 {
+            assert_eq!(d.instance_for(SessionId::new(7), g, 1), 0);
+        }
+    }
+
+    #[test]
+    fn spread_is_roughly_even() {
+        let d = Dispatcher::new();
+        let instances = 4;
+        let mut counts = vec![0usize; instances];
+        for s in 0..8u16 {
+            for g in 0..250u64 {
+                counts[d.instance_for(SessionId::new(s), g, instances)] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        let expect = total / instances;
+        for &c in &counts {
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < (expect / 4) as u64,
+                "uneven spread: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn zero_instances_panics() {
+        Dispatcher::new().instance_for(SessionId::new(0), 0, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Receiver feedback: generation ACKs and retransmission NACKs.
+//!
+//! Two receiver-to-source messages keep the paper's data plane honest:
+//!
+//! * an ACK "directly back to the source once it has successfully received
+//!   the (decoded) first generation" (used for the Table II delay
+//!   measurement);
+//! * a NACK requesting more coded packets for a generation that cannot be
+//!   decoded — the "retransmissions" a receiver "has to wait for ... to
+//!   collect all 4 packets for decoding a generation" under loss at NC0.
+//!
+//! Wire format (distinct from NC data packets, which begin with 0xAC):
+//!
+//! ```text
+//! byte 0      magic 0xFB
+//! byte 1      kind: 1 = GenerationAck, 2 = RetransmitRequest
+//! bytes 2-3   session id, big endian
+//! bytes 4-7   generation id, big endian
+//! bytes 8-9   count (packets requested; 0 for ACK), big endian
+//! bytes 10-13 missing-block bitmap (bit i = original block i missing;
+//!             zero when unknown), big endian
+//! ```
+//!
+//! The bitmap lets a systematic (non-NC) source retransmit exactly the
+//! lost blocks; a coding source ignores it and sends fresh random
+//! combinations, which are innovative with overwhelming probability.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use ncvnf_rlnc::SessionId;
+
+/// Magic byte identifying feedback packets.
+pub const FEEDBACK_MAGIC: u8 = 0xFB;
+/// Encoded length of a feedback packet.
+pub const FEEDBACK_LEN: usize = 14;
+
+/// Kind of feedback message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackKind {
+    /// A generation decoded successfully (sent for generation 0 to measure
+    /// end-to-end delay).
+    GenerationAck,
+    /// The receiver needs `count` more coded packets for this generation.
+    RetransmitRequest,
+}
+
+/// A feedback message from a receiver to the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Feedback {
+    /// Message kind.
+    pub kind: FeedbackKind,
+    /// Session the feedback refers to.
+    pub session: SessionId,
+    /// Generation the feedback refers to.
+    pub generation: u64,
+    /// Packets requested (retransmit requests only).
+    pub count: u16,
+    /// Bitmap of missing original blocks (bit i = block i), zero when the
+    /// receiver holds mixed packets and cannot name specific blocks.
+    pub missing_bitmap: u32,
+}
+
+impl Feedback {
+    /// Serializes to the wire format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(FEEDBACK_LEN);
+        buf.put_u8(FEEDBACK_MAGIC);
+        buf.put_u8(match self.kind {
+            FeedbackKind::GenerationAck => 1,
+            FeedbackKind::RetransmitRequest => 2,
+        });
+        buf.put_u16(self.session.value());
+        buf.put_u32(self.generation as u32);
+        buf.put_u16(self.count);
+        buf.put_u32(self.missing_bitmap);
+        buf.freeze()
+    }
+
+    /// Parses a feedback packet; `None` if it is not one.
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        if data.len() < FEEDBACK_LEN || data[0] != FEEDBACK_MAGIC {
+            return None;
+        }
+        let kind = match data[1] {
+            1 => FeedbackKind::GenerationAck,
+            2 => FeedbackKind::RetransmitRequest,
+            _ => return None,
+        };
+        Some(Feedback {
+            kind,
+            session: SessionId::new(u16::from_be_bytes([data[2], data[3]])),
+            generation: u32::from_be_bytes([data[4], data[5], data[6], data[7]]) as u64,
+            count: u16::from_be_bytes([data[8], data[9]]),
+            missing_bitmap: u32::from_be_bytes([data[10], data[11], data[12], data[13]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let fb = Feedback {
+            kind: FeedbackKind::RetransmitRequest,
+            session: SessionId::new(300),
+            generation: 77,
+            count: 3,
+            missing_bitmap: 0b1010,
+        };
+        let wire = fb.to_bytes();
+        assert_eq!(wire.len(), FEEDBACK_LEN);
+        assert_eq!(Feedback::from_bytes(&wire), Some(fb));
+    }
+
+    #[test]
+    fn rejects_foreign_packets() {
+        assert_eq!(Feedback::from_bytes(&[0xAC; 14]), None);
+        assert_eq!(Feedback::from_bytes(&[0xFB, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]), None);
+        assert_eq!(Feedback::from_bytes(&[0xFB]), None);
+    }
+}

@@ -1,0 +1,52 @@
+//! VNF roles.
+
+/// What a coding function does for one session.
+///
+/// The controller assigns roles per session via `NC_SETTINGS` ("VNF roles
+/// (encoder or decoder) associated with different sessions"); a single VNF
+/// may serve several sessions in different roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VnfRole {
+    /// Recode-and-forward: fresh random combinations of buffered packets
+    /// (the in-network coding role). This is the paper's "encoder" role
+    /// for intermediate data centers.
+    Recoder,
+    /// Store-and-forward only — used when only one flow of a session
+    /// arrives at a data center ("direct forwarding is sufficient and
+    /// coding is unnecessary"), and for the Non-NC baseline.
+    Forwarder,
+    /// Decode and emit recovered blocks (a decoder VNF deployed near a
+    /// destination without decoding capability).
+    Decoder,
+}
+
+impl VnfRole {
+    /// True if this role performs GF(2^8) work per packet.
+    pub fn does_coding(self) -> bool {
+        !matches!(self, VnfRole::Forwarder)
+    }
+}
+
+impl std::fmt::Display for VnfRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            VnfRole::Recoder => "recoder",
+            VnfRole::Forwarder => "forwarder",
+            VnfRole::Decoder => "decoder",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coding_roles() {
+        assert!(VnfRole::Recoder.does_coding());
+        assert!(VnfRole::Decoder.does_coding());
+        assert!(!VnfRole::Forwarder.does_coding());
+        assert_eq!(VnfRole::Recoder.to_string(), "recoder");
+    }
+}

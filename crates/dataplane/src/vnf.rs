@@ -1,0 +1,390 @@
+//! The coding VNF packet processor (transport-agnostic core).
+
+use bytes::Bytes;
+use rand::Rng;
+use std::collections::HashMap;
+
+use ncvnf_rlnc::{
+    CodedPacket, CodecError, GenerationConfig, GenerationDecoder, HeaderError, SessionId,
+};
+
+use crate::buffer::SessionBuffer;
+use crate::role::VnfRole;
+
+/// Counters exposed by a [`CodingVnf`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VnfStats {
+    /// NC packets received.
+    pub packets_in: u64,
+    /// NC packets emitted.
+    pub packets_out: u64,
+    /// Received packets that increased some generation's rank.
+    pub innovative_in: u64,
+    /// Packets that were not valid NC packets.
+    pub malformed: u64,
+    /// Packets for sessions this VNF has no role for.
+    pub unknown_session: u64,
+    /// Generations fully decoded (decoder role only).
+    pub generations_decoded: u64,
+}
+
+/// What a VNF produced for one input packet.
+#[derive(Debug, Clone)]
+pub enum VnfOutput {
+    /// Emit these packets to the session's next hops.
+    Forward(Vec<CodedPacket>),
+    /// A generation finished decoding (decoder role); deliver the payload.
+    Decoded {
+        /// Session of the decoded generation.
+        session: SessionId,
+        /// Generation number.
+        generation: u64,
+        /// Recovered generation payload.
+        payload: Vec<u8>,
+    },
+    /// Nothing to emit (redundant packet, or unknown/malformed input).
+    Nothing,
+}
+
+/// Per-session state of the coding function.
+#[derive(Debug)]
+struct SessionState {
+    role: VnfRole,
+    buffer: SessionBuffer,
+    /// Decoder role: in-progress generations.
+    decoders: HashMap<u64, GenerationDecoder>,
+}
+
+/// The virtual network coding function: a packet-in/packets-out state
+/// machine, independent of any transport so the same logic runs inside
+/// the simulator and behind real UDP sockets.
+///
+/// # Examples
+///
+/// ```
+/// use ncvnf_dataplane::{CodingVnf, VnfRole};
+/// use ncvnf_rlnc::{GenerationConfig, SessionId};
+///
+/// let mut vnf = CodingVnf::new(GenerationConfig::paper_default(), 1024);
+/// vnf.set_role(SessionId::new(1), VnfRole::Recoder);
+/// assert_eq!(vnf.role(SessionId::new(1)), Some(VnfRole::Recoder));
+/// ```
+#[derive(Debug)]
+pub struct CodingVnf {
+    config: GenerationConfig,
+    buffer_generations: usize,
+    sessions: HashMap<SessionId, SessionState>,
+    stats: VnfStats,
+}
+
+impl CodingVnf {
+    /// Creates a VNF with the given generation layout and per-session
+    /// buffer capacity (in generations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_generations` is zero.
+    pub fn new(config: GenerationConfig, buffer_generations: usize) -> Self {
+        assert!(buffer_generations > 0, "buffer capacity must be positive");
+        CodingVnf {
+            config,
+            buffer_generations,
+            sessions: HashMap::new(),
+            stats: VnfStats::default(),
+        }
+    }
+
+    /// The generation layout in use.
+    pub fn config(&self) -> GenerationConfig {
+        self.config
+    }
+
+    /// Assigns (or replaces) the role for a session. Replacing a role
+    /// clears the session's buffered state.
+    pub fn set_role(&mut self, session: SessionId, role: VnfRole) {
+        self.sessions.insert(
+            session,
+            SessionState {
+                role,
+                buffer: SessionBuffer::new(self.config, session, self.buffer_generations),
+                decoders: HashMap::new(),
+            },
+        );
+    }
+
+    /// Removes a session entirely (on `NC_VNF_END` / session teardown).
+    pub fn remove_session(&mut self, session: SessionId) -> bool {
+        self.sessions.remove(&session).is_some()
+    }
+
+    /// The role assigned for `session`, if any.
+    pub fn role(&self, session: SessionId) -> Option<VnfRole> {
+        self.sessions.get(&session).map(|s| s.role)
+    }
+
+    /// Sessions currently configured.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> VnfStats {
+        self.stats
+    }
+
+    /// Buffered rank of a generation (recoder role), if present.
+    pub fn generation_rank(&self, session: SessionId, generation: u64) -> Option<usize> {
+        self.sessions
+            .get(&session)
+            .and_then(|s| s.buffer.get(generation))
+            .map(|r| r.rank())
+    }
+
+    /// Processes one raw datagram payload.
+    ///
+    /// Checks the NC header ("each VNF ... checks if a packet has the
+    /// network coding protocol header"), then recodes / forwards / decodes
+    /// according to the session's role.
+    pub fn process_datagram<R: Rng + ?Sized>(&mut self, data: &[u8], rng: &mut R) -> VnfOutput {
+        match CodedPacket::from_bytes(data, self.config.blocks_per_generation()) {
+            Ok(pkt) => self.process_packet(&pkt, rng),
+            Err(HeaderError::BadMagic { .. }) | Err(HeaderError::Truncated { .. }) => {
+                self.stats.malformed += 1;
+                VnfOutput::Nothing
+            }
+        }
+    }
+
+    /// Processes one parsed coded packet, emitting one output per input
+    /// (the paper's pipelined mode).
+    pub fn process_packet<R: Rng + ?Sized>(
+        &mut self,
+        pkt: &CodedPacket,
+        rng: &mut R,
+    ) -> VnfOutput {
+        self.process_packet_n(pkt, 1, rng)
+    }
+
+    /// Like [`CodingVnf::process_packet`], but a recoding role emits
+    /// exactly `outputs` packets for this input (0 = absorb only). The
+    /// controller uses this to match a coding point's emission rate to
+    /// its planned outgoing flow instead of flooding its egress. Other
+    /// roles ignore `outputs`.
+    pub fn process_packet_n<R: Rng + ?Sized>(
+        &mut self,
+        pkt: &CodedPacket,
+        outputs: usize,
+        rng: &mut R,
+    ) -> VnfOutput {
+        self.stats.packets_in += 1;
+        let Some(state) = self.sessions.get_mut(&pkt.session()) else {
+            self.stats.unknown_session += 1;
+            return VnfOutput::Nothing;
+        };
+        match state.role {
+            VnfRole::Forwarder => {
+                self.stats.packets_out += 1;
+                VnfOutput::Forward(vec![pkt.clone()])
+            }
+            VnfRole::Recoder => {
+                let recoder = state.buffer.recoder_for(pkt.generation());
+                let first = recoder.rank() == 0;
+                match recoder.absorb(pkt.coefficients(), pkt.payload()) {
+                    Ok(innovative) => {
+                        if innovative {
+                            self.stats.innovative_in += 1;
+                        }
+                        if outputs == 0 {
+                            return VnfOutput::Nothing;
+                        }
+                        let mut out = Vec::with_capacity(outputs);
+                        for i in 0..outputs {
+                            // Pipelined: the very first packet of a
+                            // generation passes through verbatim, later
+                            // emissions are fresh recombinations.
+                            if first && i == 0 {
+                                out.push(pkt.clone());
+                                continue;
+                            }
+                            match recoder.recode(rng) {
+                                Ok(p) => out.push(p),
+                                Err(CodecError::EmptyRecoder) => out.push(pkt.clone()),
+                                Err(_) => break,
+                            }
+                        }
+                        self.stats.packets_out += out.len() as u64;
+                        VnfOutput::Forward(out)
+                    }
+                    Err(_) => {
+                        self.stats.malformed += 1;
+                        VnfOutput::Nothing
+                    }
+                }
+            }
+            VnfRole::Decoder => {
+                let session = pkt.session();
+                let decoder = state
+                    .decoders
+                    .entry(pkt.generation())
+                    .or_insert_with(|| GenerationDecoder::new(self.config));
+                if decoder.is_complete() {
+                    return VnfOutput::Nothing;
+                }
+                match decoder.receive(pkt.coefficients(), pkt.payload()) {
+                    Ok(outcome) => {
+                        if matches!(outcome, ncvnf_rlnc::ReceiveOutcome::Innovative { .. }) {
+                            self.stats.innovative_in += 1;
+                        }
+                        if decoder.is_complete() {
+                            let payload = decoder
+                                .decoded_payload()
+                                .expect("complete decoder yields payload");
+                            self.stats.generations_decoded += 1;
+                            VnfOutput::Decoded {
+                                session,
+                                generation: pkt.generation(),
+                                payload,
+                            }
+                        } else {
+                            VnfOutput::Nothing
+                        }
+                    }
+                    Err(_) => {
+                        self.stats.malformed += 1;
+                        VnfOutput::Nothing
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serializes a coded packet for the wire (convenience for adapters).
+    pub fn encode_packet(pkt: &CodedPacket) -> Bytes {
+        pkt.to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncvnf_rlnc::GenerationEncoder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> GenerationConfig {
+        GenerationConfig::new(16, 4).unwrap()
+    }
+
+    fn encoder(data: &[u8]) -> GenerationEncoder {
+        GenerationEncoder::new(cfg(), data).unwrap()
+    }
+
+    #[test]
+    fn forwarder_passes_packets_unchanged() {
+        let mut vnf = CodingVnf::new(cfg(), 8);
+        vnf.set_role(SessionId::new(1), VnfRole::Forwarder);
+        let enc = encoder(&[1u8; 64]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pkt = enc.coded_packet(SessionId::new(1), 0, &mut rng);
+        match vnf.process_packet(&pkt, &mut rng) {
+            VnfOutput::Forward(out) => assert_eq!(out, vec![pkt]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(vnf.stats().packets_out, 1);
+    }
+
+    #[test]
+    fn recoder_first_packet_verbatim_then_recodes() {
+        let mut vnf = CodingVnf::new(cfg(), 8);
+        vnf.set_role(SessionId::new(1), VnfRole::Recoder);
+        let enc = encoder(&[7u8; 64]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let p1 = enc.coded_packet(SessionId::new(1), 0, &mut rng);
+        match vnf.process_packet(&p1, &mut rng) {
+            VnfOutput::Forward(out) => assert_eq!(out, vec![p1.clone()]),
+            other => panic!("unexpected {other:?}"),
+        }
+        let p2 = enc.coded_packet(SessionId::new(1), 0, &mut rng);
+        match vnf.process_packet(&p2, &mut rng) {
+            VnfOutput::Forward(out) => {
+                assert_eq!(out.len(), 1);
+                assert_eq!(out[0].session(), SessionId::new(1));
+                assert_eq!(out[0].generation(), 0);
+                // Output is a fresh combination, not necessarily p2.
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(vnf.stats().innovative_in >= 2);
+    }
+
+    #[test]
+    fn decoder_emits_payload_once_complete() {
+        let mut vnf = CodingVnf::new(cfg(), 8);
+        vnf.set_role(SessionId::new(3), VnfRole::Decoder);
+        let data: Vec<u8> = (0..64).collect();
+        let enc = encoder(&data);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut decoded = None;
+        for _ in 0..32 {
+            let pkt = enc.coded_packet(SessionId::new(3), 5, &mut rng);
+            if let VnfOutput::Decoded {
+                session,
+                generation,
+                payload,
+            } = vnf.process_packet(&pkt, &mut rng)
+            {
+                decoded = Some((session, generation, payload));
+                break;
+            }
+        }
+        let (session, generation, payload) = decoded.expect("should decode");
+        assert_eq!(session, SessionId::new(3));
+        assert_eq!(generation, 5);
+        assert_eq!(payload, data);
+        assert_eq!(vnf.stats().generations_decoded, 1);
+    }
+
+    #[test]
+    fn unknown_session_and_malformed_are_counted() {
+        let mut vnf = CodingVnf::new(cfg(), 8);
+        let enc = encoder(&[1u8; 64]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let pkt = enc.coded_packet(SessionId::new(9), 0, &mut rng);
+        assert!(matches!(
+            vnf.process_packet(&pkt, &mut rng),
+            VnfOutput::Nothing
+        ));
+        assert_eq!(vnf.stats().unknown_session, 1);
+        assert!(matches!(
+            vnf.process_datagram(b"not an nc packet", &mut rng),
+            VnfOutput::Nothing
+        ));
+        assert_eq!(vnf.stats().malformed, 1);
+    }
+
+    #[test]
+    fn role_replacement_clears_state() {
+        let mut vnf = CodingVnf::new(cfg(), 8);
+        vnf.set_role(SessionId::new(1), VnfRole::Recoder);
+        let enc = encoder(&[1u8; 64]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let pkt = enc.coded_packet(SessionId::new(1), 0, &mut rng);
+        vnf.process_packet(&pkt, &mut rng);
+        vnf.set_role(SessionId::new(1), VnfRole::Recoder);
+        // Fresh buffer: next packet is "first" again and passes verbatim.
+        let p2 = enc.coded_packet(SessionId::new(1), 0, &mut rng);
+        match vnf.process_packet(&p2, &mut rng) {
+            VnfOutput::Forward(out) => assert_eq!(out, vec![p2]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_session_stops_processing() {
+        let mut vnf = CodingVnf::new(cfg(), 8);
+        vnf.set_role(SessionId::new(1), VnfRole::Forwarder);
+        assert!(vnf.remove_session(SessionId::new(1)));
+        assert!(!vnf.remove_session(SessionId::new(1)));
+        assert_eq!(vnf.session_count(), 0);
+    }
+}

@@ -1,0 +1,368 @@
+//! Building optimization program (2) from the model.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ncvnf_flowgraph::paths::{feasible_paths, PathLimits};
+use ncvnf_flowgraph::shortest::PathRoute;
+use ncvnf_flowgraph::{EdgeId, NodeId};
+use ncvnf_simplex::{LinearProgram, Relation, VarId};
+
+use crate::model::{SessionSpec, Topology};
+use crate::solve::SolveMode;
+
+/// Cap on VNFs per data center (keeps branch-and-bound and rounding
+/// bounded; far above anything the evaluation provisions).
+pub const MAX_VNFS_PER_DC: u64 = 64;
+
+/// Rate variables inside the LP are denominated in Mbps (bps × this
+/// scale). Mixing unit-scale path coefficients with 1e9-scale bandwidth
+/// caps in one dense tableau wrecks the simplex conditioning; in Mbps
+/// everything lives within a few orders of magnitude.
+pub const RATE_SCALE: f64 = 1e-6;
+
+/// Feasible paths for one session: `per_receiver[k]` lists the paths from
+/// the source to receiver `k` within the session's delay bound.
+#[derive(Debug, Clone)]
+pub struct SessionPaths {
+    /// Paths per receiver index.
+    pub per_receiver: Vec<Vec<PathRoute>>,
+}
+
+impl SessionPaths {
+    /// True if some receiver has no feasible path at all.
+    pub fn has_unreachable_receiver(&self) -> bool {
+        self.per_receiver.iter().any(|p| p.is_empty())
+    }
+}
+
+/// Enumerates the delay-bounded feasible path set of a session (the
+/// paper's modified DFS), with the given hop/count limits.
+pub fn enumerate_session_paths(
+    topo: &Topology,
+    spec: &SessionSpec,
+    max_hops: usize,
+    max_paths: usize,
+) -> SessionPaths {
+    let limits = PathLimits {
+        max_delay: spec.max_delay_ms,
+        max_hops,
+        max_paths,
+    };
+    SessionPaths {
+        per_receiver: spec
+            .receivers
+            .iter()
+            .map(|&d| feasible_paths(&topo.graph, spec.source, d, &limits))
+            .collect(),
+    }
+}
+
+/// Variable handles of a built program.
+#[derive(Debug)]
+pub struct ProgramVars {
+    /// λ_m per session.
+    pub lambda: Vec<VarId>,
+    /// f^k_m(p): `[session][receiver][path]`.
+    pub path_flow: Vec<Vec<Vec<VarId>>>,
+    /// f_m(e): per session, per edge used by that session (ordered for
+    /// deterministic constraint construction).
+    pub edge_flow: Vec<BTreeMap<EdgeId, VarId>>,
+    /// x_v per data center (ordered).
+    pub x: BTreeMap<NodeId, VarId>,
+}
+
+/// A fully built instance of program (2).
+#[derive(Debug)]
+pub struct Program {
+    /// The LP (maximization).
+    pub lp: LinearProgram,
+    /// Variable handles.
+    pub vars: ProgramVars,
+}
+
+/// Residual capacity already available at a data center without deploying
+/// any new VNF — the "surplus capacity of existing VNFs" exploited by the
+/// incremental solves of Algorithm 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DcSlack {
+    /// Unused inbound bandwidth (bps) across existing VNFs.
+    pub in_bps: f64,
+    /// Unused outbound bandwidth (bps).
+    pub out_bps: f64,
+    /// Unused coding capacity (bps).
+    pub coding_bps: f64,
+}
+
+/// Builds program (2) over the given sessions and their feasible paths.
+///
+/// # Panics
+///
+/// Panics if `sessions` and `paths` lengths differ.
+pub fn build_program(
+    topo: &Topology,
+    sessions: &[SessionSpec],
+    paths: &[SessionPaths],
+    mode: &SolveMode,
+) -> Program {
+    build_program_with_slack(topo, sessions, paths, mode, &HashMap::new())
+}
+
+/// [`build_program`] with per-DC residual capacity: the capacity
+/// constraints become `Σ f ≤ cap·x_v + slack`, so `x_v` counts only
+/// *additional* VNFs beyond what already serves other sessions.
+///
+/// # Panics
+///
+/// Panics if `sessions` and `paths` lengths differ.
+pub fn build_program_with_slack(
+    topo: &Topology,
+    sessions: &[SessionSpec],
+    paths: &[SessionPaths],
+    mode: &SolveMode,
+    slack: &HashMap<NodeId, DcSlack>,
+) -> Program {
+    assert_eq!(sessions.len(), paths.len(), "paths per session required");
+    let mut lp = LinearProgram::new();
+    let dcs = topo.data_centers();
+
+    // --- Variables ---
+    let lambda: Vec<VarId> = sessions
+        .iter()
+        .map(|s| lp.add_var(format!("lambda_{}", s.id), 1.0))
+        .collect();
+    let mut path_flow = Vec::with_capacity(sessions.len());
+    let mut edge_flow: Vec<BTreeMap<EdgeId, VarId>> = Vec::with_capacity(sessions.len());
+    for (m, sp) in paths.iter().enumerate() {
+        let mut per_k = Vec::with_capacity(sp.per_receiver.len());
+        let mut edges: BTreeMap<EdgeId, VarId> = BTreeMap::new();
+        for (k, routes) in sp.per_receiver.iter().enumerate() {
+            let mut per_p = Vec::with_capacity(routes.len());
+            for (p, route) in routes.iter().enumerate() {
+                per_p.push(lp.add_var(format!("f_m{m}_k{k}_p{p}"), 0.0));
+                for &e in &route.edges {
+                    edges
+                        .entry(e)
+                        .or_insert_with(|| lp.add_var(format!("f_m{m}_{e}"), 0.0));
+                }
+            }
+            per_k.push(per_p);
+        }
+        path_flow.push(per_k);
+        edge_flow.push(edges);
+    }
+    let mut x: BTreeMap<NodeId, VarId> = BTreeMap::new();
+    let alpha = match mode {
+        SolveMode::Joint { alpha } => *alpha * RATE_SCALE,
+        SolveMode::FixedDeployment { .. } => 0.0,
+        SolveMode::MinimizeVnfs { .. } => 0.0,
+    };
+    for &v in &dcs {
+        let var = lp.add_var(format!("x_{}", topo.label(v)), -alpha);
+        lp.set_upper_bound(var, MAX_VNFS_PER_DC as f64);
+        x.insert(v, var);
+    }
+
+    // Mode-specific objective/constraints on λ and x.
+    match mode {
+        SolveMode::Joint { .. } => {}
+        SolveMode::FixedDeployment { x: fixed } => {
+            for (&v, &var) in &x {
+                let val = *fixed.get(&v).unwrap_or(&0) as f64;
+                lp.add_constraint(&[(var, 1.0)], Relation::Eq, val);
+            }
+        }
+        SolveMode::MinimizeVnfs { rates } => {
+            // λ pinned; objective = −Σ x (maximized).
+            assert_eq!(rates.len(), sessions.len(), "one rate per session");
+            for (m, &rate) in rates.iter().enumerate() {
+                lp.add_constraint(&[(lambda[m], 1.0)], Relation::Eq, rate * RATE_SCALE);
+                lp.set_objective_coeff(lambda[m], 0.0);
+            }
+            for &var in x.values() {
+                lp.set_objective_coeff(var, -1.0);
+            }
+        }
+    }
+
+    // Pinned-rate sessions (live streaming) in any mode.
+    if !matches!(mode, SolveMode::MinimizeVnfs { .. }) {
+        for (m, s) in sessions.iter().enumerate() {
+            if let Some(rate) = s.fixed_rate_bps {
+                lp.add_constraint(&[(lambda[m], 1.0)], Relation::Eq, rate * RATE_SCALE);
+            }
+        }
+    }
+
+    // --- (2a): λ_m ≤ Σ_p f^k_m(p) for every receiver k ---
+    for (m, sp) in paths.iter().enumerate() {
+        for (k, routes) in sp.per_receiver.iter().enumerate() {
+            let mut terms: Vec<(VarId, f64)> = vec![(lambda[m], 1.0)];
+            for p in 0..routes.len() {
+                terms.push((path_flow[m][k][p], -1.0));
+            }
+            lp.add_constraint(&terms, Relation::Le, 0.0);
+        }
+    }
+
+    // --- (2b): Σ_{p ∋ e} f^k_m(p) ≤ f_m(e) ---
+    for (m, sp) in paths.iter().enumerate() {
+        for (k, routes) in sp.per_receiver.iter().enumerate() {
+            // Group path terms by edge.
+            let mut by_edge: BTreeMap<EdgeId, Vec<VarId>> = BTreeMap::new();
+            for (p, route) in routes.iter().enumerate() {
+                for &e in &route.edges {
+                    by_edge.entry(e).or_default().push(path_flow[m][k][p]);
+                }
+            }
+            for (e, vars) in by_edge {
+                let mut terms: Vec<(VarId, f64)> =
+                    vars.into_iter().map(|v| (v, 1.0)).collect();
+                terms.push((edge_flow[m][&e], -1.0));
+                lp.add_constraint(&terms, Relation::Le, 0.0);
+            }
+        }
+    }
+
+    // --- (2c), (2d), (2e): per-DC caps scaled by x_v ---
+    for &v in &dcs {
+        let spec = topo.vnf_spec(v);
+        let mut in_terms: Vec<(VarId, f64)> = Vec::new();
+        let mut out_terms: Vec<(VarId, f64)> = Vec::new();
+        for ef in &edge_flow {
+            for (&e, &var) in ef {
+                let edge = topo.graph.edge(e);
+                if edge.to == v {
+                    in_terms.push((var, 1.0));
+                }
+                if edge.from == v {
+                    out_terms.push((var, 1.0));
+                }
+            }
+        }
+        let s = slack.get(&v).copied().unwrap_or_default();
+        if !in_terms.is_empty() {
+            // (2c): Σ f_m(e into v) ≤ B_in(v)·x_v + slack_in
+            let mut terms = in_terms.clone();
+            terms.push((x[&v], -spec.bin_bps * RATE_SCALE));
+            lp.add_constraint(&terms, Relation::Le, s.in_bps * RATE_SCALE);
+            // (2e): Σ f_m(e into v) ≤ C(v)·x_v + slack_coding
+            let mut terms = in_terms;
+            terms.push((x[&v], -spec.coding_bps * RATE_SCALE));
+            lp.add_constraint(&terms, Relation::Le, s.coding_bps * RATE_SCALE);
+        }
+        if !out_terms.is_empty() {
+            // (2d): Σ f_m(e out of v) ≤ B_out(v)·x_v + slack_out
+            let mut terms = out_terms;
+            terms.push((x[&v], -spec.bout_bps * RATE_SCALE));
+            lp.add_constraint(&terms, Relation::Le, s.out_bps * RATE_SCALE);
+        }
+    }
+
+    // --- (2c'): receiver inbound caps, per session+receiver ---
+    for (m, s) in sessions.iter().enumerate() {
+        for &d in &s.receivers {
+            let terms: Vec<(VarId, f64)> = edge_flow[m]
+                .iter()
+                .filter(|(&e, _)| topo.graph.edge(e).to == d)
+                .map(|(_, &var)| (var, 1.0))
+                .collect();
+            if !terms.is_empty() {
+                lp.add_constraint(&terms, Relation::Le, topo.receiver_in_bps(d) * RATE_SCALE);
+            }
+        }
+    }
+
+    // --- (2d'): source outbound caps ---
+    for (m, s) in sessions.iter().enumerate() {
+        let terms: Vec<(VarId, f64)> = edge_flow[m]
+            .iter()
+            .filter(|(&e, _)| topo.graph.edge(e).from == s.source)
+            .map(|(_, &var)| (var, 1.0))
+            .collect();
+        if !terms.is_empty() {
+            lp.add_constraint(&terms, Relation::Le, topo.source_out_bps(s.source) * RATE_SCALE);
+        }
+    }
+
+    Program {
+        lp,
+        vars: ProgramVars {
+            lambda,
+            path_flow,
+            edge_flow,
+            x,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{TopologyBuilder, VnfSpec};
+    use ncvnf_rlnc::SessionId;
+
+    fn tiny() -> (Topology, SessionSpec) {
+        let mut b = TopologyBuilder::new();
+        let dc = b.data_center("dc", VnfSpec {
+            bin_bps: 100.0,
+            bout_bps: 100.0,
+            coding_bps: 100.0,
+        });
+        let s = b.source("s", 50.0);
+        let r = b.receiver("r", 200.0);
+        b.link(s, dc, 10.0).link(dc, r, 10.0).link(s, r, 100.0);
+        let topo = b.build();
+        let spec = SessionSpec::elastic(SessionId::new(1), s, vec![r], 150.0);
+        (topo, spec)
+    }
+
+    #[test]
+    fn path_enumeration_respects_delay_bound() {
+        let (topo, mut spec) = tiny();
+        let paths = enumerate_session_paths(&topo, &spec, 5, 16);
+        assert_eq!(paths.per_receiver[0].len(), 2); // relayed + direct
+        spec.max_delay_ms = 50.0;
+        let paths = enumerate_session_paths(&topo, &spec, 5, 16);
+        assert_eq!(paths.per_receiver[0].len(), 1); // direct too slow
+        assert!(!paths.has_unreachable_receiver());
+        spec.max_delay_ms = 5.0;
+        let paths = enumerate_session_paths(&topo, &spec, 5, 16);
+        assert!(paths.has_unreachable_receiver());
+    }
+
+    #[test]
+    fn program_builds_and_solves() {
+        let (topo, spec) = tiny();
+        let paths = enumerate_session_paths(&topo, &spec, 5, 16);
+        let prog = build_program(&topo, &[spec], &[paths], &SolveMode::Joint { alpha: 0.0 });
+        let sol = prog.lp.solve().unwrap();
+        // The source cap (50 bps) bounds everything; LP variables are in
+        // scaled units.
+        let lam = sol.value(prog.vars.lambda[0]) / RATE_SCALE;
+        assert!((lam - 50.0).abs() < 1e-3, "lambda {lam}");
+    }
+
+    #[test]
+    fn alpha_penalizes_deployment() {
+        let (topo, mut spec) = tiny();
+        // Force the relayed path (direct too slow).
+        spec.max_delay_ms = 50.0;
+        let paths = enumerate_session_paths(&topo, &spec, 5, 16);
+        // With huge alpha the optimum is to deploy nothing and carry
+        // nothing.
+        let prog = build_program(
+            &topo,
+            &[spec.clone()],
+            &[paths.clone()],
+            &SolveMode::Joint { alpha: 1000.0 },
+        );
+        let sol = prog.lp.solve().unwrap();
+        assert!(sol.value(prog.vars.lambda[0]) / RATE_SCALE < 1e-3);
+        // With alpha 0 the relayed path carries the full 50.
+        let prog = build_program(&topo, &[spec], &[paths], &SolveMode::Joint { alpha: 0.0 });
+        let sol = prog.lp.solve().unwrap();
+        assert!((sol.value(prog.vars.lambda[0]) / RATE_SCALE - 50.0).abs() < 1e-3);
+        let dc = topo.data_centers()[0];
+        assert!(sol.value(prog.vars.x[&dc]) >= 0.5 - 1e-6); // 50/100 of a VNF
+    }
+}

@@ -1,0 +1,252 @@
+//! The deployment world model.
+
+use ncvnf_flowgraph::{Graph, NodeId};
+use ncvnf_rlnc::SessionId;
+
+/// Per-VNF capabilities in one data center (the paper's `B_in(v)`,
+/// `B_out(v)` and coding capacity `C(v)`). All rates in bits per second.
+///
+/// "It is common for data centers to set a bandwidth cap for incoming and
+/// outgoing traffic at each VM" — adding a VNF adds another cap's worth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VnfSpec {
+    /// Inbound bandwidth per VNF instance.
+    pub bin_bps: f64,
+    /// Outbound bandwidth per VNF instance.
+    pub bout_bps: f64,
+    /// Coding capacity per VNF instance (`C(v)`).
+    pub coding_bps: f64,
+}
+
+impl VnfSpec {
+    /// The paper's EC2 `C3.xlarge` profile: ≈920 Mbps in/out (Table I) and
+    /// coding comfortably at line rate for 4-block generations.
+    pub fn ec2_c3_xlarge() -> Self {
+        VnfSpec {
+            bin_bps: 920e6,
+            bout_bps: 920e6,
+            coding_bps: 1000e6,
+        }
+    }
+
+    /// The paper's Linode profile: 40 Gbps in, 125 Mbps out.
+    pub fn linode() -> Self {
+        VnfSpec {
+            bin_bps: 40e9,
+            bout_bps: 125e6,
+            coding_bps: 1000e6,
+        }
+    }
+}
+
+/// What a topology node is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeKind {
+    /// A data center where VNFs can be deployed.
+    DataCenter {
+        /// Per-VNF capabilities.
+        vnf: VnfSpec,
+    },
+    /// A traffic source with an outbound cap (`B_out(s_m)`).
+    Source {
+        /// Outbound bandwidth in bps.
+        out_bps: f64,
+    },
+    /// A receiver with an inbound cap (`B_in(d_k)`).
+    Receiver {
+        /// Inbound bandwidth in bps.
+        in_bps: f64,
+    },
+}
+
+/// The inter-DC / endpoint topology the planner optimizes over.
+///
+/// Edges carry delay (milliseconds); per-VM bandwidth is modelled at the
+/// nodes (the paper's measurements show the VM cap, not the WAN path, is
+/// the binding constraint).
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// The underlying graph (edge capacity field unused; delay in ms).
+    pub graph: Graph,
+    /// Node kinds, indexed by [`NodeId`].
+    pub kinds: Vec<NodeKind>,
+}
+
+impl Topology {
+    /// All data-center node ids.
+    pub fn data_centers(&self) -> Vec<NodeId> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| matches!(k, NodeKind::DataCenter { .. }))
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// The VNF spec of a data-center node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a data center.
+    pub fn vnf_spec(&self, node: NodeId) -> VnfSpec {
+        match self.kinds[node.0] {
+            NodeKind::DataCenter { vnf } => vnf,
+            other => panic!("{node} is not a data center ({other:?})"),
+        }
+    }
+
+    /// The outbound cap of a source node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a source.
+    pub fn source_out_bps(&self, node: NodeId) -> f64 {
+        match self.kinds[node.0] {
+            NodeKind::Source { out_bps } => out_bps,
+            other => panic!("{node} is not a source ({other:?})"),
+        }
+    }
+
+    /// The inbound cap of a receiver node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a receiver.
+    pub fn receiver_in_bps(&self, node: NodeId) -> f64 {
+        match self.kinds[node.0] {
+            NodeKind::Receiver { in_bps } => in_bps,
+            other => panic!("{node} is not a receiver ({other:?})"),
+        }
+    }
+
+    /// Human-readable node label.
+    pub fn label(&self, node: NodeId) -> &str {
+        self.graph.label(node)
+    }
+}
+
+/// Builder for [`Topology`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    graph: Graph,
+    kinds: Vec<NodeKind>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a data center.
+    pub fn data_center(&mut self, name: impl Into<String>, vnf: VnfSpec) -> NodeId {
+        let id = self.graph.add_node(name);
+        self.kinds.push(NodeKind::DataCenter { vnf });
+        id
+    }
+
+    /// Adds a source endpoint.
+    pub fn source(&mut self, name: impl Into<String>, out_bps: f64) -> NodeId {
+        let id = self.graph.add_node(name);
+        self.kinds.push(NodeKind::Source { out_bps });
+        id
+    }
+
+    /// Adds a receiver endpoint.
+    pub fn receiver(&mut self, name: impl Into<String>, in_bps: f64) -> NodeId {
+        let id = self.graph.add_node(name);
+        self.kinds.push(NodeKind::Receiver { in_bps });
+        id
+    }
+
+    /// Adds a directed link with one-way delay in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown nodes or invalid delay.
+    pub fn link(&mut self, from: NodeId, to: NodeId, delay_ms: f64) -> &mut Self {
+        // Edge capacity is unused by the planner; store a sentinel.
+        self.graph
+            .add_edge(from, to, 1e12, delay_ms)
+            .expect("valid link");
+        self
+    }
+
+    /// Adds links in both directions with the same delay.
+    pub fn bilink(&mut self, a: NodeId, b: NodeId, delay_ms: f64) -> &mut Self {
+        self.link(a, b, delay_ms);
+        self.link(b, a, delay_ms)
+    }
+
+    /// Finalizes the topology.
+    pub fn build(self) -> Topology {
+        Topology {
+            graph: self.graph,
+            kinds: self.kinds,
+        }
+    }
+}
+
+/// One multicast session's requirements.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Session id.
+    pub id: SessionId,
+    /// Source node (must be a [`NodeKind::Source`]).
+    pub source: NodeId,
+    /// Receiver nodes (must be [`NodeKind::Receiver`]s).
+    pub receivers: Vec<NodeId>,
+    /// Maximum tolerable source-to-receiver delay `L^max_m` in ms.
+    pub max_delay_ms: f64,
+    /// When set, the session rate is pinned (live-streaming case) and the
+    /// planner only finds the most bandwidth-efficient routing for it.
+    pub fixed_rate_bps: Option<f64>,
+}
+
+impl SessionSpec {
+    /// A best-effort session (rate decided by the optimizer).
+    pub fn elastic(
+        id: SessionId,
+        source: NodeId,
+        receivers: Vec<NodeId>,
+        max_delay_ms: f64,
+    ) -> Self {
+        SessionSpec {
+            id,
+            source,
+            receivers,
+            max_delay_ms,
+            fixed_rate_bps: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = TopologyBuilder::new();
+        let dc = b.data_center("dc1", VnfSpec::ec2_c3_xlarge());
+        let s = b.source("src", 100e6);
+        let r = b.receiver("rx", 200e6);
+        b.link(s, dc, 10.0).link(dc, r, 20.0);
+        let topo = b.build();
+        assert_eq!(topo.data_centers(), vec![dc]);
+        assert_eq!(topo.vnf_spec(dc).bin_bps, 920e6);
+        assert_eq!(topo.source_out_bps(s), 100e6);
+        assert_eq!(topo.receiver_in_bps(r), 200e6);
+        assert_eq!(topo.graph.edge_count(), 2);
+        assert_eq!(topo.label(dc), "dc1");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a data center")]
+    fn kind_mismatch_panics() {
+        let mut b = TopologyBuilder::new();
+        let s = b.source("src", 1.0);
+        let topo = b.build();
+        let _ = topo.vnf_spec(s);
+    }
+}

@@ -1,0 +1,765 @@
+//! The dynamic deployment & scaling controller (Algorithms 1–3).
+//!
+//! The controller keeps a current [`Deployment`] and reacts to:
+//!
+//! * **bandwidth variation** (Alg. 1): applied only when the change
+//!   exceeds ρ1 % and persists for τ1 (hysteresis against "brief spikes");
+//!   increases are adopted only if the re-solved objective improves,
+//!   decreases always force a re-solve;
+//! * **delay changes** (Alg. 2): after ρ2/τ2 hysteresis, the feasible
+//!   path sets are recomputed and the program re-solved;
+//! * **session / receiver arrivals & departures** (Alg. 3): arrivals are
+//!   solved *incrementally* against the residual capacity of the current
+//!   deployment ("for the new sessions only, exploiting any surplus
+//!   capacity of existing VNFs"); departures solve the program twice —
+//!   once with the deployment fixed (grow flows into the freed capacity)
+//!   and once minimizing VNFs at the current rates — and keep the better
+//!   objective;
+//! * VNF lifecycle is delegated to per-DC [`VnfPool`]s: scale-out may
+//!   reuse τ-lingering instances, scale-in lingers instances for τ.
+
+use std::collections::HashMap;
+
+use ncvnf_flowgraph::NodeId;
+
+use crate::formulate::{build_program_with_slack, DcSlack, RATE_SCALE};
+use crate::model::{SessionSpec, Topology, VnfSpec};
+use crate::pool::VnfPool;
+use crate::solve::{Deployment, PlanError, Planner, SolveMode};
+
+/// Hysteresis and cost parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingParams {
+    /// Throughput-vs-cost factor α (bps per VNF).
+    pub alpha: f64,
+    /// Bandwidth-change threshold ρ1 (fraction, e.g. 0.05).
+    pub rho1: f64,
+    /// Bandwidth-change persistence τ1 (seconds).
+    pub tau1_secs: f64,
+    /// Delay-change threshold ρ2 (fraction).
+    pub rho2: f64,
+    /// Delay-change persistence τ2 (seconds).
+    pub tau2_secs: f64,
+    /// VNF shutdown grace period τ (seconds).
+    pub pool_tau_secs: f64,
+    /// Fresh-VM launch latency (seconds; paper ≈35 s).
+    pub launch_latency_secs: f64,
+}
+
+impl ScalingParams {
+    /// The paper's Sec. V-C values: α = 20 Mbps/VNF, ρ = 5 %, τ = 10 min.
+    pub fn paper_defaults() -> Self {
+        ScalingParams {
+            alpha: 20e6,
+            rho1: 0.05,
+            tau1_secs: 600.0,
+            rho2: 0.05,
+            tau2_secs: 600.0,
+            pool_tau_secs: 600.0,
+            launch_latency_secs: 35.0,
+        }
+    }
+}
+
+/// A point-in-time record of the system state (drives Figs. 10–11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Time in seconds.
+    pub time: f64,
+    /// Total multicast throughput Σ λ_m in bps.
+    pub total_rate_bps: f64,
+    /// VNFs actively serving.
+    pub active_vnfs: u64,
+    /// VNFs billed (active + τ-lingering + launching).
+    pub billable_vnfs: u64,
+}
+
+/// External events the controller reacts to.
+#[derive(Debug, Clone)]
+pub enum ScalingEvent {
+    /// Measured per-VNF bandwidth at a data center changed.
+    BandwidthObserved {
+        /// The data center.
+        dc: NodeId,
+        /// Newly measured per-VNF capability.
+        spec: VnfSpec,
+    },
+    /// Measured one-way delay between two nodes changed.
+    DelayObserved {
+        /// Link tail.
+        from: NodeId,
+        /// Link head.
+        to: NodeId,
+        /// New one-way delay in ms.
+        delay_ms: f64,
+    },
+    /// A new session arrived.
+    SessionJoin(SessionSpec),
+    /// A session (by index into the current session list) ended.
+    SessionQuit(usize),
+    /// A receiver joined session `session_index`.
+    ReceiverJoin {
+        /// Index into the current session list.
+        session_index: usize,
+        /// The (already present in the topology) receiver node.
+        receiver: NodeId,
+    },
+    /// Receiver `receiver_index` left session `session_index`.
+    ReceiverQuit {
+        /// Index into the current session list.
+        session_index: usize,
+        /// Index into that session's receiver list.
+        receiver_index: usize,
+    },
+}
+
+/// The global controller of coding-function deployment.
+pub struct ScalingController {
+    topo: Topology,
+    sessions: Vec<SessionSpec>,
+    planner: Planner,
+    params: ScalingParams,
+    pools: HashMap<NodeId, VnfPool>,
+    deployment: Option<Deployment>,
+    pending_bw: HashMap<NodeId, (VnfSpec, f64)>,
+    pending_delay: HashMap<(usize, usize), (f64, f64)>,
+    history: Vec<Snapshot>,
+}
+
+impl ScalingController {
+    /// Creates a controller over a topology with no sessions yet.
+    pub fn new(topo: Topology, planner: Planner, params: ScalingParams) -> Self {
+        let pools = topo
+            .data_centers()
+            .into_iter()
+            .map(|dc| {
+                (
+                    dc,
+                    VnfPool::new(params.pool_tau_secs, params.launch_latency_secs),
+                )
+            })
+            .collect();
+        ScalingController {
+            topo,
+            sessions: Vec::new(),
+            planner,
+            params,
+            pools,
+            deployment: None,
+            pending_bw: HashMap::new(),
+            pending_delay: HashMap::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Current sessions.
+    pub fn sessions(&self) -> &[SessionSpec] {
+        &self.sessions
+    }
+
+    /// Current deployment, if any plan has been computed.
+    pub fn deployment(&self) -> Option<&Deployment> {
+        self.deployment.as_ref()
+    }
+
+    /// Mutable access to the topology (tests inject measurements).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Recorded state snapshots.
+    pub fn history(&self) -> &[Snapshot] {
+        &self.history
+    }
+
+    /// VNFs actively serving across all data centers.
+    pub fn active_vnfs(&self) -> u64 {
+        self.pools.values().map(|p| p.active()).sum()
+    }
+
+    /// VNFs billed across all data centers.
+    pub fn billable_vnfs(&self, now: f64) -> u64 {
+        self.pools.values().map(|p| p.billable(now)).sum()
+    }
+
+    fn record(&mut self, now: f64) {
+        let total = self
+            .deployment
+            .as_ref()
+            .map(|d| d.total_rate_bps())
+            .unwrap_or(0.0);
+        let snap = Snapshot {
+            time: now,
+            total_rate_bps: total,
+            active_vnfs: self.active_vnfs(),
+            billable_vnfs: self.billable_vnfs(now),
+        };
+        self.history.push(snap);
+    }
+
+    fn apply_deployment(&mut self, dep: Deployment, now: f64) {
+        for (&dc, pool) in self.pools.iter_mut() {
+            let target = *dep.vnfs.get(&dc).unwrap_or(&0);
+            pool.scale_to(target, now);
+        }
+        self.deployment = Some(dep);
+        self.record(now);
+    }
+
+    /// Computes (or recomputes) the full plan and applies it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures; the previous deployment is kept.
+    pub fn replan(&mut self, now: f64) -> Result<(), PlanError> {
+        let dep = self
+            .planner
+            .plan(&self.topo, &self.sessions, self.params.alpha)?;
+        self.apply_deployment(dep, now);
+        Ok(())
+    }
+
+    /// Handles one event at time `now` (seconds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures.
+    pub fn handle(&mut self, event: ScalingEvent, now: f64) -> Result<(), PlanError> {
+        match event {
+            ScalingEvent::BandwidthObserved { dc, spec } => {
+                self.observe_bandwidth(dc, spec, now);
+                Ok(())
+            }
+            ScalingEvent::DelayObserved { from, to, delay_ms } => {
+                self.observe_delay(from, to, delay_ms, now);
+                Ok(())
+            }
+            ScalingEvent::SessionJoin(spec) => self.session_join(spec, now),
+            ScalingEvent::SessionQuit(idx) => self.session_quit(idx, now),
+            ScalingEvent::ReceiverJoin {
+                session_index,
+                receiver,
+            } => self.receiver_join(session_index, receiver, now),
+            ScalingEvent::ReceiverQuit {
+                session_index,
+                receiver_index,
+            } => self.receiver_quit(session_index, receiver_index, now),
+        }
+    }
+
+    /// Periodic maintenance: applies hysteresis-pending measurements whose
+    /// τ elapsed, ticks the pools, and records a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures from applied changes.
+    pub fn tick(&mut self, now: f64) -> Result<(), PlanError> {
+        let due_bw: Vec<NodeId> = self
+            .pending_bw
+            .iter()
+            .filter(|(_, (_, since))| now - since >= self.params.tau1_secs)
+            .map(|(&dc, _)| dc)
+            .collect();
+        for dc in due_bw {
+            let (spec, _) = self.pending_bw.remove(&dc).expect("present");
+            self.apply_bandwidth_change(dc, spec, now)?;
+        }
+        let due_delay: Vec<(usize, usize)> = self
+            .pending_delay
+            .iter()
+            .filter(|(_, (_, since))| now - since >= self.params.tau2_secs)
+            .map(|(&k, _)| k)
+            .collect();
+        let had_delay_changes = !due_delay.is_empty();
+        for key in due_delay {
+            let (delay, _) = self.pending_delay.remove(&key).expect("present");
+            self.set_link_delay(NodeId(key.0), NodeId(key.1), delay);
+        }
+        if had_delay_changes {
+            // Alg. 2: feasible path sets changed; re-solve on them. If the
+            // new delays leave some receiver without any feasible path,
+            // keep serving with the previous routing rather than failing —
+            // the measured paths still exist, they just exceed L^max.
+            match self.replan(now) {
+                Ok(()) => {}
+                Err(PlanError::UnreachableReceiver { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for pool in self.pools.values_mut() {
+            pool.tick(now);
+        }
+        self.record(now);
+        Ok(())
+    }
+
+    // --- Algorithm 1: bandwidth variation ---
+
+    /// Records a bandwidth measurement; it takes effect only if it deviates
+    /// by ≥ ρ1 from the current spec and persists for τ1.
+    pub fn observe_bandwidth(&mut self, dc: NodeId, spec: VnfSpec, now: f64) {
+        let current = self.topo.vnf_spec(dc);
+        let deviates = relative_change(current.bin_bps, spec.bin_bps) >= self.params.rho1
+            || relative_change(current.bout_bps, spec.bout_bps) >= self.params.rho1;
+        if !deviates {
+            self.pending_bw.remove(&dc);
+            return;
+        }
+        // Keep the earliest observation time of a persisting change.
+        self.pending_bw.entry(dc).or_insert((spec, now)).0 = spec;
+    }
+
+    fn apply_bandwidth_change(
+        &mut self,
+        dc: NodeId,
+        spec: VnfSpec,
+        now: f64,
+    ) -> Result<(), PlanError> {
+        let old = self.topo.vnf_spec(dc);
+        let decreased = spec.bin_bps < old.bin_bps || spec.bout_bps < old.bout_bps;
+        if let crate::model::NodeKind::DataCenter { vnf } = &mut self.topo.kinds[dc.0] {
+            *vnf = spec;
+        }
+        let candidate = self
+            .planner
+            .plan(&self.topo, &self.sessions, self.params.alpha)?;
+        let adopt = if decreased {
+            // Capacity dropped: the old plan may be infeasible; adopt.
+            true
+        } else {
+            // Capacity grew: "if the new objective value is larger than
+            // the old one", scale out; otherwise retain.
+            let current_obj = self.deployment.as_ref().map(|d| d.objective());
+            current_obj.is_none_or(|o| candidate.objective() > o + 1e-6)
+        };
+        if adopt {
+            self.apply_deployment(candidate, now);
+        }
+        Ok(())
+    }
+
+    // --- Algorithm 2: delay changes ---
+
+    /// Records a delay measurement with ρ2/τ2 hysteresis.
+    pub fn observe_delay(&mut self, from: NodeId, to: NodeId, delay_ms: f64, now: f64) {
+        let Some(current) = self.link_delay(from, to) else {
+            return;
+        };
+        if relative_change(current, delay_ms) < self.params.rho2 {
+            self.pending_delay.remove(&(from.0, to.0));
+            return;
+        }
+        self.pending_delay
+            .entry((from.0, to.0))
+            .or_insert((delay_ms, now))
+            .0 = delay_ms;
+    }
+
+    fn link_delay(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        self.topo
+            .graph
+            .out_edges(from)
+            .find(|e| e.to == to)
+            .map(|e| e.delay)
+    }
+
+    fn set_link_delay(&mut self, from: NodeId, to: NodeId, delay_ms: f64) {
+        let ids: Vec<_> = self
+            .topo
+            .graph
+            .out_edges(from)
+            .filter(|e| e.to == to)
+            .map(|e| e.id)
+            .collect();
+        for id in ids {
+            self.topo
+                .graph
+                .set_delay(id, delay_ms)
+                .expect("valid delay");
+        }
+    }
+
+    // --- Algorithm 3: session / receiver churn ---
+
+    /// A new session arrives: solve (2) *for the new session only*,
+    /// against the residual capacity of the current deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures.
+    pub fn session_join(&mut self, spec: SessionSpec, now: f64) -> Result<(), PlanError> {
+        let slack = self.residual_slack(None);
+        let paths = self.planner.paths(&self.topo, std::slice::from_ref(&spec))?;
+        let prog = build_program_with_slack(
+            &self.topo,
+            std::slice::from_ref(&spec),
+            &paths,
+            &SolveMode::Joint {
+                alpha: self.params.alpha,
+            },
+            &slack,
+        );
+        let relaxed = prog.lp.solve()?;
+        // Round the *extra* VNFs up, then merge into the deployment.
+        let mut merged = self.deployment.clone().unwrap_or(Deployment {
+            vnfs: HashMap::new(),
+            rates: Vec::new(),
+            edge_rates: Vec::new(),
+            alpha: self.params.alpha,
+        });
+        for (&v, &var) in &prog.vars.x {
+            let frac = relaxed.value(var);
+            let extra = if frac < 1e-6 { 0 } else { frac.ceil() as u64 };
+            *merged.vnfs.entry(v).or_insert(0) += extra;
+        }
+        merged.rates.push(relaxed.value(prog.vars.lambda[0]) / RATE_SCALE);
+        merged.edge_rates.push(
+            prog.vars.edge_flow[0]
+                .iter()
+                .map(|(&e, &var)| (e, relaxed.value(var) / RATE_SCALE))
+                .filter(|(_, r)| *r > 1.0)
+                .collect(),
+        );
+        self.sessions.push(spec);
+        self.apply_deployment(merged, now);
+        Ok(())
+    }
+
+    /// A session ends: compare growing the remaining flows (g1) against
+    /// shutting down VNFs at unchanged rates (g2); keep the better
+    /// objective.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn session_quit(&mut self, index: usize, now: f64) -> Result<(), PlanError> {
+        assert!(index < self.sessions.len(), "session index out of range");
+        self.sessions.remove(index);
+        if let Some(dep) = &mut self.deployment {
+            if index < dep.rates.len() {
+                dep.rates.remove(index);
+                dep.edge_rates.remove(index);
+            }
+        }
+        self.requilibrate_after_departure(now)
+    }
+
+    /// A receiver joins: re-solve the affected session against the
+    /// residual of the others.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session_index` is out of range.
+    pub fn receiver_join(
+        &mut self,
+        session_index: usize,
+        receiver: NodeId,
+        now: f64,
+    ) -> Result<(), PlanError> {
+        assert!(session_index < self.sessions.len(), "index out of range");
+        self.sessions[session_index].receivers.push(receiver);
+        self.resolve_single_session(session_index, now)
+    }
+
+    /// A receiver departs: shrink the session, then run the departure
+    /// comparison.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn receiver_quit(
+        &mut self,
+        session_index: usize,
+        receiver_index: usize,
+        now: f64,
+    ) -> Result<(), PlanError> {
+        assert!(session_index < self.sessions.len(), "index out of range");
+        let s = &mut self.sessions[session_index];
+        assert!(receiver_index < s.receivers.len(), "index out of range");
+        s.receivers.remove(receiver_index);
+        if s.receivers.is_empty() {
+            return self.session_quit(session_index, now);
+        }
+        self.requilibrate_after_departure(now)
+    }
+
+    /// Residual per-DC capacity given current flows, excluding (when set)
+    /// one session's own usage.
+    fn residual_slack(&self, exclude_session: Option<usize>) -> HashMap<NodeId, DcSlack> {
+        let mut slack = HashMap::new();
+        let Some(dep) = &self.deployment else {
+            return slack;
+        };
+        for dc in self.topo.data_centers() {
+            let spec = self.topo.vnf_spec(dc);
+            let n = *dep.vnfs.get(&dc).unwrap_or(&0) as f64;
+            let mut in_used = 0.0;
+            let mut out_used = 0.0;
+            for (m, ef) in dep.edge_rates.iter().enumerate() {
+                if Some(m) == exclude_session {
+                    continue;
+                }
+                for (&e, &r) in ef {
+                    let edge = self.topo.graph.edge(e);
+                    if edge.to == dc {
+                        in_used += r;
+                    }
+                    if edge.from == dc {
+                        out_used += r;
+                    }
+                }
+            }
+            slack.insert(
+                dc,
+                DcSlack {
+                    in_bps: (spec.bin_bps * n - in_used).max(0.0),
+                    out_bps: (spec.bout_bps * n - out_used).max(0.0),
+                    coding_bps: (spec.coding_bps * n - in_used).max(0.0),
+                },
+            );
+        }
+        slack
+    }
+
+    /// Re-solves one session against the residual of the others and
+    /// merges the result (receiver-join path of Alg. 3).
+    fn resolve_single_session(&mut self, m: usize, now: f64) -> Result<(), PlanError> {
+        let spec = self.sessions[m].clone();
+        let slack = self.residual_slack(Some(m));
+        let paths = self.planner.paths(&self.topo, std::slice::from_ref(&spec))?;
+        let prog = build_program_with_slack(
+            &self.topo,
+            std::slice::from_ref(&spec),
+            &paths,
+            &SolveMode::Joint {
+                alpha: self.params.alpha,
+            },
+            &slack,
+        );
+        let sol = prog.lp.solve()?;
+        let mut merged = self.deployment.clone().expect("deployment exists");
+        for (&v, &var) in &prog.vars.x {
+            let frac = sol.value(var);
+            let extra = if frac < 1e-6 { 0 } else { frac.ceil() as u64 };
+            *merged.vnfs.entry(v).or_insert(0) += extra;
+        }
+        merged.rates[m] = sol.value(prog.vars.lambda[0]) / RATE_SCALE;
+        merged.edge_rates[m] = prog.vars.edge_flow[0]
+            .iter()
+            .map(|(&e, &var)| (e, sol.value(var) / RATE_SCALE))
+            .filter(|(_, r)| *r > 1.0)
+            .collect();
+        self.apply_deployment(merged, now);
+        Ok(())
+    }
+
+    /// The departure branch of Alg. 3: g1 (grow flows, deployment fixed)
+    /// vs g2 (shrink deployment, rates fixed).
+    fn requilibrate_after_departure(&mut self, now: f64) -> Result<(), PlanError> {
+        if self.sessions.is_empty() {
+            let dep = Deployment {
+                vnfs: HashMap::new(),
+                rates: Vec::new(),
+                edge_rates: Vec::new(),
+                alpha: self.params.alpha,
+            };
+            self.apply_deployment(dep, now);
+            return Ok(());
+        }
+        let paths = self.planner.paths(&self.topo, &self.sessions)?;
+        let current = self.deployment.clone().expect("deployment exists");
+        let g1 = self.planner.solve_fixed(
+            &self.topo,
+            &self.sessions,
+            &paths,
+            current.vnfs.clone(),
+            self.params.alpha,
+        )?;
+        let g2 = self.planner.minimize_vnfs(
+            &self.topo,
+            &self.sessions,
+            &paths,
+            &current.rates,
+            self.params.alpha,
+        );
+        let chosen = match g2 {
+            Ok(g2) if g2.objective() > g1.objective() => g2,
+            _ => g1,
+        };
+        self.apply_deployment(chosen, now);
+        Ok(())
+    }
+}
+
+fn relative_change(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (new - old).abs() / old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::random_workload;
+
+    fn controller() -> (ScalingController, Vec<SessionSpec>) {
+        let w = random_workload(4, 920e6, 150.0, 11);
+        let params = ScalingParams {
+            alpha: 20e6,
+            rho1: 0.05,
+            tau1_secs: 60.0,
+            rho2: 0.05,
+            tau2_secs: 60.0,
+            pool_tau_secs: 120.0,
+            launch_latency_secs: 35.0,
+        };
+        (
+            ScalingController::new(w.topology, Planner::new(), params),
+            w.sessions,
+        )
+    }
+
+    #[test]
+    fn sessions_join_and_quit_adjust_vnfs() {
+        let (mut c, sessions) = controller();
+        let mut now = 0.0;
+        for s in sessions.iter().take(3).cloned() {
+            c.session_join(s, now).unwrap();
+            now += 10.0;
+        }
+        let dep = c.deployment().unwrap();
+        assert_eq!(dep.rates.len(), 3);
+        assert!(dep.total_rate_bps() > 0.0, "sessions should carry traffic");
+        let vnfs_with_3 = dep.total_vnfs();
+        c.session_quit(1, now).unwrap();
+        assert_eq!(c.deployment().unwrap().rates.len(), 2);
+        // After the departure the deployment can only stay or shrink, or
+        // flows grow: the objective must not get worse per the g1/g2 rule.
+        let vnfs_after = c.deployment().unwrap().total_vnfs();
+        assert!(vnfs_after <= vnfs_with_3 + 1);
+    }
+
+    #[test]
+    fn bandwidth_hysteresis_requires_persistence() {
+        let (mut c, sessions) = controller();
+        for s in sessions.iter().take(2).cloned() {
+            c.session_join(s, 0.0).unwrap();
+        }
+        let before = c.deployment().unwrap().total_rate_bps();
+        let dc = c.topology().data_centers()[0];
+        let mut spec = c.topology().vnf_spec(dc);
+        spec.bin_bps *= 0.5;
+        spec.bout_bps *= 0.5;
+        // Observed but not yet persisted: no change at the next tick.
+        c.observe_bandwidth(dc, spec, 10.0);
+        c.tick(20.0).unwrap();
+        assert_eq!(c.topology().vnf_spec(dc).bin_bps, 920e6);
+        // After τ1 the change is applied and the plan recomputed.
+        c.tick(80.0).unwrap();
+        assert_eq!(c.topology().vnf_spec(dc).bin_bps, 460e6);
+        let after = c.deployment().unwrap().total_rate_bps();
+        assert!(after <= before + 1e-3);
+    }
+
+    #[test]
+    fn small_bandwidth_changes_are_ignored() {
+        let (mut c, sessions) = controller();
+        c.session_join(sessions[0].clone(), 0.0).unwrap();
+        let dc = c.topology().data_centers()[0];
+        let mut spec = c.topology().vnf_spec(dc);
+        spec.bin_bps *= 0.98; // 2% < ρ1 = 5%
+        c.observe_bandwidth(dc, spec, 0.0);
+        c.tick(1000.0).unwrap();
+        assert_eq!(c.topology().vnf_spec(dc).bin_bps, 920e6);
+    }
+
+    #[test]
+    fn delay_increase_triggers_replan_after_tau() {
+        let (mut c, sessions) = controller();
+        c.session_join(sessions[0].clone(), 0.0).unwrap();
+        let dcs = c.topology().data_centers();
+        c.observe_delay(dcs[0], dcs[1], 400.0, 0.0);
+        c.tick(30.0).unwrap();
+        // Not yet applied.
+        let d = c
+            .topology()
+            .graph
+            .out_edges(dcs[0])
+            .find(|e| e.to == dcs[1])
+            .unwrap()
+            .delay;
+        assert!(d < 400.0);
+        c.tick(100.0).unwrap();
+        let d = c
+            .topology()
+            .graph
+            .out_edges(dcs[0])
+            .find(|e| e.to == dcs[1])
+            .unwrap()
+            .delay;
+        assert_eq!(d, 400.0);
+    }
+
+    #[test]
+    fn unreachable_delay_change_keeps_previous_deployment() {
+        let (mut c, sessions) = controller();
+        c.session_join(sessions[0].clone(), 0.0).unwrap();
+        let before = c.deployment().unwrap().total_rate_bps();
+        // Blow up every inter-DC and access delay the session could use.
+        let nodes: Vec<_> = c.topology().graph.nodes().collect();
+        for &from in &nodes {
+            let tos: Vec<_> = c.topology().graph.out_edges(from).map(|e| e.to).collect();
+            for to in tos {
+                c.observe_delay(from, to, 10_000.0, 0.0);
+            }
+        }
+        // τ2 elapses; the replan would find no feasible path, but the
+        // controller must survive with its previous deployment.
+        c.tick(120.0).unwrap();
+        let after = c.deployment().unwrap().total_rate_bps();
+        assert!((after - before).abs() < 1e-3, "deployment changed: {after} vs {before}");
+    }
+
+    #[test]
+    fn receiver_churn_keeps_deployment_consistent() {
+        let (mut c, sessions) = controller();
+        c.session_join(sessions[0].clone(), 0.0).unwrap();
+        c.session_join(sessions[1].clone(), 1.0).unwrap();
+        // Borrow another session's receiver node as the joining receiver.
+        let extra = sessions[2].receivers[0];
+        c.receiver_join(0, extra, 2.0).unwrap();
+        assert_eq!(c.sessions()[0].receivers.last(), Some(&extra));
+        assert!(c.deployment().unwrap().rates.len() == 2);
+        c.receiver_quit(0, c.sessions()[0].receivers.len() - 1, 3.0)
+            .unwrap();
+        assert!(c.deployment().unwrap().rates[0] >= 0.0);
+    }
+
+    #[test]
+    fn history_records_snapshots() {
+        let (mut c, sessions) = controller();
+        c.session_join(sessions[0].clone(), 0.0).unwrap();
+        c.tick(10.0).unwrap();
+        c.tick(20.0).unwrap();
+        assert!(c.history().len() >= 3);
+        assert!(c.history().iter().all(|s| s.total_rate_bps >= 0.0));
+    }
+}

@@ -1,0 +1,121 @@
+//! Planner-level properties behind Figs. 12–13 and the rounding scheme.
+
+use ncvnf_deploy::presets::random_workload;
+use ncvnf_deploy::solve::check_feasible;
+use ncvnf_deploy::{Planner, SessionSpec};
+
+fn workload(n: usize, seed: u64) -> (ncvnf_deploy::Topology, Vec<SessionSpec>) {
+    let w = random_workload(n, 920e6, 150.0, seed);
+    (w.topology, w.sessions)
+}
+
+#[test]
+fn rounded_plans_are_always_feasible() {
+    for seed in [1, 2, 3, 4, 5] {
+        let (topo, sessions) = workload(4, seed);
+        let planner = Planner::new();
+        let dep = planner.plan(&topo, &sessions, 20e6).unwrap();
+        check_feasible(&topo, &sessions, &dep).unwrap();
+    }
+}
+
+#[test]
+fn throughput_monotone_in_delay_bound() {
+    // Fig. 12: "larger L^max leads to larger throughput since the feasible
+    // paths set is enlarged", saturating once new paths stop helping.
+    let planner = Planner::new();
+    let mut last = 0.0;
+    let mut rates = Vec::new();
+    for lmax in [75.0, 100.0, 125.0, 150.0, 175.0, 200.0] {
+        let w = random_workload(4, 920e6, lmax, 77);
+        let dep = planner.plan(&w.topology, &w.sessions, 0.0).unwrap();
+        let rate = dep.total_rate_bps();
+        assert!(
+            rate >= last - 1e-3,
+            "throughput decreased at Lmax {lmax}: {rate} < {last}"
+        );
+        last = rate;
+        rates.push(rate);
+    }
+    assert!(rates.last().unwrap() > &0.0);
+}
+
+#[test]
+fn throughput_and_vnfs_decrease_with_alpha() {
+    // Fig. 13: throughput and #VNFs both fall as α grows; at huge α the
+    // system "refuses to launch any new VNF".
+    let (topo, sessions) = workload(4, 13);
+    let planner = Planner::new();
+    let mut last_rate = f64::INFINITY;
+    let mut last_vnfs = u64::MAX;
+    for alpha in [0.0, 50e6, 200e6, 900e6, 5000e6] {
+        let dep = planner.plan(&topo, &sessions, alpha).unwrap();
+        let rate = dep.total_rate_bps();
+        let vnfs = dep.total_vnfs();
+        assert!(
+            rate <= last_rate + 1e-3,
+            "rate increased with alpha {alpha}"
+        );
+        // Ceiling-rounding can wiggle the integer count by one even when
+        // the fractional Σx_v is monotone; the paper itself reports "a
+        // general trend". Allow the one-VNF rounding artifact.
+        assert!(
+            vnfs <= last_vnfs.saturating_add(1),
+            "vnfs jumped with alpha {alpha}: {vnfs} > {last_vnfs}+1"
+        );
+        last_rate = rate;
+        last_vnfs = vnfs;
+    }
+    assert_eq!(last_vnfs, 0, "huge alpha should deploy nothing");
+}
+
+#[test]
+fn rounding_close_to_exact_optimum() {
+    // LP-relax + round-up must be within one VNF per DC of the exact
+    // branch-and-bound solution on small instances.
+    let (topo, sessions) = workload(2, 9);
+    let planner = Planner::new();
+    let alpha = 50e6;
+    let rounded = planner.plan(&topo, &sessions, alpha).unwrap();
+    let exact = planner.plan_exact(&topo, &sessions, alpha, 4000).unwrap();
+    assert!(
+        rounded.objective() <= exact.objective() + 1e-3,
+        "rounded beats exact?!"
+    );
+    // Round-up wastes at most one VNF per DC with positive fractional x.
+    let gap = exact.objective() - rounded.objective();
+    let dcs = topo.data_centers().len() as f64;
+    assert!(
+        gap <= alpha * dcs + 1e-3,
+        "rounding gap {gap} too large vs bound {}",
+        alpha * dcs
+    );
+}
+
+#[test]
+fn fixed_rate_sessions_pin_lambda() {
+    let w = random_workload(2, 920e6, 150.0, 5);
+    let mut sessions = w.sessions;
+    sessions[0].fixed_rate_bps = Some(50e6);
+    let planner = Planner::new();
+    let dep = planner.plan(&w.topology, &sessions, 20e6).unwrap();
+    assert!(
+        (dep.rates[0] - 50e6).abs() < 1e-3,
+        "pinned rate not honored: {}",
+        dep.rates[0]
+    );
+}
+
+#[test]
+fn unreachable_receiver_is_reported() {
+    let w = random_workload(2, 920e6, 150.0, 5);
+    let mut sessions = w.sessions;
+    sessions[1].max_delay_ms = 0.5; // nothing fits
+    let planner = Planner::new();
+    match planner.plan(&w.topology, &sessions, 20e6) {
+        Err(ncvnf_deploy::PlanError::UnreachableReceiver { session_index }) => {
+            assert_eq!(session_index, 1);
+        }
+        other => panic!("expected unreachable receiver, got {other:?}"),
+    }
+}

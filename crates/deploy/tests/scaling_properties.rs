@@ -1,0 +1,101 @@
+//! Property-based tests: the scaling controller keeps its deployment
+//! consistent and feasible under arbitrary event sequences.
+
+use ncvnf_deploy::presets::random_workload;
+use ncvnf_deploy::solve::check_feasible;
+use ncvnf_deploy::{Planner, ScalingController, ScalingParams, SessionSpec};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Join(usize),
+    Quit(usize),
+    CutBandwidth(usize, f64),
+    RestoreBandwidth(usize),
+    Tick,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..6).prop_map(Op::Join),
+            (0usize..6).prop_map(Op::Quit),
+            ((0usize..6), 0.3f64..0.9).prop_map(|(d, f)| Op::CutBandwidth(d, f)),
+            (0usize..6).prop_map(Op::RestoreBandwidth),
+            Just(Op::Tick),
+        ],
+        1..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn controller_state_stays_consistent(ops in arb_ops(), seed in 1u64..200) {
+        let w = random_workload(6, 920e6, 150.0, seed);
+        let params = ScalingParams {
+            tau1_secs: 30.0,
+            tau2_secs: 30.0,
+            pool_tau_secs: 60.0,
+            ..ScalingParams::paper_defaults()
+        };
+        let mut c = ScalingController::new(w.topology, Planner::new(), params);
+        let pool: Vec<SessionSpec> = w.sessions;
+        let mut joined: Vec<usize> = Vec::new();
+        let mut now = 0.0f64;
+        for op in ops {
+            now += 20.0;
+            match op {
+                Op::Join(i) => {
+                    if !joined.contains(&i) {
+                        c.session_join(pool[i].clone(), now).unwrap();
+                        joined.push(i);
+                    }
+                }
+                Op::Quit(i) => {
+                    if let Some(pos) = joined.iter().position(|&j| j == i) {
+                        c.session_quit(pos, now).unwrap();
+                        joined.remove(pos);
+                    }
+                }
+                Op::CutBandwidth(d, f) => {
+                    let dc = c.topology().data_centers()[d];
+                    let mut spec = c.topology().vnf_spec(dc);
+                    spec.bin_bps *= f;
+                    spec.bout_bps *= f;
+                    c.observe_bandwidth(dc, spec, now);
+                }
+                Op::RestoreBandwidth(d) => {
+                    let dc = c.topology().data_centers()[d];
+                    let mut spec = c.topology().vnf_spec(dc);
+                    spec.bin_bps = 920e6;
+                    spec.bout_bps = 920e6;
+                    c.observe_bandwidth(dc, spec, now);
+                }
+                Op::Tick => {
+                    now += 60.0;
+                    c.tick(now).unwrap();
+                }
+            }
+            // --- Invariants after every operation ---
+            prop_assert_eq!(c.sessions().len(), joined.len());
+            if let Some(dep) = c.deployment() {
+                prop_assert_eq!(dep.rates.len(), c.sessions().len());
+                prop_assert_eq!(dep.edge_rates.len(), c.sessions().len());
+                for &r in &dep.rates {
+                    prop_assert!(r >= -1e-6, "negative session rate {r}");
+                }
+                // Flows never violate the *controller's current belief* of
+                // the topology's capacities.
+                let sessions = c.sessions().to_vec();
+                prop_assert!(
+                    check_feasible(c.topology(), &sessions, dep).is_ok(),
+                    "infeasible deployment after {op:?}"
+                );
+                // Pools track at least the planned instances.
+                prop_assert!(c.billable_vnfs(now) >= c.active_vnfs());
+            }
+        }
+    }
+}

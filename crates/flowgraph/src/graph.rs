@@ -1,0 +1,298 @@
+//! Directed graph with capacities and delays.
+
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a directed edge in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub usize);
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Errors raised by graph construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id was out of range.
+    UnknownNode(usize),
+    /// An edge id was out of range.
+    UnknownEdge(usize),
+    /// A capacity or delay was negative or NaN.
+    InvalidWeight(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node id {n}"),
+            GraphError::UnknownEdge(e) => write!(f, "unknown edge id {e}"),
+            GraphError::InvalidWeight(w) => write!(f, "invalid edge weight: {w}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    from: NodeId,
+    to: NodeId,
+    capacity: f64,
+    delay: f64,
+}
+
+/// A view of one edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRef {
+    /// Edge id.
+    pub id: EdgeId,
+    /// Tail node.
+    pub from: NodeId,
+    /// Head node.
+    pub to: NodeId,
+    /// Capacity (e.g. Mbps).
+    pub capacity: f64,
+    /// Propagation delay (e.g. milliseconds).
+    pub delay: f64,
+}
+
+/// A directed graph with per-edge capacity and delay, indexed by dense ids.
+///
+/// Labels are optional human-readable node names used in reports.
+///
+/// # Examples
+///
+/// ```
+/// use ncvnf_flowgraph::Graph;
+/// let mut g = Graph::new();
+/// let a = g.add_node("a");
+/// let b = g.add_node("b");
+/// g.add_edge(a, b, 10.0, 5.0).unwrap();
+/// assert_eq!(g.out_edges(a).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    labels: Vec<String>,
+    edges: Vec<Edge>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with a label; returns its id.
+    pub fn add_node(&mut self, label: impl Into<String>) -> NodeId {
+        self.labels.push(label.into());
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        NodeId(self.labels.len() - 1)
+    }
+
+    /// Adds a directed edge; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::UnknownNode`] if an endpoint does not exist;
+    /// [`GraphError::InvalidWeight`] if capacity or delay is negative/NaN.
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        capacity: f64,
+        delay: f64,
+    ) -> Result<EdgeId, GraphError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if !capacity.is_finite() || capacity < 0.0 {
+            return Err(GraphError::InvalidWeight(format!("capacity {capacity}")));
+        }
+        if !delay.is_finite() || delay < 0.0 {
+            return Err(GraphError::InvalidWeight(format!("delay {delay}")));
+        }
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge {
+            from,
+            to,
+            capacity,
+            delay,
+        });
+        self.out_adj[from.0].push(id);
+        self.in_adj[to.0].push(id);
+        Ok(id)
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), GraphError> {
+        if n.0 < self.labels.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownNode(n.0))
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.labels.len()).map(NodeId)
+    }
+
+    /// The label of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn label(&self, node: NodeId) -> &str {
+        &self.labels[node.0]
+    }
+
+    /// Finds a node by label.
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        self.labels.iter().position(|l| l == label).map(NodeId)
+    }
+
+    /// A view of edge `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn edge(&self, id: EdgeId) -> EdgeRef {
+        let e = &self.edges[id.0];
+        EdgeRef {
+            id,
+            from: e.from,
+            to: e.to,
+            capacity: e.capacity,
+            delay: e.delay,
+        }
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        (0..self.edges.len()).map(|i| self.edge(EdgeId(i)))
+    }
+
+    /// Outgoing edges of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.out_adj[node.0].iter().map(|&id| self.edge(id))
+    }
+
+    /// Incoming edges of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.in_adj[node.0].iter().map(|&id| self.edge(id))
+    }
+
+    /// Updates the capacity of an edge (bandwidth variation events).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::UnknownEdge`] / [`GraphError::InvalidWeight`].
+    pub fn set_capacity(&mut self, id: EdgeId, capacity: f64) -> Result<(), GraphError> {
+        if id.0 >= self.edges.len() {
+            return Err(GraphError::UnknownEdge(id.0));
+        }
+        if !capacity.is_finite() || capacity < 0.0 {
+            return Err(GraphError::InvalidWeight(format!("capacity {capacity}")));
+        }
+        self.edges[id.0].capacity = capacity;
+        Ok(())
+    }
+
+    /// Updates the delay of an edge (delay variation events).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::UnknownEdge`] / [`GraphError::InvalidWeight`].
+    pub fn set_delay(&mut self, id: EdgeId, delay: f64) -> Result<(), GraphError> {
+        if id.0 >= self.edges.len() {
+            return Err(GraphError::UnknownEdge(id.0));
+        }
+        if !delay.is_finite() || delay < 0.0 {
+            return Err(GraphError::InvalidWeight(format!("delay {delay}")));
+        }
+        self.edges[id.0].delay = delay;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let e1 = g.add_edge(a, b, 10.0, 1.0).unwrap();
+        let e2 = g.add_edge(b, c, 20.0, 2.0).unwrap();
+        g.add_edge(a, c, 5.0, 9.0).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edge(e1).to, b);
+        assert_eq!(g.edge(e2).capacity, 20.0);
+        assert_eq!(g.out_edges(a).count(), 2);
+        assert_eq!(g.in_edges(c).count(), 2);
+        assert_eq!(g.node_by_label("b"), Some(b));
+        assert_eq!(g.node_by_label("zz"), None);
+        assert_eq!(g.label(a), "a");
+    }
+
+    #[test]
+    fn rejects_bad_weights_and_nodes() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        assert!(g.add_edge(a, b, -1.0, 0.0).is_err());
+        assert!(g.add_edge(a, b, f64::NAN, 0.0).is_err());
+        assert!(g.add_edge(a, b, 1.0, -2.0).is_err());
+        assert!(g.add_edge(a, NodeId(9), 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn capacity_and_delay_updates() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let e = g.add_edge(a, b, 10.0, 1.0).unwrap();
+        g.set_capacity(e, 4.0).unwrap();
+        g.set_delay(e, 7.0).unwrap();
+        assert_eq!(g.edge(e).capacity, 4.0);
+        assert_eq!(g.edge(e).delay, 7.0);
+        assert!(g.set_capacity(EdgeId(5), 1.0).is_err());
+        assert!(g.set_delay(e, f64::INFINITY).is_err());
+    }
+}

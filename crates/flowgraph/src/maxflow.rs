@@ -1,0 +1,340 @@
+//! Maximum flow: Edmonds–Karp and Dinic.
+//!
+//! The paper computes the theoretical multicast capacity with the
+//! Ford–Fulkerson method; [`edmonds_karp`] is the BFS instantiation of that
+//! method and [`dinic`] is the asymptotically faster variant used as the
+//! default by [`crate::multicast`]. Both operate on `f64` capacities with a
+//! small epsilon, which is exact for the Mbps-scale inputs used here.
+
+use crate::{EdgeId, Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Residual tolerance: capacities below this are treated as saturated.
+pub const EPS: f64 = 1e-9;
+
+/// The result of a max-flow computation.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Total flow value from source to sink.
+    pub value: f64,
+    /// Flow per original graph edge, indexed like [`Graph::edges`].
+    pub edge_flow: Vec<f64>,
+}
+
+impl FlowResult {
+    /// Flow on one edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn flow_on(&self, id: EdgeId) -> f64 {
+        self.edge_flow[id.0]
+    }
+}
+
+/// Internal residual network shared by both algorithms.
+struct Residual {
+    /// For each arc: (to, capacity, index of reverse arc).
+    arcs: Vec<(usize, f64, usize)>,
+    /// Adjacency: arc indices per node.
+    adj: Vec<Vec<usize>>,
+    /// Maps original edge id -> forward arc index.
+    forward_of_edge: Vec<usize>,
+}
+
+impl Residual {
+    fn build(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut r = Residual {
+            arcs: Vec::with_capacity(graph.edge_count() * 2),
+            adj: vec![Vec::new(); n],
+            forward_of_edge: Vec::with_capacity(graph.edge_count()),
+        };
+        for e in graph.edges() {
+            let fwd = r.arcs.len();
+            r.arcs.push((e.to.0, e.capacity, fwd + 1));
+            r.arcs.push((e.from.0, 0.0, fwd));
+            r.adj[e.from.0].push(fwd);
+            r.adj[e.to.0].push(fwd + 1);
+            r.forward_of_edge.push(fwd);
+        }
+        r
+    }
+
+    fn extract(&self, graph: &Graph, value: f64) -> FlowResult {
+        let edge_flow = (0..graph.edge_count())
+            .map(|i| {
+                let fwd = self.forward_of_edge[i];
+                // Flow = residual capacity on the reverse arc.
+                self.arcs[self.arcs[fwd].2].1
+            })
+            .collect();
+        FlowResult { value, edge_flow }
+    }
+}
+
+/// Max flow via Edmonds–Karp (BFS augmenting paths).
+///
+/// # Panics
+///
+/// Panics if `source` or `sink` is out of range.
+pub fn edmonds_karp(graph: &Graph, source: NodeId, sink: NodeId) -> FlowResult {
+    assert!(source.0 < graph.node_count() && sink.0 < graph.node_count());
+    let mut r = Residual::build(graph);
+    let mut value = 0.0;
+    if source == sink {
+        return r.extract(graph, 0.0);
+    }
+    loop {
+        // BFS for an augmenting path, remembering the arc used to reach
+        // each node.
+        let mut pred: Vec<Option<usize>> = vec![None; graph.node_count()];
+        let mut q = VecDeque::new();
+        q.push_back(source.0);
+        let mut reached = false;
+        'bfs: while let Some(u) = q.pop_front() {
+            for &ai in &r.adj[u] {
+                let (to, cap, _) = r.arcs[ai];
+                if cap > EPS && pred[to].is_none() && to != source.0 {
+                    pred[to] = Some(ai);
+                    if to == sink.0 {
+                        reached = true;
+                        break 'bfs;
+                    }
+                    q.push_back(to);
+                }
+            }
+        }
+        if !reached {
+            break;
+        }
+        // Find the bottleneck and augment.
+        let mut bottleneck = f64::INFINITY;
+        let mut v = sink.0;
+        while v != source.0 {
+            let ai = pred[v].expect("path reconstruction");
+            bottleneck = bottleneck.min(r.arcs[ai].1);
+            v = r.arcs[r.arcs[ai].2].0;
+        }
+        let mut v = sink.0;
+        while v != source.0 {
+            let ai = pred[v].expect("path reconstruction");
+            r.arcs[ai].1 -= bottleneck;
+            let rev = r.arcs[ai].2;
+            r.arcs[rev].1 += bottleneck;
+            v = r.arcs[rev].0;
+        }
+        value += bottleneck;
+    }
+    r.extract(graph, value)
+}
+
+/// Max flow via Dinic (BFS level graph + DFS blocking flow).
+///
+/// # Panics
+///
+/// Panics if `source` or `sink` is out of range.
+pub fn dinic(graph: &Graph, source: NodeId, sink: NodeId) -> FlowResult {
+    assert!(source.0 < graph.node_count() && sink.0 < graph.node_count());
+    let mut r = Residual::build(graph);
+    let n = graph.node_count();
+    let mut value = 0.0;
+    if source == sink {
+        return r.extract(graph, 0.0);
+    }
+    loop {
+        // Build the level graph.
+        let mut level = vec![usize::MAX; n];
+        level[source.0] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(source.0);
+        while let Some(u) = q.pop_front() {
+            for &ai in &r.adj[u] {
+                let (to, cap, _) = r.arcs[ai];
+                if cap > EPS && level[to] == usize::MAX {
+                    level[to] = level[u] + 1;
+                    q.push_back(to);
+                }
+            }
+        }
+        if level[sink.0] == usize::MAX {
+            break;
+        }
+        // Blocking flow with iterator indices ("current arc" optimization).
+        let mut it = vec![0usize; n];
+        loop {
+            let pushed = dfs_push(&mut r, &level, &mut it, source.0, sink.0, f64::INFINITY);
+            if pushed <= EPS {
+                break;
+            }
+            value += pushed;
+        }
+    }
+    r.extract(graph, value)
+}
+
+fn dfs_push(
+    r: &mut Residual,
+    level: &[usize],
+    it: &mut [usize],
+    u: usize,
+    sink: usize,
+    limit: f64,
+) -> f64 {
+    if u == sink {
+        return limit;
+    }
+    while it[u] < r.adj[u].len() {
+        let ai = r.adj[u][it[u]];
+        let (to, cap, _) = r.arcs[ai];
+        if cap > EPS && level[to] == level[u] + 1 {
+            let pushed = dfs_push(r, level, it, to, sink, limit.min(cap));
+            if pushed > EPS {
+                r.arcs[ai].1 -= pushed;
+                let rev = r.arcs[ai].2;
+                r.arcs[rev].1 += pushed;
+                return pushed;
+            }
+        }
+        it[u] += 1;
+    }
+    0.0
+}
+
+/// Value of the minimum s-t cut (equals max flow by strong duality); also
+/// returns the set of edges crossing the cut.
+pub fn min_cut(graph: &Graph, source: NodeId, sink: NodeId) -> (f64, Vec<EdgeId>) {
+    let flow = dinic(graph, source, sink);
+    // Recompute reachability in the residual graph implied by edge_flow.
+    let n = graph.node_count();
+    let mut reach = vec![false; n];
+    reach[source.0] = true;
+    let mut q = VecDeque::from([source.0]);
+    while let Some(u) = q.pop_front() {
+        for e in graph.out_edges(NodeId(u)) {
+            if e.capacity - flow.flow_on(e.id) > EPS && !reach[e.to.0] {
+                reach[e.to.0] = true;
+                q.push_back(e.to.0);
+            }
+        }
+        for e in graph.in_edges(NodeId(u)) {
+            if flow.flow_on(e.id) > EPS && !reach[e.from.0] {
+                reach[e.from.0] = true;
+                q.push_back(e.from.0);
+            }
+        }
+    }
+    let cut = graph
+        .edges()
+        .filter(|e| reach[e.from.0] && !reach[e.to.0])
+        .map(|e| e.id)
+        .collect();
+    (flow.value, cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic butterfly with unit capacities: max flow to each sink
+    /// is 2.
+    fn butterfly() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let m = g.add_node("m");
+        let w = g.add_node("w");
+        let t1 = g.add_node("t1");
+        let t2 = g.add_node("t2");
+        for (u, v) in [
+            (s, a),
+            (s, b),
+            (a, t1),
+            (b, t2),
+            (a, m),
+            (b, m),
+            (m, w),
+            (w, t1),
+            (w, t2),
+        ] {
+            g.add_edge(u, v, 1.0, 1.0).unwrap();
+        }
+        (g, s, t1, t2)
+    }
+
+    #[test]
+    fn butterfly_maxflow_is_two_both_algorithms() {
+        let (g, s, t1, t2) = butterfly();
+        for f in [edmonds_karp, dinic] {
+            assert!((f(&g, s, t1).value - 2.0).abs() < 1e-9);
+            assert!((f(&g, s, t2).value - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let (g, s, t1, _) = butterfly();
+        let flow = dinic(&g, s, t1);
+        for v in g.nodes() {
+            if v == s || v == t1 {
+                continue;
+            }
+            let inflow: f64 = g.in_edges(v).map(|e| flow.flow_on(e.id)).sum();
+            let outflow: f64 = g.out_edges(v).map(|e| flow.flow_on(e.id)).sum();
+            assert!((inflow - outflow).abs() < 1e-9, "conservation at {v}");
+        }
+        for e in g.edges() {
+            assert!(flow.flow_on(e.id) <= e.capacity + 1e-9);
+            assert!(flow.flow_on(e.id) >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn min_cut_equals_max_flow() {
+        let (g, s, t1, _) = butterfly();
+        let (value, cut_edges) = min_cut(&g, s, t1);
+        assert!((value - 2.0).abs() < 1e-9);
+        let cut_cap: f64 = cut_edges.iter().map(|&e| g.edge(e).capacity).sum();
+        assert!((cut_cap - value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_sink_has_zero_flow() {
+        let mut g = Graph::new();
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        let iso = g.add_node("iso");
+        g.add_edge(s, t, 3.0, 1.0).unwrap();
+        assert_eq!(dinic(&g, s, iso).value, 0.0);
+        assert_eq!(edmonds_karp(&g, s, iso).value, 0.0);
+    }
+
+    #[test]
+    fn source_equals_sink_is_zero() {
+        let (g, s, _, _) = butterfly();
+        assert_eq!(dinic(&g, s, s).value, 0.0);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = Graph::new();
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        g.add_edge(s, t, 1.5, 1.0).unwrap();
+        g.add_edge(s, t, 2.5, 1.0).unwrap();
+        assert!((dinic(&g, s, t).value - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antiparallel_edges_handled() {
+        let mut g = Graph::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let t = g.add_node("t");
+        g.add_edge(s, a, 2.0, 1.0).unwrap();
+        g.add_edge(a, s, 5.0, 1.0).unwrap();
+        g.add_edge(a, t, 1.0, 1.0).unwrap();
+        assert!((dinic(&g, s, t).value - 1.0).abs() < 1e-9);
+    }
+}

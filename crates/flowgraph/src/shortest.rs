@@ -1,0 +1,231 @@
+//! Shortest (by delay) and widest (by bottleneck capacity) paths.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{EdgeId, Graph, NodeId};
+
+/// A path through the graph as a sequence of edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathRoute {
+    /// Edges in order from source to destination.
+    pub edges: Vec<EdgeId>,
+    /// Total delay along the path.
+    pub delay: f64,
+    /// Minimum capacity along the path (the bottleneck).
+    pub bottleneck: f64,
+}
+
+impl PathRoute {
+    /// Node sequence of this path (source first).
+    pub fn nodes(&self, graph: &Graph) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.edges.len() + 1);
+        if let Some(&first) = self.edges.first() {
+            out.push(graph.edge(first).from);
+        }
+        for &e in &self.edges {
+            out.push(graph.edge(e).to);
+        }
+        out
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    key: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on `key`.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .unwrap_or(Ordering::Equal)
+            .then(self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra by delay. Returns `None` if `to` is unreachable.
+///
+/// Edges with zero capacity are skipped: they cannot carry traffic.
+///
+/// # Panics
+///
+/// Panics if `from` or `to` is out of range.
+pub fn shortest_delay_path(graph: &Graph, from: NodeId, to: NodeId) -> Option<PathRoute> {
+    assert!(from.0 < graph.node_count() && to.0 < graph.node_count());
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+    dist[from.0] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem {
+        key: 0.0,
+        node: from.0,
+    });
+    while let Some(HeapItem { key, node }) = heap.pop() {
+        if key > dist[node] {
+            continue;
+        }
+        if node == to.0 {
+            break;
+        }
+        for e in graph.out_edges(NodeId(node)) {
+            if e.capacity <= 0.0 {
+                continue;
+            }
+            let nd = key + e.delay;
+            if nd < dist[e.to.0] {
+                dist[e.to.0] = nd;
+                pred[e.to.0] = Some(e.id);
+                heap.push(HeapItem {
+                    key: nd,
+                    node: e.to.0,
+                });
+            }
+        }
+    }
+    if dist[to.0].is_infinite() {
+        return None;
+    }
+    Some(reconstruct(graph, &pred, from, to, dist[to.0]))
+}
+
+/// Widest path: maximizes the bottleneck capacity from `from` to `to`
+/// (ties broken by lower delay is *not* guaranteed). Returns `None` if
+/// unreachable.
+///
+/// # Panics
+///
+/// Panics if `from` or `to` is out of range.
+pub fn widest_path(graph: &Graph, from: NodeId, to: NodeId) -> Option<PathRoute> {
+    assert!(from.0 < graph.node_count() && to.0 < graph.node_count());
+    let n = graph.node_count();
+    let mut width = vec![0.0f64; n];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+    width[from.0] = f64::INFINITY;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem {
+        // Negate so the max-width vertex pops first from the min-heap.
+        key: -f64::INFINITY,
+        node: from.0,
+    });
+    while let Some(HeapItem { key, node }) = heap.pop() {
+        let w = -key;
+        if w < width[node] {
+            continue;
+        }
+        for e in graph.out_edges(NodeId(node)) {
+            let nw = w.min(e.capacity);
+            if nw > width[e.to.0] {
+                width[e.to.0] = nw;
+                pred[e.to.0] = Some(e.id);
+                heap.push(HeapItem {
+                    key: -nw,
+                    node: e.to.0,
+                });
+            }
+        }
+    }
+    if width[to.0] <= 0.0 {
+        return None;
+    }
+    let mut route = reconstruct(graph, &pred, from, to, 0.0);
+    route.delay = route.edges.iter().map(|&e| graph.edge(e).delay).sum();
+    Some(route)
+}
+
+fn reconstruct(
+    graph: &Graph,
+    pred: &[Option<EdgeId>],
+    from: NodeId,
+    to: NodeId,
+    delay: f64,
+) -> PathRoute {
+    let mut edges = Vec::new();
+    let mut v = to;
+    while v != from {
+        let e = pred[v.0].expect("predecessor chain broken");
+        edges.push(e);
+        v = graph.edge(e).from;
+    }
+    edges.reverse();
+    let bottleneck = edges
+        .iter()
+        .map(|&e| graph.edge(e).capacity)
+        .fold(f64::INFINITY, f64::min);
+    PathRoute {
+        edges,
+        delay,
+        bottleneck,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Graph, NodeId, NodeId) {
+        // s -> a -> t (fast, narrow), s -> b -> t (slow, wide)
+        let mut g = Graph::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let t = g.add_node("t");
+        g.add_edge(s, a, 1.0, 1.0).unwrap();
+        g.add_edge(a, t, 1.0, 1.0).unwrap();
+        g.add_edge(s, b, 10.0, 5.0).unwrap();
+        g.add_edge(b, t, 10.0, 5.0).unwrap();
+        (g, s, t)
+    }
+
+    #[test]
+    fn shortest_prefers_low_delay() {
+        let (g, s, t) = diamond();
+        let p = shortest_delay_path(&g, s, t).unwrap();
+        assert_eq!(p.delay, 2.0);
+        assert_eq!(p.bottleneck, 1.0);
+        assert_eq!(p.nodes(&g).len(), 3);
+        assert_eq!(g.label(p.nodes(&g)[1]), "a");
+    }
+
+    #[test]
+    fn widest_prefers_high_capacity() {
+        let (g, s, t) = diamond();
+        let p = widest_path(&g, s, t).unwrap();
+        assert_eq!(p.bottleneck, 10.0);
+        assert_eq!(p.delay, 10.0);
+        assert_eq!(g.label(p.nodes(&g)[1]), "b");
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g = Graph::new();
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        assert!(shortest_delay_path(&g, s, t).is_none());
+        assert!(widest_path(&g, s, t).is_none());
+        // Zero-capacity edges cannot carry flow.
+        g.add_edge(s, t, 0.0, 1.0).unwrap();
+        assert!(shortest_delay_path(&g, s, t).is_none());
+        assert!(widest_path(&g, s, t).is_none());
+    }
+
+    #[test]
+    fn self_path_is_empty() {
+        let (g, s, _) = diamond();
+        let p = shortest_delay_path(&g, s, s).unwrap();
+        assert!(p.edges.is_empty());
+        assert_eq!(p.delay, 0.0);
+    }
+}

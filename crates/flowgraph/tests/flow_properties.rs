@@ -1,0 +1,107 @@
+//! Property-based tests for the flow algorithms.
+
+use ncvnf_flowgraph::maxflow::{dinic, edmonds_karp, min_cut};
+use ncvnf_flowgraph::paths::{feasible_paths, PathLimits};
+use ncvnf_flowgraph::{Graph, NodeId};
+use proptest::prelude::*;
+
+/// Builds a random layered DAG: source → L1 → L2 → sink.
+fn arb_dag() -> impl Strategy<Value = (Graph, NodeId, NodeId)> {
+    (
+        1usize..4,
+        1usize..4,
+        prop::collection::vec((0usize..16, 0usize..16, 1u32..20, 1u32..30), 4..40),
+    )
+        .prop_map(|(l1, l2, edges)| {
+            let mut g = Graph::new();
+            let s = g.add_node("s");
+            let a: Vec<NodeId> = (0..l1).map(|i| g.add_node(format!("a{i}"))).collect();
+            let b: Vec<NodeId> = (0..l2).map(|i| g.add_node(format!("b{i}"))).collect();
+            let t = g.add_node("t");
+            for (x, y, cap, delay) in edges {
+                // Map the raw pair onto a layered edge deterministically.
+                let from = match x % 3 {
+                    0 => s,
+                    1 => a[x % l1],
+                    _ => b[x % l2],
+                };
+                let to = match y % 3 {
+                    0 => a[y % l1],
+                    1 => b[y % l2],
+                    _ => t,
+                };
+                if from != to {
+                    g.add_edge(from, to, cap as f64, delay as f64).unwrap();
+                }
+            }
+            (g, s, t)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Edmonds–Karp and Dinic agree on every instance.
+    #[test]
+    fn maxflow_algorithms_agree((g, s, t) in arb_dag()) {
+        let ek = edmonds_karp(&g, s, t).value;
+        let di = dinic(&g, s, t).value;
+        prop_assert!((ek - di).abs() < 1e-6, "EK {ek} vs Dinic {di}");
+    }
+
+    /// Max flow equals min cut (strong duality) and the flow respects
+    /// capacities and conservation.
+    #[test]
+    fn maxflow_equals_mincut_and_is_feasible((g, s, t) in arb_dag()) {
+        let flow = dinic(&g, s, t);
+        let (cut_value, cut_edges) = min_cut(&g, s, t);
+        prop_assert!((flow.value - cut_value).abs() < 1e-6);
+        let cut_cap: f64 = cut_edges.iter().map(|&e| g.edge(e).capacity).sum();
+        prop_assert!((cut_cap - flow.value).abs() < 1e-6);
+        for e in g.edges() {
+            let f = flow.flow_on(e.id);
+            prop_assert!(f >= -1e-9 && f <= e.capacity + 1e-9);
+        }
+        for v in g.nodes() {
+            if v == s || v == t {
+                continue;
+            }
+            let inflow: f64 = g.in_edges(v).map(|e| flow.flow_on(e.id)).sum();
+            let outflow: f64 = g.out_edges(v).map(|e| flow.flow_on(e.id)).sum();
+            prop_assert!((inflow - outflow).abs() < 1e-6);
+        }
+    }
+
+    /// Every enumerated feasible path is simple, within the delay bound,
+    /// and growing the bound never shrinks the path set.
+    #[test]
+    fn path_enumeration_is_sound((g, s, t) in arb_dag(), bound in 5.0f64..100.0) {
+        let limits = PathLimits {
+            max_delay: bound,
+            max_hops: 6,
+            max_paths: 512,
+        };
+        let paths = feasible_paths(&g, s, t, &limits);
+        for p in &paths {
+            prop_assert!(p.delay <= bound + 1e-9);
+            let nodes = p.nodes(&g);
+            let mut seen = std::collections::HashSet::new();
+            prop_assert!(nodes.iter().all(|n| seen.insert(*n)));
+            // Edges actually chain.
+            for w in p.edges.windows(2) {
+                prop_assert_eq!(g.edge(w[0]).to, g.edge(w[1]).from);
+            }
+        }
+        let wider = feasible_paths(
+            &g,
+            s,
+            t,
+            &PathLimits {
+                max_delay: bound * 2.0,
+                max_hops: 6,
+                max_paths: 512,
+            },
+        );
+        prop_assert!(wider.len() >= paths.len());
+    }
+}

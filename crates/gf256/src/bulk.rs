@@ -1,0 +1,171 @@
+//! Bulk slice kernels over GF(2^8).
+//!
+//! The RLNC hot path multiplies whole packet payloads (≈1460 bytes) by a
+//! single coefficient and accumulates them. These kernels use the full
+//! 256x256 product table so each byte costs one table lookup plus one XOR.
+//!
+//! All functions interpret `&[u8]` as a vector of GF(2^8) elements.
+
+use crate::gf256::Gf256;
+
+/// `dst[i] ^= src[i]` for all `i` (addition in GF(2^8)).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_slice(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    // XOR eight bytes at a time: addition in GF(2^8) is carry-free, so a
+    // whole word can be processed per operation (the safe-Rust stand-in
+    // for the SIMD kernels a DPDK deployment would use).
+    let (dst_chunks, dst_tail) = dst.split_at_mut(dst.len() - dst.len() % 8);
+    let (src_chunks, src_tail) = src.split_at(src.len() - src.len() % 8);
+    for (d, s) in dst_chunks.chunks_exact_mut(8).zip(src_chunks.chunks_exact(8)) {
+        let x = u64::from_ne_bytes(d.try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (d, s) in dst_tail.iter_mut().zip(src_tail) {
+        *d ^= *s;
+    }
+}
+
+/// `dst[i] = c * dst[i]` for all `i`.
+pub fn scale_slice(dst: &mut [u8], c: u8) {
+    match c {
+        0 => dst.fill(0),
+        1 => {}
+        _ => {
+            let row = Gf256::mul_row(c);
+            for d in dst.iter_mut() {
+                *d = row[*d as usize];
+            }
+        }
+    }
+}
+
+/// `dst[i] = c * src[i]` for all `i`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    match c {
+        0 => dst.fill(0),
+        1 => dst.copy_from_slice(src),
+        _ => {
+            let row = Gf256::mul_row(c);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = row[*s as usize];
+            }
+        }
+    }
+}
+
+/// `dst[i] ^= c * src[i]` for all `i` — the RLNC inner loop.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use ncvnf_gf256::bulk::mul_add_slice;
+/// let mut acc = vec![0u8; 4];
+/// mul_add_slice(&mut acc, &[1, 2, 3, 4], 3);
+/// mul_add_slice(&mut acc, &[1, 2, 3, 4], 3);
+/// assert_eq!(acc, vec![0; 4]); // adding twice cancels in GF(2^8)
+/// ```
+pub fn mul_add_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    match c {
+        0 => {}
+        1 => add_slice(dst, src),
+        _ => {
+            let row = Gf256::mul_row(c);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= row[*s as usize];
+            }
+        }
+    }
+}
+
+/// Dot product of a coefficient vector with a matrix of rows:
+/// `out = Σ_i coeffs[i] * rows[i]`.
+///
+/// This is exactly "compute one coded packet from a generation".
+///
+/// # Panics
+///
+/// Panics if `coeffs.len() != rows.len()`, if any row's length differs from
+/// `out.len()`.
+pub fn linear_combine(out: &mut [u8], coeffs: &[u8], rows: &[&[u8]]) {
+    assert_eq!(coeffs.len(), rows.len(), "coefficient/row count mismatch");
+    out.fill(0);
+    for (&c, row) in coeffs.iter().zip(rows) {
+        mul_add_slice(out, row, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_slice_matches_scalar_multiplication() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 0x53, 0xFF] {
+            let mut dst = vec![0u8; 256];
+            mul_slice(&mut dst, &src, c);
+            for (i, &d) in dst.iter().enumerate() {
+                let expect = Gf256::new(c) * Gf256::new(src[i]);
+                assert_eq!(d, expect.value());
+            }
+        }
+    }
+
+    #[test]
+    fn scale_matches_mul() {
+        let src: Vec<u8> = (0..100).map(|i| (i * 7 + 3) as u8).collect();
+        for c in [0u8, 1, 9, 200] {
+            let mut a = src.clone();
+            scale_slice(&mut a, c);
+            let mut b = vec![0u8; src.len()];
+            mul_slice(&mut b, &src, c);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mul_add_is_mul_then_add() {
+        let src: Vec<u8> = (0..64).map(|i| (i * 31) as u8).collect();
+        let base: Vec<u8> = (0..64).map(|i| (i * 13 + 5) as u8).collect();
+        for c in [0u8, 1, 77] {
+            let mut a = base.clone();
+            mul_add_slice(&mut a, &src, c);
+            let mut product = vec![0u8; src.len()];
+            mul_slice(&mut product, &src, c);
+            let mut b = base.clone();
+            add_slice(&mut b, &product);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn linear_combine_two_rows() {
+        let r0 = [1u8, 0, 0];
+        let r1 = [0u8, 1, 0];
+        let mut out = [0u8; 3];
+        linear_combine(&mut out, &[5, 7], &[&r0, &r1]);
+        assert_eq!(out, [5, 7, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut dst = [0u8; 3];
+        mul_add_slice(&mut dst, &[1, 2], 3);
+    }
+}

@@ -1,0 +1,140 @@
+use std::fmt::Debug;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A finite field of characteristic 2, GF(2^w).
+///
+/// All fields in this crate represent elements as unsigned integers in
+/// `0..ORDER`. Addition is bitwise XOR (characteristic 2), multiplication is
+/// carry-less polynomial multiplication modulo an irreducible polynomial.
+///
+/// # Examples
+///
+/// ```
+/// use ncvnf_gf256::{Field, Gf16};
+///
+/// fn fermat<F: Field>(x: F) -> bool {
+///     // x^(q-1) == 1 for nonzero x in GF(q)
+///     x == F::ZERO || x.pow(F::ORDER - 1) == F::ONE
+/// }
+/// assert!((0..16).all(|i| fermat(Gf16::new(i as u16))));
+/// ```
+pub trait Field:
+    Copy
+    + Clone
+    + Debug
+    + PartialEq
+    + Eq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + Default
+    + Send
+    + Sync
+    + 'static
+{
+    /// Number of elements in the field (2^w).
+    const ORDER: u64;
+    /// Field width in bits (w).
+    const BITS: u32;
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+
+    /// Builds an element from the low bits of `raw`.
+    ///
+    /// Bits at or above [`Field::BITS`] are masked off, so every `u64` maps
+    /// to a valid element.
+    fn from_raw(raw: u64) -> Self;
+
+    /// Returns the canonical integer representation in `0..ORDER`.
+    fn to_raw(self) -> u64;
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is [`Field::ZERO`], which has no inverse.
+    fn inv(self) -> Self;
+
+    /// Returns true if this is the additive identity.
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// Exponentiation by squaring.
+    fn pow(self, mut exp: u64) -> Self {
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            exp >>= 1;
+        }
+        acc
+    }
+}
+
+/// Implements the arithmetic operator traits for a field type in terms of
+/// inherent `add_impl`/`mul_impl`/`inv` methods.
+macro_rules! impl_field_ops {
+    ($ty:ty) => {
+        impl std::ops::Add for $ty {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                self.add_impl(rhs)
+            }
+        }
+        impl std::ops::Sub for $ty {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                // Characteristic 2: subtraction is addition.
+                self.add_impl(rhs)
+            }
+        }
+        impl std::ops::Neg for $ty {
+            type Output = Self;
+            fn neg(self) -> Self {
+                self
+            }
+        }
+        impl std::ops::Mul for $ty {
+            type Output = Self;
+            fn mul(self, rhs: Self) -> Self {
+                self.mul_impl(rhs)
+            }
+        }
+        impl std::ops::Div for $ty {
+            type Output = Self;
+            fn div(self, rhs: Self) -> Self {
+                self.mul_impl(<$ty as $crate::Field>::inv(rhs))
+            }
+        }
+        impl std::ops::AddAssign for $ty {
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+        impl std::ops::SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+        impl std::ops::MulAssign for $ty {
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+        impl std::ops::DivAssign for $ty {
+            fn div_assign(&mut self, rhs: Self) {
+                *self = *self / rhs;
+            }
+        }
+    };
+}
+
+pub(crate) use impl_field_ops;

@@ -1,0 +1,98 @@
+//! GF(2): the binary field (XOR coding), the degenerate baseline.
+
+use std::fmt;
+
+use crate::field::{impl_field_ops, Field};
+
+/// An element of GF(2): a single bit.
+///
+/// Coding over GF(2) reduces RLNC to random XOR combinations. It is cheap
+/// but suffers a high probability of linearly dependent packets at small
+/// generation sizes, which is why the paper codes over GF(2^8). Used here
+/// by the field-size ablation.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gf2(bool);
+
+impl Gf2 {
+    /// Wraps a bit as a field element.
+    pub const fn new(value: bool) -> Self {
+        Gf2(value)
+    }
+
+    /// Returns the underlying bit.
+    pub const fn value(self) -> bool {
+        self.0
+    }
+
+    fn add_impl(self, rhs: Self) -> Self {
+        Gf2(self.0 ^ rhs.0)
+    }
+
+    fn mul_impl(self, rhs: Self) -> Self {
+        Gf2(self.0 & rhs.0)
+    }
+}
+
+impl Field for Gf2 {
+    const ORDER: u64 = 2;
+    const BITS: u32 = 1;
+    const ZERO: Self = Gf2(false);
+    const ONE: Self = Gf2(true);
+
+    fn from_raw(raw: u64) -> Self {
+        Gf2(raw & 1 == 1)
+    }
+
+    fn to_raw(self) -> u64 {
+        self.0 as u64
+    }
+
+    fn inv(self) -> Self {
+        assert!(self.0, "attempt to invert zero in GF(2)");
+        self
+    }
+}
+
+impl_field_ops!(Gf2);
+
+impl fmt::Debug for Gf2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf2({})", self.0 as u8)
+    }
+}
+
+impl fmt::Display for Gf2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0 as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        let zero = Gf2::ZERO;
+        let one = Gf2::ONE;
+        assert_eq!(zero + zero, zero);
+        assert_eq!(zero + one, one);
+        assert_eq!(one + one, zero);
+        assert_eq!(one * one, one);
+        assert_eq!(one * zero, zero);
+        assert_eq!(one.inv(), one);
+        assert_eq!(one / one, one);
+    }
+
+    #[test]
+    fn from_raw_masks() {
+        assert_eq!(Gf2::from_raw(0xFE), Gf2::ZERO);
+        assert_eq!(Gf2::from_raw(0xFF), Gf2::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "invert zero")]
+    fn inverting_zero_panics() {
+        let _ = Gf2::ZERO.inv();
+    }
+}

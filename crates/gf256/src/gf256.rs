@@ -1,0 +1,218 @@
+//! GF(2^8): the field used by the paper's data plane.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::field::{impl_field_ops, Field};
+use crate::poly::poly_mul_mod;
+
+/// Irreducible polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the classic
+/// Reed-Solomon / network-coding choice with primitive element `x` (0x02).
+pub(crate) const POLY: u64 = 0x11D;
+/// A generator of the multiplicative group under [`POLY`].
+const GENERATOR: u8 = 0x02;
+
+struct Tables {
+    /// exp[i] = g^i, doubled so `exp[log a + log b]` never wraps.
+    exp: [u8; 512],
+    /// log[a] for a != 0; log[0] is unused.
+    log: [u16; 256],
+    /// Full 256x256 product table; `mul[a][b] = a*b`. 64 KiB, fits in L2 and
+    /// makes the bulk slice kernels two lookups per byte.
+    mul: Box<[[u8; 256]; 256]>,
+    /// inv[a] for a != 0.
+    inv: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x = 1u64;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u16;
+            x = poly_mul_mod(x, GENERATOR as u64, POLY);
+        }
+        debug_assert_eq!(x, 1, "generator order must be 255");
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        let mut mul = Box::new([[0u8; 256]; 256]);
+        for a in 1..256usize {
+            for b in 1..256usize {
+                mul[a][b] = exp[(log[a] + log[b]) as usize];
+            }
+        }
+        let mut inv = [0u8; 256];
+        for a in 1..256usize {
+            inv[a] = exp[(255 - log[a]) as usize];
+        }
+        Tables { exp, log, mul, inv }
+    })
+}
+
+/// An element of GF(2^8).
+///
+/// This is the field the reproduced system codes over; the paper follows
+/// the practice in the literature and chooses GF(2^8) as the best
+/// throughput/overhead tradeoff.
+///
+/// # Examples
+///
+/// ```
+/// use ncvnf_gf256::{Field, Gf256};
+///
+/// let a = Gf256::new(7);
+/// assert_eq!(a * a.inv(), Gf256::ONE);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gf256(u8);
+
+impl Gf256 {
+    /// Wraps a byte as a field element (all byte values are valid).
+    pub const fn new(value: u8) -> Self {
+        Gf256(value)
+    }
+
+    /// Returns the underlying byte.
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    fn add_impl(self, rhs: Self) -> Self {
+        Gf256(self.0 ^ rhs.0)
+    }
+
+    fn mul_impl(self, rhs: Self) -> Self {
+        Gf256(tables().mul[self.0 as usize][rhs.0 as usize])
+    }
+
+    /// Row of the full multiplication table for coefficient `c`:
+    /// `row[x] == c * x`. Used by the bulk slice kernels.
+    pub(crate) fn mul_row(c: u8) -> &'static [u8; 256] {
+        &tables().mul[c as usize]
+    }
+
+    /// Discrete log base the generator; `None` for zero.
+    pub fn log(self) -> Option<u16> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(tables().log[self.0 as usize])
+        }
+    }
+
+    /// `generator^i`.
+    pub fn exp(i: u16) -> Self {
+        Gf256(tables().exp[(i % 255) as usize])
+    }
+}
+
+impl Field for Gf256 {
+    const ORDER: u64 = 256;
+    const BITS: u32 = 8;
+    const ZERO: Self = Gf256(0);
+    const ONE: Self = Gf256(1);
+
+    fn from_raw(raw: u64) -> Self {
+        Gf256(raw as u8)
+    }
+
+    fn to_raw(self) -> u64 {
+        self.0 as u64
+    }
+
+    fn inv(self) -> Self {
+        assert!(self.0 != 0, "attempt to invert zero in GF(2^8)");
+        Gf256(tables().inv[self.0 as usize])
+    }
+}
+
+impl_field_ops!(Gf256);
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256({:#04x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x}", self.0)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(value: u8) -> Self {
+        Gf256(value)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(value: Gf256) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_multiplication_matches_polynomial_multiplication() {
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                let expect = poly_mul_mod(a, b, POLY) as u8;
+                assert_eq!(
+                    (Gf256::new(a as u8) * Gf256::new(b as u8)).value(),
+                    expect,
+                    "{a:#x} * {b:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..256u16 {
+            let a = Gf256::new(a as u8);
+            assert_eq!(a * a.inv(), Gf256::ONE);
+            assert_eq!(a / a, Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn addition_is_xor() {
+        assert_eq!(Gf256::new(0b1010) + Gf256::new(0b0110), Gf256::new(0b1100));
+        assert_eq!(Gf256::new(0xFF) - Gf256::new(0xFF), Gf256::ZERO);
+    }
+
+    #[test]
+    fn pow_and_log_agree() {
+        for i in 0..255u16 {
+            let e = Gf256::exp(i);
+            assert_eq!(e.log(), Some(i));
+            assert_eq!(Gf256::new(2).pow(i as u64), e);
+        }
+        assert_eq!(Gf256::ZERO.log(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invert zero")]
+    fn inverting_zero_panics() {
+        let _ = Gf256::ZERO.inv();
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let g = Gf256::new(GENERATOR);
+        let mut x = g;
+        for _ in 1..255 {
+            assert_ne!(x, Gf256::ONE);
+            x = x * g;
+        }
+        assert_eq!(x, Gf256::ONE);
+    }
+}

@@ -1,0 +1,136 @@
+//! GF(2^16): a two-byte field for the field-size ablation.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::field::{impl_field_ops, Field};
+use crate::poly::poly_mul_mod;
+
+/// Irreducible polynomial x^16 + x^12 + x^3 + x + 1 (0x1100B).
+const POLY: u64 = 0x1100B;
+/// A generator of the multiplicative group under [`POLY`].
+const GENERATOR: u64 = 0x02;
+
+struct Tables {
+    exp: Vec<u16>, // length 2 * 65535
+    log: Vec<u32>, // length 65536
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = vec![0u16; 2 * 65535];
+        let mut log = vec![0u32; 65536];
+        let mut x = 1u64;
+        for i in 0..65535 {
+            exp[i] = x as u16;
+            log[x as usize] = i as u32;
+            x = poly_mul_mod(x, GENERATOR, POLY);
+        }
+        assert_eq!(x, 1, "generator order must be 65535");
+        for i in 65535..2 * 65535 {
+            exp[i] = exp[i - 65535];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2^16).
+///
+/// Sixteen-bit symbols make the probability of drawing linearly dependent
+/// coded packets negligible even at generation size 2, but double the
+/// per-packet coefficient overhead relative to GF(2^8) and lose the dense
+/// multiplication table. Exercised by the field-size ablation bench.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gf65536(u16);
+
+impl Gf65536 {
+    /// Wraps a 16-bit value as a field element (all values are valid).
+    pub const fn new(value: u16) -> Self {
+        Gf65536(value)
+    }
+
+    /// Returns the underlying 16-bit value.
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+
+    fn add_impl(self, rhs: Self) -> Self {
+        Gf65536(self.0 ^ rhs.0)
+    }
+
+    fn mul_impl(self, rhs: Self) -> Self {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf65536(0);
+        }
+        let t = tables();
+        let idx = t.log[self.0 as usize] + t.log[rhs.0 as usize];
+        Gf65536(t.exp[idx as usize])
+    }
+}
+
+impl Field for Gf65536 {
+    const ORDER: u64 = 65536;
+    const BITS: u32 = 16;
+    const ZERO: Self = Gf65536(0);
+    const ONE: Self = Gf65536(1);
+
+    fn from_raw(raw: u64) -> Self {
+        Gf65536(raw as u16)
+    }
+
+    fn to_raw(self) -> u64 {
+        self.0 as u64
+    }
+
+    fn inv(self) -> Self {
+        assert!(self.0 != 0, "attempt to invert zero in GF(2^16)");
+        let t = tables();
+        Gf65536(t.exp[(65535 - t.log[self.0 as usize]) as usize])
+    }
+}
+
+impl_field_ops!(Gf65536);
+
+impl fmt::Debug for Gf65536 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf65536({:#06x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf65536 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_products_match_polynomial_multiplication() {
+        for a in (1..65536u64).step_by(641) {
+            for b in (1..65536u64).step_by(523) {
+                let expect = poly_mul_mod(a, b, POLY) as u16;
+                assert_eq!(
+                    (Gf65536::new(a as u16) * Gf65536::new(b as u16)).value(),
+                    expect
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_inverses() {
+        for a in (1..65536u32).step_by(97) {
+            let a = Gf65536::new(a as u16);
+            assert_eq!(a * a.inv(), Gf65536::ONE);
+        }
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        assert_eq!(Gf65536::new(0x1234) * Gf65536::ZERO, Gf65536::ZERO);
+    }
+}

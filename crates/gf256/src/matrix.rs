@@ -1,0 +1,301 @@
+//! Dense matrices over a [`Field`], with Gaussian elimination.
+//!
+//! The RLNC decoder reduces the received coefficient matrix to solve for the
+//! original blocks; this module provides the generic linear algebra it (and
+//! the test suite) builds on.
+
+use crate::Field;
+
+/// A dense row-major matrix over field `F`.
+///
+/// # Examples
+///
+/// ```
+/// use ncvnf_gf256::{Field, Gf256, Matrix};
+///
+/// let m = Matrix::<Gf256>::identity(3);
+/// assert_eq!(m.rank(), 3);
+/// assert_eq!(m.inverse().unwrap(), m);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix<F: Field> {
+    rows: usize,
+    cols: usize,
+    data: Vec<F>,
+}
+
+impl<F: Field> Matrix<F> {
+    /// Creates a `rows x cols` zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![F::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates an `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = F::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<F>]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "inconsistent row lengths"
+        );
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[F] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    fn row_mut(&mut self, r: usize) -> &mut [F] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix<F>) -> Matrix<F> {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matmul");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] = out[(i, j)] + a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Rank via Gaussian elimination on a copy.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        m.row_reduce()
+    }
+
+    /// In-place reduction to row echelon form; returns the rank.
+    pub fn row_reduce(&mut self) -> usize {
+        let mut pivot_row = 0;
+        for col in 0..self.cols {
+            if pivot_row == self.rows {
+                break;
+            }
+            // Find a pivot in this column.
+            let Some(src) = (pivot_row..self.rows).find(|&r| !self[(r, col)].is_zero()) else {
+                continue;
+            };
+            self.swap_rows(pivot_row, src);
+            // Normalize the pivot row.
+            let inv = self[(pivot_row, col)].inv();
+            for x in self.row_mut(pivot_row)[col..].iter_mut() {
+                *x = *x * inv;
+            }
+            // Eliminate the column from all other rows (full reduction).
+            for r in 0..self.rows {
+                if r == pivot_row {
+                    continue;
+                }
+                let factor = self[(r, col)];
+                if factor.is_zero() {
+                    continue;
+                }
+                for c in col..self.cols {
+                    let sub = factor * self[(pivot_row, c)];
+                    self[(r, c)] = self[(r, c)] - sub;
+                }
+            }
+            pivot_row += 1;
+        }
+        pivot_row
+    }
+
+    /// Inverse of a square matrix, or `None` if singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<Matrix<F>> {
+        assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
+        let n = self.rows;
+        // Augment [self | I] and reduce.
+        let mut aug = Matrix::zero(n, 2 * n);
+        for i in 0..n {
+            for j in 0..n {
+                aug[(i, j)] = self[(i, j)];
+            }
+            aug[(i, n + i)] = F::ONE;
+        }
+        aug.row_reduce();
+        // The matrix is invertible iff the left block reduced to the
+        // identity (the identity block always keeps the row rank at n, so
+        // the rank alone is not a singularity test).
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { F::ONE } else { F::ZERO };
+                if aug[(i, j)] != expect {
+                    return None;
+                }
+            }
+        }
+        let mut out = Matrix::zero(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                out[(i, j)] = aug[(i, n + j)];
+            }
+        }
+        Some(out)
+    }
+
+    /// Swaps two rows in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        if a == b {
+            return;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (top, bottom) = self.data.split_at_mut(hi * self.cols);
+        top[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut bottom[..self.cols]);
+    }
+}
+
+impl<F: Field> std::ops::Index<(usize, usize)> for Matrix<F> {
+    type Output = F;
+    fn index(&self, (r, c): (usize, usize)) -> &F {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<F: Field> std::ops::IndexMut<(usize, usize)> for Matrix<F> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut F {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<F: Field> std::fmt::Debug for Matrix<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  [")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:?}", self[(r, c)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gf256;
+
+    fn m(rows: &[&[u8]]) -> Matrix<Gf256> {
+        Matrix::from_rows(
+            &rows
+                .iter()
+                .map(|r| r.iter().map(|&x| Gf256::new(x)).collect())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn identity_rank_and_inverse() {
+        let id = Matrix::<Gf256>::identity(4);
+        assert_eq!(id.rank(), 4);
+        assert_eq!(id.inverse().unwrap(), id);
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let a = m(&[&[1, 2], &[2, 4]]);
+        // Row 2 = 2 * row 1 over GF(2^8) (2*1=2, 2*2=4).
+        assert_eq!(a.rank(), 1);
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = m(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 10]]);
+        if let Some(inv) = a.inverse() {
+            let prod = a.matmul(&inv);
+            assert_eq!(prod, Matrix::identity(3));
+        } else {
+            panic!("matrix unexpectedly singular");
+        }
+    }
+
+    #[test]
+    fn row_reduce_reports_rank_of_rectangular() {
+        // Row 3 = row 1 + row 2 (5 XOR 6 = 3), so the rank drops to 2.
+        let a = m(&[&[1, 0, 0, 5], &[0, 1, 0, 6], &[1, 1, 0, 3]]);
+        assert_eq!(a.rank(), 2);
+        // Perturbing the last entry restores independence.
+        let b = m(&[&[1, 0, 0, 5], &[0, 1, 0, 6], &[1, 1, 0, 7]]);
+        assert_eq!(b.rank(), 3);
+    }
+
+    #[test]
+    fn matmul_with_identity_is_noop() {
+        let a = m(&[&[9, 8], &[7, 6]]);
+        assert_eq!(a.matmul(&Matrix::identity(2)), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::<Gf256>::zero(2, 3);
+        let b = Matrix::<Gf256>::zero(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,115 @@
+//! Carry-less polynomial arithmetic over GF(2), used to build field tables.
+
+/// Multiplies two polynomials over GF(2) (carry-less multiplication).
+///
+/// Each `u64` encodes a polynomial: bit `i` is the coefficient of `x^i`.
+/// The inputs must fit in 32 bits each so that the product fits in 64 bits.
+///
+/// # Panics
+///
+/// Panics in debug builds if either operand exceeds 32 bits.
+///
+/// # Examples
+///
+/// ```
+/// use ncvnf_gf256::carryless_mul;
+/// // (x + 1)(x + 1) = x^2 + 1 over GF(2)
+/// assert_eq!(carryless_mul(0b11, 0b11), 0b101);
+/// ```
+pub fn carryless_mul(a: u64, b: u64) -> u64 {
+    debug_assert!(a < (1 << 32) && b < (1 << 32));
+    let mut acc = 0u64;
+    let mut a = a;
+    let mut shift = 0;
+    while a != 0 {
+        if a & 1 == 1 {
+            acc ^= b << shift;
+        }
+        a >>= 1;
+        shift += 1;
+    }
+    acc
+}
+
+/// Reduces polynomial `value` modulo the polynomial `modulus` over GF(2).
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use ncvnf_gf256::{carryless_mul, poly_mod};
+/// // x^8 mod (x^8 + x^4 + x^3 + x^2 + 1) = x^4 + x^3 + x^2 + 1
+/// assert_eq!(poly_mod(0x100, 0x11D), 0x1D);
+/// ```
+pub fn poly_mod(mut value: u64, modulus: u64) -> u64 {
+    assert!(modulus != 0, "modulus must be nonzero");
+    let mod_deg = 63 - modulus.leading_zeros() as i32;
+    loop {
+        let val_deg = if value == 0 {
+            return 0;
+        } else {
+            63 - value.leading_zeros() as i32
+        };
+        if val_deg < mod_deg {
+            return value;
+        }
+        value ^= modulus << (val_deg - mod_deg);
+    }
+}
+
+/// Multiplies `a * b` modulo `modulus` over GF(2).
+pub(crate) fn poly_mul_mod(a: u64, b: u64, modulus: u64) -> u64 {
+    poly_mod(carryless_mul(a, b), modulus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carryless_identity() {
+        for a in 0..256u64 {
+            assert_eq!(carryless_mul(a, 1), a);
+            assert_eq!(carryless_mul(1, a), a);
+            assert_eq!(carryless_mul(a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn carryless_commutes_and_distributes() {
+        for a in [0u64, 1, 2, 3, 0x53, 0xCA, 0xFF] {
+            for b in [0u64, 1, 2, 7, 0x11, 0xFE] {
+                assert_eq!(carryless_mul(a, b), carryless_mul(b, a));
+                for c in [0u64, 5, 0x80] {
+                    assert_eq!(
+                        carryless_mul(a, b ^ c),
+                        carryless_mul(a, b) ^ carryless_mul(a, c)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mod_reduces_below_modulus_degree() {
+        for v in 0..4096u64 {
+            let r = poly_mod(v, 0x11D);
+            assert!(r < 0x100, "residue {r:#x} not reduced");
+        }
+    }
+
+    #[test]
+    fn mul_mod_matches_known_gf256_products() {
+        // 0x53 * 0xCA = 0x01 in GF(2^8) with the AES polynomial 0x11B.
+        assert_eq!(poly_mul_mod(0x53, 0xCA, 0x11B), 0x01);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be nonzero")]
+    fn zero_modulus_panics() {
+        poly_mod(1, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests: field axioms hold for every field in the crate.
+
+use ncvnf_gf256::{bulk, Field, Gf16, Gf2, Gf256, Gf65536, Matrix};
+use proptest::prelude::*;
+
+fn axioms<F: Field>(a: F, b: F, c: F) {
+    // Commutativity
+    assert_eq!(a + b, b + a);
+    assert_eq!(a * b, b * a);
+    // Associativity
+    assert_eq!((a + b) + c, a + (b + c));
+    assert_eq!((a * b) * c, a * (b * c));
+    // Distributivity
+    assert_eq!(a * (b + c), a * b + a * c);
+    // Identities
+    assert_eq!(a + F::ZERO, a);
+    assert_eq!(a * F::ONE, a);
+    assert_eq!(a * F::ZERO, F::ZERO);
+    // Additive inverse (characteristic 2: self-inverse)
+    assert_eq!(a + a, F::ZERO);
+    assert_eq!(-a, a);
+    // Multiplicative inverse
+    if !a.is_zero() {
+        assert_eq!(a * a.inv(), F::ONE);
+        assert_eq!(a / a, F::ONE);
+        assert_eq!((b / a) * a, b);
+    }
+    // Fermat's little theorem: a^q = a
+    assert_eq!(a.pow(F::ORDER), a);
+}
+
+proptest! {
+    #[test]
+    fn gf2_axioms(a in 0u64..2, b in 0u64..2, c in 0u64..2) {
+        axioms(Gf2::from_raw(a), Gf2::from_raw(b), Gf2::from_raw(c));
+    }
+
+    #[test]
+    fn gf16_axioms(a in 0u64..16, b in 0u64..16, c in 0u64..16) {
+        axioms(Gf16::from_raw(a), Gf16::from_raw(b), Gf16::from_raw(c));
+    }
+
+    #[test]
+    fn gf256_axioms(a in 0u64..256, b in 0u64..256, c in 0u64..256) {
+        axioms(Gf256::from_raw(a), Gf256::from_raw(b), Gf256::from_raw(c));
+    }
+
+    #[test]
+    fn gf65536_axioms(a in 0u64..65536, b in 0u64..65536, c in 0u64..65536) {
+        axioms(Gf65536::from_raw(a), Gf65536::from_raw(b), Gf65536::from_raw(c));
+    }
+
+    #[test]
+    fn raw_roundtrip(a in 0u64..256) {
+        prop_assert_eq!(Gf256::from_raw(a).to_raw(), a);
+    }
+
+    #[test]
+    fn bulk_kernels_match_elementwise(
+        src in prop::collection::vec(any::<u8>(), 1..300),
+        base in any::<u8>(),
+        c in any::<u8>(),
+    ) {
+        let mut dst: Vec<u8> = src.iter().map(|_| base).collect();
+        bulk::mul_add_slice(&mut dst, &src, c);
+        for (i, &d) in dst.iter().enumerate() {
+            let expect = Gf256::new(base) + Gf256::new(c) * Gf256::new(src[i]);
+            prop_assert_eq!(d, expect.value());
+        }
+    }
+
+    #[test]
+    fn random_square_matrix_inverse_roundtrips(
+        seed in prop::collection::vec(any::<u8>(), 16)
+    ) {
+        let vals: Vec<Gf256> = seed.iter().map(|&x| Gf256::new(x)).collect();
+        let rows: Vec<Vec<Gf256>> = vals.chunks(4).map(|c| c.to_vec()).collect();
+        let m = Matrix::from_rows(&rows);
+        match m.inverse() {
+            Some(inv) => {
+                prop_assert_eq!(m.matmul(&inv), Matrix::identity(4));
+                prop_assert_eq!(inv.matmul(&m), Matrix::identity(4));
+            }
+            None => prop_assert!(m.rank() < 4),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! A deterministic discrete-event network simulator.
+//!
+//! The paper evaluates on VMs rented in six North-American data centers
+//! (EC2 California/Oregon/Virginia, Linode Texas/Georgia/New Jersey),
+//! shaping links with `netem` and measuring with `ping`/`iperf3`. This
+//! crate is the substitute testbed: an event-driven simulator whose links
+//! have propagation delay, (possibly time-varying) bandwidth with a
+//! drop-tail queue, and pluggable loss models — including the exact burst
+//! recurrence the paper injects (`Pₙ = 25% · Pₙ₋₁ + P`).
+//!
+//! Key pieces:
+//!
+//! * [`Simulator`] — event loop, nodes, links, deterministic RNG;
+//! * [`NodeBehavior`] — trait implemented by traffic sources, VNFs, sinks;
+//! * [`LinkConfig`]/[`LossModel`]/[`BandwidthTrace`] — link shaping;
+//! * [`tcp`] — a Reno-like reliable transport for the "Direct TCP"
+//!   baseline of Fig. 7;
+//! * [`probe`] — ping- and iperf-style measurement nodes feeding the
+//!   control plane;
+//! * [`stats`] — time-binned throughput series used by the figure
+//!   harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use ncvnf_netsim::*;
+//! use bytes::Bytes;
+//!
+//! /// Sends one datagram at t = 0, counts what it gets back.
+//! struct Hello { peer: Addr }
+//! impl NodeBehavior for Hello {
+//!     fn on_start(&mut self, ctx: &mut Context<'_>) {
+//!         ctx.send(self.peer, 9, Bytes::from_static(b"hi"));
+//!     }
+//!     fn on_datagram(&mut self, _ctx: &mut Context<'_>, _d: Datagram) {}
+//! }
+//!
+//! let mut sim = Simulator::new(7);
+//! let a = sim.add_node("a", Hello { peer: Addr::new(SimNodeId(1), 9) });
+//! let b = sim.add_node("b", sink::CountingSink::new());
+//! sim.add_link(a, b, LinkConfig::new(1e6, SimDuration::from_millis(5)));
+//! sim.run_until(SimTime::from_secs(1));
+//! assert_eq!(sim.node_as::<sink::CountingSink>(b).unwrap().packets(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod link;
+mod loss;
+mod node;
+mod packet;
+pub mod probe;
+mod sim;
+pub mod sink;
+pub mod stats;
+pub mod tcp;
+mod time;
+mod trace;
+
+pub use link::{LinkConfig, LinkId, LinkStats};
+pub use loss::LossModel;
+pub use node::{Context, NodeBehavior};
+pub use packet::{Addr, Datagram};
+pub use sim::{SimNodeId, Simulator};
+pub use time::{SimDuration, SimTime};
+pub use trace::BandwidthTrace;

@@ -1,0 +1,189 @@
+//! Simulated links: serialization, propagation, queueing, loss.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::loss::LossModel;
+use crate::packet::Datagram;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::BandwidthTrace;
+
+/// Identifier of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+/// Static configuration of a directed link.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Bandwidth over time (bits per second).
+    pub bandwidth: BandwidthTrace,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Extra per-packet delay drawn uniformly from `[0, jitter]`
+    /// (netem-style jitter; nonzero jitter reorders packets, which the
+    /// coded data plane must tolerate — "our system is not concerned with
+    /// out-of-order packets").
+    pub jitter: SimDuration,
+    /// Drop-tail queue capacity in bytes.
+    pub queue_bytes: usize,
+    /// Loss process applied after serialization (netem-style wire loss).
+    pub loss: LossModel,
+}
+
+impl LinkConfig {
+    /// A lossless link with the given constant bandwidth (bps), one-way
+    /// delay, and a default 256 KiB queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is not positive and finite.
+    pub fn new(bps: f64, delay: SimDuration) -> Self {
+        LinkConfig {
+            bandwidth: BandwidthTrace::constant(bps),
+            delay,
+            jitter: SimDuration::ZERO,
+            queue_bytes: 256 * 1024,
+            loss: LossModel::None,
+        }
+    }
+
+    /// Replaces the loss model (builder style).
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets per-packet delay jitter (builder style).
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Replaces the queue capacity (builder style).
+    pub fn with_queue_bytes(mut self, bytes: usize) -> Self {
+        self.queue_bytes = bytes;
+        self
+    }
+
+    /// Replaces the bandwidth trace (builder style).
+    pub fn with_trace(mut self, trace: BandwidthTrace) -> Self {
+        self.bandwidth = trace;
+        self
+    }
+}
+
+/// Counters exposed per link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets accepted into the queue.
+    pub enqueued: u64,
+    /// Packets dropped because the queue was full.
+    pub dropped_queue: u64,
+    /// Packets dropped by the loss model.
+    pub dropped_loss: u64,
+    /// Packets delivered to the destination node.
+    pub delivered: u64,
+    /// Payload+header bytes delivered.
+    pub delivered_bytes: u64,
+}
+
+/// Runtime state of one link inside the simulator.
+pub(crate) struct LinkState {
+    #[allow(dead_code)] // kept for debugging/reporting
+    pub(crate) from: usize,
+    #[allow(dead_code)]
+    pub(crate) to: usize,
+    pub(crate) config: LinkConfig,
+    pub(crate) queue: VecDeque<Datagram>,
+    pub(crate) queued_bytes: usize,
+    /// True while a packet is being serialized.
+    pub(crate) busy: bool,
+    pub(crate) stats: LinkStats,
+    /// Dedicated RNG so loss sequences are reproducible regardless of
+    /// node behavior randomness.
+    pub(crate) rng: StdRng,
+}
+
+impl LinkState {
+    pub(crate) fn new(from: usize, to: usize, config: LinkConfig, seed: u64) -> Self {
+        LinkState {
+            from,
+            to,
+            config,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            busy: false,
+            stats: LinkStats::default(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Tries to enqueue; returns false on tail drop.
+    pub(crate) fn enqueue(&mut self, dgram: Datagram) -> bool {
+        let sz = dgram.wire_bytes();
+        if self.queued_bytes + sz > self.config.queue_bytes {
+            self.stats.dropped_queue += 1;
+            return false;
+        }
+        self.queued_bytes += sz;
+        self.queue.push_back(dgram);
+        self.stats.enqueued += 1;
+        true
+    }
+
+    /// Serialization time of `bytes` at the rate in effect at `now`.
+    pub(crate) fn tx_time(&self, bytes: usize, now: SimTime) -> SimDuration {
+        let bps = self.config.bandwidth.rate_at(now);
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Addr;
+    use crate::sim::SimNodeId;
+    use bytes::Bytes;
+
+    fn dgram(n: usize) -> Datagram {
+        Datagram {
+            src: Addr::new(SimNodeId(0), 0),
+            dst: Addr::new(SimNodeId(1), 0),
+            payload: Bytes::from(vec![0u8; n]),
+        }
+    }
+
+    #[test]
+    fn queue_tail_drops() {
+        let cfg = LinkConfig::new(1e6, SimDuration::from_millis(1)).with_queue_bytes(3000);
+        let mut link = LinkState::new(0, 1, cfg, 1);
+        assert!(link.enqueue(dgram(1400))); // 1428 wire
+        assert!(link.enqueue(dgram(1400))); // 2856 wire
+        assert!(!link.enqueue(dgram(1400))); // would exceed 3000
+        assert_eq!(link.stats.enqueued, 2);
+        assert_eq!(link.stats.dropped_queue, 1);
+    }
+
+    #[test]
+    fn tx_time_scales_with_rate() {
+        let cfg = LinkConfig::new(8e6, SimDuration::ZERO); // 1 MB/s
+        let link = LinkState::new(0, 1, cfg, 1);
+        let t = link.tx_time(1000, SimTime::ZERO);
+        assert_eq!(t.as_millis_f64(), 1.0);
+    }
+
+    #[test]
+    fn tx_time_follows_trace() {
+        let mut trace = BandwidthTrace::constant(8e6);
+        trace.add_step(SimTime::from_secs(10), 4e6);
+        let cfg = LinkConfig::new(8e6, SimDuration::ZERO).with_trace(trace);
+        let link = LinkState::new(0, 1, cfg, 1);
+        assert_eq!(link.tx_time(1000, SimTime::ZERO).as_millis_f64(), 1.0);
+        assert_eq!(
+            link.tx_time(1000, SimTime::from_secs(11)).as_millis_f64(),
+            2.0
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Packet-loss models.
+//!
+//! The paper's robustness experiments (Sec. V-B-3) emulate two loss
+//! processes with `netem` on the bottleneck link:
+//!
+//! * i.i.d. uniform loss at rates 0–50 % (Fig. 8);
+//! * burst loss where "the loss rate of the n-th packet is
+//!   `Pₙ = 25% × Pₙ₋₁ + P`, `P₀ = 0`" with `P` ranging 0–5 % (Fig. 9).
+//!
+//! A Gilbert–Elliott two-state model is included as an extension.
+
+use rand::Rng;
+
+/// A per-link loss process. Each call to [`LossModel::drops`] consumes one
+/// packet event and returns whether that packet is lost.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LossModel {
+    /// No loss.
+    None,
+    /// Independent loss with fixed probability per packet.
+    Uniform {
+        /// Loss probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// The paper's burst recurrence: the n-th packet is lost with
+    /// probability `pₙ = memory · pₙ₋₁ + base`, seeded at `p₀ = 0`. A lost
+    /// packet bumps `pₙ₋₁` to 1, which is what makes losses bursty.
+    Burst {
+        /// Memory factor (the paper uses 0.25).
+        memory: f64,
+        /// Additive base loss `P` (0–5 % in Fig. 9).
+        base: f64,
+        /// Current per-packet loss probability (`pₙ₋₁`).
+        current: f64,
+    },
+    /// Gilbert–Elliott: a good/bad Markov chain with per-state loss rates.
+    GilbertElliott {
+        /// P(good -> bad) per packet.
+        p_gb: f64,
+        /// P(bad -> good) per packet.
+        p_bg: f64,
+        /// Loss rate while in the good state.
+        good_loss: f64,
+        /// Loss rate while in the bad state.
+        bad_loss: f64,
+        /// Current state: true = bad.
+        in_bad: bool,
+    },
+}
+
+impl LossModel {
+    /// Convenience constructor for [`LossModel::Uniform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn uniform(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate out of range");
+        LossModel::Uniform { rate }
+    }
+
+    /// The paper's burst model with memory 0.25 and additive base `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn paper_burst(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "burst base out of range");
+        LossModel::Burst {
+            memory: 0.25,
+            base: p,
+            current: 0.0,
+        }
+    }
+
+    /// Gilbert–Elliott starting in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn gilbert_elliott(p_gb: f64, p_bg: f64, good_loss: f64, bad_loss: f64) -> Self {
+        for p in [p_gb, p_bg, good_loss, bad_loss] {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+        }
+        LossModel::GilbertElliott {
+            p_gb,
+            p_bg,
+            good_loss,
+            bad_loss,
+            in_bad: false,
+        }
+    }
+
+    /// Advances the process by one packet; returns true if it is dropped.
+    pub fn drops<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::Uniform { rate } => *rate > 0.0 && rng.gen::<f64>() < *rate,
+            LossModel::Burst {
+                memory,
+                base,
+                current,
+            } => {
+                let p_n = *memory * *current + *base;
+                let lost = p_n > 0.0 && rng.gen::<f64>() < p_n;
+                // Feed back: a loss spikes the next-step probability.
+                *current = if lost { 1.0 } else { p_n };
+                lost
+            }
+            LossModel::GilbertElliott {
+                p_gb,
+                p_bg,
+                good_loss,
+                bad_loss,
+                in_bad,
+            } => {
+                // State transition first, then per-state Bernoulli loss.
+                if *in_bad {
+                    if rng.gen::<f64>() < *p_bg {
+                        *in_bad = false;
+                    }
+                } else if rng.gen::<f64>() < *p_gb {
+                    *in_bad = true;
+                }
+                let rate = if *in_bad { *bad_loss } else { *good_loss };
+                rate > 0.0 && rng.gen::<f64>() < rate
+            }
+        }
+    }
+
+    /// Long-run expected loss rate of the process (analytic).
+    pub fn steady_state_rate(&self) -> f64 {
+        match self {
+            LossModel::None => 0.0,
+            LossModel::Uniform { rate } => *rate,
+            // Below the loss-feedback correction, pₙ converges to
+            // base / (1 − memory); the feedback makes the true rate
+            // slightly higher, but this closed form is what the paper's
+            // recurrence converges to without losses.
+            LossModel::Burst { memory, base, .. } => base / (1.0 - memory),
+            LossModel::GilbertElliott {
+                p_gb,
+                p_bg,
+                good_loss,
+                bad_loss,
+                ..
+            } => {
+                let pi_bad = if p_gb + p_bg > 0.0 {
+                    p_gb / (p_gb + p_bg)
+                } else {
+                    0.0
+                };
+                pi_bad * bad_loss + (1.0 - pi_bad) * good_loss
+            }
+        }
+    }
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_rate(model: &mut LossModel, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lost = 0usize;
+        for _ in 0..n {
+            if model.drops(&mut rng) {
+                lost += 1;
+            }
+        }
+        lost as f64 / n as f64
+    }
+
+    #[test]
+    fn uniform_rate_matches() {
+        for rate in [0.0, 0.1, 0.5] {
+            let mut m = LossModel::uniform(rate);
+            let emp = empirical_rate(&mut m, 100_000, 1);
+            assert!((emp - rate).abs() < 0.01, "rate {rate}: got {emp}");
+        }
+    }
+
+    #[test]
+    fn none_never_drops() {
+        let mut m = LossModel::None;
+        assert_eq!(empirical_rate(&mut m, 1000, 2), 0.0);
+    }
+
+    #[test]
+    fn burst_rate_close_to_steady_state() {
+        // With base 3%: pₙ → 0.03 / 0.75 = 4% plus a small feedback term.
+        let mut m = LossModel::paper_burst(0.03);
+        let expect = m.steady_state_rate();
+        let emp = empirical_rate(&mut m, 200_000, 3);
+        assert!(
+            emp >= expect - 0.005 && emp <= expect + 0.02,
+            "expected near {expect}, got {emp}"
+        );
+    }
+
+    #[test]
+    fn burst_zero_base_never_drops() {
+        let mut m = LossModel::paper_burst(0.0);
+        assert_eq!(empirical_rate(&mut m, 10_000, 4), 0.0);
+    }
+
+    #[test]
+    fn bursts_are_bursty() {
+        // Consecutive-loss probability should exceed the square of the
+        // marginal rate (positive autocorrelation).
+        let mut m = LossModel::paper_burst(0.05);
+        let mut rng = StdRng::seed_from_u64(5);
+        let seq: Vec<bool> = (0..300_000).map(|_| m.drops(&mut rng)).collect();
+        let rate = seq.iter().filter(|&&l| l).count() as f64 / seq.len() as f64;
+        let pairs = seq.windows(2).filter(|w| w[0] && w[1]).count() as f64
+            / (seq.len() - 1) as f64;
+        assert!(
+            pairs > rate * rate * 2.0,
+            "no burstiness: rate {rate}, pair rate {pairs}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_steady_state() {
+        let mut m = LossModel::gilbert_elliott(0.01, 0.2, 0.0, 0.5);
+        let expect = m.steady_state_rate();
+        let emp = empirical_rate(&mut m, 300_000, 6);
+        assert!((emp - expect).abs() < 0.01, "expected {expect}, got {emp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_rate_panics() {
+        let _ = LossModel::uniform(1.5);
+    }
+}

@@ -1,0 +1,90 @@
+//! Node behaviors and their execution context.
+
+use std::any::Any;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+
+use crate::packet::{Addr, Datagram};
+use crate::sim::SimNodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// Commands buffered by a [`Context`] and applied by the simulator after
+/// the handler returns (avoids aliasing the simulator while a node runs).
+#[derive(Debug)]
+pub(crate) enum Command {
+    Send(Datagram),
+    SetTimer { after: SimDuration, token: u64 },
+}
+
+/// The API a [`NodeBehavior`] uses to interact with the simulation.
+pub struct Context<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) node: SimNodeId,
+    pub(crate) commands: &'a mut Vec<Command>,
+    pub(crate) rng: &'a mut StdRng,
+}
+
+impl Context<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node being executed.
+    pub fn node_id(&self) -> SimNodeId {
+        self.node
+    }
+
+    /// Sends a datagram from `src_port` on this node to `dst`.
+    ///
+    /// Delivery requires a link from this node to `dst.node`; datagrams
+    /// without a link are counted and dropped (there is no routing — relays
+    /// forward hop by hop, like the paper's VNFs).
+    pub fn send(&mut self, dst: Addr, src_port: u16, payload: Bytes) {
+        let d = Datagram {
+            src: Addr::new(self.node, src_port),
+            dst,
+            payload,
+        };
+        self.commands.push(Command::Send(d));
+    }
+
+    /// Schedules [`NodeBehavior::on_timer`] with `token` after `after`.
+    pub fn set_timer(&mut self, after: SimDuration, token: u64) {
+        self.commands.push(Command::SetTimer { after, token });
+    }
+
+    /// Deterministic RNG shared by the simulation.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// A simulated process: traffic source, coding VNF, sink, prober, ...
+///
+/// Handlers receive a [`Context`] to send datagrams and arm timers; all
+/// effects are applied after the handler returns, in order.
+pub trait NodeBehavior: Any {
+    /// Called once when the simulation starts (time zero) or when the node
+    /// is added to an already-running simulation.
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called for every datagram delivered to this node.
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, dgram: Datagram);
+
+    /// Called when a timer armed via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: u64) {}
+}
+
+/// Object-safe downcasting support so callers can read results out of
+/// their behaviors after a run (see [`crate::Simulator::node_as`]).
+impl dyn NodeBehavior {
+    pub(crate) fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    pub(crate) fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,262 @@
+//! Measurement probes: ping-style RTT and iperf-style throughput.
+//!
+//! The paper installs `iperf3` on the coding VNFs and runs `ping`
+//! periodically; "results are sent to the controller for use of the
+//! dynamic scaling algorithm" (Sec. IV-B). These behaviors are the
+//! simulator counterparts; the control-plane crate reads their samples.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::node::{Context, NodeBehavior};
+use crate::packet::{Addr, Datagram};
+use crate::stats::Summary;
+use crate::time::{SimDuration, SimTime};
+
+/// Echoes every datagram back to its sender (same payload, same port).
+#[derive(Debug, Default)]
+pub struct EchoServer {
+    echoed: u64,
+}
+
+impl EchoServer {
+    /// Creates a new echo responder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of datagrams echoed.
+    pub fn echoed(&self) -> u64 {
+        self.echoed
+    }
+}
+
+impl NodeBehavior for EchoServer {
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, dgram: Datagram) {
+        self.echoed += 1;
+        ctx.send(dgram.src, dgram.dst.port, dgram.payload);
+    }
+}
+
+/// Sends periodic echo requests and records round-trip times.
+///
+/// The peer must run an [`EchoServer`] (or any behavior that reflects the
+/// payload back).
+#[derive(Debug)]
+pub struct PingProbe {
+    peer: Addr,
+    interval: SimDuration,
+    payload_len: usize,
+    remaining: u64,
+    next_seq: u64,
+    in_flight: Vec<(u64, SimTime)>,
+    rtts_ms: Vec<f64>,
+    summary: Summary,
+}
+
+impl PingProbe {
+    /// A probe that pings `peer` `count` times every `interval` with
+    /// `payload_len`-byte packets (the paper pings "with the same packet
+    /// size as that of our coded packets").
+    pub fn new(peer: Addr, interval: SimDuration, count: u64, payload_len: usize) -> Self {
+        PingProbe {
+            peer,
+            interval,
+            payload_len: payload_len.max(8),
+            remaining: count,
+            next_seq: 0,
+            in_flight: Vec::new(),
+            rtts_ms: Vec::new(),
+            summary: Summary::new(),
+        }
+    }
+
+    /// All RTT samples in milliseconds.
+    pub fn rtts_ms(&self) -> &[f64] {
+        &self.rtts_ms
+    }
+
+    /// Min/max/mean summary of the RTT samples.
+    pub fn summary(&self) -> Summary {
+        self.summary
+    }
+
+    fn fire(&mut self, ctx: &mut Context<'_>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut buf = BytesMut::with_capacity(self.payload_len);
+        buf.put_u64(seq);
+        buf.resize(self.payload_len, 0);
+        self.in_flight.push((seq, ctx.now()));
+        ctx.send(self.peer, PING_PORT, buf.freeze());
+        if self.remaining > 0 {
+            ctx.set_timer(self.interval, 0);
+        }
+    }
+}
+
+/// Port used by ping probes.
+pub const PING_PORT: u16 = 7;
+
+impl NodeBehavior for PingProbe {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.fire(ctx);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, dgram: Datagram) {
+        if dgram.payload.len() < 8 {
+            return;
+        }
+        let seq = u64::from_be_bytes(dgram.payload[..8].try_into().expect("8 bytes"));
+        if let Some(pos) = self.in_flight.iter().position(|&(s, _)| s == seq) {
+            let (_, sent) = self.in_flight.swap_remove(pos);
+            let rtt = (ctx.now() - sent).as_millis_f64();
+            self.rtts_ms.push(rtt);
+            self.summary.record(rtt);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        self.fire(ctx);
+    }
+}
+
+/// Blasts UDP at a constant bit rate toward a sink (iperf-style). Pair it
+/// with a [`crate::sink::CountingSink`] to read the delivered rate.
+#[derive(Debug)]
+pub struct RateSource {
+    peer: Addr,
+    packet_len: usize,
+    interval: SimDuration,
+    stop_at: SimTime,
+    sent: u64,
+}
+
+impl RateSource {
+    /// Sends `packet_len`-byte payloads to `peer` at `bps` (on-the-wire
+    /// bits per second) until `stop_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` or `packet_len` is not positive.
+    pub fn new(peer: Addr, bps: f64, packet_len: usize, stop_at: SimTime) -> Self {
+        assert!(bps > 0.0 && bps.is_finite(), "invalid rate");
+        assert!(packet_len > 0, "invalid packet length");
+        let wire = packet_len + Datagram::HEADER_OVERHEAD;
+        let interval = SimDuration::from_secs_f64(wire as f64 * 8.0 / bps);
+        RateSource {
+            peer,
+            packet_len,
+            interval,
+            stop_at,
+            sent: 0,
+        }
+    }
+
+    /// Packets emitted so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl NodeBehavior for RateSource {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, _dgram: Datagram) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        if ctx.now() >= self.stop_at {
+            return;
+        }
+        self.sent += 1;
+        ctx.send(self.peer, 5001, Bytes::from(vec![0u8; self.packet_len]));
+        ctx.set_timer(self.interval, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CountingSink;
+    use crate::{LinkConfig, SimNodeId, Simulator};
+
+    #[test]
+    fn ping_measures_symmetric_rtt() {
+        let mut sim = Simulator::new(1);
+        let probe_node = SimNodeId(0);
+        let echo_node = SimNodeId(1);
+        let p = sim.add_node(
+            "probe",
+            PingProbe::new(
+                Addr::new(echo_node, PING_PORT),
+                SimDuration::from_millis(100),
+                5,
+                64,
+            ),
+        );
+        let e = sim.add_node("echo", EchoServer::new());
+        // 10 ms each way; serialization of 92 wire bytes at 1 Gbps ≈ 0.7 us.
+        let cfg = LinkConfig::new(1e9, SimDuration::from_millis(10));
+        sim.add_link(p, e, cfg.clone());
+        sim.add_link(e, p, cfg);
+        sim.run_until(SimTime::from_secs(2));
+        let probe = sim.node_as::<PingProbe>(p).unwrap();
+        assert_eq!(probe.rtts_ms().len(), 5);
+        for &rtt in probe.rtts_ms() {
+            assert!((rtt - 20.0).abs() < 0.1, "rtt {rtt}");
+        }
+        assert_eq!(sim.node_as::<EchoServer>(e).unwrap().echoed(), 5);
+        let _ = probe_node;
+    }
+
+    #[test]
+    fn rate_source_achieves_configured_rate_on_fat_link() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(
+            "src",
+            RateSource::new(
+                Addr::new(SimNodeId(1), 5001),
+                10e6,
+                1000,
+                SimTime::from_secs(2),
+            ),
+        );
+        let dst = sim.add_node("dst", CountingSink::counting_only());
+        sim.add_link(src, dst, LinkConfig::new(100e6, SimDuration::from_millis(5)));
+        sim.run_until(SimTime::from_secs(3));
+        let sink = sim.node_as::<CountingSink>(dst).unwrap();
+        let wire_bits = (sink.bytes() + sink.packets() * 28) * 8;
+        let rate = wire_bits as f64 / 2.0; // bps over the 2 s send window
+        assert!((rate - 10e6).abs() / 10e6 < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn rate_source_saturates_at_link_capacity() {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(
+            "src",
+            RateSource::new(
+                Addr::new(SimNodeId(1), 5001),
+                50e6,
+                1000,
+                SimTime::from_secs(2),
+            ),
+        );
+        let dst = sim.add_node("dst", CountingSink::counting_only());
+        sim.add_link(src, dst, LinkConfig::new(10e6, SimDuration::ZERO));
+        // Stop at the send deadline so queue drain does not inflate the
+        // measured window.
+        sim.run_until(SimTime::from_secs(2));
+        let sink = sim.node_as::<CountingSink>(dst).unwrap();
+        let wire_bits = (sink.bytes() + sink.packets() * 28) * 8;
+        let rate = wire_bits as f64 / 2.0;
+        // Queue drops bound delivery near 10 Mbps.
+        assert!(rate <= 10.5e6, "rate {rate}");
+        assert!(rate >= 9.0e6, "rate {rate}");
+    }
+}

@@ -1,0 +1,549 @@
+//! The event-driven simulator core.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::link::{LinkConfig, LinkId, LinkState, LinkStats};
+use crate::node::{Command, Context, NodeBehavior};
+use crate::packet::Datagram;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::BandwidthTrace;
+
+/// Identifier of a node in a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimNodeId(pub usize);
+
+impl std::fmt::Display for SimNodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Run `on_start` for a node.
+    Start(usize),
+    /// Deliver a datagram to its destination node.
+    Deliver(Datagram),
+    /// Fire a node timer.
+    Timer { node: usize, token: u64 },
+    /// The head packet of a link finished serializing.
+    TxDone(usize),
+}
+
+/// Ordered event queue entry: (time, sequence for FIFO ties, event).
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event network simulator.
+///
+/// Deterministic: the same seed and the same sequence of calls produce the
+/// same run, which the test suite relies on.
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Scheduled>>,
+    nodes: Vec<Box<dyn NodeBehavior>>,
+    node_labels: Vec<String>,
+    links: Vec<LinkState>,
+    /// (from, to) -> link index.
+    link_index: HashMap<(usize, usize), usize>,
+    rng: StdRng,
+    seed: u64,
+    commands: Vec<Command>,
+    /// Datagrams dropped because no link existed toward the destination.
+    no_route_drops: u64,
+    started: bool,
+}
+
+impl Simulator {
+    /// Creates a simulator with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            nodes: Vec::new(),
+            node_labels: Vec::new(),
+            links: Vec::new(),
+            link_index: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            commands: Vec::new(),
+            no_route_drops: 0,
+            started: false,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Adds a node; its `on_start` runs at the current time (or at time
+    /// zero when the simulation has not started yet).
+    pub fn add_node(&mut self, label: impl Into<String>, behavior: impl NodeBehavior) -> SimNodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Box::new(behavior));
+        self.node_labels.push(label.into());
+        self.schedule(self.now, Event::Start(id));
+        SimNodeId(id)
+    }
+
+    /// Adds a directed link; any existing link for the pair is replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is unknown.
+    pub fn add_link(&mut self, from: SimNodeId, to: SimNodeId, config: LinkConfig) -> LinkId {
+        assert!(from.0 < self.nodes.len(), "unknown from node");
+        assert!(to.0 < self.nodes.len(), "unknown to node");
+        // Mix the simulator seed in so different seeds give different loss
+        // sequences, but loss streams stay independent of node RNG usage.
+        let seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x9E37_79B9u64.wrapping_mul(self.links.len() as u64 + 1))
+            .wrapping_add(from.0 as u64 * 31 + to.0 as u64);
+        let idx = self.links.len();
+        self.links.push(LinkState::new(from.0, to.0, config, seed));
+        self.link_index.insert((from.0, to.0), idx);
+        LinkId(idx)
+    }
+
+    /// Replaces the bandwidth trace of a link mid-run (netem-style
+    /// shaping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link id is unknown.
+    pub fn set_link_bandwidth(&mut self, link: LinkId, trace: BandwidthTrace) {
+        self.links[link.0].config.bandwidth = trace;
+    }
+
+    /// Replaces the loss model of a link mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link id is unknown.
+    pub fn set_link_loss(&mut self, link: LinkId, loss: crate::loss::LossModel) {
+        self.links[link.0].config.loss = loss;
+    }
+
+    /// Looks up the link id for `(from, to)`, if any.
+    pub fn link_between(&self, from: SimNodeId, to: SimNodeId) -> Option<LinkId> {
+        self.link_index.get(&(from.0, to.0)).map(|&i| LinkId(i))
+    }
+
+    /// Counters for one link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link id is unknown.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.links[link.0].stats
+    }
+
+    /// Datagrams dropped for lack of a link to the destination.
+    pub fn no_route_drops(&self) -> u64 {
+        self.no_route_drops
+    }
+
+    /// Downcasts a node's behavior for inspection after (or during) a run.
+    pub fn node_as<T: NodeBehavior>(&self, id: SimNodeId) -> Option<&T> {
+        self.nodes.get(id.0)?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`Simulator::node_as`].
+    pub fn node_as_mut<T: NodeBehavior>(&mut self, id: SimNodeId) -> Option<&mut T> {
+        self.nodes.get_mut(id.0)?.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Label of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is unknown.
+    pub fn node_label(&self, id: SimNodeId) -> &str {
+        &self.node_labels[id.0]
+    }
+
+    fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Runs until the event queue is empty or `deadline` is reached.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.started = true;
+        let mut processed = 0;
+        while let Some(Reverse(next)) = self.events.peek() {
+            if next.at > deadline {
+                break;
+            }
+            let Reverse(sched) = self.events.pop().expect("peeked");
+            self.now = sched.at;
+            self.dispatch(sched.event);
+            processed += 1;
+        }
+        // Land exactly on the deadline so subsequent run_for calls align.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        processed
+    }
+
+    /// Runs for `span` of simulated time from now.
+    pub fn run_for(&mut self, span: SimDuration) -> u64 {
+        let deadline = self.now + span;
+        self.run_until(deadline)
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Start(node) => self.invoke(node, |b, ctx| b.on_start(ctx)),
+            Event::Timer { node, token } => {
+                self.invoke(node, |b, ctx| b.on_timer(ctx, token));
+            }
+            Event::Deliver(dgram) => {
+                let node = dgram.dst.node.0;
+                if node < self.nodes.len() {
+                    self.invoke(node, |b, ctx| b.on_datagram(ctx, dgram));
+                }
+            }
+            Event::TxDone(link_idx) => self.link_tx_done(link_idx),
+        }
+    }
+
+    /// Runs a node handler with a command-buffer context, then applies the
+    /// buffered commands.
+    fn invoke<F>(&mut self, node: usize, f: F)
+    where
+        F: FnOnce(&mut dyn NodeBehavior, &mut Context<'_>),
+    {
+        debug_assert!(self.commands.is_empty());
+        let mut commands = std::mem::take(&mut self.commands);
+        {
+            let mut ctx = Context {
+                now: self.now,
+                node: SimNodeId(node),
+                commands: &mut commands,
+                rng: &mut self.rng,
+            };
+            // Temporarily detach the behavior so the context can borrow
+            // the simulator state mutably without aliasing.
+            let mut behavior = std::mem::replace(&mut self.nodes[node], Box::new(Tombstone));
+            f(behavior.as_mut(), &mut ctx);
+            self.nodes[node] = behavior;
+        }
+        for cmd in commands.drain(..) {
+            match cmd {
+                Command::Send(dgram) => self.route(node, dgram),
+                Command::SetTimer { after, token } => {
+                    let at = self.now + after;
+                    self.schedule(at, Event::Timer { node, token });
+                }
+            }
+        }
+        self.commands = commands;
+    }
+
+    /// Places a datagram on the link toward its destination.
+    fn route(&mut self, from: usize, dgram: Datagram) {
+        let Some(&idx) = self.link_index.get(&(from, dgram.dst.node.0)) else {
+            self.no_route_drops += 1;
+            return;
+        };
+        let accepted = self.links[idx].enqueue(dgram);
+        if accepted && !self.links[idx].busy {
+            self.start_tx(idx);
+        }
+    }
+
+    /// Begins serializing the head-of-queue packet on a link.
+    fn start_tx(&mut self, idx: usize) {
+        let Some(head) = self.links[idx].queue.front() else {
+            self.links[idx].busy = false;
+            return;
+        };
+        let bytes = head.wire_bytes();
+        let tx = self.links[idx].tx_time(bytes, self.now);
+        self.links[idx].busy = true;
+        self.schedule(self.now + tx, Event::TxDone(idx));
+    }
+
+    /// A link finished serializing: apply loss, schedule delivery after
+    /// propagation, start the next packet.
+    fn link_tx_done(&mut self, idx: usize) {
+        let link = &mut self.links[idx];
+        let Some(dgram) = link.queue.pop_front() else {
+            link.busy = false;
+            return;
+        };
+        link.queued_bytes -= dgram.wire_bytes();
+        let mut loss = std::mem::take(&mut link.config.loss);
+        let lost = loss.drops(&mut link.rng);
+        link.config.loss = loss;
+        if lost {
+            link.stats.dropped_loss += 1;
+        } else {
+            link.stats.delivered += 1;
+            link.stats.delivered_bytes += dgram.wire_bytes() as u64;
+            let mut delay = link.config.delay;
+            if link.config.jitter.as_nanos() > 0 {
+                use rand::Rng;
+                let extra = link.rng.gen_range(0..=link.config.jitter.as_nanos());
+                delay += crate::time::SimDuration::from_secs_f64(extra as f64 / 1e9);
+            }
+            let at = self.now + delay;
+            self.schedule(at, Event::Deliver(dgram));
+        }
+        self.start_tx(idx);
+    }
+}
+
+/// Placeholder behavior installed while a node's real behavior is running.
+struct Tombstone;
+
+impl NodeBehavior for Tombstone {
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, _dgram: Datagram) {
+        unreachable!("tombstone behavior should never execute");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Addr;
+    use crate::sink::CountingSink;
+    use bytes::Bytes;
+
+    /// Sends `count` packets of `size` bytes back to back at start.
+    struct Blaster {
+        peer: Addr,
+        count: usize,
+        size: usize,
+    }
+
+    impl NodeBehavior for Blaster {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.count {
+                ctx.send(self.peer, 1, Bytes::from(vec![0u8; self.size]));
+            }
+        }
+        fn on_datagram(&mut self, _ctx: &mut Context<'_>, _d: Datagram) {}
+    }
+
+    #[test]
+    fn delivery_time_is_serialization_plus_propagation() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 1, size: 972 });
+        let b = sim.add_node("b", CountingSink::new());
+        // 1000 wire bytes at 8 Mbps = 1 ms; delay 5 ms; total 6 ms.
+        let l = sim.add_link(a, b, LinkConfig::new(8e6, SimDuration::from_millis(5)));
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.node_as::<CountingSink>(b).unwrap().packets(), 0);
+        sim.run_until(SimTime::from_millis(7));
+        let sink = sim.node_as::<CountingSink>(b).unwrap();
+        assert_eq!(sink.packets(), 1);
+        assert_eq!(sink.first_arrival().unwrap().as_nanos(), 6_000_000);
+        assert_eq!(sim.link_stats(l).delivered, 1);
+    }
+
+    #[test]
+    fn bandwidth_paces_back_to_back_packets() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 3, size: 972 });
+        let b = sim.add_node("b", CountingSink::new());
+        sim.add_link(
+            a,
+            b,
+            LinkConfig::new(8e6, SimDuration::ZERO).with_queue_bytes(1 << 20),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let sink = sim.node_as::<CountingSink>(b).unwrap();
+        assert_eq!(sink.packets(), 3);
+        // Arrivals at 1, 2, 3 ms.
+        let times: Vec<u64> = sink.arrivals().iter().map(|t| t.as_nanos()).collect();
+        assert_eq!(times, vec![1_000_000, 2_000_000, 3_000_000]);
+    }
+
+    #[test]
+    fn queue_overflow_drops_excess() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 100, size: 972 });
+        let b = sim.add_node("b", CountingSink::new());
+        let l = sim.add_link(
+            a,
+            b,
+            LinkConfig::new(8e6, SimDuration::ZERO).with_queue_bytes(10_000),
+        );
+        sim.run_until(SimTime::from_secs(10));
+        let st = sim.link_stats(l);
+        assert!(st.dropped_queue > 0);
+        assert_eq!(st.delivered + st.dropped_queue, 100);
+    }
+
+    #[test]
+    fn no_route_counts_drops() {
+        let mut sim = Simulator::new(1);
+        let _a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 2, size: 10 });
+        let _b = sim.add_node("b", CountingSink::new());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.no_route_drops(), 2);
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        struct Pacer {
+            peer: Addr,
+            remaining: usize,
+        }
+        impl NodeBehavior for Pacer {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_micros(100), 0);
+            }
+            fn on_datagram(&mut self, _ctx: &mut Context<'_>, _d: Datagram) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    ctx.send(self.peer, 1, Bytes::from_static(&[0u8; 100]));
+                    ctx.set_timer(SimDuration::from_micros(100), 0);
+                }
+            }
+        }
+        let mut sim = Simulator::new(42);
+        let a = sim.add_node("a", Pacer { peer: Addr::new(SimNodeId(1), 1), remaining: 10_000 });
+        let b = sim.add_node("b", CountingSink::new());
+        let l = sim.add_link(
+            a,
+            b,
+            LinkConfig::new(1e9, SimDuration::ZERO).with_loss(crate::loss::LossModel::uniform(0.2)),
+        );
+        sim.run_until(SimTime::from_secs(10));
+        let st = sim.link_stats(l);
+        let loss_rate = st.dropped_loss as f64 / (st.dropped_loss + st.delivered) as f64;
+        assert!((loss_rate - 0.2).abs() < 0.02, "loss rate {loss_rate}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = |seed| {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 50, size: 500 });
+            let b = sim.add_node("b", CountingSink::new());
+            let l = sim.add_link(
+                a,
+                b,
+                LinkConfig::new(1e6, SimDuration::from_millis(3))
+                    .with_loss(crate::loss::LossModel::uniform(0.3)),
+            );
+            sim.run_until(SimTime::from_secs(30));
+            sim.link_stats(l)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).delivered, run(8).delivered);
+    }
+
+    #[test]
+    fn mid_run_bandwidth_change_takes_effect() {
+        // Replace the trace mid-run (the netem-style shaping used by the
+        // Fig. 11 bandwidth cuts) and verify pacing follows it.
+        let mut sim = Simulator::new(4);
+        let a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 0, size: 0 });
+        let b = sim.add_node("b", CountingSink::new());
+        let l = sim.add_link(
+            a,
+            b,
+            LinkConfig::new(8e6, SimDuration::ZERO).with_queue_bytes(1 << 20),
+        );
+        // Manually drive two packets: one before, one after the change.
+        sim.run_until(SimTime::from_millis(1));
+        let mut trace = crate::trace::BandwidthTrace::constant(8e6);
+        trace.add_step(SimTime::from_millis(1), 4e6); // halve
+        sim.set_link_bandwidth(l, trace);
+        // New blaster node to push packets after the cut.
+        let c = sim.add_node("c", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 1, size: 972 });
+        sim.add_link(c, b, LinkConfig::new(4e6, SimDuration::ZERO));
+        sim.run_until(SimTime::from_secs(1));
+        // 1000 wire bytes at 4 Mbps = 2 ms serialization on c->b.
+        let sink = sim.node_as::<CountingSink>(b).unwrap();
+        assert_eq!(sink.packets(), 1);
+        let t = sink.first_arrival().unwrap().as_nanos();
+        assert_eq!(t, 3_000_000); // sent at 1 ms + 2 ms serialization
+    }
+
+    #[test]
+    fn jitter_reorders_packets() {
+        let mut sim = Simulator::new(3);
+        let a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 200, size: 100 });
+        let b = sim.add_node("b", CountingSink::new());
+        sim.add_link(
+            a,
+            b,
+            LinkConfig::new(1e9, SimDuration::from_millis(5))
+                .with_jitter(SimDuration::from_millis(20))
+                .with_queue_bytes(1 << 20),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        let sink = sim.node_as::<CountingSink>(b).unwrap();
+        assert_eq!(sink.packets(), 200);
+        // With 20 ms jitter over back-to-back packets, arrival times are
+        // spread across [5, 25] ms.
+        let times: Vec<u64> = sink.arrivals().iter().map(|t| t.as_nanos()).collect();
+        let min = *times.iter().min().unwrap();
+        let max = *times.iter().max().unwrap();
+        assert!(min >= 5_000_000);
+        assert!(max <= 26_000_000);
+        assert!(max - min > 10_000_000, "jitter spread too small");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl NodeBehavior for TimerNode {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+            }
+            fn on_datagram(&mut self, _ctx: &mut Context<'_>, _d: Datagram) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node("t", TimerNode { fired: Vec::new() });
+        sim.run_until(SimTime::from_millis(25));
+        assert_eq!(sim.node_as::<TimerNode>(n).unwrap().fired, vec![1, 2]);
+        sim.run_until(SimTime::from_millis(35));
+        assert_eq!(sim.node_as::<TimerNode>(n).unwrap().fired, vec![1, 2, 3]);
+    }
+}

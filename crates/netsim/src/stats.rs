@@ -1,0 +1,154 @@
+//! Measurement helpers: time-binned throughput series and summary stats.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Accumulates (time, bytes) samples into fixed-width bins and reports a
+/// throughput time series — how the figure harnesses produce the
+/// "throughput over time" curves of Fig. 7/10/11.
+#[derive(Debug, Clone)]
+pub struct ThroughputSeries {
+    bin: SimDuration,
+    bins: Vec<u64>,
+}
+
+impl ThroughputSeries {
+    /// Creates a series with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn new(bin: SimDuration) -> Self {
+        assert!(bin.as_nanos() > 0, "bin width must be positive");
+        ThroughputSeries {
+            bin,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Records `bytes` delivered at time `t`.
+    pub fn record(&mut self, t: SimTime, bytes: u64) {
+        let idx = (t.as_nanos() / self.bin.as_nanos()) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += bytes;
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin
+    }
+
+    /// Throughput per bin in Mbps, as (bin start seconds, Mbps) pairs.
+    pub fn mbps(&self) -> Vec<(f64, f64)> {
+        let w = self.bin.as_secs_f64();
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as f64 * w, b as f64 * 8.0 / w / 1e6))
+            .collect()
+    }
+
+    /// Mean throughput in Mbps over bins `[from, to)` (clamped).
+    pub fn mean_mbps(&self, from_bin: usize, to_bin: usize) -> f64 {
+        let to = to_bin.min(self.bins.len());
+        if from_bin >= to {
+            return 0.0;
+        }
+        let total: u64 = self.bins[from_bin..to].iter().sum();
+        total as f64 * 8.0 / ((to - from_bin) as f64 * self.bin.as_secs_f64()) / 1e6
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+}
+
+/// Running min/max/mean summary (used for the RTT rows of Table II).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.sum / self.count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_accumulate() {
+        let mut s = ThroughputSeries::new(SimDuration::from_secs(1));
+        s.record(SimTime::from_millis(100), 125_000); // 1 Mbps over 1 s
+        s.record(SimTime::from_millis(900), 125_000);
+        s.record(SimTime::from_millis(1500), 125_000);
+        let series = s.mbps();
+        assert_eq!(series.len(), 2);
+        assert!((series[0].1 - 2.0).abs() < 1e-9);
+        assert!((series[1].1 - 1.0).abs() < 1e-9);
+        assert_eq!(s.total_bytes(), 375_000);
+        assert!((s.mean_mbps(0, 2) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_of_empty_range_is_zero() {
+        let s = ThroughputSeries::new(SimDuration::from_secs(1));
+        assert_eq!(s.mean_mbps(0, 10), 0.0);
+        assert_eq!(s.mean_mbps(5, 5), 0.0);
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        assert!(s.mean().is_none());
+        for x in [3.0, 1.0, 2.0] {
+            s.record(x);
+        }
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.count(), 3);
+    }
+}

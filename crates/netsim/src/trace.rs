@@ -1,0 +1,144 @@
+//! Time-varying bandwidth traces.
+//!
+//! The paper measures per-VM inbound/outbound caps that fluctuate over
+//! time (Table I: ≈ 876–938 Mbps sampled every 10 minutes in two EC2 data
+//! centers) and injects step changes with `netem` in the scaling
+//! experiments (Fig. 11: "cut inbound/outbound bandwidth of all our own
+//! VNFs in that data center by half"). A [`BandwidthTrace`] is a
+//! piecewise-constant rate function of simulated time.
+
+use crate::time::SimTime;
+
+/// Piecewise-constant bandwidth (bits per second) over time.
+///
+/// # Examples
+///
+/// ```
+/// use ncvnf_netsim::{BandwidthTrace, SimTime};
+/// let mut tr = BandwidthTrace::constant(100e6);
+/// tr.add_step(SimTime::from_secs(10), 50e6);
+/// assert_eq!(tr.rate_at(SimTime::from_secs(5)), 100e6);
+/// assert_eq!(tr.rate_at(SimTime::from_secs(10)), 50e6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthTrace {
+    /// Steps as (start time, rate bps), sorted by time; the first entry is
+    /// always at time zero.
+    steps: Vec<(SimTime, f64)>,
+}
+
+impl BandwidthTrace {
+    /// A constant rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is not positive and finite.
+    pub fn constant(bps: f64) -> Self {
+        assert!(bps.is_finite() && bps > 0.0, "invalid bandwidth {bps}");
+        BandwidthTrace {
+            steps: vec![(SimTime::ZERO, bps)],
+        }
+    }
+
+    /// Builds a trace from explicit samples; the earliest sample is
+    /// shifted to time zero if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or any rate is non-positive.
+    pub fn from_samples(mut samples: Vec<(SimTime, f64)>) -> Self {
+        assert!(!samples.is_empty(), "trace needs at least one sample");
+        for &(_, r) in &samples {
+            assert!(r.is_finite() && r > 0.0, "invalid bandwidth {r}");
+        }
+        samples.sort_by_key(|&(t, _)| t);
+        if samples[0].0 != SimTime::ZERO {
+            let first_rate = samples[0].1;
+            samples.insert(0, (SimTime::ZERO, first_rate));
+        }
+        BandwidthTrace { steps: samples }
+    }
+
+    /// Appends a step: from `at` onward the rate is `bps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is not positive and finite.
+    pub fn add_step(&mut self, at: SimTime, bps: f64) {
+        assert!(bps.is_finite() && bps > 0.0, "invalid bandwidth {bps}");
+        self.steps.push((at, bps));
+        self.steps.sort_by_key(|&(t, _)| t);
+    }
+
+    /// The rate in effect at time `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let mut rate = self.steps[0].1;
+        for &(start, r) in &self.steps {
+            if start <= t {
+                rate = r;
+            } else {
+                break;
+            }
+        }
+        rate
+    }
+
+    /// Multiplies every step by `factor` (e.g. 0.5 for the paper's
+    /// bandwidth cut).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "invalid factor");
+        BandwidthTrace {
+            steps: self.steps.iter().map(|&(t, r)| (t, r * factor)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_everywhere() {
+        let tr = BandwidthTrace::constant(1e6);
+        assert_eq!(tr.rate_at(SimTime::ZERO), 1e6);
+        assert_eq!(tr.rate_at(SimTime::from_secs(1000)), 1e6);
+    }
+
+    #[test]
+    fn steps_take_effect_at_their_time() {
+        let mut tr = BandwidthTrace::constant(100.0);
+        tr.add_step(SimTime::from_secs(10), 50.0);
+        tr.add_step(SimTime::from_secs(20), 200.0);
+        assert_eq!(tr.rate_at(SimTime::from_secs(9)), 100.0);
+        assert_eq!(tr.rate_at(SimTime::from_secs(10)), 50.0);
+        assert_eq!(tr.rate_at(SimTime::from_secs(19)), 50.0);
+        assert_eq!(tr.rate_at(SimTime::from_secs(25)), 200.0);
+    }
+
+    #[test]
+    fn from_samples_sorts_and_anchors() {
+        let tr = BandwidthTrace::from_samples(vec![
+            (SimTime::from_secs(20), 2.0),
+            (SimTime::from_secs(10), 1.0),
+        ]);
+        assert_eq!(tr.rate_at(SimTime::ZERO), 1.0);
+        assert_eq!(tr.rate_at(SimTime::from_secs(15)), 1.0);
+        assert_eq!(tr.rate_at(SimTime::from_secs(20)), 2.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let tr = BandwidthTrace::constant(100.0).scaled(0.5);
+        assert_eq!(tr.rate_at(SimTime::ZERO), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bandwidth")]
+    fn zero_bandwidth_panics() {
+        let _ = BandwidthTrace::constant(0.0);
+    }
+}

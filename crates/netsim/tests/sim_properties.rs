@@ -1,0 +1,140 @@
+//! Property-based tests for the simulator's conservation invariants.
+
+use bytes::Bytes;
+use ncvnf_netsim::sink::CountingSink;
+use ncvnf_netsim::{
+    Addr, Context, Datagram, LinkConfig, LossModel, NodeBehavior, SimDuration, SimNodeId, SimTime,
+    Simulator,
+};
+use proptest::prelude::*;
+
+/// Sends `count` fixed-size packets paced at `gap_us` microseconds.
+struct PacedSource {
+    peer: Addr,
+    count: u64,
+    size: usize,
+    gap_us: u64,
+}
+
+impl NodeBehavior for PacedSource {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+    fn on_datagram(&mut self, _ctx: &mut Context<'_>, _d: Datagram) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        if self.count == 0 {
+            return;
+        }
+        self.count -= 1;
+        ctx.send(self.peer, 1, Bytes::from(vec![0u8; self.size]));
+        ctx.set_timer(SimDuration::from_micros(self.gap_us), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every packet offered to a link is accounted for exactly once:
+    /// delivered, queue-dropped, or loss-dropped.
+    #[test]
+    fn link_conserves_packets(
+        count in 1u64..400,
+        size in 1usize..1400,
+        gap_us in 1u64..2000,
+        loss_pct in 0u32..60,
+        queue_kb in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Simulator::new(seed);
+        let src = sim.add_node(
+            "src",
+            PacedSource {
+                peer: Addr::new(SimNodeId(1), 1),
+                count,
+                size,
+                gap_us,
+            },
+        );
+        let dst = sim.add_node("dst", CountingSink::counting_only());
+        let link = sim.add_link(
+            src,
+            dst,
+            LinkConfig::new(5e6, SimDuration::from_millis(2))
+                .with_queue_bytes(queue_kb * 1024)
+                .with_loss(LossModel::uniform(loss_pct as f64 / 100.0)),
+        );
+        sim.run_until(SimTime::from_secs(600));
+        let st = sim.link_stats(link);
+        // Conservation: enqueued + queue drops == offered.
+        prop_assert_eq!(st.enqueued + st.dropped_queue, count);
+        // Everything enqueued either delivered or lost on the wire.
+        prop_assert_eq!(st.delivered + st.dropped_loss, st.enqueued);
+        // The sink saw exactly the delivered packets.
+        let sink = sim.node_as::<CountingSink>(dst).unwrap();
+        prop_assert_eq!(sink.packets(), st.delivered);
+        prop_assert_eq!(sink.bytes(), st.delivered * size as u64);
+    }
+
+    /// Same seed, same run — full determinism.
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>(), loss_pct in 0u32..50) {
+        let run = || {
+            let mut sim = Simulator::new(seed);
+            let src = sim.add_node(
+                "src",
+                PacedSource {
+                    peer: Addr::new(SimNodeId(1), 1),
+                    count: 200,
+                    size: 700,
+                    gap_us: 300,
+                },
+            );
+            let dst = sim.add_node("dst", CountingSink::counting_only());
+            let link = sim.add_link(
+                src,
+                dst,
+                LinkConfig::new(3e6, SimDuration::from_millis(7))
+                    .with_loss(LossModel::uniform(loss_pct as f64 / 100.0)),
+            );
+            sim.run_until(SimTime::from_secs(30));
+            sim.link_stats(link)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Delivery preserves FIFO order per link and respects the propagation
+    /// delay lower bound.
+    #[test]
+    fn arrivals_are_ordered_and_delayed(
+        count in 2u64..100,
+        delay_ms in 1u64..200,
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Simulator::new(seed);
+        let src = sim.add_node(
+            "src",
+            PacedSource {
+                peer: Addr::new(SimNodeId(1), 1),
+                count,
+                size: 100,
+                gap_us: 500,
+            },
+        );
+        let dst = sim.add_node("dst", CountingSink::new());
+        sim.add_link(
+            src,
+            dst,
+            LinkConfig::new(10e6, SimDuration::from_millis(delay_ms)),
+        );
+        sim.run_until(SimTime::from_secs(300));
+        let sink = sim.node_as::<CountingSink>(dst).unwrap();
+        prop_assert_eq!(sink.packets(), count);
+        let arrivals = sink.arrivals();
+        for w in arrivals.windows(2) {
+            prop_assert!(w[0] <= w[1], "out-of-order delivery");
+        }
+        for &t in arrivals {
+            prop_assert!(t.as_nanos() >= delay_ms * 1_000_000);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Standalone coding-relay process: the deployable unit of the system.
+//!
+//! Binds a UDP data socket and a UDP control socket, prints both
+//! addresses, and serves until killed. Configure it remotely with
+//! `NC_SETTINGS` / `NC_FORWARD_TAB` signals (see `ncvnf-control`), or
+//! locally via flags:
+//!
+//! ```text
+//! relay_node [--data-port P] [--control-port P] [--session N]
+//!            [--role encoder|decoder|forwarder] [--next-hop ip:port]...
+//!            [--block-size 1460] [--generation-size 4] [--stats-secs 10]
+//! ```
+//!
+//! A chain of these processes plus `send_file` / `recv_file` is a real
+//! multi-process deployment of the paper's data plane.
+
+use std::net::UdpSocket;
+use std::time::Duration;
+
+use ncvnf_control::signal::{Signal, VnfRoleWire};
+use ncvnf_control::ForwardingTable;
+use ncvnf_relay::{RelayConfig, RelayNode};
+use ncvnf_rlnc::{GenerationConfig, SessionId};
+
+struct Args {
+    session: u16,
+    role: VnfRoleWire,
+    next_hops: Vec<String>,
+    block_size: usize,
+    generation_size: usize,
+    stats_secs: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        session: 1,
+        role: VnfRoleWire::Encoder,
+        next_hops: Vec::new(),
+        block_size: 1460,
+        generation_size: 4,
+        stats_secs: 10,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--session" => args.session = value("--session")?.parse().map_err(|e| format!("{e}"))?,
+            "--role" => {
+                args.role = match value("--role")?.as_str() {
+                    "encoder" | "recoder" => VnfRoleWire::Encoder,
+                    "decoder" => VnfRoleWire::Decoder,
+                    "forwarder" => VnfRoleWire::Forwarder,
+                    other => return Err(format!("unknown role {other}")),
+                }
+            }
+            "--next-hop" => args.next_hops.push(value("--next-hop")?),
+            "--block-size" => {
+                args.block_size = value("--block-size")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--generation-size" => {
+                args.generation_size = value("--generation-size")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--stats-secs" => {
+                args.stats_secs = value("--stats-secs")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--help" | "-h" => {
+                eprintln!("see module docs: relay_node --session N --role R --next-hop ip:port");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let generation = GenerationConfig::new(args.block_size, args.generation_size)
+        .expect("valid generation layout");
+    let relay = RelayNode::spawn(RelayConfig {
+        generation,
+        buffer_generations: 1024,
+        seed: std::process::id() as u64,
+    })
+    .expect("bind relay sockets");
+    println!("relay data    {}", relay.data_addr);
+    println!("relay control {}", relay.control_addr);
+
+    // Self-configure over the control channel, exactly as the controller
+    // would.
+    let control = UdpSocket::bind(("127.0.0.1", 0)).expect("bind control client");
+    control
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .expect("set timeout");
+    let settings = Signal::NcSettings {
+        session: SessionId::new(args.session),
+        role: args.role,
+        data_port: relay.data_addr.port(),
+        block_size: args.block_size as u32,
+        generation_size: args.generation_size as u32,
+        buffer_generations: 1024,
+    };
+    let mut ack = [0u8; 8];
+    control
+        .send_to(&settings.to_bytes(), relay.control_addr)
+        .expect("send settings");
+    let _ = control.recv_from(&mut ack);
+    if !args.next_hops.is_empty() {
+        let mut table = ForwardingTable::new();
+        table.set(SessionId::new(args.session), args.next_hops.clone());
+        let sig = Signal::NcForwardTab {
+            table: table.to_text(),
+        };
+        control
+            .send_to(&sig.to_bytes(), relay.control_addr)
+            .expect("send table");
+        let _ = control.recv_from(&mut ack);
+        println!(
+            "session {} role {:?} -> {:?}",
+            args.session, args.role, args.next_hops
+        );
+    } else {
+        println!("no next hops configured; push NC_FORWARD_TAB to the control port");
+    }
+
+    let handle = relay.handle();
+    loop {
+        std::thread::sleep(Duration::from_secs(args.stats_secs));
+        let s = handle.stats();
+        println!(
+            "stats: in {} out {} signals {}",
+            s.datagrams_in, s.datagrams_out, s.signals
+        );
+    }
+}

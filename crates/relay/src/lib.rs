@@ -1,0 +1,25 @@
+//! Real-socket coding relays.
+//!
+//! The paper deploys its coding functions on EC2/Linode VMs reachable over
+//! UDP; this crate is the same data plane (the `ncvnf-dataplane` packet
+//! processor) behind real `std::net::UdpSocket`s, runnable as a multi-
+//! process/multi-thread testbed on loopback:
+//!
+//! * [`RelayNode`] — a coding VNF with a UDP data socket and a UDP control
+//!   socket; the control socket speaks the `ncvnf-control` signal codec,
+//!   so forwarding tables can be hot-swapped on a *live* relay (the
+//!   Table III measurement);
+//! * [`send_object`]/[`ObjectReceiver`] — the file-transfer application
+//!   from the evaluation: a source streams a coded object, receivers
+//!   decode and verify it byte-exactly;
+//! * [`chain`] — helpers that assemble source → relays → receiver
+//!   pipelines on 127.0.0.1 and report timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod transfer;
+
+pub use node::{RelayConfig, RelayHandle, RelayNode, RelayStats};
+pub use transfer::{chain, send_object, ObjectReceiver, ReceiverReport, TransferConfig};

@@ -1,0 +1,269 @@
+//! A coding VNF behind real UDP sockets.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ncvnf_control::daemon::{Daemon, DaemonEvent};
+use ncvnf_control::signal::{Signal, VnfRoleWire};
+use ncvnf_control::ForwardingTable;
+use ncvnf_dataplane::{CodingVnf, VnfRole};
+use ncvnf_rlnc::{GenerationConfig, SessionId};
+
+/// Configuration of a relay process.
+#[derive(Debug, Clone)]
+pub struct RelayConfig {
+    /// Generation layout (must match the session's source).
+    pub generation: GenerationConfig,
+    /// Buffer capacity in generations.
+    pub buffer_generations: usize,
+    /// RNG seed for recoding coefficients.
+    pub seed: u64,
+}
+
+impl Default for RelayConfig {
+    fn default() -> Self {
+        RelayConfig {
+            generation: GenerationConfig::paper_default(),
+            buffer_generations: 1024,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+/// Counters exposed by a running relay.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RelayStats {
+    /// Datagrams received on the data socket.
+    pub datagrams_in: u64,
+    /// Datagrams sent to next hops.
+    pub datagrams_out: u64,
+    /// Control signals processed.
+    pub signals: u64,
+}
+
+struct Shared {
+    vnf: Mutex<(CodingVnf, ForwardingTable, StdRng)>,
+    daemon: Mutex<Daemon>,
+    running: AtomicBool,
+    datagrams_in: AtomicU64,
+    datagrams_out: AtomicU64,
+    signals: AtomicU64,
+}
+
+/// A live relay: two sockets, two threads.
+pub struct RelayNode {
+    /// Address of the data socket.
+    pub data_addr: SocketAddr,
+    /// Address of the control socket.
+    pub control_addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// A cloneable handle for inspecting a running relay.
+#[derive(Clone)]
+pub struct RelayHandle {
+    shared: Arc<Shared>,
+}
+
+impl RelayHandle {
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> RelayStats {
+        RelayStats {
+            datagrams_in: self.shared.datagrams_in.load(Ordering::Relaxed),
+            datagrams_out: self.shared.datagrams_out.load(Ordering::Relaxed),
+            signals: self.shared.signals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The relay's current forwarding table (text form).
+    pub fn table_text(&self) -> String {
+        self.shared.vnf.lock().1.to_text()
+    }
+}
+
+impl RelayNode {
+    /// Binds a relay on loopback with OS-assigned ports and starts its
+    /// data and control threads. This is the "start a network coding
+    /// function on a launched VM" step whose latency Sec. V-C-5 reports
+    /// as ≈376 ms on EC2 (sockets + configuration; no VM boot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn(config: RelayConfig) -> std::io::Result<RelayNode> {
+        let data_socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        let control_socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        data_socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        control_socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let data_addr = data_socket.local_addr()?;
+        let control_addr = control_socket.local_addr()?;
+
+        let vnf = CodingVnf::new(config.generation, config.buffer_generations);
+        let shared = Arc::new(Shared {
+            vnf: Mutex::new((
+                vnf,
+                ForwardingTable::new(),
+                StdRng::seed_from_u64(config.seed),
+            )),
+            daemon: Mutex::new(Daemon::new()),
+            running: AtomicBool::new(true),
+            datagrams_in: AtomicU64::new(0),
+            datagrams_out: AtomicU64::new(0),
+            signals: AtomicU64::new(0),
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            let socket = data_socket;
+            threads.push(std::thread::spawn(move || data_loop(socket, shared)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            let socket = control_socket;
+            let buffer_generations = config.buffer_generations;
+            threads.push(std::thread::spawn(move || {
+                control_loop(socket, shared, buffer_generations)
+            }));
+        }
+        Ok(RelayNode {
+            data_addr,
+            control_addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// A handle for reading stats while the relay runs.
+    pub fn handle(&self) -> RelayHandle {
+        RelayHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stops the threads and joins them.
+    pub fn shutdown(mut self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn data_loop(socket: UdpSocket, shared: Arc<Shared>) {
+    let mut buf = vec![0u8; 65536];
+    while shared.running.load(Ordering::Relaxed) {
+        let n = match socket.recv_from(&mut buf) {
+            Ok((n, _src)) => n,
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        shared.datagrams_in.fetch_add(1, Ordering::Relaxed);
+        let mut guard = shared.vnf.lock();
+        let (vnf, table, rng) = &mut *guard;
+        let block_size = vnf.config().block_size();
+        match vnf.process_datagram(&buf[..n], rng) {
+            ncvnf_dataplane::VnfOutput::Forward(packets) => {
+                for pkt in packets {
+                    let hops = next_hop_addrs(table, pkt.session());
+                    if hops.is_empty() {
+                        continue;
+                    }
+                    let wire = pkt.to_bytes();
+                    for hop in hops {
+                        if socket.send_to(&wire, hop).is_ok() {
+                            shared.datagrams_out.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            ncvnf_dataplane::VnfOutput::Decoded {
+                session,
+                generation,
+                payload,
+            } => {
+                // Decoder role: forward the recovered payload to the
+                // destinations as plain MTU-sized chunks.
+                let hops = next_hop_addrs(table, session);
+                for chunk in ncvnf_dataplane::chunk_generation(generation, &payload, block_size) {
+                    let wire = chunk.to_bytes();
+                    for hop in &hops {
+                        if socket.send_to(&wire, hop).is_ok() {
+                            shared.datagrams_out.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            ncvnf_dataplane::VnfOutput::Nothing => {}
+        }
+    }
+}
+
+fn control_loop(socket: UdpSocket, shared: Arc<Shared>, buffer_generations: usize) {
+    let mut buf = vec![0u8; 65536];
+    while shared.running.load(Ordering::Relaxed) {
+        let (n, src) = match socket.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let Ok((signal, _)) = Signal::from_bytes(&buf[..n]) else {
+            continue;
+        };
+        shared.signals.fetch_add(1, Ordering::Relaxed);
+        let events = shared.daemon.lock().handle(&signal, 0.0);
+        for ev in events {
+            match ev {
+                DaemonEvent::ConfigureSession { session, role, .. } => {
+                    let mut guard = shared.vnf.lock();
+                    let role = match role {
+                        VnfRoleWire::Encoder => VnfRole::Recoder,
+                        VnfRoleWire::Decoder => VnfRole::Decoder,
+                        VnfRoleWire::Forwarder => VnfRole::Forwarder,
+                    };
+                    guard.0.set_role(session, role);
+                    let _ = buffer_generations;
+                }
+                DaemonEvent::TableSwapped { .. } => {
+                    // The daemon already validated the table text; merge
+                    // the delta into the data path under the lock (the
+                    // pause of the SIGUSR1 sequence).
+                    if let Signal::NcForwardTab { table } = &signal {
+                        if let Ok(parsed) = ForwardingTable::parse(table) {
+                            shared.vnf.lock().1.merge(&parsed);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Acknowledge so callers can time the full round trip.
+        let _ = socket.send_to(b"OK", src);
+    }
+}
+
+/// Resolves a session's next hops from the table into socket addresses.
+fn next_hop_addrs(table: &ForwardingTable, session: SessionId) -> Vec<SocketAddr> {
+    table
+        .next_hops(session)
+        .map(|hops| hops.iter().filter_map(|h| h.parse().ok()).collect())
+        .unwrap_or_default()
+}

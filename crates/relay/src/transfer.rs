@@ -1,0 +1,265 @@
+//! The file-transfer application over real sockets.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver as ChanReceiver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ncvnf_control::signal::{Signal, VnfRoleWire};
+use ncvnf_control::ForwardingTable;
+use ncvnf_rlnc::{
+    CodedPacket, GenerationConfig, ObjectDecoder, ObjectEncoder, RedundancyPolicy, SessionId,
+};
+
+use crate::node::{RelayConfig, RelayNode};
+
+/// Parameters of one object transfer.
+#[derive(Debug, Clone)]
+pub struct TransferConfig {
+    /// Session id.
+    pub session: SessionId,
+    /// Generation layout.
+    pub generation: GenerationConfig,
+    /// Redundancy policy.
+    pub redundancy: RedundancyPolicy,
+    /// Pacing rate in bits per second on the wire.
+    pub rate_bps: f64,
+    /// RNG seed for coding coefficients.
+    pub seed: u64,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            session: SessionId::new(1),
+            generation: GenerationConfig::paper_default(),
+            redundancy: RedundancyPolicy::NC0,
+            rate_bps: 200e6,
+            seed: 7,
+        }
+    }
+}
+
+/// Streams `object` as coded packets to `next_hops`, round-robin, paced
+/// at the configured rate. Blocks until fully sent; returns packets sent.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn send_object(
+    config: &TransferConfig,
+    object: &[u8],
+    next_hops: &[SocketAddr],
+) -> std::io::Result<u64> {
+    assert!(!next_hops.is_empty(), "need at least one next hop");
+    let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+    let encoder = ObjectEncoder::new(config.generation, config.session, object)
+        .expect("valid object");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let per_gen = config
+        .redundancy
+        .packets_per_generation(config.generation.blocks_per_generation());
+    let wire_bytes = config.generation.packet_len() + 28;
+    let gap = Duration::from_secs_f64(wire_bytes as f64 * 8.0 / config.rate_bps);
+    let start = Instant::now();
+    let mut sent = 0u64;
+    for g in 0..encoder.generations() {
+        for _ in 0..per_gen {
+            let pkt = encoder.coded_packet(g, &mut rng);
+            let hop = next_hops[(sent as usize) % next_hops.len()];
+            socket.send_to(&pkt.to_bytes(), hop)?;
+            sent += 1;
+            // Pace: sleep off any lead over the configured rate.
+            let target = gap * (sent as u32);
+            let elapsed = start.elapsed();
+            if target > elapsed {
+                std::thread::sleep(target - elapsed);
+            }
+        }
+    }
+    Ok(sent)
+}
+
+/// Outcome of a receive.
+#[derive(Debug)]
+pub struct ReceiverReport {
+    /// The decoded object (empty if incomplete at shutdown).
+    pub object: Vec<u8>,
+    /// Packets received.
+    pub packets: u64,
+    /// Innovative packets.
+    pub innovative: u64,
+    /// Wall-clock receive duration until completion.
+    pub elapsed: Duration,
+}
+
+/// A background receiver decoding one object.
+pub struct ObjectReceiver {
+    /// The UDP address the receiver listens on.
+    pub addr: SocketAddr,
+    done: ChanReceiver<ReceiverReport>,
+    running: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ObjectReceiver {
+    /// Spawns a receiver expecting `generations` generations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn(
+        config: &TransferConfig,
+        generations: u64,
+    ) -> std::io::Result<ObjectReceiver> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let addr = socket.local_addr()?;
+        let (tx, rx) = bounded(1);
+        let running = Arc::new(AtomicBool::new(true));
+        let session = config.session;
+        let generation = config.generation;
+        let run = Arc::clone(&running);
+        let thread = std::thread::spawn(move || {
+            let mut decoder = ObjectDecoder::new(generation, generations);
+            let mut packets = 0u64;
+            let mut innovative = 0u64;
+            let start = Instant::now();
+            let mut buf = vec![0u8; 65536];
+            while run.load(Ordering::Relaxed) {
+                let n = match socket.recv_from(&mut buf) {
+                    Ok((n, _)) => n,
+                    Err(ref e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                };
+                let Ok(pkt) =
+                    CodedPacket::from_bytes(&buf[..n], generation.blocks_per_generation())
+                else {
+                    continue;
+                };
+                if pkt.session() != session {
+                    continue;
+                }
+                packets += 1;
+                if let Ok(ncvnf_rlnc::ReceiveOutcome::Innovative { .. }) = decoder.receive(&pkt)
+                {
+                    innovative += 1;
+                }
+                if decoder.is_complete() {
+                    let elapsed = start.elapsed();
+                    let object = decoder.into_object().unwrap_or_default();
+                    let _ = tx.send(ReceiverReport {
+                        object,
+                        packets,
+                        innovative,
+                        elapsed,
+                    });
+                    return;
+                }
+            }
+            // Shutdown without completion.
+            let _ = tx.send(ReceiverReport {
+                object: Vec::new(),
+                packets,
+                innovative,
+                elapsed: start.elapsed(),
+            });
+        });
+        Ok(ObjectReceiver {
+            addr,
+            done: rx,
+            running,
+            thread: Some(thread),
+        })
+    }
+
+    /// Waits up to `timeout` for the transfer to finish.
+    pub fn wait(mut self, timeout: Duration) -> Option<ReceiverReport> {
+        let report = self.done.recv_timeout(timeout).ok();
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        report
+    }
+}
+
+/// Builds a source → `n_relays` chained relays → receiver pipeline on
+/// loopback, transfers `object`, and returns the receiver's report.
+///
+/// Each relay is configured via its *control channel* (settings + table),
+/// exactly as the controller would do it.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn chain(
+    config: &TransferConfig,
+    object: &[u8],
+    n_relays: usize,
+    timeout: Duration,
+) -> std::io::Result<Option<ReceiverReport>> {
+    let encoder = ObjectEncoder::new(config.generation, config.session, object)
+        .expect("valid object");
+    let receiver = ObjectReceiver::spawn(config, encoder.generations())?;
+
+    let mut relays = Vec::new();
+    for i in 0..n_relays {
+        let relay = RelayNode::spawn(RelayConfig {
+            generation: config.generation,
+            buffer_generations: 1024,
+            seed: config.seed + 100 + i as u64,
+        })?;
+        relays.push(relay);
+    }
+    // Wire the chain back to front over the control channel.
+    let control = UdpSocket::bind(("127.0.0.1", 0))?;
+    control.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut ack = [0u8; 16];
+    for i in 0..n_relays {
+        let next = if i + 1 < n_relays {
+            relays[i + 1].data_addr
+        } else {
+            receiver.addr
+        };
+        let settings = Signal::NcSettings {
+            session: config.session,
+            role: VnfRoleWire::Encoder,
+            data_port: relays[i].data_addr.port(),
+            block_size: config.generation.block_size() as u32,
+            generation_size: config.generation.blocks_per_generation() as u32,
+            buffer_generations: 1024,
+        };
+        control.send_to(&settings.to_bytes(), relays[i].control_addr)?;
+        let _ = control.recv_from(&mut ack);
+        let mut table = ForwardingTable::new();
+        table.set(config.session, vec![next.to_string()]);
+        let sig = Signal::NcForwardTab {
+            table: table.to_text(),
+        };
+        control.send_to(&sig.to_bytes(), relays[i].control_addr)?;
+        let _ = control.recv_from(&mut ack);
+    }
+
+    let first_hop = if n_relays > 0 {
+        relays[0].data_addr
+    } else {
+        receiver.addr
+    };
+    send_object(config, object, &[first_hop])?;
+    let report = receiver.wait(timeout);
+    for r in relays {
+        r.shutdown();
+    }
+    Ok(report)
+}

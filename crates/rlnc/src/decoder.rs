@@ -1,0 +1,325 @@
+//! Progressive Gaussian-elimination decoder for one generation.
+
+use ncvnf_gf256::bulk;
+use ncvnf_gf256::{Field, Gf256};
+
+use crate::config::GenerationConfig;
+use crate::error::CodecError;
+
+/// Result of feeding one coded packet to a [`GenerationDecoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiveOutcome {
+    /// The packet increased the decoder's rank.
+    Innovative {
+        /// Rank after absorbing the packet.
+        rank: usize,
+    },
+    /// The packet was linearly dependent on already-received packets.
+    Redundant,
+    /// The packet arrived after the generation was already decoded.
+    AlreadyComplete,
+}
+
+/// Decodes one generation from coded packets, incrementally.
+///
+/// The decoder keeps the received coefficient vectors in reduced row
+/// echelon form, applying every row operation to the payloads in lockstep.
+/// Decoding finishes as soon as `g` linearly independent packets have been
+/// absorbed — "the data can be successfully recovered as long as sufficient
+/// number of packets are received" — regardless of order, duplication or
+/// loss.
+#[derive(Debug, Clone)]
+pub struct GenerationDecoder {
+    config: GenerationConfig,
+    /// Coefficient rows in RREF. `rows[i]` pairs with `payloads[i]`.
+    coeff_rows: Vec<Vec<u8>>,
+    payloads: Vec<Vec<u8>>,
+    /// `pivot_of_col[c] = Some(row)` if column `c` is a pivot column.
+    pivot_of_col: Vec<Option<usize>>,
+    /// Count of packets seen (innovative + redundant), for stats.
+    packets_seen: u64,
+}
+
+impl GenerationDecoder {
+    /// Creates an empty decoder for one generation.
+    pub fn new(config: GenerationConfig) -> Self {
+        GenerationDecoder {
+            config,
+            coeff_rows: Vec::with_capacity(config.blocks_per_generation()),
+            payloads: Vec::with_capacity(config.blocks_per_generation()),
+            pivot_of_col: vec![None; config.blocks_per_generation()],
+            packets_seen: 0,
+        }
+    }
+
+    /// The layout this decoder expects.
+    pub fn config(&self) -> GenerationConfig {
+        self.config
+    }
+
+    /// Current rank (number of linearly independent packets absorbed).
+    pub fn rank(&self) -> usize {
+        self.coeff_rows.len()
+    }
+
+    /// True when the generation can be fully decoded.
+    pub fn is_complete(&self) -> bool {
+        self.rank() == self.config.blocks_per_generation()
+    }
+
+    /// Total packets fed to this decoder, including redundant ones.
+    pub fn packets_seen(&self) -> u64 {
+        self.packets_seen
+    }
+
+    /// Absorbs one coded packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::CoefficientCount`] or
+    /// [`CodecError::PayloadSize`] if the packet does not match the
+    /// configured layout.
+    pub fn receive(
+        &mut self,
+        coefficients: &[u8],
+        payload: &[u8],
+    ) -> Result<ReceiveOutcome, CodecError> {
+        let g = self.config.blocks_per_generation();
+        if coefficients.len() != g {
+            return Err(CodecError::CoefficientCount {
+                expected: g,
+                actual: coefficients.len(),
+            });
+        }
+        if payload.len() != self.config.block_size() {
+            return Err(CodecError::PayloadSize {
+                expected: self.config.block_size(),
+                actual: payload.len(),
+            });
+        }
+        self.packets_seen += 1;
+        if self.is_complete() {
+            return Ok(ReceiveOutcome::AlreadyComplete);
+        }
+
+        let mut coeffs = coefficients.to_vec();
+        let mut data = payload.to_vec();
+
+        // Eliminate every pivot column from the incoming row (pivot rows
+        // are normalized to 1 at their pivot, so the factor is the entry
+        // itself). The first nonzero entry in a pivot-free column becomes
+        // the new pivot; later pivot columns must still be eliminated to
+        // keep the matrix fully reduced.
+        let mut new_pivot = None;
+        for col in 0..g {
+            if coeffs[col] == 0 {
+                continue;
+            }
+            match self.pivot_of_col[col] {
+                Some(row) => {
+                    let factor = coeffs[col];
+                    let (c, d) = (self.coeff_rows[row].clone(), self.payloads[row].clone());
+                    bulk::mul_add_slice(&mut coeffs, &c, factor);
+                    bulk::mul_add_slice(&mut data, &d, factor);
+                    debug_assert_eq!(coeffs[col], 0);
+                }
+                None => {
+                    if new_pivot.is_none() {
+                        new_pivot = Some(col);
+                    }
+                }
+            }
+        }
+        let Some(col) = new_pivot else {
+            return Ok(ReceiveOutcome::Redundant);
+        };
+        let inv = Gf256::new(coeffs[col]).inv().value();
+        bulk::scale_slice(&mut coeffs, inv);
+        bulk::scale_slice(&mut data, inv);
+        self.install_row(col, coeffs, data);
+        Ok(ReceiveOutcome::Innovative { rank: self.rank() })
+    }
+
+    /// Installs a normalized row with pivot `col`, then back-substitutes it
+    /// out of all existing rows to keep the matrix fully reduced.
+    fn install_row(&mut self, col: usize, coeffs: Vec<u8>, data: Vec<u8>) {
+        let new_row = self.coeff_rows.len();
+        for r in 0..new_row {
+            let factor = self.coeff_rows[r][col];
+            if factor != 0 {
+                let (c, d) = (coeffs.clone(), data.clone());
+                bulk::mul_add_slice(&mut self.coeff_rows[r], &c, factor);
+                bulk::mul_add_slice(&mut self.payloads[r], &d, factor);
+            }
+        }
+        self.coeff_rows.push(coeffs);
+        self.payloads.push(data);
+        self.pivot_of_col[col] = Some(new_row);
+    }
+
+    /// Columns (block indices) that have no pivot yet. With a systematic
+    /// sender these are exactly the original blocks still missing, which
+    /// lets a receiver request precise retransmissions.
+    pub fn missing_columns(&self) -> Vec<usize> {
+        self.pivot_of_col
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// The decoded blocks in generation order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::NotDecoded`] until the decoder reaches full
+    /// rank.
+    pub fn decoded_blocks(&self) -> Result<Vec<&[u8]>, CodecError> {
+        if !self.is_complete() {
+            return Err(CodecError::NotDecoded {
+                rank: self.rank(),
+                needed: self.config.blocks_per_generation(),
+            });
+        }
+        // Fully reduced + full rank means row with pivot column c holds
+        // exactly original block c.
+        Ok(self
+            .pivot_of_col
+            .iter()
+            .map(|p| self.payloads[p.expect("full rank implies all pivots present")].as_slice())
+            .collect())
+    }
+
+    /// The decoded generation payload as one contiguous buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::NotDecoded`] until the decoder reaches full
+    /// rank.
+    pub fn decoded_payload(&self) -> Result<Vec<u8>, CodecError> {
+        let blocks = self.decoded_blocks()?;
+        let mut out = Vec::with_capacity(self.config.generation_payload());
+        for b in blocks {
+            out.extend_from_slice(b);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::GenerationEncoder;
+    use crate::header::SessionId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> GenerationConfig {
+        GenerationConfig::new(32, 4).unwrap()
+    }
+
+    #[test]
+    fn decodes_from_systematic_packets_in_any_order() {
+        let data: Vec<u8> = (0..128).collect();
+        let enc = GenerationEncoder::new(cfg(), &data).unwrap();
+        let mut dec = GenerationDecoder::new(cfg());
+        for i in [2usize, 0, 3, 1] {
+            let pkt = enc.systematic_packet(SessionId::new(0), 0, i);
+            let out = dec.receive(pkt.coefficients(), pkt.payload()).unwrap();
+            assert!(matches!(out, ReceiveOutcome::Innovative { .. }));
+        }
+        assert_eq!(dec.decoded_payload().unwrap(), data);
+    }
+
+    #[test]
+    fn decodes_from_random_packets() {
+        let data: Vec<u8> = (0..128).map(|i| (i * 37 + 11) as u8).collect();
+        let enc = GenerationEncoder::new(cfg(), &data).unwrap();
+        let mut dec = GenerationDecoder::new(cfg());
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut packets = 0;
+        while !dec.is_complete() {
+            let pkt = enc.coded_packet(SessionId::new(0), 0, &mut rng);
+            dec.receive(pkt.coefficients(), pkt.payload()).unwrap();
+            packets += 1;
+            assert!(packets < 32, "decoder failed to converge");
+        }
+        assert_eq!(dec.decoded_payload().unwrap(), data);
+    }
+
+    #[test]
+    fn duplicate_packets_are_redundant() {
+        let enc = GenerationEncoder::new(cfg(), &[5u8; 128]).unwrap();
+        let mut dec = GenerationDecoder::new(cfg());
+        let mut rng = StdRng::seed_from_u64(3);
+        let pkt = enc.coded_packet(SessionId::new(0), 0, &mut rng);
+        assert!(matches!(
+            dec.receive(pkt.coefficients(), pkt.payload()).unwrap(),
+            ReceiveOutcome::Innovative { rank: 1 }
+        ));
+        assert_eq!(
+            dec.receive(pkt.coefficients(), pkt.payload()).unwrap(),
+            ReceiveOutcome::Redundant
+        );
+        assert_eq!(dec.rank(), 1);
+        assert_eq!(dec.packets_seen(), 2);
+    }
+
+    #[test]
+    fn scaled_copy_is_redundant() {
+        let enc = GenerationEncoder::new(cfg(), &[5u8; 128]).unwrap();
+        let mut dec = GenerationDecoder::new(cfg());
+        let mut rng = StdRng::seed_from_u64(4);
+        let pkt = enc.coded_packet(SessionId::new(0), 0, &mut rng);
+        dec.receive(pkt.coefficients(), pkt.payload()).unwrap();
+        // Multiply the whole packet by 7: still in the span.
+        let mut coeffs = pkt.coefficients().to_vec();
+        let mut payload = pkt.payload().to_vec();
+        bulk::scale_slice(&mut coeffs, 7);
+        bulk::scale_slice(&mut payload, 7);
+        assert_eq!(
+            dec.receive(&coeffs, &payload).unwrap(),
+            ReceiveOutcome::Redundant
+        );
+    }
+
+    #[test]
+    fn extra_packets_after_completion_are_flagged() {
+        let data = vec![1u8; 128];
+        let enc = GenerationEncoder::new(cfg(), &data).unwrap();
+        let mut dec = GenerationDecoder::new(cfg());
+        for i in 0..4 {
+            let pkt = enc.systematic_packet(SessionId::new(0), 0, i);
+            dec.receive(pkt.coefficients(), pkt.payload()).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let pkt = enc.coded_packet(SessionId::new(0), 0, &mut rng);
+        assert_eq!(
+            dec.receive(pkt.coefficients(), pkt.payload()).unwrap(),
+            ReceiveOutcome::AlreadyComplete
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_shapes() {
+        let mut dec = GenerationDecoder::new(cfg());
+        assert!(matches!(
+            dec.receive(&[1, 2, 3], &[0u8; 32]),
+            Err(CodecError::CoefficientCount { .. })
+        ));
+        assert!(matches!(
+            dec.receive(&[1, 2, 3, 4], &[0u8; 31]),
+            Err(CodecError::PayloadSize { .. })
+        ));
+    }
+
+    #[test]
+    fn not_decoded_error_reports_rank() {
+        let dec = GenerationDecoder::new(cfg());
+        match dec.decoded_payload() {
+            Err(CodecError::NotDecoded { rank: 0, needed: 4 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

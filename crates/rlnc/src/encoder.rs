@@ -1,0 +1,202 @@
+//! Source-side generation encoder.
+
+use bytes::Bytes;
+use rand::Rng;
+
+use ncvnf_gf256::bulk;
+
+use crate::config::GenerationConfig;
+use crate::error::CodecError;
+use crate::header::{CodedPacket, NcHeader, SessionId};
+
+/// Encodes one generation of source data into coded packets.
+///
+/// The encoder owns the `g` original blocks of a generation. Each call to
+/// [`coded_packet`](Self::coded_packet) draws a fresh uniformly random
+/// coefficient vector over GF(2^8) and emits the corresponding linear
+/// combination. [`systematic_packet`](Self::systematic_packet) emits an
+/// original block with a unit coefficient vector (the optional systematic
+/// first pass).
+#[derive(Debug, Clone)]
+pub struct GenerationEncoder {
+    config: GenerationConfig,
+    /// The original blocks, each exactly `block_size` long (last one padded
+    /// with zeros when the source data was short).
+    blocks: Vec<Vec<u8>>,
+}
+
+impl GenerationEncoder {
+    /// Creates an encoder over exactly one generation of data.
+    ///
+    /// `data` may be shorter than
+    /// [`generation_payload`](GenerationConfig::generation_payload); the
+    /// tail is zero-padded (framing/truncation is the responsibility of
+    /// [`ObjectEncoder`](crate::ObjectEncoder)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::PayloadSize`] if `data` is empty or longer
+    /// than one generation.
+    pub fn new(config: GenerationConfig, data: &[u8]) -> Result<Self, CodecError> {
+        if data.is_empty() || data.len() > config.generation_payload() {
+            return Err(CodecError::PayloadSize {
+                expected: config.generation_payload(),
+                actual: data.len(),
+            });
+        }
+        let bs = config.block_size();
+        let mut blocks = Vec::with_capacity(config.blocks_per_generation());
+        for i in 0..config.blocks_per_generation() {
+            let mut block = vec![0u8; bs];
+            let start = i * bs;
+            if start < data.len() {
+                let end = usize::min(start + bs, data.len());
+                block[..end - start].copy_from_slice(&data[start..end]);
+            }
+            blocks.push(block);
+        }
+        Ok(GenerationEncoder { config, blocks })
+    }
+
+    /// The layout this encoder was built with.
+    pub fn config(&self) -> GenerationConfig {
+        self.config
+    }
+
+    /// Emits one randomly coded packet for `(session, generation)`.
+    ///
+    /// The coefficient vector is redrawn if it comes out all-zero (an
+    /// all-zero combination carries no information), so the packet is
+    /// always a nontrivial combination.
+    pub fn coded_packet<R: Rng + ?Sized>(
+        &self,
+        session: SessionId,
+        generation: u64,
+        rng: &mut R,
+    ) -> CodedPacket {
+        let g = self.config.blocks_per_generation();
+        let mut coefficients = vec![0u8; g];
+        loop {
+            rng.fill(&mut coefficients[..]);
+            if coefficients.iter().any(|&c| c != 0) {
+                break;
+            }
+        }
+        let payload = self.combine(&coefficients);
+        CodedPacket::new(
+            NcHeader {
+                session,
+                generation,
+                coefficients,
+            },
+            Bytes::from(payload),
+        )
+    }
+
+    /// Emits original block `index` with a unit coefficient vector
+    /// (systematic mode: the first `g` packets can skip coding work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= blocks_per_generation`.
+    pub fn systematic_packet(&self, session: SessionId, generation: u64, index: usize) -> CodedPacket {
+        assert!(
+            index < self.config.blocks_per_generation(),
+            "systematic index out of range"
+        );
+        let mut coefficients = vec![0u8; self.config.blocks_per_generation()];
+        coefficients[index] = 1;
+        CodedPacket::new(
+            NcHeader {
+                session,
+                generation,
+                coefficients,
+            },
+            Bytes::from(self.blocks[index].clone()),
+        )
+    }
+
+    /// Computes `Σ coefficients[i] * block[i]`.
+    fn combine(&self, coefficients: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; self.config.block_size()];
+        let rows: Vec<&[u8]> = self.blocks.iter().map(|b| b.as_slice()).collect();
+        bulk::linear_combine(&mut out, coefficients, &rows);
+        out
+    }
+
+    /// Borrow of the padded original blocks (used by tests and the object
+    /// layer).
+    pub fn blocks(&self) -> &[Vec<u8>] {
+        &self.blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> GenerationConfig {
+        GenerationConfig::new(16, 4).unwrap()
+    }
+
+    #[test]
+    fn pads_short_generations() {
+        let enc = GenerationEncoder::new(cfg(), &[9u8; 20]).unwrap();
+        assert_eq!(enc.blocks().len(), 4);
+        assert_eq!(enc.blocks()[0], vec![9u8; 16]);
+        assert_eq!(&enc.blocks()[1][..4], &[9u8; 4]);
+        assert_eq!(&enc.blocks()[1][4..], &[0u8; 12]);
+        assert_eq!(enc.blocks()[3], vec![0u8; 16]);
+    }
+
+    #[test]
+    fn rejects_oversized_and_empty_data() {
+        assert!(GenerationEncoder::new(cfg(), &[0u8; 65]).is_err());
+        assert!(GenerationEncoder::new(cfg(), &[]).is_err());
+    }
+
+    #[test]
+    fn systematic_packets_are_the_original_blocks() {
+        let data: Vec<u8> = (0..64).collect();
+        let enc = GenerationEncoder::new(cfg(), &data).unwrap();
+        for i in 0..4 {
+            let pkt = enc.systematic_packet(SessionId::new(1), 0, i);
+            assert_eq!(pkt.payload(), &data[i * 16..(i + 1) * 16]);
+            let mut unit = vec![0u8; 4];
+            unit[i] = 1;
+            assert_eq!(pkt.coefficients(), unit.as_slice());
+        }
+    }
+
+    #[test]
+    fn coded_packet_matches_manual_combination() {
+        let data: Vec<u8> = (0..64).collect();
+        let enc = GenerationEncoder::new(cfg(), &data).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let pkt = enc.coded_packet(SessionId::new(1), 3, &mut rng);
+        assert_eq!(pkt.generation(), 3);
+        let mut expect = vec![0u8; 16];
+        let rows: Vec<&[u8]> = enc.blocks().iter().map(|b| b.as_slice()).collect();
+        bulk::linear_combine(&mut expect, pkt.coefficients(), &rows);
+        assert_eq!(pkt.payload(), expect.as_slice());
+    }
+
+    #[test]
+    fn never_emits_zero_coefficients() {
+        let enc = GenerationEncoder::new(cfg(), &[1u8; 64]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let pkt = enc.coded_packet(SessionId::new(1), 0, &mut rng);
+            assert!(pkt.coefficients().iter().any(|&c| c != 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn systematic_out_of_range_panics() {
+        let enc = GenerationEncoder::new(cfg(), &[1u8; 64]).unwrap();
+        let _ = enc.systematic_packet(SessionId::new(1), 0, 4);
+    }
+}

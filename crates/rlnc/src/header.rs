@@ -1,0 +1,246 @@
+//! The NC packet header.
+//!
+//! The paper inserts a network-coding layer between UDP and the
+//! application. Its header carries the session id, the generation id, and
+//! the encoding coefficient vector — "a total of 8 bytes plus the length of
+//! coefficients". The layout used here:
+//!
+//! ```text
+//! byte 0      magic 0xAC — identifies NC packets (Sec. III-A: each VNF
+//!             "checks if a packet has the network coding protocol header")
+//! byte 1      protocol version (currently 1)
+//! bytes 2-3   session id, big endian
+//! bytes 4-7   generation id, big endian
+//! bytes 8..   one GF(2^8) coefficient per block in the generation
+//! ```
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::HeaderError;
+
+/// Magic byte identifying an NC packet.
+pub const NC_MAGIC: u8 = 0xAC;
+/// Protocol version encoded in byte 1.
+pub const NC_VERSION: u8 = 1;
+
+/// Identifier of a multicast session, assigned by the controller.
+///
+/// # Examples
+///
+/// ```
+/// use ncvnf_rlnc::SessionId;
+/// let s = SessionId::new(7);
+/// assert_eq!(u16::from(s), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SessionId(u16);
+
+impl SessionId {
+    /// Wraps a raw session number.
+    pub const fn new(id: u16) -> Self {
+        SessionId(id)
+    }
+
+    /// Returns the raw session number.
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+}
+
+impl From<u16> for SessionId {
+    fn from(id: u16) -> Self {
+        SessionId(id)
+    }
+}
+
+impl From<SessionId> for u16 {
+    fn from(id: SessionId) -> Self {
+        id.0
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The parsed NC header of a coded packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NcHeader {
+    /// Session this packet belongs to.
+    pub session: SessionId,
+    /// Generation number within the session.
+    pub generation: u64,
+    /// GF(2^8) encoding coefficients, one per block in the generation.
+    pub coefficients: Vec<u8>,
+}
+
+impl NcHeader {
+    /// Length of the fixed prefix before the coefficient vector.
+    pub const FIXED_LEN: usize = 8;
+
+    /// Total encoded length of this header.
+    pub fn encoded_len(&self) -> usize {
+        Self::FIXED_LEN + self.coefficients.len()
+    }
+
+    /// Serializes the header into `buf`.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u8(NC_MAGIC);
+        buf.put_u8(NC_VERSION);
+        buf.put_u16(self.session.value());
+        buf.put_u32(self.generation as u32);
+        buf.put_slice(&self.coefficients);
+    }
+
+    /// Parses a header from the start of `data`, given the generation size
+    /// (the coefficient count is not self-describing on the wire; like the
+    /// paper, both ends learn it from the `NC_SETTINGS` control signal).
+    ///
+    /// Returns the header and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`HeaderError::BadMagic`] if the packet is not an NC packet;
+    /// [`HeaderError::Truncated`] if `data` is too short.
+    pub fn parse(data: &[u8], generation_size: usize) -> Result<(Self, usize), HeaderError> {
+        let needed = Self::FIXED_LEN + generation_size;
+        if data.is_empty() {
+            return Err(HeaderError::Truncated {
+                needed,
+                available: 0,
+            });
+        }
+        if data[0] != NC_MAGIC {
+            return Err(HeaderError::BadMagic { found: data[0] });
+        }
+        if data.len() < needed {
+            return Err(HeaderError::Truncated {
+                needed,
+                available: data.len(),
+            });
+        }
+        let session = SessionId::new(u16::from_be_bytes([data[2], data[3]]));
+        let generation = u32::from_be_bytes([data[4], data[5], data[6], data[7]]) as u64;
+        let coefficients = data[Self::FIXED_LEN..needed].to_vec();
+        Ok((
+            NcHeader {
+                session,
+                generation,
+                coefficients,
+            },
+            needed,
+        ))
+    }
+}
+
+/// One coded packet: an NC header plus one encoded block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodedPacket {
+    header: NcHeader,
+    payload: Bytes,
+}
+
+impl CodedPacket {
+    /// Assembles a packet from its parts.
+    pub fn new(header: NcHeader, payload: Bytes) -> Self {
+        CodedPacket { header, payload }
+    }
+
+    /// The session this packet belongs to.
+    pub fn session(&self) -> SessionId {
+        self.header.session
+    }
+
+    /// The generation number.
+    pub fn generation(&self) -> u64 {
+        self.header.generation
+    }
+
+    /// The encoding coefficient vector.
+    pub fn coefficients(&self) -> &[u8] {
+        &self.header.coefficients
+    }
+
+    /// The encoded block carried by this packet.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Borrows the full header.
+    pub fn header(&self) -> &NcHeader {
+        &self.header
+    }
+
+    /// Serializes header + payload into a single wire buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.header.encoded_len() + self.payload.len());
+        self.header.encode_into(&mut buf);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parses a wire buffer produced by [`CodedPacket::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates header parse failures; the remainder of the buffer after
+    /// the header is taken as the payload.
+    pub fn from_bytes(data: &[u8], generation_size: usize) -> Result<Self, HeaderError> {
+        let (header, consumed) = NcHeader::parse(data, generation_size)?;
+        Ok(CodedPacket {
+            header,
+            payload: Bytes::copy_from_slice(&data[consumed..]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CodedPacket {
+        CodedPacket::new(
+            NcHeader {
+                session: SessionId::new(42),
+                generation: 0xDEAD,
+                coefficients: vec![1, 2, 3, 4],
+            },
+            Bytes::from_static(b"payload bytes"),
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let pkt = sample();
+        let wire = pkt.to_bytes();
+        assert_eq!(wire.len(), 8 + 4 + 13);
+        let back = CodedPacket::from_bytes(&wire, 4).unwrap();
+        assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut wire = sample().to_bytes().to_vec();
+        wire[0] = 0x00;
+        let err = CodedPacket::from_bytes(&wire, 4).unwrap_err();
+        assert_eq!(err, HeaderError::BadMagic { found: 0 });
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let wire = sample().to_bytes();
+        let err = CodedPacket::from_bytes(&wire[..6], 4).unwrap_err();
+        assert!(matches!(err, HeaderError::Truncated { .. }));
+        let err = NcHeader::parse(&[], 4).unwrap_err();
+        assert!(matches!(err, HeaderError::Truncated { available: 0, .. }));
+    }
+
+    #[test]
+    fn header_len_matches_paper() {
+        // "8 bytes plus the length of coefficients" — 12 bytes at g = 4.
+        let h = sample().header().clone();
+        assert_eq!(h.encoded_len(), 12);
+    }
+}

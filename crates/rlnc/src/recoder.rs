@@ -1,0 +1,288 @@
+//! Pipelined in-network recoder.
+
+use bytes::Bytes;
+use rand::Rng;
+
+use ncvnf_gf256::bulk;
+
+use crate::config::GenerationConfig;
+use crate::error::CodecError;
+use crate::header::{CodedPacket, NcHeader, SessionId};
+
+/// Recodes coded packets of one generation inside the network.
+///
+/// Matches the paper's VNF behaviour (Sec. III-B-2): the function processes
+/// packets in a *pipelined* fashion — it emits an output immediately after
+/// every input. If the input is the first packet of its generation the
+/// packet is simply forwarded; otherwise a fresh random linear combination
+/// of everything buffered so far is emitted. Recoding never needs to decode,
+/// which is the defining property of RLNC relays.
+#[derive(Debug, Clone)]
+pub struct Recoder {
+    config: GenerationConfig,
+    session: SessionId,
+    generation: u64,
+    /// Buffered (coefficient, payload) rows. Only linearly independent rows
+    /// are retained to bound memory and maximize the innovation of outputs.
+    coeff_rows: Vec<Vec<u8>>,
+    payloads: Vec<Vec<u8>>,
+    packets_in: u64,
+    packets_out: u64,
+}
+
+impl Recoder {
+    /// Creates an empty recoder for `(session, generation)`.
+    pub fn new(config: GenerationConfig, session: SessionId, generation: u64) -> Self {
+        Recoder {
+            config,
+            session,
+            generation,
+            coeff_rows: Vec::with_capacity(config.blocks_per_generation()),
+            payloads: Vec::with_capacity(config.blocks_per_generation()),
+            packets_in: 0,
+            packets_out: 0,
+        }
+    }
+
+    /// The session this recoder serves.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// The generation this recoder serves.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of linearly independent packets buffered.
+    pub fn rank(&self) -> usize {
+        self.coeff_rows.len()
+    }
+
+    /// Packets absorbed so far.
+    pub fn packets_in(&self) -> u64 {
+        self.packets_in
+    }
+
+    /// Packets emitted so far.
+    pub fn packets_out(&self) -> u64 {
+        self.packets_out
+    }
+
+    /// Buffers one incoming coded packet; returns whether it was innovative
+    /// (increased the buffered rank).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the packet does not match the configured
+    /// layout.
+    pub fn absorb(&mut self, coefficients: &[u8], payload: &[u8]) -> Result<bool, CodecError> {
+        let g = self.config.blocks_per_generation();
+        if coefficients.len() != g {
+            return Err(CodecError::CoefficientCount {
+                expected: g,
+                actual: coefficients.len(),
+            });
+        }
+        if payload.len() != self.config.block_size() {
+            return Err(CodecError::PayloadSize {
+                expected: self.config.block_size(),
+                actual: payload.len(),
+            });
+        }
+        self.packets_in += 1;
+        if self.rank() == g {
+            return Ok(false);
+        }
+        // Gaussian elimination against the buffer to test innovation.
+        let mut coeffs = coefficients.to_vec();
+        let mut data = payload.to_vec();
+        for row in 0..self.coeff_rows.len() {
+            let lead = leading_index(&self.coeff_rows[row]).expect("buffered rows are nonzero");
+            if coeffs[lead] != 0 {
+                let factor = mul_div(coeffs[lead], self.coeff_rows[row][lead]);
+                let (c, d) = (self.coeff_rows[row].clone(), self.payloads[row].clone());
+                bulk::mul_add_slice(&mut coeffs, &c, factor);
+                bulk::mul_add_slice(&mut data, &d, factor);
+            }
+        }
+        if coeffs.iter().all(|&c| c == 0) {
+            return Ok(false);
+        }
+        // Keep rows sorted by leading index so elimination stays triangular.
+        self.coeff_rows.push(coeffs);
+        self.payloads.push(data);
+        let mut i = self.coeff_rows.len() - 1;
+        while i > 0 && leading_index(&self.coeff_rows[i]) < leading_index(&self.coeff_rows[i - 1]) {
+            self.coeff_rows.swap(i, i - 1);
+            self.payloads.swap(i, i - 1);
+            i -= 1;
+        }
+        Ok(true)
+    }
+
+    /// Pipelined step: absorb `packet` and immediately produce an output.
+    ///
+    /// The first packet of the generation is forwarded verbatim (there is
+    /// nothing to combine it with); later packets trigger a fresh random
+    /// recombination of the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from [`absorb`](Self::absorb).
+    pub fn process<R: Rng + ?Sized>(
+        &mut self,
+        packet: &CodedPacket,
+        rng: &mut R,
+    ) -> Result<CodedPacket, CodecError> {
+        let first = self.rank() == 0;
+        self.absorb(packet.coefficients(), packet.payload())?;
+        if first {
+            self.packets_out += 1;
+            return Ok(packet.clone());
+        }
+        let out = self.recode(rng)?;
+        Ok(out)
+    }
+
+    /// Emits a fresh random combination of the buffered packets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::EmptyRecoder`] if nothing has been buffered.
+    pub fn recode<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<CodedPacket, CodecError> {
+        if self.coeff_rows.is_empty() {
+            return Err(CodecError::EmptyRecoder);
+        }
+        let g = self.config.blocks_per_generation();
+        // Draw local mixing weights; make sure at least one is nonzero.
+        let mut weights = vec![0u8; self.coeff_rows.len()];
+        loop {
+            rng.fill(&mut weights[..]);
+            if weights.iter().any(|&w| w != 0) {
+                break;
+            }
+        }
+        let mut coefficients = vec![0u8; g];
+        let mut payload = vec![0u8; self.config.block_size()];
+        for (i, &w) in weights.iter().enumerate() {
+            bulk::mul_add_slice(&mut coefficients, &self.coeff_rows[i], w);
+            bulk::mul_add_slice(&mut payload, &self.payloads[i], w);
+        }
+        self.packets_out += 1;
+        Ok(CodedPacket::new(
+            NcHeader {
+                session: self.session,
+                generation: self.generation,
+                coefficients,
+            },
+            Bytes::from(payload),
+        ))
+    }
+}
+
+/// Index of the first nonzero coefficient.
+fn leading_index(coeffs: &[u8]) -> Option<usize> {
+    coeffs.iter().position(|&c| c != 0)
+}
+
+/// `a / b` over GF(2^8) for the elimination factor.
+fn mul_div(a: u8, b: u8) -> u8 {
+    use ncvnf_gf256::Gf256;
+    (Gf256::new(a) / Gf256::new(b)).value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::GenerationDecoder;
+    use crate::encoder::GenerationEncoder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> GenerationConfig {
+        GenerationConfig::new(24, 4).unwrap()
+    }
+
+    #[test]
+    fn first_packet_is_forwarded_verbatim() {
+        let enc = GenerationEncoder::new(cfg(), &[3u8; 96]).unwrap();
+        let mut rec = Recoder::new(cfg(), SessionId::new(1), 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let pkt = enc.coded_packet(SessionId::new(1), 0, &mut rng);
+        let out = rec.process(&pkt, &mut rng).unwrap();
+        assert_eq!(out, pkt);
+        assert_eq!(rec.packets_out(), 1);
+    }
+
+    #[test]
+    fn recoded_packets_decode_end_to_end() {
+        let data: Vec<u8> = (0..96).map(|i| (i * 5 + 1) as u8).collect();
+        let enc = GenerationEncoder::new(cfg(), &data).unwrap();
+        let mut rec = Recoder::new(cfg(), SessionId::new(1), 0);
+        let mut dec = GenerationDecoder::new(cfg());
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut hops = 0;
+        while !dec.is_complete() {
+            let pkt = enc.coded_packet(SessionId::new(1), 0, &mut rng);
+            let out = rec.process(&pkt, &mut rng).unwrap();
+            dec.receive(out.coefficients(), out.payload()).unwrap();
+            hops += 1;
+            assert!(hops < 64, "recode chain failed to converge");
+        }
+        assert_eq!(dec.decoded_payload().unwrap(), data);
+    }
+
+    #[test]
+    fn two_stage_recoding_still_decodes() {
+        let data: Vec<u8> = (0..96).map(|i| (i ^ 0x5A) as u8).collect();
+        let enc = GenerationEncoder::new(cfg(), &data).unwrap();
+        let mut rec1 = Recoder::new(cfg(), SessionId::new(2), 7);
+        let mut rec2 = Recoder::new(cfg(), SessionId::new(2), 7);
+        let mut dec = GenerationDecoder::new(cfg());
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut steps = 0;
+        while !dec.is_complete() {
+            let pkt = enc.coded_packet(SessionId::new(2), 7, &mut rng);
+            let mid = rec1.process(&pkt, &mut rng).unwrap();
+            let out = rec2.process(&mid, &mut rng).unwrap();
+            assert_eq!(out.session(), SessionId::new(2));
+            assert_eq!(out.generation(), 7);
+            dec.receive(out.coefficients(), out.payload()).unwrap();
+            steps += 1;
+            assert!(steps < 64, "two-stage recode failed to converge");
+        }
+        assert_eq!(dec.decoded_payload().unwrap(), data);
+    }
+
+    #[test]
+    fn rank_saturates_at_generation_size() {
+        let enc = GenerationEncoder::new(cfg(), &[1u8; 96]).unwrap();
+        let mut rec = Recoder::new(cfg(), SessionId::new(1), 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let pkt = enc.coded_packet(SessionId::new(1), 0, &mut rng);
+            rec.absorb(pkt.coefficients(), pkt.payload()).unwrap();
+        }
+        assert_eq!(rec.rank(), 4);
+        assert_eq!(rec.packets_in(), 20);
+    }
+
+    #[test]
+    fn empty_recoder_errors() {
+        let mut rec = Recoder::new(cfg(), SessionId::new(1), 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(rec.recode(&mut rng).unwrap_err(), CodecError::EmptyRecoder);
+    }
+
+    #[test]
+    fn redundant_input_is_not_buffered() {
+        let enc = GenerationEncoder::new(cfg(), &[9u8; 96]).unwrap();
+        let mut rec = Recoder::new(cfg(), SessionId::new(1), 0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let pkt = enc.coded_packet(SessionId::new(1), 0, &mut rng);
+        assert!(rec.absorb(pkt.coefficients(), pkt.payload()).unwrap());
+        assert!(!rec.absorb(pkt.coefficients(), pkt.payload()).unwrap());
+        assert_eq!(rec.rank(), 1);
+    }
+}

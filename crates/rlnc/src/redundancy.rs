@@ -1,0 +1,76 @@
+//! Redundancy policy: extra coded packets per generation.
+
+/// How many extra coded packets a node emits per generation.
+///
+/// The paper's robustness experiments (Figs. 8–9) compare NC0 (no
+/// redundancy: exactly `g` coded packets per generation), NC1 (one extra)
+/// and NC2 (two extra). Redundancy trades bandwidth for loss resilience:
+/// "it is desirable to produce a small number of extra coded packets for
+/// each generation in cases of high packet loss rate, and no extra coded
+/// packets if the links are reliable."
+///
+/// # Examples
+///
+/// ```
+/// use ncvnf_rlnc::RedundancyPolicy;
+/// assert_eq!(RedundancyPolicy::NC1.packets_per_generation(4), 5);
+/// assert_eq!(RedundancyPolicy::new(3).extra(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RedundancyPolicy {
+    extra: u32,
+}
+
+impl RedundancyPolicy {
+    /// No redundancy (the paper's NC0).
+    pub const NC0: RedundancyPolicy = RedundancyPolicy { extra: 0 };
+    /// One extra coded packet per generation (NC1).
+    pub const NC1: RedundancyPolicy = RedundancyPolicy { extra: 1 };
+    /// Two extra coded packets per generation (NC2).
+    pub const NC2: RedundancyPolicy = RedundancyPolicy { extra: 2 };
+
+    /// A policy with `extra` additional coded packets per generation.
+    pub const fn new(extra: u32) -> Self {
+        RedundancyPolicy { extra }
+    }
+
+    /// Extra coded packets per generation.
+    pub const fn extra(self) -> u32 {
+        self.extra
+    }
+
+    /// Total packets emitted per generation of size `g`.
+    pub fn packets_per_generation(self, generation_size: usize) -> usize {
+        generation_size + self.extra as usize
+    }
+
+    /// Bandwidth expansion factor relative to sending only `g` packets.
+    pub fn overhead_factor(self, generation_size: usize) -> f64 {
+        self.packets_per_generation(generation_size) as f64 / generation_size as f64
+    }
+}
+
+impl std::fmt::Display for RedundancyPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NC{}", self.extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_policies() {
+        assert_eq!(RedundancyPolicy::NC0.packets_per_generation(4), 4);
+        assert_eq!(RedundancyPolicy::NC1.packets_per_generation(4), 5);
+        assert_eq!(RedundancyPolicy::NC2.packets_per_generation(4), 6);
+        assert_eq!(RedundancyPolicy::NC2.to_string(), "NC2");
+    }
+
+    #[test]
+    fn overhead_factor() {
+        assert!((RedundancyPolicy::NC1.overhead_factor(4) - 1.25).abs() < 1e-12);
+        assert!((RedundancyPolicy::NC0.overhead_factor(4) - 1.0).abs() < 1e-12);
+    }
+}

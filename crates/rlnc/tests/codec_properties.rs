@@ -1,0 +1,133 @@
+//! Property-based tests for the RLNC codec.
+
+use ncvnf_rlnc::{
+    CodedPacket, GenerationConfig, GenerationDecoder, GenerationEncoder, ObjectDecoder,
+    ObjectEncoder, ReceiveOutcome, Recoder, SessionId,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any generation decodes from enough random coded packets, for random
+    /// layouts, payloads and RNG seeds.
+    #[test]
+    fn generation_roundtrip(
+        block_size in 1usize..64,
+        g in 1usize..9,
+        seed in any::<u64>(),
+        byte in any::<u8>(),
+        fill in 1usize..256,
+    ) {
+        let cfg = GenerationConfig::new(block_size, g).unwrap();
+        let len = usize::min(fill, cfg.generation_payload());
+        let data: Vec<u8> = (0..len).map(|i| byte.wrapping_add(i as u8)).collect();
+        let enc = GenerationEncoder::new(cfg, &data).unwrap();
+        let mut dec = GenerationDecoder::new(cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sent = 0;
+        while !dec.is_complete() {
+            let pkt = enc.coded_packet(SessionId::new(1), 0, &mut rng);
+            dec.receive(pkt.coefficients(), pkt.payload()).unwrap();
+            sent += 1;
+            prop_assert!(sent < 40 * g, "failed to converge");
+        }
+        let decoded = dec.decoded_payload().unwrap();
+        prop_assert_eq!(&decoded[..len], &data[..]);
+        prop_assert!(decoded[len..].iter().all(|&b| b == 0));
+    }
+
+    /// Recoding in the middle never breaks decodability and never grows
+    /// the coefficient space.
+    #[test]
+    fn recode_chain_roundtrip(
+        g in 1usize..6,
+        chain_len in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let cfg = GenerationConfig::new(8, g).unwrap();
+        let data: Vec<u8> = (0..cfg.generation_payload()).map(|i| (i * 7) as u8).collect();
+        let enc = GenerationEncoder::new(cfg, &data).unwrap();
+        let mut chain: Vec<Recoder> =
+            (0..chain_len).map(|_| Recoder::new(cfg, SessionId::new(3), 5)).collect();
+        let mut dec = GenerationDecoder::new(cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sent = 0;
+        while !dec.is_complete() {
+            let mut pkt = enc.coded_packet(SessionId::new(3), 5, &mut rng);
+            for r in chain.iter_mut() {
+                pkt = r.process(&pkt, &mut rng).unwrap();
+            }
+            dec.receive(pkt.coefficients(), pkt.payload()).unwrap();
+            sent += 1;
+            prop_assert!(sent < 60 * g, "failed to converge through chain");
+        }
+        prop_assert_eq!(dec.decoded_payload().unwrap(), data);
+    }
+
+    /// Decoder rank equals g exactly when decoding succeeds; feeding only
+    /// k < g distinct systematic packets never completes.
+    #[test]
+    fn rank_semantics(g in 2usize..8, k_raw in 1usize..8) {
+        let cfg = GenerationConfig::new(4, g).unwrap();
+        let k = k_raw % g; // strictly fewer than g
+        let data = vec![0xABu8; cfg.generation_payload()];
+        let enc = GenerationEncoder::new(cfg, &data).unwrap();
+        let mut dec = GenerationDecoder::new(cfg);
+        for i in 0..k {
+            let pkt = enc.systematic_packet(SessionId::new(0), 0, i);
+            let out = dec.receive(pkt.coefficients(), pkt.payload()).unwrap();
+            let innovative = matches!(out, ReceiveOutcome::Innovative { .. });
+            prop_assert!(innovative);
+        }
+        prop_assert_eq!(dec.rank(), k);
+        prop_assert!(!dec.is_complete());
+        prop_assert!(dec.decoded_payload().is_err());
+    }
+
+    /// Wire round-trip of arbitrary coded packets.
+    #[test]
+    fn packet_wire_roundtrip(
+        session in any::<u16>(),
+        generation in 0u64..u32::MAX as u64,
+        coeffs in prop::collection::vec(any::<u8>(), 1..16),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let g = coeffs.len();
+        let pkt = CodedPacket::new(
+            ncvnf_rlnc::NcHeader {
+                session: SessionId::new(session),
+                generation,
+                coefficients: coeffs,
+            },
+            bytes::Bytes::from(payload),
+        );
+        let wire = pkt.to_bytes();
+        let back = CodedPacket::from_bytes(&wire, g).unwrap();
+        prop_assert_eq!(back, pkt);
+    }
+
+    /// Object-level framing recovers exact bytes for arbitrary objects.
+    #[test]
+    fn object_roundtrip(
+        object in prop::collection::vec(any::<u8>(), 1..2000),
+        seed in any::<u64>(),
+    ) {
+        let cfg = GenerationConfig::new(32, 4).unwrap();
+        let enc = ObjectEncoder::new(cfg, SessionId::new(2), &object).unwrap();
+        let mut dec = ObjectDecoder::new(cfg, enc.generations());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rounds = 0;
+        while !dec.is_complete() {
+            for g in 0..enc.generations() {
+                let pkt = enc.coded_packet(g, &mut rng);
+                dec.receive(&pkt).unwrap();
+            }
+            rounds += 1;
+            prop_assert!(rounds < 50, "object decode failed to converge");
+        }
+        prop_assert_eq!(dec.into_object().unwrap(), object);
+    }
+}

@@ -1,0 +1,57 @@
+//! Solver error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why the solver could not produce an optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// The pivot iteration limit was exceeded (numerical trouble).
+    IterationLimit {
+        /// Number of pivots performed before giving up.
+        iterations: usize,
+    },
+    /// The model references an unknown variable.
+    UnknownVariable {
+        /// Index of the offending variable.
+        index: usize,
+    },
+    /// A model coefficient was NaN or infinite.
+    InvalidCoefficient {
+        /// Human-readable location of the bad coefficient.
+        context: String,
+    },
+    /// Branch-and-bound exhausted its node budget before proving
+    /// optimality.
+    NodeLimit {
+        /// Number of branch-and-bound nodes explored.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "problem is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::IterationLimit { iterations } => {
+                write!(f, "simplex exceeded {iterations} pivots")
+            }
+            SolveError::UnknownVariable { index } => {
+                write!(f, "unknown variable index {index}")
+            }
+            SolveError::InvalidCoefficient { context } => {
+                write!(f, "invalid coefficient in {context}")
+            }
+            SolveError::NodeLimit { nodes } => {
+                write!(f, "branch-and-bound exceeded {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}

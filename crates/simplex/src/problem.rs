@@ -1,0 +1,212 @@
+//! LP model builder.
+
+use crate::error::SolveError;
+use crate::tableau::{self, Solution};
+
+/// Identifier of a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+/// Identifier of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstraintId(pub(crate) usize);
+
+/// Direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) relation: Relation,
+    pub(crate) rhs: f64,
+}
+
+/// A maximization LP over non-negative variables.
+///
+/// All variables have a lower bound of zero (matching the paper's program,
+/// where flows, rates and VNF counts are non-negative); optional upper
+/// bounds are handled as extra rows. The objective sense is maximize.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    pub(crate) names: Vec<String>,
+    pub(crate) objective: Vec<f64>,
+    pub(crate) upper_bounds: Vec<Option<f64>>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a non-negative variable with the given objective coefficient.
+    pub fn add_var(&mut self, name: impl Into<String>, objective: f64) -> VarId {
+        self.names.push(name.into());
+        self.objective.push(objective);
+        self.upper_bounds.push(None);
+        VarId(self.names.len() - 1)
+    }
+
+    /// Sets (replaces) the objective coefficient of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    pub fn set_objective_coeff(&mut self, var: VarId, coeff: f64) {
+        assert!(var.0 < self.names.len(), "unknown variable");
+        self.objective[var.0] = coeff;
+    }
+
+    /// Sets an upper bound `var ≤ ub` (in addition to the implicit
+    /// `var ≥ 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    pub fn set_upper_bound(&mut self, var: VarId, ub: f64) {
+        assert!(var.0 < self.names.len(), "unknown variable");
+        self.upper_bounds[var.0] = Some(ub);
+    }
+
+    /// Adds a linear constraint `Σ terms {≤,=,≥} rhs`; duplicate variables
+    /// in `terms` are summed.
+    pub fn add_constraint(
+        &mut self,
+        terms: &[(VarId, f64)],
+        relation: Relation,
+        rhs: f64,
+    ) -> ConstraintId {
+        let mut combined: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for &(v, c) in terms {
+            assert!(v.0 < self.names.len(), "unknown variable");
+            if let Some(entry) = combined.iter_mut().find(|(i, _)| *i == v.0) {
+                entry.1 += c;
+            } else {
+                combined.push((v.0, c));
+            }
+        }
+        self.constraints.push(Constraint {
+            terms: combined,
+            relation,
+            rhs,
+        });
+        ConstraintId(self.constraints.len() - 1)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints (excluding bounds).
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The name of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.names[var.0]
+    }
+
+    /// Solves the LP relaxation with the two-phase simplex method.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`], [`SolveError::Unbounded`],
+    /// [`SolveError::IterationLimit`] on numerical failure, or
+    /// [`SolveError::InvalidCoefficient`] if the model contains NaN or
+    /// infinite data.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.validate()?;
+        tableau::solve(self)
+    }
+
+    fn validate(&self) -> Result<(), SolveError> {
+        for (i, c) in self.objective.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(SolveError::InvalidCoefficient {
+                    context: format!("objective coefficient of {}", self.names[i]),
+                });
+            }
+        }
+        for (i, ub) in self.upper_bounds.iter().enumerate() {
+            if let Some(ub) = ub {
+                if !ub.is_finite() || *ub < 0.0 {
+                    return Err(SolveError::InvalidCoefficient {
+                        context: format!("upper bound of {}", self.names[i]),
+                    });
+                }
+            }
+        }
+        for (row, c) in self.constraints.iter().enumerate() {
+            if !c.rhs.is_finite() {
+                return Err(SolveError::InvalidCoefficient {
+                    context: format!("rhs of constraint {row}"),
+                });
+            }
+            for (var, coeff) in &c.terms {
+                if !coeff.is_finite() {
+                    return Err(SolveError::InvalidCoefficient {
+                        context: format!("constraint {row}, variable {}", self.names[*var]),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_duplicate_terms() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", 1.0);
+        lp.add_constraint(&[(x, 1.0), (x, 2.0)], Relation::Le, 9.0);
+        assert_eq!(lp.constraints[0].terms, vec![(0, 3.0)]);
+        // x <= 3 effectively
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_coefficients_are_reported() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", f64::NAN);
+        assert!(matches!(
+            lp.solve(),
+            Err(SolveError::InvalidCoefficient { .. })
+        ));
+        lp.set_objective_coeff(x, 1.0);
+        lp.add_constraint(&[(x, f64::INFINITY)], Relation::Le, 1.0);
+        assert!(matches!(
+            lp.solve(),
+            Err(SolveError::InvalidCoefficient { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn foreign_variable_panics() {
+        let mut a = LinearProgram::new();
+        let mut b = LinearProgram::new();
+        let _x = a.add_var("x", 1.0);
+        let y = VarId(5);
+        b.add_constraint(&[(y, 1.0)], Relation::Le, 1.0);
+    }
+}

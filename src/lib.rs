@@ -1,0 +1,57 @@
+//! # ncvnf — Virtualized Network Coding Functions
+//!
+//! A from-scratch Rust implementation of *"Virtualized Network Coding
+//! Functions on The Internet"* (Zhang, Lai, Wu, Li, Guo — ICDCS 2017):
+//! randomized linear network coding (RLNC) deployed as virtual network
+//! functions in geo-distributed data centers, with an optimizing control
+//! plane that decides where to place coding functions, how to route coded
+//! multicast flows, and when to scale in/out.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! * [`gf256`] — GF(2^w) arithmetic and bulk kernels;
+//! * [`rlnc`] — generations, encoders, progressive decoders, recoders;
+//! * [`netsim`] — the deterministic network simulator (the testbed);
+//! * [`flowgraph`] — max-flow, multicast capacity, delay-bounded paths;
+//! * [`simplex`] — the LP/ILP solver behind the deployment program;
+//! * [`deploy`] — problem (2), rounding, and scaling Algorithms 1–3;
+//! * [`dataplane`] — the coding VNF packet processor and sim adapters;
+//! * [`control`] — NC_* signals, forwarding tables, daemons;
+//! * [`relay`] — the real-UDP loopback deployment.
+//!
+//! # Quick start
+//!
+//! Encode, recode and decode one generation:
+//!
+//! ```
+//! use ncvnf::rlnc::{GenerationConfig, GenerationEncoder, GenerationDecoder, Recoder, SessionId};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), ncvnf::rlnc::CodecError> {
+//! let cfg = GenerationConfig::paper_default(); // 4 x 1460-byte blocks
+//! let data = vec![0x42u8; cfg.generation_payload()];
+//! let encoder = GenerationEncoder::new(cfg, &data)?;
+//! let mut relay = Recoder::new(cfg, SessionId::new(1), 0);
+//! let mut decoder = GenerationDecoder::new(cfg);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! while !decoder.is_complete() {
+//!     let coded = encoder.coded_packet(SessionId::new(1), 0, &mut rng);
+//!     let recoded = relay.process(&coded, &mut rng)?;
+//!     decoder.receive(recoded.coefficients(), recoded.payload())?;
+//! }
+//! assert_eq!(decoder.decoded_payload()?, data);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ncvnf_control as control;
+pub use ncvnf_dataplane as dataplane;
+pub use ncvnf_deploy as deploy;
+pub use ncvnf_flowgraph as flowgraph;
+pub use ncvnf_gf256 as gf256;
+pub use ncvnf_netsim as netsim;
+pub use ncvnf_relay as relay;
+pub use ncvnf_rlnc as rlnc;
+pub use ncvnf_simplex as simplex;

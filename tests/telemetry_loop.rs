@@ -1,0 +1,87 @@
+//! Closing the measurement loop: simulated probes → telemetry smoothing →
+//! scaling controller (with ρ/τ hysteresis) → new deployment.
+
+use ncvnf::control::Telemetry;
+use ncvnf::deploy::presets::random_workload;
+use ncvnf::deploy::{Planner, ScalingController, ScalingEvent, ScalingParams};
+use ncvnf::netsim::probe::{EchoServer, PingProbe, PING_PORT};
+use ncvnf::netsim::{Addr, LinkConfig, SimDuration, SimNodeId, SimTime, Simulator};
+
+/// Measures the RTT of a synthetic inter-DC link with the ping probe.
+fn probed_rtt_ms(one_way_ms: f64) -> f64 {
+    let mut sim = Simulator::new(2);
+    let p = sim.add_node(
+        "probe",
+        PingProbe::new(
+            Addr::new(SimNodeId(1), PING_PORT),
+            SimDuration::from_millis(50),
+            8,
+            1472,
+        ),
+    );
+    let e = sim.add_node("echo", EchoServer::new());
+    let link = LinkConfig::new(920e6, SimDuration::from_secs_f64(one_way_ms / 1000.0));
+    sim.add_link(p, e, link.clone());
+    sim.add_link(e, p, link);
+    sim.run_until(SimTime::from_secs(5));
+    sim.node_as::<PingProbe>(p)
+        .unwrap()
+        .summary()
+        .mean()
+        .expect("rtt samples")
+}
+
+#[test]
+fn probe_to_controller_loop_applies_delay_change() {
+    let w = random_workload(2, 920e6, 150.0, 41);
+    let params = ScalingParams {
+        tau2_secs: 60.0,
+        ..ScalingParams::paper_defaults()
+    };
+    let mut controller = ScalingController::new(w.topology, Planner::new(), params);
+    for s in w.sessions {
+        controller.session_join(s, 0.0).unwrap();
+    }
+
+    let dcs = controller.topology().data_centers();
+    let (a, b) = (dcs[0], dcs[1]);
+    // The link degraded: probes now measure a much larger RTT than the
+    // topology's 10 ms belief (CA<->OR in the preset).
+    let mut telemetry = Telemetry::new(4);
+    for _ in 0..4 {
+        let rtt = probed_rtt_ms(60.0);
+        telemetry.record_rtt(a, b, rtt);
+    }
+    let events = telemetry.drain_events(controller.topology(), 0.05);
+    assert!(
+        events.iter().any(|e| matches!(e, ScalingEvent::DelayObserved { .. })),
+        "telemetry should flag the delay change: {events:?}"
+    );
+    for e in events {
+        controller.handle(e, 100.0).unwrap();
+    }
+    // Before τ2 nothing changes; after τ2 the new delay is admitted.
+    controller.tick(120.0).unwrap();
+    let current = controller
+        .topology()
+        .graph
+        .out_edges(a)
+        .find(|e| e.to == b)
+        .unwrap()
+        .delay;
+    assert!((current - 10.0).abs() < 1.0, "applied too early: {current}");
+    controller.tick(200.0).unwrap();
+    let current = controller
+        .topology()
+        .graph
+        .out_edges(a)
+        .find(|e| e.to == b)
+        .unwrap()
+        .delay;
+    assert!(
+        (current - 60.0).abs() < 2.0,
+        "probed delay not applied: {current}"
+    );
+    // The controller still has a working deployment afterwards.
+    assert!(controller.deployment().unwrap().total_rate_bps() > 0.0);
+}
