@@ -23,7 +23,13 @@ fn bench_exact(c: &mut Criterion) {
     let w = random_workload(2, 920e6, 150.0, 7);
     let planner = Planner::new();
     group.bench_function("branch_and_bound_2_sessions", |b| {
-        b.iter(|| black_box(planner.plan_exact(&w.topology, &w.sessions, 20e6, 4000).unwrap()))
+        b.iter(|| {
+            black_box(
+                planner
+                    .plan_exact(&w.topology, &w.sessions, 20e6, 4000)
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }

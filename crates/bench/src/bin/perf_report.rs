@@ -1,0 +1,230 @@
+//! Kernel and codec throughput report.
+//!
+//! Measures the GF(2^8) bulk kernels (every compiled tier the CPU
+//! supports) and the RLNC encode/recode paths, then writes
+//! `BENCH_rlnc.json` at the repository root. Run with:
+//!
+//! ```text
+//! cargo run --release -p ncvnf-bench --bin perf_report [-- --quick]
+//! ```
+//!
+//! `--quick` (or `NCVNF_BENCH_QUICK=1`) shrinks the timing windows so the
+//! whole report finishes in well under two minutes on a laptop.
+//!
+//! Measurements use the median of several repeats; on a shared/noisy
+//! machine single runs of memory-bound kernels vary by 2x or more.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ncvnf_gf256::bulk;
+use ncvnf_rlnc::{GenerationConfig, GenerationEncoder, PayloadPool, Recoder, SessionId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's MTU-sized payload.
+const PAYLOAD_LEN: usize = 1460;
+
+struct Timing {
+    repeats: usize,
+    min_duration_secs: f64,
+}
+
+impl Timing {
+    fn from_env() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("NCVNF_BENCH_QUICK").is_ok_and(|v| v == "1");
+        if quick {
+            Timing {
+                repeats: 5,
+                min_duration_secs: 0.02,
+            }
+        } else {
+            Timing {
+                repeats: 9,
+                min_duration_secs: 0.15,
+            }
+        }
+    }
+
+    /// Median bytes/sec over `repeats` runs of `work`, where one call to
+    /// `work` processes `bytes_per_iter` bytes. Each run loops `work`
+    /// until `min_duration_secs` has elapsed.
+    fn measure(&self, bytes_per_iter: usize, mut work: impl FnMut()) -> f64 {
+        let mut rates = Vec::with_capacity(self.repeats);
+        // Warm-up: page in buffers, settle the frequency governor.
+        for _ in 0..3 {
+            work();
+        }
+        for _ in 0..self.repeats {
+            let start = Instant::now();
+            let mut iters = 0u64;
+            loop {
+                work();
+                iters += 1;
+                if start.elapsed().as_secs_f64() >= self.min_duration_secs {
+                    break;
+                }
+            }
+            let secs = start.elapsed().as_secs_f64();
+            rates.push(iters as f64 * bytes_per_iter as f64 / secs);
+        }
+        rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        rates[rates.len() / 2]
+    }
+}
+
+struct KernelRow {
+    tier: &'static str,
+    op: &'static str,
+    payload_len: usize,
+    bytes_per_sec: f64,
+}
+
+struct CodecRow {
+    path: &'static str,
+    generation_size: usize,
+    block_size: usize,
+    bytes_per_sec: f64,
+}
+
+fn bench_kernels(timing: &Timing) -> Vec<KernelRow> {
+    let mut rng = StdRng::seed_from_u64(0xBE7C_0001);
+    let mut rows = Vec::new();
+    let mut src = vec![0u8; PAYLOAD_LEN];
+    let mut dst = vec![0u8; PAYLOAD_LEN];
+    rng.fill(&mut src[..]);
+    rng.fill(&mut dst[..]);
+    for &tier in bulk::compiled_tiers() {
+        if !tier.is_supported() {
+            continue;
+        }
+        let c = 0x53u8; // arbitrary non-trivial coefficient
+        let mul_add = timing.measure(PAYLOAD_LEN, || {
+            tier.mul_add_slice(&mut dst, &src, c);
+            std::hint::black_box(&dst);
+        });
+        rows.push(KernelRow {
+            tier: tier.name(),
+            op: "mul_add_slice",
+            payload_len: PAYLOAD_LEN,
+            bytes_per_sec: mul_add,
+        });
+        let mul = timing.measure(PAYLOAD_LEN, || {
+            tier.mul_slice(&mut dst, &src, c);
+            std::hint::black_box(&dst);
+        });
+        rows.push(KernelRow {
+            tier: tier.name(),
+            op: "mul_slice",
+            payload_len: PAYLOAD_LEN,
+            bytes_per_sec: mul,
+        });
+    }
+    rows
+}
+
+fn bench_codec(timing: &Timing) -> Vec<CodecRow> {
+    let mut rows = Vec::new();
+    for &g in &[2usize, 4, 8, 16, 32] {
+        let config = GenerationConfig::new(PAYLOAD_LEN, g).expect("valid layout");
+        let mut rng = StdRng::seed_from_u64(0xBE7C_0002 ^ g as u64);
+        let mut data = vec![0u8; config.generation_payload()];
+        rng.fill(&mut data[..]);
+        let enc = GenerationEncoder::new(config, &data).expect("valid generation");
+        let session = SessionId::new(1);
+
+        // Encode: one coded packet = one block of output, but `g` blocks of
+        // kernel input traversed.
+        let mut pool = PayloadPool::new();
+        let mut out = Vec::new();
+        let encode = timing.measure(PAYLOAD_LEN, || {
+            enc.coded_packets_into(session, 0, 1, &mut rng, &mut pool, &mut out);
+            for pkt in out.drain(..) {
+                pool.recycle(pkt);
+            }
+        });
+        rows.push(CodecRow {
+            path: "encode",
+            generation_size: g,
+            block_size: PAYLOAD_LEN,
+            bytes_per_sec: encode,
+        });
+
+        // Recode at full rank: the relay hot path.
+        let mut recoder = Recoder::new(config, session, 0);
+        while recoder.rank() < g {
+            let pkt = enc.coded_packet(session, 0, &mut rng);
+            recoder
+                .absorb(pkt.coefficients(), pkt.payload())
+                .expect("layout matches");
+        }
+        let recode = timing.measure(PAYLOAD_LEN, || {
+            let pkt = recoder
+                .recode_into(&mut rng, &mut pool)
+                .expect("recoder is non-empty");
+            pool.recycle(pkt);
+        });
+        rows.push(CodecRow {
+            path: "recode",
+            generation_size: g,
+            block_size: PAYLOAD_LEN,
+            bytes_per_sec: recode,
+        });
+    }
+    rows
+}
+
+fn main() {
+    let timing = Timing::from_env();
+    let started = Instant::now();
+    eprintln!("measuring GF(2^8) kernel tiers ...");
+    let kernels = bench_kernels(&timing);
+    eprintln!("measuring encode/recode paths ...");
+    let codec = bench_codec(&timing);
+
+    let scalar_mul_add = kernels
+        .iter()
+        .find(|r| r.tier == "scalar" && r.op == "mul_add_slice")
+        .map(|r| r.bytes_per_sec)
+        .unwrap_or(f64::NAN);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"rlnc\",");
+    let _ = writeln!(
+        json,
+        "  \"active_tier\": \"{}\",",
+        bulk::kernel_tier().name()
+    );
+    let _ = writeln!(json, "  \"payload_len\": {PAYLOAD_LEN},");
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in kernels.iter().enumerate() {
+        let speedup = r.bytes_per_sec / scalar_mul_add;
+        let _ = write!(
+            json,
+            "    {{\"tier\": \"{}\", \"op\": \"{}\", \"payload_len\": {}, \"bytes_per_sec\": {:.0}, \"speedup_vs_scalar_mul_add\": {:.2}}}",
+            r.tier, r.op, r.payload_len, r.bytes_per_sec, speedup
+        );
+        json.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"codec\": [\n");
+    for (i, r) in codec.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"path\": \"{}\", \"generation_size\": {}, \"block_size\": {}, \"bytes_per_sec\": {:.0}}}",
+            r.path, r.generation_size, r.block_size, r.bytes_per_sec
+        );
+        json.push_str(if i + 1 < codec.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_rlnc.json", &json).expect("write BENCH_rlnc.json");
+    println!("{json}");
+    eprintln!(
+        "wrote BENCH_rlnc.json in {:.1}s (active tier: {})",
+        started.elapsed().as_secs_f64(),
+        bulk::kernel_tier().name()
+    );
+}

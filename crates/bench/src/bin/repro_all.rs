@@ -2,10 +2,12 @@
 
 use std::path::Path;
 
+type Harness = fn(bool) -> ncvnf_bench::report::ExperimentResult;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     use ncvnf_bench::experiments as ex;
-    let runs: Vec<(&str, fn(bool) -> ncvnf_bench::report::ExperimentResult)> = vec![
+    let runs: Vec<(&str, Harness)> = vec![
         ("table1", ex::table1::run),
         ("fig4", ex::fig4::run),
         ("fig5", ex::fig5::run),
@@ -33,7 +35,10 @@ fn main() {
         let secs = t0.elapsed().as_secs_f64();
         eprintln!("  done in {secs:.1}s");
         println!("== {} ==\n\n{}\n", result.title, result.rendered);
-        summary.push_str(&format!("## {}\n\n```text\n{}```\n\n", result.title, result.rendered));
+        summary.push_str(&format!(
+            "## {}\n\n```text\n{}```\n\n",
+            result.title, result.rendered
+        ));
         if let Err(e) = result.write_csv(dir) {
             eprintln!("warning: csv for {name} not written: {e}");
         }

@@ -20,7 +20,9 @@ use ncvnf_dataplane::{
     NC_DATA_PORT, NC_FEEDBACK_PORT,
 };
 use ncvnf_flowgraph::{multicast, Graph};
-use ncvnf_netsim::{Addr, LinkConfig, LinkId, LossModel, SimDuration, SimNodeId, SimTime, Simulator};
+use ncvnf_netsim::{
+    Addr, LinkConfig, LinkId, LossModel, SimDuration, SimNodeId, SimTime, Simulator,
+};
 use ncvnf_rlnc::{GenerationConfig, RedundancyPolicy, SessionId};
 
 /// Per-link capacity used in the paper-scale butterfly (bps).
@@ -185,14 +187,20 @@ pub fn build(params: &ButterflyParams) -> ButterflySim {
         "O1",
         vnf_node(
             VnfRole::Forwarder,
-            vec![Addr::new(r1_id, NC_DATA_PORT), Addr::new(t_id, NC_DATA_PORT)],
+            vec![
+                Addr::new(r1_id, NC_DATA_PORT),
+                Addr::new(t_id, NC_DATA_PORT),
+            ],
         ),
     );
     let c1 = sim.add_node(
         "C1",
         vnf_node(
             VnfRole::Forwarder,
-            vec![Addr::new(r2_id, NC_DATA_PORT), Addr::new(t_id, NC_DATA_PORT)],
+            vec![
+                Addr::new(r2_id, NC_DATA_PORT),
+                Addr::new(t_id, NC_DATA_PORT),
+            ],
         ),
     );
     let t = sim.add_node("T", {
@@ -217,17 +225,32 @@ pub fn build(params: &ButterflyParams) -> ButterflySim {
         "V2",
         vnf_node(
             VnfRole::Forwarder,
-            vec![Addr::new(r1_id, NC_DATA_PORT), Addr::new(r2_id, NC_DATA_PORT)],
+            vec![
+                Addr::new(r1_id, NC_DATA_PORT),
+                Addr::new(r2_id, NC_DATA_PORT),
+            ],
         ),
     );
     let feedback = Addr::new(src_id, NC_FEEDBACK_PORT);
     let r1 = sim.add_node(
         "O2",
-        ReceiverNode::new(SESSION, cfg, generations, feedback, SimDuration::from_secs(1)),
+        ReceiverNode::new(
+            SESSION,
+            cfg,
+            generations,
+            feedback,
+            SimDuration::from_secs(1),
+        ),
     );
     let r2 = sim.add_node(
         "C2",
-        ReceiverNode::new(SESSION, cfg, generations, feedback, SimDuration::from_secs(1)),
+        ReceiverNode::new(
+            SESSION,
+            cfg,
+            generations,
+            feedback,
+            SimDuration::from_secs(1),
+        ),
     );
 
     let d = &params.delays;

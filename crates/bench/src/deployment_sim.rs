@@ -158,9 +158,7 @@ pub fn instantiate(
                     // fine because the source emits *coded* packets).
                     match &hop {
                         NextHop::Unicast(a) => hops.push(*a),
-                        NextHop::Instances(addrs) => {
-                            hops.push(addrs[hops.len() % addrs.len()])
-                        }
+                        NextHop::Instances(addrs) => hops.push(addrs[hops.len() % addrs.len()]),
                     }
                 }
             }
@@ -172,8 +170,7 @@ pub fn instantiate(
                 config: cfg,
                 redundancy: opts.redundancy,
                 // Wire rate: planned payload flow plus header overhead.
-                rate_bps: total_out * (cfg.packet_len() as f64 + 28.0)
-                    / cfg.block_size() as f64,
+                rate_bps: total_out * (cfg.packet_len() as f64 + 28.0) / cfg.block_size() as f64,
                 next_hops: hops,
                 cost: CodingCostModel::free(),
                 systematic_only: false,
@@ -187,8 +184,7 @@ pub fn instantiate(
 
     // --- Pass 3: receivers.
     for (m, s) in sessions.iter().enumerate() {
-        let generations =
-            (opts.object_len + 8).div_ceil(cfg.generation_payload()) as u64;
+        let generations = (opts.object_len + 8).div_ceil(cfg.generation_payload()) as u64;
         for (k, _) in s.receivers.iter().enumerate() {
             let rx = ReceiverNode::new(
                 s.id,
@@ -279,10 +275,7 @@ pub fn instantiate(
                     instance_ids.get(&edge.from).cloned().unwrap_or_default(),
                     // Duplication: this pair carries the DC's max out-edge
                     // flow for the session.
-                    dc_dup_rate
-                        .get(&(edge.from, m))
-                        .copied()
-                        .unwrap_or(rate),
+                    dc_dup_rate.get(&(edge.from, m)).copied().unwrap_or(rate),
                 )
             };
             let tos: Vec<SimNodeId> = if let Some(inst) = instance_ids.get(&edge.to) {
@@ -300,8 +293,7 @@ pub fn instantiate(
             }
         }
     }
-    let mut pairs: Vec<((SimNodeId, SimNodeId), (f64, f64))> =
-        pair_flow.into_iter().collect();
+    let mut pairs: Vec<((SimNodeId, SimNodeId), (f64, f64))> = pair_flow.into_iter().collect();
     pairs.sort_by_key(|&((a, b), _)| (a, b));
     for ((from, to), (flow, delay_ms)) in pairs {
         let wire = flow * (cfg.packet_len() as f64 + 28.0) / cfg.block_size() as f64;
@@ -365,7 +357,11 @@ pub fn measure_goodput(deployed: &mut DeployedSim, secs: u64) -> Vec<f64> {
             };
             session_min = session_min.min(mean);
         }
-        out.push(if session_min.is_finite() { session_min } else { 0.0 });
+        out.push(if session_min.is_finite() {
+            session_min
+        } else {
+            0.0
+        });
     }
     out
 }

@@ -46,15 +46,25 @@ fn decode_rate<F: Field>(g: usize, reps: usize, seed: u64) -> f64 {
 pub fn field_size(quick: bool) -> ExperimentResult {
     let g = 4u32;
     let reps = if quick { 2_000 } else { 20_000 };
-    let rows = vec![
+    let rows = [
         (
             "GF(2)",
             2.0,
             1.0 / 8.0, // coefficient bits per block, relative to GF(2^8)'s 8
             decode_rate::<Gf2>(g as usize, reps, 1),
         ),
-        ("GF(2^4)", 16.0, 0.5, decode_rate::<Gf16>(g as usize, reps, 2)),
-        ("GF(2^8)", 256.0, 1.0, decode_rate::<Gf256>(g as usize, reps, 3)),
+        (
+            "GF(2^4)",
+            16.0,
+            0.5,
+            decode_rate::<Gf16>(g as usize, reps, 2),
+        ),
+        (
+            "GF(2^8)",
+            256.0,
+            1.0,
+            decode_rate::<Gf256>(g as usize, reps, 3),
+        ),
         (
             "GF(2^16)",
             65536.0,
@@ -99,7 +109,11 @@ pub fn field_size(quick: bool) -> ExperimentResult {
 /// Rounding-quality ablation: LP-relax+round vs exact branch-and-bound.
 pub fn rounding(quick: bool) -> ExperimentResult {
     let planner = Planner::new();
-    let seeds: &[u64] = if quick { &[1, 2, 3] } else { &[1, 2, 3, 4, 5, 6, 7, 8] };
+    let seeds: &[u64] = if quick {
+        &[1, 2, 3]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7, 8]
+    };
     let alpha = 50e6;
     let mut rows = Vec::new();
     for &seed in seeds {
@@ -175,11 +189,19 @@ pub fn emit_policy(quick: bool) -> ExperimentResult {
         rows.push(vec![
             name.to_string(),
             fmt(out.steady_mbps, 2),
-            fmt(out.steady_mbps / theoretical_capacity_mbps(LINK_BPS) * 100.0, 1),
+            fmt(
+                out.steady_mbps / theoretical_capacity_mbps(LINK_BPS) * 100.0,
+                1,
+            ),
             out.nacks.to_string(),
         ]);
     }
-    let headers = ["coding-point policy", "throughput_mbps", "pct_of_bound", "nacks"];
+    let headers = [
+        "coding-point policy",
+        "throughput_mbps",
+        "pct_of_bound",
+        "nacks",
+    ];
     let rendered = render_table(&headers, &rows);
     ExperimentResult {
         id: "ablation_emit_policy".into(),

@@ -61,10 +61,7 @@ pub fn run(_quick: bool) -> ExperimentResult {
         let dep = c.deployment();
         rows.push(vec![
             minute.to_string(),
-            fmt(
-                dep.map(|d| d.total_rate_bps()).unwrap_or(0.0) / 1e6,
-                1,
-            ),
+            fmt(dep.map(|d| d.total_rate_bps()).unwrap_or(0.0) / 1e6, 1),
             c.active_vnfs().to_string(),
             c.billable_vnfs(minute as f64 * 60.0).to_string(),
         ]);
@@ -107,7 +104,12 @@ pub fn run(_quick: bool) -> ExperimentResult {
         record(&c, minute);
     }
 
-    let headers = ["minute", "total_throughput_mbps", "active_vnfs", "billable_vnfs"];
+    let headers = [
+        "minute",
+        "total_throughput_mbps",
+        "active_vnfs",
+        "billable_vnfs",
+    ];
     let rendered = render_table(&headers, &rows);
     ExperimentResult {
         id: "fig10".into(),

@@ -17,10 +17,7 @@ use ncvnf_flowgraph::NodeId;
 /// Actual (as opposed to planned) total throughput: planned flows scaled
 /// down by any data center whose *real* capacity has been cut below what
 /// the plan assumes (the controller only learns after τ1).
-fn effective_throughput_bps(
-    c: &ScalingController,
-    real_specs: &HashMap<NodeId, VnfSpec>,
-) -> f64 {
+fn effective_throughput_bps(c: &ScalingController, real_specs: &HashMap<NodeId, VnfSpec>) -> f64 {
     let Some(dep) = c.deployment() else {
         return 0.0;
     };
@@ -115,10 +112,7 @@ pub fn run(_quick: bool) -> ExperimentResult {
             }
         }
         c.tick(now).expect("tick");
-        let planned = c
-            .deployment()
-            .map(|d| d.total_rate_bps())
-            .unwrap_or(0.0);
+        let planned = c.deployment().map(|d| d.total_rate_bps()).unwrap_or(0.0);
         let actual = effective_throughput_bps(&c, &real_specs);
         rows.push(vec![
             minute.to_string(),

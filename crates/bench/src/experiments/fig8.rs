@@ -48,7 +48,13 @@ pub fn run(quick: bool) -> ExperimentResult {
             fmt(plain, 2),
         ]);
     }
-    let headers = ["loss_pct", "nc0_mbps", "nc1_mbps", "nc2_mbps", "non_nc_mbps"];
+    let headers = [
+        "loss_pct",
+        "nc0_mbps",
+        "nc1_mbps",
+        "nc2_mbps",
+        "non_nc_mbps",
+    ];
     let rendered = render_table(&headers, &rows);
     ExperimentResult {
         id: "fig8".into(),

@@ -12,6 +12,6 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod table1;
-pub mod validation;
 pub mod table2;
 pub mod table3;
+pub mod validation;

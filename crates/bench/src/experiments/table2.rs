@@ -93,7 +93,9 @@ pub fn run(quick: bool) -> ExperimentResult {
             fmt(overhead, 2)
         ));
     }
-    rendered.push_str("paper RTTs: direct 90.88 / 77.03 ms; relayed 168.8 / 167.3 ms (w/ vs w/o coding)\n");
+    rendered.push_str(
+        "paper RTTs: direct 90.88 / 77.03 ms; relayed 168.8 / 167.3 ms (w/ vs w/o coding)\n",
+    );
     ExperimentResult {
         id: "table2".into(),
         title: "Table II: delay comparison (direct vs relayed, +/- coding)".into(),

@@ -24,7 +24,10 @@ fn table_with(entries: usize, generation: usize) -> ForwardingTable {
     for i in 0..entries {
         t.set(
             SessionId::new(i as u16),
-            vec![format!("127.0.0.1:{}", 10000 + (generation * entries + i) % 50000)],
+            vec![format!(
+                "127.0.0.1:{}",
+                10000 + (generation * entries + i) % 50000
+            )],
         );
     }
     t
@@ -56,7 +59,9 @@ fn sweep(entries: usize, repeats: usize) -> Vec<(usize, f64)> {
     let sig = Signal::NcForwardTab {
         table: base.to_text(),
     };
-    control.send_to(&sig.to_bytes(), relay.control_addr).expect("send");
+    control
+        .send_to(&sig.to_bytes(), relay.control_addr)
+        .expect("send");
     let _ = control.recv_from(&mut ack);
 
     let mut out = Vec::new();
@@ -80,7 +85,9 @@ fn sweep(entries: usize, repeats: usize) -> Vec<(usize, f64)> {
                 table: delta.to_text(),
             };
             let t0 = Instant::now();
-            control.send_to(&sig.to_bytes(), relay.control_addr).expect("send");
+            control
+                .send_to(&sig.to_bytes(), relay.control_addr)
+                .expect("send");
             let _ = control.recv_from(&mut ack);
             total += t0.elapsed();
             // Restore the base entries so every round changes the same
@@ -97,7 +104,9 @@ fn sweep(entries: usize, repeats: usize) -> Vec<(usize, f64)> {
             let sig = Signal::NcForwardTab {
                 table: restore.to_text(),
             };
-            control.send_to(&sig.to_bytes(), relay.control_addr).expect("send");
+            control
+                .send_to(&sig.to_bytes(), relay.control_addr)
+                .expect("send");
             let _ = control.recv_from(&mut ack);
         }
         out.push((pct, total.as_secs_f64() * 1000.0 / repeats as f64));

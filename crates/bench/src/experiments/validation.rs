@@ -45,7 +45,14 @@ pub fn run(quick: bool) -> ExperimentResult {
                 w.sessions[m].receivers.len().to_string(),
                 fmt(planned, 1),
                 fmt(g, 1),
-                fmt(if planned > 0.0 { g / planned * 100.0 } else { 0.0 }, 1),
+                fmt(
+                    if planned > 0.0 {
+                        g / planned * 100.0
+                    } else {
+                        0.0
+                    },
+                    1,
+                ),
             ]);
         }
     }

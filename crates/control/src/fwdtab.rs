@@ -195,7 +195,10 @@ mod tests {
 
     fn sample() -> ForwardingTable {
         let mut t = ForwardingTable::new();
-        t.set(SessionId::new(1), vec!["10.0.0.1:4000".into(), "10.0.0.2:4000".into()]);
+        t.set(
+            SessionId::new(1),
+            vec!["10.0.0.1:4000".into(), "10.0.0.2:4000".into()],
+        );
         t.set(SessionId::new(3), vec!["10.0.0.9:4000".into()]);
         t
     }

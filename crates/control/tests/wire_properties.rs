@@ -30,16 +30,22 @@ fn arb_signal() -> impl Strategy<Value = Signal> {
             }
             Signal::NcForwardTab { table: t.to_text() }
         }),
-        (any::<u16>(), arb_role(), any::<u16>(), 1u32..9000, 1u32..64, 1u32..4096).prop_map(
-            |(s, role, port, bs, gs, buf)| Signal::NcSettings {
+        (
+            any::<u16>(),
+            arb_role(),
+            any::<u16>(),
+            1u32..9000,
+            1u32..64,
+            1u32..4096
+        )
+            .prop_map(|(s, role, port, bs, gs, buf)| Signal::NcSettings {
                 session: SessionId::new(s),
                 role,
                 data_port: port,
                 block_size: bs,
                 generation_size: gs,
                 buffer_generations: buf,
-            }
-        ),
+            }),
     ]
 }
 

@@ -85,8 +85,10 @@ impl SessionBuffer {
         }
         self.order.push_back(generation);
         self.stats.generations_opened += 1;
-        self.entries
-            .push((generation, Recoder::new(self.config, self.session, generation)));
+        self.entries.push((
+            generation,
+            Recoder::new(self.config, self.session, generation),
+        ));
         let last = self.entries.len() - 1;
         &mut self.entries[last].1
     }
@@ -110,11 +112,7 @@ mod tests {
     use super::*;
 
     fn buf(cap: usize) -> SessionBuffer {
-        SessionBuffer::new(
-            GenerationConfig::new(8, 2).unwrap(),
-            SessionId::new(1),
-            cap,
-        )
+        SessionBuffer::new(GenerationConfig::new(8, 2).unwrap(), SessionId::new(1), cap)
     }
 
     #[test]

@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn rejects_foreign_packets() {
         assert_eq!(Feedback::from_bytes(&[0xAC; 14]), None);
-        assert_eq!(Feedback::from_bytes(&[0xFB, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]), None);
+        assert_eq!(
+            Feedback::from_bytes(&[0xFB, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
+            None
+        );
         assert_eq!(Feedback::from_bytes(&[0xFB]), None);
     }
 }

@@ -27,10 +27,10 @@
 
 mod buffer;
 mod cost;
+mod decoded;
 mod dispatch;
 mod feedback;
 mod role;
-mod decoded;
 mod sim_nodes;
 mod vnf;
 
@@ -41,7 +41,7 @@ pub use dispatch::Dispatcher;
 pub use feedback::{Feedback, FeedbackKind};
 pub use role::VnfRole;
 pub use sim_nodes::{NextHop, ObjectSource, ReceiverNode, SourceConfig, VnfNode};
-pub use vnf::{CodingVnf, VnfOutput, VnfStats};
+pub use vnf::{CodingVnf, VnfDecision, VnfOutput, VnfStats};
 
 /// UDP-style port carrying NC data packets.
 pub const NC_DATA_PORT: u16 = 4000;

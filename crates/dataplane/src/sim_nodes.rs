@@ -12,14 +12,14 @@ use rand::Rng;
 
 use ncvnf_netsim::{Addr, Context, Datagram, NodeBehavior, SimDuration, SimTime};
 use ncvnf_rlnc::{
-    CodedPacket, GenerationConfig, ObjectDecoder, ObjectEncoder, ReceiveOutcome, RedundancyPolicy,
-    SessionId,
+    CodedPacket, GenerationConfig, ObjectDecoder, ObjectEncoder, RankTracker, ReceiveOutcome,
+    RedundancyPolicy, SessionId,
 };
 
 use crate::cost::CodingCostModel;
 use crate::dispatch::Dispatcher;
 use crate::feedback::{Feedback, FeedbackKind};
-use crate::vnf::{CodingVnf, VnfOutput};
+use crate::vnf::{CodingVnf, VnfDecision};
 use crate::{NC_DATA_PORT, NC_FEEDBACK_PORT};
 
 /// One logical next hop in a forwarding table: either a single address or
@@ -94,6 +94,13 @@ pub struct ObjectSource {
     /// (generation, systematic index) cursor through the fresh stream.
     next_generation: u64,
     emitted_in_generation: usize,
+    /// Rank of what the current fresh generation's burst has carried so
+    /// far. A random coefficient draw is occasionally linearly dependent on
+    /// the burst's earlier packets (P ≈ 1/251 at g = 4 over GF(2^8));
+    /// without redundancy such a generation could never decode from the
+    /// burst alone, so dependent draws are redrawn (smart-source behaviour;
+    /// retransmissions stay plain random draws).
+    fresh_rank: RankTracker,
     /// Pending retransmission requests:
     /// (generation, packets to send, missing-block bitmap).
     retransmit_queue: VecDeque<(u64, u16, u32)>,
@@ -119,12 +126,14 @@ impl ObjectSource {
         assert!(!cfg.next_hops.is_empty(), "source needs next hops");
         let encoder =
             ObjectEncoder::new(cfg.config, cfg.session, object).expect("valid object data");
+        let fresh_rank = RankTracker::new(cfg.config.blocks_per_generation());
         ObjectSource {
             object_len: object.len(),
             encoder: Some(encoder),
             cfg,
             next_generation: 0,
             emitted_in_generation: 0,
+            fresh_rank,
             retransmit_queue: VecDeque::new(),
             next_hop_cursor: 0,
             packets_sent: 0,
@@ -156,7 +165,10 @@ impl ObjectSource {
 
     /// Generations the object spans.
     pub fn generations(&self) -> u64 {
-        self.encoder.as_ref().expect("encoder present").generations()
+        self.encoder
+            .as_ref()
+            .expect("encoder present")
+            .generations()
     }
 
     /// Total packets emitted (fresh + retransmitted).
@@ -199,8 +211,8 @@ impl ObjectSource {
             // systematic (non-NC) source must resend the exact missing
             // block named by the bitmap.
             let pkt = if self.cfg.systematic_only {
-                let idx = (0..self.cfg.config.blocks_per_generation())
-                    .find(|i| *bitmap & (1 << i) != 0);
+                let idx =
+                    (0..self.cfg.config.blocks_per_generation()).find(|i| *bitmap & (1 << i) != 0);
                 match idx {
                     Some(i) => {
                         *bitmap &= !(1 << i);
@@ -232,14 +244,27 @@ impl ObjectSource {
             .packets_per_generation(self.cfg.config.blocks_per_generation());
         let idx = self.emitted_in_generation;
         let pkt = if self.cfg.systematic_only && idx < self.cfg.config.blocks_per_generation() {
-            encoder.systematic_packet(g, idx)
+            let pkt = encoder.systematic_packet(g, idx);
+            self.fresh_rank.absorb(pkt.coefficients());
+            pkt
         } else {
-            encoder.coded_packet(g, rng)
+            let mut pkt = encoder.coded_packet(g, rng);
+            if !self.fresh_rank.is_full() {
+                // Redraw dependent coefficient vectors (bounded, since a
+                // redraw is dependent again with probability < 1/250).
+                let mut redraws = 0;
+                while !self.fresh_rank.absorb(pkt.coefficients()) && redraws < 16 {
+                    pkt = encoder.coded_packet(g, rng);
+                    redraws += 1;
+                }
+            }
+            pkt
         };
         self.emitted_in_generation += 1;
         if self.emitted_in_generation >= per_gen {
             self.emitted_in_generation = 0;
             self.next_generation += 1;
+            self.fresh_rank.reset();
             if g == 0 {
                 self.first_generation_sent = Some(now);
             }
@@ -331,6 +356,9 @@ pub struct VnfNode {
     busy_until: SimTime,
     next_token: u64,
     pending: HashMap<u64, Vec<(Addr, Bytes)>>,
+    /// Reusable output buffer for the VNF's batch emit path; packets are
+    /// recycled into the VNF's pool after serialization.
+    forward_buf: Vec<CodedPacket>,
 }
 
 impl VnfNode {
@@ -344,6 +372,7 @@ impl VnfNode {
             busy_until: SimTime::ZERO,
             next_token: 1000,
             pending: HashMap::new(),
+            forward_buf: Vec::new(),
         }
     }
 
@@ -460,15 +489,14 @@ impl NodeBehavior for VnfNode {
             };
             per_hop.push(k);
         }
-        let outputs: usize = if is_recoder {
-            per_hop.iter().sum()
-        } else {
-            1
-        };
-        let output = self.vnf.process_packet_n(&pkt, outputs, ctx.rng());
-        let (packets, coding) = match output {
-            VnfOutput::Forward(pkts) => (pkts, true),
-            VnfOutput::Decoded {
+        let outputs: usize = if is_recoder { per_hop.iter().sum() } else { 1 };
+        self.forward_buf.clear();
+        let output = self
+            .vnf
+            .process_packet_into(&pkt, outputs, ctx.rng(), &mut self.forward_buf);
+        let coding = match output {
+            VnfDecision::Forwarded(_) => true,
+            VnfDecision::Decoded {
                 session,
                 generation,
                 payload,
@@ -489,20 +517,22 @@ impl NodeBehavior for VnfNode {
                 }
                 return;
             }
-            VnfOutput::Nothing => return,
+            VnfDecision::Nothing => return,
         };
-        if session_hops.is_empty() || packets.is_empty() {
+        if session_hops.is_empty() || self.forward_buf.is_empty() {
             return;
         }
         // Model the CPU: serialize packet processing on one core.
         let role_cost = if coding
             && self
                 .vnf
-                .role(packets[0].session())
+                .role(self.forward_buf[0].session())
                 .is_some_and(|r| r.does_coding())
         {
-            self.cost
-                .recode_packet(&self.vnf.config(), self.vnf.config().blocks_per_generation())
+            self.cost.recode_packet(
+                &self.vnf.config(),
+                self.vnf.config().blocks_per_generation(),
+            )
         } else {
             self.cost.forward_packet()
         };
@@ -513,7 +543,7 @@ impl NodeBehavior for VnfNode {
         if is_recoder {
             // Distribute the distinct recodes across hops per the per-hop
             // emission counts (each hop gets its own fresh combination).
-            let mut it = packets.iter();
+            let mut it = self.forward_buf.iter();
             for (h, &k) in per_hop.iter().enumerate() {
                 for _ in 0..k {
                     let Some(pkt) = it.next() else { break };
@@ -523,13 +553,17 @@ impl NodeBehavior for VnfNode {
             }
         } else {
             // Forwarders duplicate the packet to every hop.
-            for pkt in &packets {
+            for pkt in &self.forward_buf {
                 let wire = pkt.to_bytes();
                 for (hop, _) in &session_hops {
                     let addr = hop.resolve(pkt.session(), pkt.generation());
                     out.push((addr, wire.clone()));
                 }
             }
+        }
+        // The emitted packets are on the wire now; recover their buffers.
+        for pkt in self.forward_buf.drain(..) {
+            self.vnf.recycle(pkt);
         }
         let token = self.next_token;
         self.next_token += 1;
@@ -679,7 +713,8 @@ impl NodeBehavior for ReceiverNode {
         };
         if matches!(outcome, ReceiveOutcome::Innovative { .. }) {
             self.innovative_received += 1;
-            self.goodput.record(ctx.now(), self.config.block_size() as u64);
+            self.goodput
+                .record(ctx.now(), self.config.block_size() as u64);
             self.last_progress.insert(pkt.generation(), ctx.now());
         }
         let after = self.decoder.generations_complete();

@@ -5,7 +5,8 @@ use rand::Rng;
 use std::collections::HashMap;
 
 use ncvnf_rlnc::{
-    CodedPacket, CodecError, GenerationConfig, GenerationDecoder, HeaderError, SessionId,
+    CodecError, CodedPacket, GenerationConfig, GenerationDecoder, HeaderError, PayloadPool,
+    SessionId,
 };
 
 use crate::buffer::SessionBuffer;
@@ -33,6 +34,26 @@ pub struct VnfStats {
 pub enum VnfOutput {
     /// Emit these packets to the session's next hops.
     Forward(Vec<CodedPacket>),
+    /// A generation finished decoding (decoder role); deliver the payload.
+    Decoded {
+        /// Session of the decoded generation.
+        session: SessionId,
+        /// Generation number.
+        generation: u64,
+        /// Recovered generation payload.
+        payload: Vec<u8>,
+    },
+    /// Nothing to emit (redundant packet, or unknown/malformed input).
+    Nothing,
+}
+
+/// Result of the allocation-free batch step
+/// [`CodingVnf::process_packet_into`]: what happened beyond the packets
+/// appended to the caller's output buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VnfDecision {
+    /// This many packets were appended to the output buffer.
+    Forwarded(usize),
     /// A generation finished decoding (decoder role); deliver the payload.
     Decoded {
         /// Session of the decoded generation.
@@ -74,6 +95,10 @@ pub struct CodingVnf {
     config: GenerationConfig,
     buffer_generations: usize,
     sessions: HashMap<SessionId, SessionState>,
+    /// Recycled coefficient/payload buffers for emitted packets. Adapters
+    /// return finished packets via [`recycle`](Self::recycle) so the emit
+    /// path stops allocating once warm.
+    pool: PayloadPool,
     stats: VnfStats,
 }
 
@@ -90,6 +115,7 @@ impl CodingVnf {
             config,
             buffer_generations,
             sessions: HashMap::new(),
+            pool: PayloadPool::new(),
             stats: VnfStats::default(),
         }
     }
@@ -157,11 +183,7 @@ impl CodingVnf {
 
     /// Processes one parsed coded packet, emitting one output per input
     /// (the paper's pipelined mode).
-    pub fn process_packet<R: Rng + ?Sized>(
-        &mut self,
-        pkt: &CodedPacket,
-        rng: &mut R,
-    ) -> VnfOutput {
+    pub fn process_packet<R: Rng + ?Sized>(&mut self, pkt: &CodedPacket, rng: &mut R) -> VnfOutput {
         self.process_packet_n(pkt, 1, rng)
     }
 
@@ -176,15 +198,44 @@ impl CodingVnf {
         outputs: usize,
         rng: &mut R,
     ) -> VnfOutput {
+        let mut out = Vec::new();
+        match self.process_packet_into(pkt, outputs, rng, &mut out) {
+            VnfDecision::Forwarded(_) => VnfOutput::Forward(out),
+            VnfDecision::Decoded {
+                session,
+                generation,
+                payload,
+            } => VnfOutput::Decoded {
+                session,
+                generation,
+                payload,
+            },
+            VnfDecision::Nothing => VnfOutput::Nothing,
+        }
+    }
+
+    /// Batch form of [`CodingVnf::process_packet_n`]: forwarded packets are
+    /// appended to `out` (reuse it across calls so its capacity amortizes)
+    /// and recoded emissions draw their buffers from the VNF's internal
+    /// pool. Together with [`recycle`](Self::recycle) this makes the
+    /// recode-and-forward steady state allocation-free.
+    pub fn process_packet_into<R: Rng + ?Sized>(
+        &mut self,
+        pkt: &CodedPacket,
+        outputs: usize,
+        rng: &mut R,
+        out: &mut Vec<CodedPacket>,
+    ) -> VnfDecision {
         self.stats.packets_in += 1;
         let Some(state) = self.sessions.get_mut(&pkt.session()) else {
             self.stats.unknown_session += 1;
-            return VnfOutput::Nothing;
+            return VnfDecision::Nothing;
         };
         match state.role {
             VnfRole::Forwarder => {
                 self.stats.packets_out += 1;
-                VnfOutput::Forward(vec![pkt.clone()])
+                out.push(pkt.clone());
+                VnfDecision::Forwarded(1)
             }
             VnfRole::Recoder => {
                 let recoder = state.buffer.recoder_for(pkt.generation());
@@ -195,29 +246,37 @@ impl CodingVnf {
                             self.stats.innovative_in += 1;
                         }
                         if outputs == 0 {
-                            return VnfOutput::Nothing;
+                            return VnfDecision::Nothing;
                         }
-                        let mut out = Vec::with_capacity(outputs);
+                        out.reserve(outputs);
+                        let mut emitted = 0;
                         for i in 0..outputs {
                             // Pipelined: the very first packet of a
                             // generation passes through verbatim, later
                             // emissions are fresh recombinations.
                             if first && i == 0 {
                                 out.push(pkt.clone());
+                                emitted += 1;
                                 continue;
                             }
-                            match recoder.recode(rng) {
-                                Ok(p) => out.push(p),
-                                Err(CodecError::EmptyRecoder) => out.push(pkt.clone()),
+                            match recoder.recode_into(rng, &mut self.pool) {
+                                Ok(p) => {
+                                    out.push(p);
+                                    emitted += 1;
+                                }
+                                Err(CodecError::EmptyRecoder) => {
+                                    out.push(pkt.clone());
+                                    emitted += 1;
+                                }
                                 Err(_) => break,
                             }
                         }
-                        self.stats.packets_out += out.len() as u64;
-                        VnfOutput::Forward(out)
+                        self.stats.packets_out += emitted as u64;
+                        VnfDecision::Forwarded(emitted)
                     }
                     Err(_) => {
                         self.stats.malformed += 1;
-                        VnfOutput::Nothing
+                        VnfDecision::Nothing
                     }
                 }
             }
@@ -228,7 +287,7 @@ impl CodingVnf {
                     .entry(pkt.generation())
                     .or_insert_with(|| GenerationDecoder::new(self.config));
                 if decoder.is_complete() {
-                    return VnfOutput::Nothing;
+                    return VnfDecision::Nothing;
                 }
                 match decoder.receive(pkt.coefficients(), pkt.payload()) {
                     Ok(outcome) => {
@@ -240,22 +299,28 @@ impl CodingVnf {
                                 .decoded_payload()
                                 .expect("complete decoder yields payload");
                             self.stats.generations_decoded += 1;
-                            VnfOutput::Decoded {
+                            VnfDecision::Decoded {
                                 session,
                                 generation: pkt.generation(),
                                 payload,
                             }
                         } else {
-                            VnfOutput::Nothing
+                            VnfDecision::Nothing
                         }
                     }
                     Err(_) => {
                         self.stats.malformed += 1;
-                        VnfOutput::Nothing
+                        VnfDecision::Nothing
                     }
                 }
             }
         }
+    }
+
+    /// Returns a finished packet's buffers to the VNF's pool (call after
+    /// the packet has been serialized/sent and no clones remain alive).
+    pub fn recycle(&mut self, pkt: CodedPacket) {
+        self.pool.recycle(pkt);
     }
 
     /// Serializes a coded packet for the wire (convenience for adapters).

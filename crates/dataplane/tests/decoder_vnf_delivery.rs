@@ -78,11 +78,7 @@ fn decoder_vnf_survives_loss_with_redundancy() {
     // Decoder VNFs have no repair channel of their own, so proactive
     // redundancy carries the loss: 4 extra coded packets per generation
     // make a lost generation vanishingly unlikely at 8 % loss.
-    let out = run_decoder_chain(
-        LossModel::uniform(0.08),
-        RedundancyPolicy::new(4),
-        300_000,
-    );
+    let out = run_decoder_chain(LossModel::uniform(0.08), RedundancyPolicy::new(4), 300_000);
     assert!(
         out.completed_secs.is_some(),
         "decoder chain should complete under loss ({}/{} generations)",

@@ -197,8 +197,8 @@ pub fn build_program_with_slack(
     for (m, sp) in paths.iter().enumerate() {
         for (k, routes) in sp.per_receiver.iter().enumerate() {
             let mut terms: Vec<(VarId, f64)> = vec![(lambda[m], 1.0)];
-            for p in 0..routes.len() {
-                terms.push((path_flow[m][k][p], -1.0));
+            for &var in path_flow[m][k].iter().take(routes.len()) {
+                terms.push((var, -1.0));
             }
             lp.add_constraint(&terms, Relation::Le, 0.0);
         }
@@ -215,8 +215,7 @@ pub fn build_program_with_slack(
                 }
             }
             for (e, vars) in by_edge {
-                let mut terms: Vec<(VarId, f64)> =
-                    vars.into_iter().map(|v| (v, 1.0)).collect();
+                let mut terms: Vec<(VarId, f64)> = vars.into_iter().map(|v| (v, 1.0)).collect();
                 terms.push((edge_flow[m][&e], -1.0));
                 lp.add_constraint(&terms, Relation::Le, 0.0);
             }
@@ -280,7 +279,11 @@ pub fn build_program_with_slack(
             .map(|(_, &var)| (var, 1.0))
             .collect();
         if !terms.is_empty() {
-            lp.add_constraint(&terms, Relation::Le, topo.source_out_bps(s.source) * RATE_SCALE);
+            lp.add_constraint(
+                &terms,
+                Relation::Le,
+                topo.source_out_bps(s.source) * RATE_SCALE,
+            );
         }
     }
 
@@ -303,11 +306,14 @@ mod tests {
 
     fn tiny() -> (Topology, SessionSpec) {
         let mut b = TopologyBuilder::new();
-        let dc = b.data_center("dc", VnfSpec {
-            bin_bps: 100.0,
-            bout_bps: 100.0,
-            coding_bps: 100.0,
-        });
+        let dc = b.data_center(
+            "dc",
+            VnfSpec {
+                bin_bps: 100.0,
+                bout_bps: 100.0,
+                coding_bps: 100.0,
+            },
+        );
         let s = b.source("s", 50.0);
         let r = b.receiver("r", 200.0);
         b.link(s, dc, 10.0).link(dc, r, 10.0).link(s, r, 100.0);
@@ -353,7 +359,7 @@ mod tests {
         let prog = build_program(
             &topo,
             &[spec.clone()],
-            &[paths.clone()],
+            std::slice::from_ref(&paths),
             &SolveMode::Joint { alpha: 1000.0 },
         );
         let sol = prog.lp.solve().unwrap();

@@ -140,13 +140,7 @@ impl NorthAmerica {
 
     /// Adds a direct source→receiver link (both endpoints colocated with
     /// the given DC indices).
-    pub fn add_direct(
-        &mut self,
-        source: NodeId,
-        src_dc: usize,
-        receiver: NodeId,
-        dst_dc: usize,
-    ) {
+    pub fn add_direct(&mut self, source: NodeId, src_dc: usize, receiver: NodeId, dst_dc: usize) {
         self.add_direct_with_access(source, src_dc, receiver, dst_dc, ACCESS_DELAY_MS);
     }
 
@@ -270,10 +264,10 @@ mod tests {
 
     #[test]
     fn delay_matrix_is_symmetric_with_zero_diagonal() {
-        for i in 0..6 {
-            assert_eq!(DC_DELAYS_MS[i][i], 0.0);
-            for j in 0..6 {
-                assert_eq!(DC_DELAYS_MS[i][j], DC_DELAYS_MS[j][i]);
+        for (i, row) in DC_DELAYS_MS.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &delay) in row.iter().enumerate() {
+                assert_eq!(delay, DC_DELAYS_MS[j][i]);
             }
         }
     }

@@ -389,7 +389,9 @@ impl ScalingController {
     /// Propagates planning failures.
     pub fn session_join(&mut self, spec: SessionSpec, now: f64) -> Result<(), PlanError> {
         let slack = self.residual_slack(None);
-        let paths = self.planner.paths(&self.topo, std::slice::from_ref(&spec))?;
+        let paths = self
+            .planner
+            .paths(&self.topo, std::slice::from_ref(&spec))?;
         let prog = build_program_with_slack(
             &self.topo,
             std::slice::from_ref(&spec),
@@ -412,7 +414,9 @@ impl ScalingController {
             let extra = if frac < 1e-6 { 0 } else { frac.ceil() as u64 };
             *merged.vnfs.entry(v).or_insert(0) += extra;
         }
-        merged.rates.push(relaxed.value(prog.vars.lambda[0]) / RATE_SCALE);
+        merged
+            .rates
+            .push(relaxed.value(prog.vars.lambda[0]) / RATE_SCALE);
         merged.edge_rates.push(
             prog.vars.edge_flow[0]
                 .iter()
@@ -538,7 +542,9 @@ impl ScalingController {
     fn resolve_single_session(&mut self, m: usize, now: f64) -> Result<(), PlanError> {
         let spec = self.sessions[m].clone();
         let slack = self.residual_slack(Some(m));
-        let paths = self.planner.paths(&self.topo, std::slice::from_ref(&spec))?;
+        let paths = self
+            .planner
+            .paths(&self.topo, std::slice::from_ref(&spec))?;
         let prog = build_program_with_slack(
             &self.topo,
             std::slice::from_ref(&spec),
@@ -735,7 +741,10 @@ mod tests {
         // controller must survive with its previous deployment.
         c.tick(120.0).unwrap();
         let after = c.deployment().unwrap().total_rate_bps();
-        assert!((after - before).abs() < 1e-3, "deployment changed: {after} vs {before}");
+        assert!(
+            (after - before).abs() < 1e-3,
+            "deployment changed: {after} vs {before}"
+        );
     }
 
     #[test]

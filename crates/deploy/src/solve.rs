@@ -296,7 +296,11 @@ fn extract(
 
 /// Verifies that a deployment's flows satisfy all capacity constraints —
 /// used by tests as the feasibility oracle for the rounding path.
-pub fn check_feasible(topo: &Topology, sessions: &[SessionSpec], dep: &Deployment) -> Result<(), String> {
+pub fn check_feasible(
+    topo: &Topology,
+    sessions: &[SessionSpec],
+    dep: &Deployment,
+) -> Result<(), String> {
     const TOL: f64 = 1e-3;
     for &v in &topo.data_centers() {
         let spec = topo.vnf_spec(v);

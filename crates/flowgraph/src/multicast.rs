@@ -27,7 +27,11 @@ pub fn coded_capacity(graph: &Graph, source: NodeId, receivers: &[NodeId]) -> f6
         .iter()
         .map(|&r| dinic(graph, source, r).value)
         .fold(f64::INFINITY, f64::min)
-        .min(if receivers.is_empty() { 0.0 } else { f64::INFINITY })
+        .min(if receivers.is_empty() {
+            0.0
+        } else {
+            f64::INFINITY
+        })
 }
 
 /// A directed Steiner tree (arborescence rooted at the source, reaching
@@ -143,9 +147,8 @@ fn prune(graph: &Graph, edges: &[EdgeId], receivers: &[NodeId]) -> Vec<EdgeId> {
         let before = kept.len();
         kept.retain(|&e| {
             let head = graph.edge(e).to;
-            tails.contains(&head.0)
-                || receivers.contains(&head)
-                || !heads.contains(&head.0) // defensive; head is in heads by construction
+            tails.contains(&head.0) || receivers.contains(&head) || !heads.contains(&head.0)
+            // defensive; head is in heads by construction
         });
         if kept.len() == before {
             break;

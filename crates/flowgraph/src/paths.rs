@@ -51,13 +51,27 @@ impl PathLimits {
 /// # Panics
 ///
 /// Panics if `from` or `to` is out of range.
-pub fn feasible_paths(graph: &Graph, from: NodeId, to: NodeId, limits: &PathLimits) -> Vec<PathRoute> {
+pub fn feasible_paths(
+    graph: &Graph,
+    from: NodeId,
+    to: NodeId,
+    limits: &PathLimits,
+) -> Vec<PathRoute> {
     assert!(from.0 < graph.node_count() && to.0 < graph.node_count());
     let mut out = Vec::new();
     let mut on_path = vec![false; graph.node_count()];
     on_path[from.0] = true;
     let mut stack = Vec::new();
-    dfs(graph, from, to, limits, &mut on_path, &mut stack, 0.0, &mut out);
+    dfs(
+        graph,
+        from,
+        to,
+        limits,
+        &mut on_path,
+        &mut stack,
+        0.0,
+        &mut out,
+    );
     out.sort_by(|a, b| a.delay.partial_cmp(&b.delay).expect("delays are finite"));
     out.truncate(limits.max_paths);
     out

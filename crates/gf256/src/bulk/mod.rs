@@ -1,0 +1,420 @@
+//! Bulk slice kernels over GF(2^8), with runtime-dispatched tiers.
+//!
+//! The RLNC hot path multiplies whole packet payloads (≈1460 bytes) by a
+//! single coefficient and accumulates them: `dst[i] ^= c * src[i]`. Three
+//! kernel implementations cover the hardware spectrum:
+//!
+//! * [`KernelTier::Scalar`] — one 256-entry product-table lookup plus one
+//!   XOR per byte. Portable baseline; works everywhere.
+//! * [`KernelTier::Swar`] — branchless Russian-peasant bit ladder over
+//!   `u64` words (8 bytes per lane, four lanes per step). Safe Rust whose
+//!   straight-line shift/XOR structure LLVM auto-vectorizes.
+//! * [`KernelTier::Ssse3`] / [`KernelTier::Avx2`] — explicit x86_64
+//!   `pshufb` kernels using 16-entry low/high-nibble product tables,
+//!   16 (SSSE3) or 32 (AVX2) bytes per shuffle pair.
+//!
+//! The fastest tier the CPU supports is selected once per process (see
+//! [`kernel_tier`]); every public entry point below then routes through it.
+//! Set `NCVNF_GF256_KERNEL=scalar|swar|ssse3|avx2` before first use to pin
+//! a specific tier (benchmarking, differential testing); forcing a tier
+//! the CPU cannot run panics rather than silently falling back.
+//!
+//! All functions interpret `&[u8]` as a vector of GF(2^8) elements.
+
+use std::sync::OnceLock;
+
+mod scalar;
+mod swar;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+/// One bulk-kernel implementation level.
+///
+/// Tiers are ordered slowest-first, so `max`-style comparisons pick the
+/// better kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelTier {
+    /// Per-byte 256-entry product-table lookups (portable baseline).
+    Scalar,
+    /// SWAR bit ladder over `u64` words (safe Rust, auto-vectorizable).
+    Swar,
+    /// x86_64 SSSE3 `pshufb` nibble-table kernel (16 bytes per step).
+    Ssse3,
+    /// x86_64 AVX2 `vpshufb` nibble-table kernel (32 bytes per step).
+    Avx2,
+}
+
+impl KernelTier {
+    /// Stable lower-case name (matches the `NCVNF_GF256_KERNEL` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Swar => "swar",
+            KernelTier::Ssse3 => "ssse3",
+            KernelTier::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a `NCVNF_GF256_KERNEL` value.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "scalar" => Some(KernelTier::Scalar),
+            "swar" => Some(KernelTier::Swar),
+            "ssse3" => Some(KernelTier::Ssse3),
+            "avx2" => Some(KernelTier::Avx2),
+            _ => None,
+        }
+    }
+
+    /// True when the running CPU can execute this tier.
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelTier::Scalar | KernelTier::Swar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Ssse3 => std::arch::is_x86_feature_detected!("ssse3"),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// `dst[i] = c * src[i]` using this tier specifically, bypassing the
+    /// process-wide dispatch (differential tests, per-tier benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice length mismatch or if the tier is unsupported here.
+    pub fn mul_slice(self, dst: &mut [u8], src: &[u8], c: u8) {
+        assert_eq!(dst.len(), src.len(), "slice length mismatch");
+        match c {
+            0 => dst.fill(0),
+            1 => dst.copy_from_slice(src),
+            _ => self.ops().mul.call_mul(dst, src, c),
+        }
+    }
+
+    /// `dst[i] ^= c * src[i]` using this tier specifically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice length mismatch or if the tier is unsupported here.
+    pub fn mul_add_slice(self, dst: &mut [u8], src: &[u8], c: u8) {
+        assert_eq!(dst.len(), src.len(), "slice length mismatch");
+        match c {
+            0 => {}
+            1 => add_slice(dst, src),
+            _ => self.ops().mul_add.call_mul(dst, src, c),
+        }
+    }
+
+    /// `dst[i] = c * dst[i]` using this tier specifically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tier is unsupported on this CPU.
+    pub fn scale_slice(self, dst: &mut [u8], c: u8) {
+        match c {
+            0 => dst.fill(0),
+            1 => {}
+            _ => self.ops().scale.call_scale(dst, c),
+        }
+    }
+
+    fn ops(self) -> &'static Ops {
+        assert!(
+            self.is_supported(),
+            "GF(2^8) kernel tier `{}` is not supported on this CPU",
+            self.name()
+        );
+        match self {
+            KernelTier::Scalar => &SCALAR_OPS,
+            KernelTier::Swar => &SWAR_OPS,
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Ssse3 => &x86::SSSE3_OPS,
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => &x86::AVX2_OPS,
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("unsupported tiers rejected above"),
+        }
+    }
+}
+
+/// Function-pointer slot: `dst[..] op= c * src[..]` with `c >= 2`.
+#[derive(Clone, Copy)]
+pub(crate) struct MulFn(pub(crate) fn(&mut [u8], &[u8], u8));
+
+/// Function-pointer slot: `dst[..] = c * dst[..]` with `c >= 2`.
+#[derive(Clone, Copy)]
+pub(crate) struct ScaleFn(pub(crate) fn(&mut [u8], u8));
+
+impl MulFn {
+    #[inline]
+    fn call_mul(self, dst: &mut [u8], src: &[u8], c: u8) {
+        (self.0)(dst, src, c)
+    }
+}
+
+impl ScaleFn {
+    #[inline]
+    fn call_scale(self, dst: &mut [u8], c: u8) {
+        (self.0)(dst, c)
+    }
+}
+
+/// The three coefficient-dependent entry points of one kernel tier
+/// (`add_slice` is coefficient-free and shared by all tiers).
+pub(crate) struct Ops {
+    pub(crate) mul: MulFn,
+    pub(crate) mul_add: MulFn,
+    pub(crate) scale: ScaleFn,
+}
+
+static SCALAR_OPS: Ops = Ops {
+    mul: MulFn(scalar::mul_slice),
+    mul_add: MulFn(scalar::mul_add_slice),
+    scale: ScaleFn(scalar::scale_slice),
+};
+
+static SWAR_OPS: Ops = Ops {
+    mul: MulFn(swar::mul_slice),
+    mul_add: MulFn(swar::mul_add_slice),
+    scale: ScaleFn(swar::scale_slice),
+};
+
+/// Every tier compiled into this binary, slowest first (the x86 tiers are
+/// listed even when the CPU lacks them — pair with
+/// [`KernelTier::is_supported`]).
+pub fn compiled_tiers() -> &'static [KernelTier] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        &[
+            KernelTier::Scalar,
+            KernelTier::Swar,
+            KernelTier::Ssse3,
+            KernelTier::Avx2,
+        ]
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        &[KernelTier::Scalar, KernelTier::Swar]
+    }
+}
+
+fn select_tier() -> KernelTier {
+    if let Ok(name) = std::env::var("NCVNF_GF256_KERNEL") {
+        let tier = KernelTier::from_name(name.trim()).unwrap_or_else(|| {
+            panic!("NCVNF_GF256_KERNEL={name:?} is not one of scalar|swar|ssse3|avx2")
+        });
+        assert!(
+            tier.is_supported(),
+            "NCVNF_GF256_KERNEL={} forced, but this CPU does not support it",
+            tier.name()
+        );
+        return tier;
+    }
+    *compiled_tiers()
+        .iter()
+        .filter(|t| t.is_supported())
+        .max()
+        .expect("scalar tier is always supported")
+}
+
+/// The tier all dispatched entry points below use, selected once per
+/// process: the `NCVNF_GF256_KERNEL` override if set, otherwise the fastest
+/// supported tier.
+pub fn kernel_tier() -> KernelTier {
+    static ACTIVE: OnceLock<KernelTier> = OnceLock::new();
+    *ACTIVE.get_or_init(select_tier)
+}
+
+#[inline]
+fn active_ops() -> &'static Ops {
+    kernel_tier().ops()
+}
+
+/// `dst[i] ^= src[i]` for all `i` (addition in GF(2^8)).
+///
+/// Addition is carry-free XOR, so one word-wide loop serves every tier
+/// (LLVM vectorizes it to the widest available registers).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_slice(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    let split = dst.len() - dst.len() % 8;
+    let (dst_chunks, dst_tail) = dst.split_at_mut(split);
+    let (src_chunks, src_tail) = src.split_at(split);
+    for (d, s) in dst_chunks
+        .chunks_exact_mut(8)
+        .zip(src_chunks.chunks_exact(8))
+    {
+        let x = u64::from_ne_bytes(d.try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (d, s) in dst_tail.iter_mut().zip(src_tail) {
+        *d ^= *s;
+    }
+}
+
+/// `dst[i] = c * dst[i]` for all `i`.
+pub fn scale_slice(dst: &mut [u8], c: u8) {
+    match c {
+        0 => dst.fill(0),
+        1 => {}
+        _ => active_ops().scale.call_scale(dst, c),
+    }
+}
+
+/// `dst[i] = c * src[i]` for all `i`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    match c {
+        0 => dst.fill(0),
+        1 => dst.copy_from_slice(src),
+        _ => active_ops().mul.call_mul(dst, src, c),
+    }
+}
+
+/// `dst[i] ^= c * src[i]` for all `i` — the RLNC inner loop.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use ncvnf_gf256::bulk::mul_add_slice;
+/// let mut acc = vec![0u8; 4];
+/// mul_add_slice(&mut acc, &[1, 2, 3, 4], 3);
+/// mul_add_slice(&mut acc, &[1, 2, 3, 4], 3);
+/// assert_eq!(acc, vec![0; 4]); // adding twice cancels in GF(2^8)
+/// ```
+pub fn mul_add_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    match c {
+        0 => {}
+        1 => add_slice(dst, src),
+        _ => active_ops().mul_add.call_mul(dst, src, c),
+    }
+}
+
+/// Dot product of a coefficient vector with a matrix of rows:
+/// `out = Σ_i coeffs[i] * rows[i]`.
+///
+/// This is exactly "compute one coded packet from a generation".
+///
+/// # Panics
+///
+/// Panics if `coeffs.len() != rows.len()`, if any row's length differs from
+/// `out.len()`.
+pub fn linear_combine(out: &mut [u8], coeffs: &[u8], rows: &[&[u8]]) {
+    assert_eq!(coeffs.len(), rows.len(), "coefficient/row count mismatch");
+    out.fill(0);
+    for (&c, row) in coeffs.iter().zip(rows) {
+        mul_add_slice(out, row, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf256::Gf256;
+
+    #[test]
+    fn mul_slice_matches_scalar_multiplication() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 0x53, 0xFF] {
+            let mut dst = vec![0u8; 256];
+            mul_slice(&mut dst, &src, c);
+            for (i, &d) in dst.iter().enumerate() {
+                let expect = Gf256::new(c) * Gf256::new(src[i]);
+                assert_eq!(d, expect.value());
+            }
+        }
+    }
+
+    #[test]
+    fn scale_matches_mul() {
+        let src: Vec<u8> = (0..100).map(|i| (i * 7 + 3) as u8).collect();
+        for c in [0u8, 1, 9, 200] {
+            let mut a = src.clone();
+            scale_slice(&mut a, c);
+            let mut b = vec![0u8; src.len()];
+            mul_slice(&mut b, &src, c);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mul_add_is_mul_then_add() {
+        let src: Vec<u8> = (0..64).map(|i| (i * 31) as u8).collect();
+        let base: Vec<u8> = (0..64).map(|i| (i * 13 + 5) as u8).collect();
+        for c in [0u8, 1, 77] {
+            let mut a = base.clone();
+            mul_add_slice(&mut a, &src, c);
+            let mut product = vec![0u8; src.len()];
+            mul_slice(&mut product, &src, c);
+            let mut b = base.clone();
+            add_slice(&mut b, &product);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn linear_combine_two_rows() {
+        let r0 = [1u8, 0, 0];
+        let r1 = [0u8, 1, 0];
+        let mut out = [0u8; 3];
+        linear_combine(&mut out, &[5, 7], &[&r0, &r1]);
+        assert_eq!(out, [5, 7, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut dst = [0u8; 3];
+        mul_add_slice(&mut dst, &[1, 2], 3);
+    }
+
+    #[test]
+    fn every_supported_tier_matches_the_table() {
+        // Exhaustive over (coefficient, byte) for every runnable tier,
+        // at a length that exercises vector body + scalar tail.
+        let src: Vec<u8> = (0..=255u8).cycle().take(259).collect();
+        for &tier in compiled_tiers() {
+            if !tier.is_supported() {
+                continue;
+            }
+            for c in 0..=255u8 {
+                let mut got = vec![0u8; src.len()];
+                tier.mul_slice(&mut got, &src, c);
+                let row_check: Vec<u8> = src
+                    .iter()
+                    .map(|&s| (Gf256::new(c) * Gf256::new(s)).value())
+                    .collect();
+                assert_eq!(got, row_check, "tier {} c={}", tier.name(), c);
+            }
+        }
+    }
+
+    #[test]
+    fn tier_names_round_trip() {
+        for &tier in compiled_tiers() {
+            assert_eq!(KernelTier::from_name(tier.name()), Some(tier));
+        }
+        assert_eq!(KernelTier::from_name("nope"), None);
+    }
+
+    #[test]
+    fn dispatch_picks_a_supported_tier() {
+        assert!(kernel_tier().is_supported());
+    }
+}

@@ -1,0 +1,203 @@
+//! Explicit x86_64 SIMD kernels: GF(2^8) constant multiplication via
+//! `pshufb` nibble-table lookups.
+//!
+//! `c * x` splits over the low/high nibble of each byte:
+//! `c*x = c*(x & 0x0F) ⊕ c*(x >> 4 << 4)`. Both partial products come from
+//! 16-entry tables derived from the full product row, and `pshufb` looks up
+//! 16 (SSE) or 32 (AVX2) lanes per instruction. This is the classic
+//! vectorized Reed-Solomon/RLNC kernel (ISA-L, kodo, klauspost/reedsolomon
+//! all use it).
+//!
+//! Safety: each `#[target_feature]` function is only reachable through the
+//! dispatch table after `is_x86_feature_detected!` confirmed the feature
+//! (see `KernelTier::is_supported`), and all memory access goes through
+//! `loadu`/`storeu` on ranges the safe callers have bounds-checked.
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::*;
+
+use super::Ops;
+use crate::gf256::Gf256;
+
+pub(super) static SSSE3_OPS: Ops = Ops {
+    mul: super::MulFn(mul_slice_ssse3_entry),
+    mul_add: super::MulFn(mul_add_slice_ssse3_entry),
+    scale: super::ScaleFn(scale_slice_ssse3_entry),
+};
+
+pub(super) static AVX2_OPS: Ops = Ops {
+    mul: super::MulFn(mul_slice_avx2_entry),
+    mul_add: super::MulFn(mul_add_slice_avx2_entry),
+    scale: super::ScaleFn(scale_slice_avx2_entry),
+};
+
+/// The two 16-entry partial-product tables for coefficient `c`.
+#[inline]
+fn nibble_tables(c: u8) -> ([u8; 16], [u8; 16]) {
+    let row = Gf256::mul_row(c);
+    let mut lo = [0u8; 16];
+    let mut hi = [0u8; 16];
+    for i in 0..16 {
+        lo[i] = row[i];
+        hi[i] = row[i << 4];
+    }
+    (lo, hi)
+}
+
+// ---------------------------------------------------------------- SSSE3
+
+macro_rules! ssse3_entry {
+    ($entry:ident, $inner:ident) => {
+        fn $entry(dst: &mut [u8], src: &[u8], c: u8) {
+            // SAFETY: this entry is only installed in `SSSE3_OPS`, which the
+            // dispatcher hands out strictly after `is_supported()` returned
+            // true for SSSE3 on this CPU.
+            unsafe { $inner(dst, src, c) }
+        }
+    };
+}
+
+ssse3_entry!(mul_slice_ssse3_entry, mul_slice_ssse3);
+ssse3_entry!(mul_add_slice_ssse3_entry, mul_add_slice_ssse3);
+
+fn scale_slice_ssse3_entry(dst: &mut [u8], c: u8) {
+    // SAFETY: see `ssse3_entry!` — feature presence is established by the
+    // dispatcher before this pointer is reachable.
+    unsafe { scale_slice_ssse3(dst, c) }
+}
+
+/// One 16-lane product: `pshufb(lo_tbl, v & 0xF) ^ pshufb(hi_tbl, v >> 4)`.
+#[inline(always)]
+unsafe fn mul16(v: __m128i, lo_tbl: __m128i, hi_tbl: __m128i, low_mask: __m128i) -> __m128i {
+    let lo = _mm_and_si128(v, low_mask);
+    let hi = _mm_and_si128(_mm_srli_epi64::<4>(v), low_mask);
+    _mm_xor_si128(_mm_shuffle_epi8(lo_tbl, lo), _mm_shuffle_epi8(hi_tbl, hi))
+}
+
+macro_rules! ssse3_kernel {
+    ($name:ident, $tail:ident, |$acc:ident, $prod:ident| $combine:expr) => {
+        #[target_feature(enable = "ssse3")]
+        unsafe fn $name(dst: &mut [u8], src: &[u8], c: u8) {
+            let (lo, hi) = nibble_tables(c);
+            let lo_tbl = _mm_loadu_si128(lo.as_ptr().cast());
+            let hi_tbl = _mm_loadu_si128(hi.as_ptr().cast());
+            let low_mask = _mm_set1_epi8(0x0F);
+            let split = dst.len() - dst.len() % 16;
+            let (dst_body, dst_tail) = dst.split_at_mut(split);
+            let (src_body, src_tail) = src.split_at(split);
+            for (d, s) in dst_body.chunks_exact_mut(16).zip(src_body.chunks_exact(16)) {
+                let $prod = mul16(_mm_loadu_si128(s.as_ptr().cast()), lo_tbl, hi_tbl, low_mask);
+                let $acc = _mm_loadu_si128(d.as_ptr().cast());
+                _mm_storeu_si128(d.as_mut_ptr().cast(), $combine);
+            }
+            super::scalar::$tail(dst_tail, src_tail, c);
+        }
+    };
+}
+
+ssse3_kernel!(mul_slice_ssse3, mul_slice, |_acc, prod| prod);
+ssse3_kernel!(mul_add_slice_ssse3, mul_add_slice, |acc, prod| {
+    _mm_xor_si128(acc, prod)
+});
+
+#[target_feature(enable = "ssse3")]
+unsafe fn scale_slice_ssse3(dst: &mut [u8], c: u8) {
+    let (lo, hi) = nibble_tables(c);
+    let lo_tbl = _mm_loadu_si128(lo.as_ptr().cast());
+    let hi_tbl = _mm_loadu_si128(hi.as_ptr().cast());
+    let low_mask = _mm_set1_epi8(0x0F);
+    let split = dst.len() - dst.len() % 16;
+    let (body, tail) = dst.split_at_mut(split);
+    for d in body.chunks_exact_mut(16) {
+        let prod = mul16(_mm_loadu_si128(d.as_ptr().cast()), lo_tbl, hi_tbl, low_mask);
+        _mm_storeu_si128(d.as_mut_ptr().cast(), prod);
+    }
+    super::scalar::scale_slice(tail, c);
+}
+
+// ----------------------------------------------------------------- AVX2
+
+macro_rules! avx2_entry {
+    ($entry:ident, $inner:ident) => {
+        fn $entry(dst: &mut [u8], src: &[u8], c: u8) {
+            // SAFETY: this entry is only installed in `AVX2_OPS`, which the
+            // dispatcher hands out strictly after `is_supported()` returned
+            // true for AVX2 on this CPU.
+            unsafe { $inner(dst, src, c) }
+        }
+    };
+}
+
+avx2_entry!(mul_slice_avx2_entry, mul_slice_avx2);
+avx2_entry!(mul_add_slice_avx2_entry, mul_add_slice_avx2);
+
+fn scale_slice_avx2_entry(dst: &mut [u8], c: u8) {
+    // SAFETY: see `avx2_entry!` — feature presence is established by the
+    // dispatcher before this pointer is reachable.
+    unsafe { scale_slice_avx2(dst, c) }
+}
+
+/// One 32-lane product via `vpshufb` on broadcast nibble tables.
+#[inline(always)]
+unsafe fn mul32(v: __m256i, lo_tbl: __m256i, hi_tbl: __m256i, low_mask: __m256i) -> __m256i {
+    let lo = _mm256_and_si256(v, low_mask);
+    let hi = _mm256_and_si256(_mm256_srli_epi64::<4>(v), low_mask);
+    _mm256_xor_si256(
+        _mm256_shuffle_epi8(lo_tbl, lo),
+        _mm256_shuffle_epi8(hi_tbl, hi),
+    )
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn broadcast_tables(c: u8) -> (__m256i, __m256i, __m256i) {
+    let (lo, hi) = nibble_tables(c);
+    let lo_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
+    let hi_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
+    (lo_tbl, hi_tbl, _mm256_set1_epi8(0x0F))
+}
+
+macro_rules! avx2_kernel {
+    ($name:ident, $tail:ident, |$acc:ident, $prod:ident| $combine:expr) => {
+        #[target_feature(enable = "avx2")]
+        unsafe fn $name(dst: &mut [u8], src: &[u8], c: u8) {
+            let (lo_tbl, hi_tbl, low_mask) = broadcast_tables(c);
+            let split = dst.len() - dst.len() % 32;
+            let (dst_body, dst_tail) = dst.split_at_mut(split);
+            let (src_body, src_tail) = src.split_at(split);
+            for (d, s) in dst_body.chunks_exact_mut(32).zip(src_body.chunks_exact(32)) {
+                let $prod = mul32(
+                    _mm256_loadu_si256(s.as_ptr().cast()),
+                    lo_tbl,
+                    hi_tbl,
+                    low_mask,
+                );
+                let $acc = _mm256_loadu_si256(d.as_ptr().cast());
+                _mm256_storeu_si256(d.as_mut_ptr().cast(), $combine);
+            }
+            super::scalar::$tail(dst_tail, src_tail, c);
+        }
+    };
+}
+
+avx2_kernel!(mul_slice_avx2, mul_slice, |_acc, prod| prod);
+avx2_kernel!(mul_add_slice_avx2, mul_add_slice, |acc, prod| {
+    _mm256_xor_si256(acc, prod)
+});
+
+#[target_feature(enable = "avx2")]
+unsafe fn scale_slice_avx2(dst: &mut [u8], c: u8) {
+    let (lo_tbl, hi_tbl, low_mask) = broadcast_tables(c);
+    let split = dst.len() - dst.len() % 32;
+    let (body, tail) = dst.split_at_mut(split);
+    for d in body.chunks_exact_mut(32) {
+        let prod = mul32(
+            _mm256_loadu_si256(d.as_ptr().cast()),
+            lo_tbl,
+            hi_tbl,
+            low_mask,
+        );
+        _mm256_storeu_si256(d.as_mut_ptr().cast(), prod);
+    }
+    super::scalar::scale_slice(tail, c);
+}

@@ -211,7 +211,7 @@ mod tests {
         let mut x = g;
         for _ in 1..255 {
             assert_ne!(x, Gf256::ONE);
-            x = x * g;
+            x *= g;
         }
         assert_eq!(x, Gf256::ONE);
     }

@@ -22,15 +22,13 @@ fn tables() -> &'static Tables {
         let mut exp = vec![0u16; 2 * 65535];
         let mut log = vec![0u32; 65536];
         let mut x = 1u64;
-        for i in 0..65535 {
-            exp[i] = x as u16;
+        for (i, e) in exp.iter_mut().enumerate().take(65535) {
+            *e = x as u16;
             log[x as usize] = i as u32;
             x = poly_mul_mod(x, GENERATOR, POLY);
         }
         assert_eq!(x, 1, "generator order must be 65535");
-        for i in 65535..2 * 65535 {
-            exp[i] = exp[i - 65535];
-        }
+        exp.copy_within(0..65535, 65535);
         Tables { exp, log }
     })
 }

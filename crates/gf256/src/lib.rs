@@ -13,7 +13,8 @@
 //!   field-size ablation benches;
 //! * the [`Field`] trait abstracting over all of them;
 //! * [`bulk`] — slice kernels (`mul_slice`, `mul_add_slice`, ...) used by the
-//!   encoder/decoder/recoder inner loops;
+//!   encoder/decoder/recoder inner loops, with runtime-dispatched
+//!   scalar/SWAR/SSSE3/AVX2 tiers (see [`bulk::KernelTier`]);
 //! * [`Matrix`] — a dense matrix over any [`Field`] with Gaussian
 //!   elimination, rank and inversion, used by the RLNC decoder and by tests.
 //!
@@ -30,7 +31,9 @@
 //! assert_eq!(a + a, Gf256::ZERO); // characteristic 2
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the explicit x86_64 SIMD kernels in
+// `bulk::x86` opt back in locally; everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bulk;

@@ -1,0 +1,34 @@
+//! `NCVNF_GF256_KERNEL` pins the process-wide dispatch tier.
+//!
+//! This lives in its own test binary with a single `#[test]`: the tier is
+//! resolved once per process (`OnceLock`), so the environment variable
+//! must be set before anything else in the process touches `bulk`.
+
+use ncvnf_gf256::{bulk, Gf256};
+
+#[test]
+fn env_var_pins_the_dispatch_tier() {
+    // SWAR is compiled and supported on every target, so forcing it is
+    // always legal — and on x86_64 it differs from the auto-picked tier.
+    std::env::set_var("NCVNF_GF256_KERNEL", "swar");
+
+    assert_eq!(bulk::kernel_tier(), bulk::KernelTier::Swar);
+
+    // The dispatched entry points now run on the pinned tier and must
+    // still match the scalar field arithmetic.
+    let c = 0x9Du8;
+    let src: Vec<u8> = (0..1461u32)
+        .map(|i| (i.wrapping_mul(7) >> 2) as u8)
+        .collect();
+    let mut dst = vec![0u8; src.len()];
+    bulk::mul_slice(&mut dst, &src, c);
+    for (&d, &s) in dst.iter().zip(&src) {
+        assert_eq!(d, (Gf256::new(c) * Gf256::new(s)).value());
+    }
+
+    let mut acc = vec![0xA5u8; src.len()];
+    bulk::mul_add_slice(&mut acc, &src, c);
+    for ((&a, &d), _) in acc.iter().zip(&dst).zip(&src) {
+        assert_eq!(a, 0xA5 ^ d);
+    }
+}

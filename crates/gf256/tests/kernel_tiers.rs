@@ -1,0 +1,160 @@
+//! Differential tests for the bulk-kernel tiers.
+//!
+//! Every compiled tier the CPU supports must agree, byte for byte, with a
+//! reference computed from the scalar `Gf256` field API — for every
+//! coefficient, for lengths that straddle each kernel's vector width, and
+//! for slices that do not start on an aligned address.
+
+use ncvnf_gf256::{bulk, Gf256};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lengths that stress kernel edge handling: empty, below/at/past the
+/// 8-byte SWAR word, the 16-byte SSSE3 and 32-byte AVX2 shuffle widths,
+/// and the paper's 1460-byte MTU payload plus one.
+const EDGE_LENGTHS: &[usize] = &[0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 1460, 1461];
+
+fn supported_tiers() -> Vec<bulk::KernelTier> {
+    bulk::compiled_tiers()
+        .iter()
+        .copied()
+        .filter(|t| t.is_supported())
+        .collect()
+}
+
+/// `c * src[i]` computed one byte at a time through the field API, with
+/// no shared code or tables with the bulk kernels' fast paths.
+fn reference_mul(src: &[u8], c: u8) -> Vec<u8> {
+    src.iter()
+        .map(|&s| (Gf256::new(c) * Gf256::new(s)).value())
+        .collect()
+}
+
+fn check_all_ops(tier: bulk::KernelTier, dst0: &[u8], src: &[u8], c: u8, label: &str) {
+    let product = reference_mul(src, c);
+    let accumulated: Vec<u8> = dst0.iter().zip(&product).map(|(&d, &p)| d ^ p).collect();
+
+    let mut dst = dst0.to_vec();
+    tier.mul_slice(&mut dst, src, c);
+    assert_eq!(dst, product, "mul_slice {label} tier={} c={c}", tier.name());
+
+    let mut dst = dst0.to_vec();
+    tier.mul_add_slice(&mut dst, src, c);
+    assert_eq!(
+        dst,
+        accumulated,
+        "mul_add_slice {label} tier={} c={c}",
+        tier.name()
+    );
+
+    let mut dst = src.to_vec();
+    tier.scale_slice(&mut dst, c);
+    assert_eq!(
+        dst,
+        product,
+        "scale_slice {label} tier={} c={c}",
+        tier.name()
+    );
+}
+
+/// Every tier × every coefficient × every edge length.
+#[test]
+fn every_tier_matches_field_reference_for_all_coefficients() {
+    let mut rng = StdRng::seed_from_u64(0x7135_0001);
+    for &len in EDGE_LENGTHS {
+        let mut src = vec![0u8; len];
+        let mut dst0 = vec![0u8; len];
+        rng.fill(&mut src[..]);
+        rng.fill(&mut dst0[..]);
+        for c in 0..=255u8 {
+            for tier in supported_tiers() {
+                check_all_ops(tier, &dst0, &src, c, &format!("len={len}"));
+            }
+        }
+    }
+}
+
+/// Slices that start 1..8 bytes past an allocation boundary, so the SIMD
+/// tiers cannot assume 16/32-byte alignment of either operand.
+#[test]
+fn every_tier_matches_on_unaligned_slices() {
+    let mut rng = StdRng::seed_from_u64(0x7135_0002);
+    let len = 1461;
+    for offset in 1..8usize {
+        let mut src_buf = vec![0u8; len + offset];
+        let mut dst_buf = vec![0u8; len + offset];
+        rng.fill(&mut src_buf[..]);
+        rng.fill(&mut dst_buf[..]);
+        let src = &src_buf[offset..];
+        let dst0 = &dst_buf[offset..];
+        for &c in &[0u8, 1, 2, 0x53, 0x8E, 0xFF] {
+            for tier in supported_tiers() {
+                check_all_ops(tier, dst0, src, c, &format!("offset={offset}"));
+            }
+        }
+    }
+}
+
+/// The process-wide dispatched entry points agree with the field too
+/// (whatever tier dispatch picked on this machine).
+#[test]
+fn dispatched_entry_points_match_field_reference() {
+    let mut rng = StdRng::seed_from_u64(0x7135_0003);
+    let len = 1460;
+    let mut src = vec![0u8; len];
+    let mut dst0 = vec![0u8; len];
+    rng.fill(&mut src[..]);
+    rng.fill(&mut dst0[..]);
+    for &c in &[0u8, 1, 0x35, 0xC7] {
+        let product = reference_mul(&src, c);
+
+        let mut dst = dst0.clone();
+        bulk::mul_slice(&mut dst, &src, c);
+        assert_eq!(dst, product);
+
+        let mut dst = dst0.clone();
+        bulk::mul_add_slice(&mut dst, &src, c);
+        let accumulated: Vec<u8> = dst0.iter().zip(&product).map(|(&d, &p)| d ^ p).collect();
+        assert_eq!(dst, accumulated);
+
+        let mut dst = src.clone();
+        bulk::scale_slice(&mut dst, c);
+        assert_eq!(dst, product);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random data, random coefficient, random length and start offset:
+    /// all tiers agree with the field reference.
+    #[test]
+    fn tiers_agree_on_random_slices(
+        data in prop::collection::vec(any::<u8>(), 0..1600usize),
+        c in any::<u8>(),
+        offset in 0usize..8,
+    ) {
+        let offset = offset.min(data.len());
+        let src = &data[offset..];
+        // Deterministic second operand so `mul_add` sees a non-trivial dst.
+        let dst0: Vec<u8> = src.iter().map(|b| b.wrapping_mul(31).wrapping_add(7)).collect();
+        let product = reference_mul(src, c);
+        let accumulated: Vec<u8> =
+            dst0.iter().zip(&product).map(|(&d, &p)| d ^ p).collect();
+
+        for tier in supported_tiers() {
+            let mut dst = dst0.clone();
+            tier.mul_slice(&mut dst, src, c);
+            prop_assert_eq!(&dst, &product);
+
+            let mut dst = dst0.clone();
+            tier.mul_add_slice(&mut dst, src, c);
+            prop_assert_eq!(&dst, &accumulated);
+
+            let mut dst = src.to_vec();
+            tier.scale_slice(&mut dst, c);
+            prop_assert_eq!(&dst, &product);
+        }
+    }
+}

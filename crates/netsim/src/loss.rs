@@ -13,9 +13,10 @@ use rand::Rng;
 
 /// A per-link loss process. Each call to [`LossModel::drops`] consumes one
 /// packet event and returns whether that packet is lost.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum LossModel {
     /// No loss.
+    #[default]
     None,
     /// Independent loss with fixed probability per packet.
     Uniform {
@@ -156,12 +157,6 @@ impl LossModel {
     }
 }
 
-impl Default for LossModel {
-    fn default() -> Self {
-        LossModel::None
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,8 +215,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let seq: Vec<bool> = (0..300_000).map(|_| m.drops(&mut rng)).collect();
         let rate = seq.iter().filter(|&&l| l).count() as f64 / seq.len() as f64;
-        let pairs = seq.windows(2).filter(|w| w[0] && w[1]).count() as f64
-            / (seq.len() - 1) as f64;
+        let pairs = seq.windows(2).filter(|w| w[0] && w[1]).count() as f64 / (seq.len() - 1) as f64;
         assert!(
             pairs > rate * rate * 2.0,
             "no burstiness: rate {rate}, pair rate {pairs}"

@@ -227,7 +227,11 @@ mod tests {
             ),
         );
         let dst = sim.add_node("dst", CountingSink::counting_only());
-        sim.add_link(src, dst, LinkConfig::new(100e6, SimDuration::from_millis(5)));
+        sim.add_link(
+            src,
+            dst,
+            LinkConfig::new(100e6, SimDuration::from_millis(5)),
+        );
         sim.run_until(SimTime::from_secs(3));
         let sink = sim.node_as::<CountingSink>(dst).unwrap();
         let wire_bits = (sink.bytes() + sink.packets() * 28) * 8;

@@ -362,7 +362,14 @@ mod tests {
     #[test]
     fn delivery_time_is_serialization_plus_propagation() {
         let mut sim = Simulator::new(1);
-        let a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 1, size: 972 });
+        let a = sim.add_node(
+            "a",
+            Blaster {
+                peer: Addr::new(SimNodeId(1), 1),
+                count: 1,
+                size: 972,
+            },
+        );
         let b = sim.add_node("b", CountingSink::new());
         // 1000 wire bytes at 8 Mbps = 1 ms; delay 5 ms; total 6 ms.
         let l = sim.add_link(a, b, LinkConfig::new(8e6, SimDuration::from_millis(5)));
@@ -378,7 +385,14 @@ mod tests {
     #[test]
     fn bandwidth_paces_back_to_back_packets() {
         let mut sim = Simulator::new(1);
-        let a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 3, size: 972 });
+        let a = sim.add_node(
+            "a",
+            Blaster {
+                peer: Addr::new(SimNodeId(1), 1),
+                count: 3,
+                size: 972,
+            },
+        );
         let b = sim.add_node("b", CountingSink::new());
         sim.add_link(
             a,
@@ -396,7 +410,14 @@ mod tests {
     #[test]
     fn queue_overflow_drops_excess() {
         let mut sim = Simulator::new(1);
-        let a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 100, size: 972 });
+        let a = sim.add_node(
+            "a",
+            Blaster {
+                peer: Addr::new(SimNodeId(1), 1),
+                count: 100,
+                size: 972,
+            },
+        );
         let b = sim.add_node("b", CountingSink::new());
         let l = sim.add_link(
             a,
@@ -412,7 +433,14 @@ mod tests {
     #[test]
     fn no_route_counts_drops() {
         let mut sim = Simulator::new(1);
-        let _a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 2, size: 10 });
+        let _a = sim.add_node(
+            "a",
+            Blaster {
+                peer: Addr::new(SimNodeId(1), 1),
+                count: 2,
+                size: 10,
+            },
+        );
         let _b = sim.add_node("b", CountingSink::new());
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.no_route_drops(), 2);
@@ -438,7 +466,13 @@ mod tests {
             }
         }
         let mut sim = Simulator::new(42);
-        let a = sim.add_node("a", Pacer { peer: Addr::new(SimNodeId(1), 1), remaining: 10_000 });
+        let a = sim.add_node(
+            "a",
+            Pacer {
+                peer: Addr::new(SimNodeId(1), 1),
+                remaining: 10_000,
+            },
+        );
         let b = sim.add_node("b", CountingSink::new());
         let l = sim.add_link(
             a,
@@ -455,7 +489,14 @@ mod tests {
     fn determinism_same_seed_same_result() {
         let run = |seed| {
             let mut sim = Simulator::new(seed);
-            let a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 50, size: 500 });
+            let a = sim.add_node(
+                "a",
+                Blaster {
+                    peer: Addr::new(SimNodeId(1), 1),
+                    count: 50,
+                    size: 500,
+                },
+            );
             let b = sim.add_node("b", CountingSink::new());
             let l = sim.add_link(
                 a,
@@ -475,7 +516,14 @@ mod tests {
         // Replace the trace mid-run (the netem-style shaping used by the
         // Fig. 11 bandwidth cuts) and verify pacing follows it.
         let mut sim = Simulator::new(4);
-        let a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 0, size: 0 });
+        let a = sim.add_node(
+            "a",
+            Blaster {
+                peer: Addr::new(SimNodeId(1), 1),
+                count: 0,
+                size: 0,
+            },
+        );
         let b = sim.add_node("b", CountingSink::new());
         let l = sim.add_link(
             a,
@@ -488,7 +536,14 @@ mod tests {
         trace.add_step(SimTime::from_millis(1), 4e6); // halve
         sim.set_link_bandwidth(l, trace);
         // New blaster node to push packets after the cut.
-        let c = sim.add_node("c", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 1, size: 972 });
+        let c = sim.add_node(
+            "c",
+            Blaster {
+                peer: Addr::new(SimNodeId(1), 1),
+                count: 1,
+                size: 972,
+            },
+        );
         sim.add_link(c, b, LinkConfig::new(4e6, SimDuration::ZERO));
         sim.run_until(SimTime::from_secs(1));
         // 1000 wire bytes at 4 Mbps = 2 ms serialization on c->b.
@@ -501,7 +556,14 @@ mod tests {
     #[test]
     fn jitter_reorders_packets() {
         let mut sim = Simulator::new(3);
-        let a = sim.add_node("a", Blaster { peer: Addr::new(SimNodeId(1), 1), count: 200, size: 100 });
+        let a = sim.add_node(
+            "a",
+            Blaster {
+                peer: Addr::new(SimNodeId(1), 1),
+                count: 200,
+                size: 100,
+            },
+        );
         let b = sim.add_node("b", CountingSink::new());
         sim.add_link(
             a,

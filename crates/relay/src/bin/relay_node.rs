@@ -42,12 +42,11 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
-            "--session" => args.session = value("--session")?.parse().map_err(|e| format!("{e}"))?,
+            "--session" => {
+                args.session = value("--session")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--role" => {
                 args.role = match value("--role")?.as_str() {
                     "encoder" | "recoder" => VnfRoleWire::Encoder,

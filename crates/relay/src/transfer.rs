@@ -58,8 +58,8 @@ pub fn send_object(
 ) -> std::io::Result<u64> {
     assert!(!next_hops.is_empty(), "need at least one next hop");
     let socket = UdpSocket::bind(("127.0.0.1", 0))?;
-    let encoder = ObjectEncoder::new(config.generation, config.session, object)
-        .expect("valid object");
+    let encoder =
+        ObjectEncoder::new(config.generation, config.session, object).expect("valid object");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let per_gen = config
         .redundancy
@@ -113,10 +113,7 @@ impl ObjectReceiver {
     /// # Errors
     ///
     /// Propagates socket errors.
-    pub fn spawn(
-        config: &TransferConfig,
-        generations: u64,
-    ) -> std::io::Result<ObjectReceiver> {
+    pub fn spawn(config: &TransferConfig, generations: u64) -> std::io::Result<ObjectReceiver> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         let addr = socket.local_addr()?;
@@ -151,8 +148,7 @@ impl ObjectReceiver {
                     continue;
                 }
                 packets += 1;
-                if let Ok(ncvnf_rlnc::ReceiveOutcome::Innovative { .. }) = decoder.receive(&pkt)
-                {
+                if let Ok(ncvnf_rlnc::ReceiveOutcome::Innovative { .. }) = decoder.receive(&pkt) {
                     innovative += 1;
                 }
                 if decoder.is_complete() {
@@ -209,8 +205,8 @@ pub fn chain(
     n_relays: usize,
     timeout: Duration,
 ) -> std::io::Result<Option<ReceiverReport>> {
-    let encoder = ObjectEncoder::new(config.generation, config.session, object)
-        .expect("valid object");
+    let encoder =
+        ObjectEncoder::new(config.generation, config.session, object).expect("valid object");
     let receiver = ObjectReceiver::spawn(config, encoder.generations())?;
 
     let mut relays = Vec::new();

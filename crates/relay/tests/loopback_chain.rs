@@ -79,7 +79,9 @@ fn live_forwarding_table_update_acks() {
         table: table.to_text(),
     };
     let t0 = Instant::now();
-    control.send_to(&sig.to_bytes(), relay.control_addr).unwrap();
+    control
+        .send_to(&sig.to_bytes(), relay.control_addr)
+        .unwrap();
     control.recv_from(&mut ack).unwrap();
     let update = t0.elapsed();
     let handle = relay.handle();
@@ -121,12 +123,21 @@ fn decoder_relay_delivers_plain_chunks() {
         generation_size: 4,
         buffer_generations: 64,
     };
-    control.send_to(&settings.to_bytes(), relay.control_addr).unwrap();
+    control
+        .send_to(&settings.to_bytes(), relay.control_addr)
+        .unwrap();
     control.recv_from(&mut ack).unwrap();
     let mut table = ForwardingTable::new();
-    table.set(SessionId::new(2), vec![sink.local_addr().unwrap().to_string()]);
-    let sig = Signal::NcForwardTab { table: table.to_text() };
-    control.send_to(&sig.to_bytes(), relay.control_addr).unwrap();
+    table.set(
+        SessionId::new(2),
+        vec![sink.local_addr().unwrap().to_string()],
+    );
+    let sig = Signal::NcForwardTab {
+        table: table.to_text(),
+    };
+    control
+        .send_to(&sig.to_bytes(), relay.control_addr)
+        .unwrap();
     control.recv_from(&mut ack).unwrap();
 
     // Send coded packets of one generation straight at the decoder.

@@ -36,6 +36,11 @@ pub struct GenerationDecoder {
     payloads: Vec<Vec<u8>>,
     /// `pivot_of_col[c] = Some(row)` if column `c` is a pivot column.
     pivot_of_col: Vec<Option<usize>>,
+    /// Reusable elimination workspace — incoming packets are reduced here
+    /// so redundant packets (the common case past full rank) cost no heap
+    /// allocation.
+    coeff_scratch: Vec<u8>,
+    data_scratch: Vec<u8>,
     /// Count of packets seen (innovative + redundant), for stats.
     packets_seen: u64,
 }
@@ -48,6 +53,8 @@ impl GenerationDecoder {
             coeff_rows: Vec::with_capacity(config.blocks_per_generation()),
             payloads: Vec::with_capacity(config.blocks_per_generation()),
             pivot_of_col: vec![None; config.blocks_per_generation()],
+            coeff_scratch: vec![0u8; config.blocks_per_generation()],
+            data_scratch: vec![0u8; config.block_size()],
             packets_seen: 0,
         }
     }
@@ -102,8 +109,11 @@ impl GenerationDecoder {
             return Ok(ReceiveOutcome::AlreadyComplete);
         }
 
-        let mut coeffs = coefficients.to_vec();
-        let mut data = payload.to_vec();
+        // Reduce into the reusable scratch row: redundant packets never
+        // touch the heap, innovative ones (at most `g` per generation) are
+        // copied out of the scratch when installed.
+        self.coeff_scratch.copy_from_slice(coefficients);
+        self.data_scratch.copy_from_slice(payload);
 
         // Eliminate every pivot column from the incoming row (pivot rows
         // are normalized to 1 at their pivot, so the factor is the entry
@@ -112,16 +122,15 @@ impl GenerationDecoder {
         // keep the matrix fully reduced.
         let mut new_pivot = None;
         for col in 0..g {
-            if coeffs[col] == 0 {
+            if self.coeff_scratch[col] == 0 {
                 continue;
             }
             match self.pivot_of_col[col] {
                 Some(row) => {
-                    let factor = coeffs[col];
-                    let (c, d) = (self.coeff_rows[row].clone(), self.payloads[row].clone());
-                    bulk::mul_add_slice(&mut coeffs, &c, factor);
-                    bulk::mul_add_slice(&mut data, &d, factor);
-                    debug_assert_eq!(coeffs[col], 0);
+                    let factor = self.coeff_scratch[col];
+                    bulk::mul_add_slice(&mut self.coeff_scratch, &self.coeff_rows[row], factor);
+                    bulk::mul_add_slice(&mut self.data_scratch, &self.payloads[row], factor);
+                    debug_assert_eq!(self.coeff_scratch[col], 0);
                 }
                 None => {
                     if new_pivot.is_none() {
@@ -133,27 +142,27 @@ impl GenerationDecoder {
         let Some(col) = new_pivot else {
             return Ok(ReceiveOutcome::Redundant);
         };
-        let inv = Gf256::new(coeffs[col]).inv().value();
-        bulk::scale_slice(&mut coeffs, inv);
-        bulk::scale_slice(&mut data, inv);
-        self.install_row(col, coeffs, data);
+        let inv = Gf256::new(self.coeff_scratch[col]).inv().value();
+        bulk::scale_slice(&mut self.coeff_scratch, inv);
+        bulk::scale_slice(&mut self.data_scratch, inv);
+        self.install_scratch_row(col);
         Ok(ReceiveOutcome::Innovative { rank: self.rank() })
     }
 
-    /// Installs a normalized row with pivot `col`, then back-substitutes it
-    /// out of all existing rows to keep the matrix fully reduced.
-    fn install_row(&mut self, col: usize, coeffs: Vec<u8>, data: Vec<u8>) {
+    /// Installs the normalized scratch row with pivot `col`, then
+    /// back-substitutes it out of all existing rows to keep the matrix
+    /// fully reduced.
+    fn install_scratch_row(&mut self, col: usize) {
         let new_row = self.coeff_rows.len();
         for r in 0..new_row {
             let factor = self.coeff_rows[r][col];
             if factor != 0 {
-                let (c, d) = (coeffs.clone(), data.clone());
-                bulk::mul_add_slice(&mut self.coeff_rows[r], &c, factor);
-                bulk::mul_add_slice(&mut self.payloads[r], &d, factor);
+                bulk::mul_add_slice(&mut self.coeff_rows[r], &self.coeff_scratch, factor);
+                bulk::mul_add_slice(&mut self.payloads[r], &self.data_scratch, factor);
             }
         }
-        self.coeff_rows.push(coeffs);
-        self.payloads.push(data);
+        self.coeff_rows.push(self.coeff_scratch.clone());
+        self.payloads.push(self.data_scratch.clone());
         self.pivot_of_col[col] = Some(new_row);
     }
 

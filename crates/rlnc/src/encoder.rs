@@ -8,6 +8,7 @@ use ncvnf_gf256::bulk;
 use crate::config::GenerationConfig;
 use crate::error::CodecError;
 use crate::header::{CodedPacket, NcHeader, SessionId};
+use crate::pool::PayloadPool;
 
 /// Encodes one generation of source data into coded packets.
 ///
@@ -68,29 +69,69 @@ impl GenerationEncoder {
     /// The coefficient vector is redrawn if it comes out all-zero (an
     /// all-zero combination carries no information), so the packet is
     /// always a nontrivial combination.
+    ///
+    /// Allocates fresh buffers per call; the hot paths use
+    /// [`coded_packet_pooled`](Self::coded_packet_pooled) or
+    /// [`coded_packets_into`](Self::coded_packets_into) instead.
     pub fn coded_packet<R: Rng + ?Sized>(
         &self,
         session: SessionId,
         generation: u64,
         rng: &mut R,
     ) -> CodedPacket {
+        let mut pool = PayloadPool::new();
+        self.coded_packet_pooled(session, generation, rng, &mut pool)
+    }
+
+    /// Like [`coded_packet`](Self::coded_packet), but the coefficient and
+    /// payload buffers come from `pool` — zero heap allocations once the
+    /// pool is warm.
+    pub fn coded_packet_pooled<R: Rng + ?Sized>(
+        &self,
+        session: SessionId,
+        generation: u64,
+        rng: &mut R,
+        pool: &mut PayloadPool,
+    ) -> CodedPacket {
         let g = self.config.blocks_per_generation();
-        let mut coefficients = vec![0u8; g];
+        let mut coefficients = pool.checkout_zeroed(g);
         loop {
             rng.fill(&mut coefficients[..]);
             if coefficients.iter().any(|&c| c != 0) {
                 break;
             }
         }
-        let payload = self.combine(&coefficients);
+        let mut payload = pool.checkout_zeroed(self.config.block_size());
+        self.combine_into(&coefficients, &mut payload);
         CodedPacket::new(
             NcHeader {
                 session,
                 generation,
-                coefficients,
+                coefficients: coefficients.freeze(),
             },
-            Bytes::from(payload),
+            payload.freeze(),
         )
+    }
+
+    /// Batch emit: appends `count` randomly coded packets to `out`, drawing
+    /// all buffers from `pool`.
+    ///
+    /// This is the bulk path the VNF pipeline and the simulators use to
+    /// emit a generation's worth of packets without per-packet allocation
+    /// (`out` should be reused across calls so its capacity amortizes).
+    pub fn coded_packets_into<R: Rng + ?Sized>(
+        &self,
+        session: SessionId,
+        generation: u64,
+        count: usize,
+        rng: &mut R,
+        pool: &mut PayloadPool,
+        out: &mut Vec<CodedPacket>,
+    ) {
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(self.coded_packet_pooled(session, generation, rng, pool));
+        }
     }
 
     /// Emits original block `index` with a unit coefficient vector
@@ -99,7 +140,12 @@ impl GenerationEncoder {
     /// # Panics
     ///
     /// Panics if `index >= blocks_per_generation`.
-    pub fn systematic_packet(&self, session: SessionId, generation: u64, index: usize) -> CodedPacket {
+    pub fn systematic_packet(
+        &self,
+        session: SessionId,
+        generation: u64,
+        index: usize,
+    ) -> CodedPacket {
         assert!(
             index < self.config.blocks_per_generation(),
             "systematic index out of range"
@@ -110,18 +156,19 @@ impl GenerationEncoder {
             NcHeader {
                 session,
                 generation,
-                coefficients,
+                coefficients: Bytes::from(coefficients),
             },
             Bytes::from(self.blocks[index].clone()),
         )
     }
 
-    /// Computes `Σ coefficients[i] * block[i]`.
-    fn combine(&self, coefficients: &[u8]) -> Vec<u8> {
-        let mut out = vec![0u8; self.config.block_size()];
-        let rows: Vec<&[u8]> = self.blocks.iter().map(|b| b.as_slice()).collect();
-        bulk::linear_combine(&mut out, coefficients, &rows);
-        out
+    /// Computes `Σ coefficients[i] * block[i]` into `out` (which must be
+    /// `block_size` long; prior contents are overwritten).
+    fn combine_into(&self, coefficients: &[u8], out: &mut [u8]) {
+        out.fill(0);
+        for (&c, block) in coefficients.iter().zip(self.blocks.iter()) {
+            bulk::mul_add_slice(out, block, c);
+        }
     }
 
     /// Borrow of the padded original blocks (used by tests and the object
@@ -191,6 +238,27 @@ mod tests {
             let pkt = enc.coded_packet(SessionId::new(1), 0, &mut rng);
             assert!(pkt.coefficients().iter().any(|&c| c != 0));
         }
+    }
+
+    #[test]
+    fn pooled_batch_matches_manual_combination_and_recycles() {
+        let data: Vec<u8> = (0..64).collect();
+        let enc = GenerationEncoder::new(cfg(), &data).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut pool = PayloadPool::new();
+        let mut out = Vec::new();
+        enc.coded_packets_into(SessionId::new(2), 1, 8, &mut rng, &mut pool, &mut out);
+        assert_eq!(out.len(), 8);
+        for pkt in &out {
+            let mut expect = vec![0u8; 16];
+            let rows: Vec<&[u8]> = enc.blocks().iter().map(|b| b.as_slice()).collect();
+            bulk::linear_combine(&mut expect, pkt.coefficients(), &rows);
+            assert_eq!(pkt.payload(), expect.as_slice());
+        }
+        for pkt in out.drain(..) {
+            assert_eq!(pool.recycle(pkt), 2);
+        }
+        assert_eq!(pool.idle(), 16);
     }
 
     #[test]

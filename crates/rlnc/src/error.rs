@@ -44,7 +44,10 @@ impl fmt::Display for CodecError {
                 write!(f, "invalid codec configuration: {reason}")
             }
             CodecError::PayloadSize { expected, actual } => {
-                write!(f, "payload size mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "payload size mismatch: expected {expected} bytes, got {actual}"
+                )
             }
             CodecError::CoefficientCount { expected, actual } => {
                 write!(
@@ -83,7 +86,10 @@ impl fmt::Display for HeaderError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HeaderError::Truncated { needed, available } => {
-                write!(f, "truncated NC header: need {needed} bytes, have {available}")
+                write!(
+                    f,
+                    "truncated NC header: need {needed} bytes, have {available}"
+                )
             }
             HeaderError::BadMagic { found } => {
                 write!(f, "not an NC packet: bad magic byte {found:#04x}")

@@ -73,7 +73,12 @@ pub struct NcHeader {
     /// Generation number within the session.
     pub generation: u64,
     /// GF(2^8) encoding coefficients, one per block in the generation.
-    pub coefficients: Vec<u8>,
+    ///
+    /// Stored as [`Bytes`] so cloning a header (and hence forwarding a
+    /// packet to several next hops) bumps a reference count instead of
+    /// copying — and so pooled coefficient buffers can be reclaimed via
+    /// [`Bytes::try_into_mut`].
+    pub coefficients: Bytes,
 }
 
 impl NcHeader {
@@ -123,7 +128,7 @@ impl NcHeader {
         }
         let session = SessionId::new(u16::from_be_bytes([data[2], data[3]]));
         let generation = u32::from_be_bytes([data[4], data[5], data[6], data[7]]) as u64;
-        let coefficients = data[Self::FIXED_LEN..needed].to_vec();
+        let coefficients = Bytes::copy_from_slice(&data[Self::FIXED_LEN..needed]);
         Ok((
             NcHeader {
                 session,
@@ -173,6 +178,12 @@ impl CodedPacket {
         &self.header
     }
 
+    /// Decomposes the packet into its header and payload, e.g. so a
+    /// [`PayloadPool`](crate::PayloadPool) can reclaim the buffers.
+    pub fn into_parts(self) -> (NcHeader, Bytes) {
+        (self.header, self.payload)
+    }
+
     /// Serializes header + payload into a single wire buffer.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.header.encoded_len() + self.payload.len());
@@ -205,7 +216,7 @@ mod tests {
             NcHeader {
                 session: SessionId::new(42),
                 generation: 0xDEAD,
-                coefficients: vec![1, 2, 3, 4],
+                coefficients: Bytes::from(vec![1, 2, 3, 4]),
             },
             Bytes::from_static(b"payload bytes"),
         )

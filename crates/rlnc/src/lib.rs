@@ -47,6 +47,8 @@ mod encoder;
 mod error;
 mod header;
 mod object;
+mod pool;
+mod rank;
 mod recoder;
 mod redundancy;
 pub mod seeded;
@@ -57,6 +59,8 @@ pub use encoder::GenerationEncoder;
 pub use error::{CodecError, HeaderError};
 pub use header::{CodedPacket, NcHeader, SessionId};
 pub use object::{ObjectDecoder, ObjectEncoder};
+pub use pool::PayloadPool;
+pub use rank::RankTracker;
 pub use recoder::Recoder;
 pub use redundancy::RedundancyPolicy;
 

@@ -35,7 +35,11 @@ impl ObjectEncoder {
     /// # Errors
     ///
     /// Returns [`CodecError::PayloadSize`] if `object` is empty.
-    pub fn new(config: GenerationConfig, session: SessionId, object: &[u8]) -> Result<Self, CodecError> {
+    pub fn new(
+        config: GenerationConfig,
+        session: SessionId,
+        object: &[u8],
+    ) -> Result<Self, CodecError> {
         if object.is_empty() {
             return Err(CodecError::PayloadSize {
                 expected: 1,
@@ -105,7 +109,9 @@ impl ObjectDecoder {
     pub fn new(config: GenerationConfig, generations: u64) -> Self {
         ObjectDecoder {
             config,
-            decoders: (0..generations).map(|_| GenerationDecoder::new(config)).collect(),
+            decoders: (0..generations)
+                .map(|_| GenerationDecoder::new(config))
+                .collect(),
             completed: 0,
         }
     }
@@ -182,9 +188,7 @@ impl ObjectDecoder {
     ///
     /// Returns [`CodecError::NotDecoded`] if any generation is incomplete.
     pub fn into_object(self) -> Result<Vec<u8>, CodecError> {
-        let mut framed = Vec::with_capacity(
-            self.decoders.len() * self.config.generation_payload(),
-        );
+        let mut framed = Vec::with_capacity(self.decoders.len() * self.config.generation_payload());
         for d in &self.decoders {
             framed.extend_from_slice(&d.decoded_payload()?);
         }

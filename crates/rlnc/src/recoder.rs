@@ -1,6 +1,5 @@
 //! Pipelined in-network recoder.
 
-use bytes::Bytes;
 use rand::Rng;
 
 use ncvnf_gf256::bulk;
@@ -8,6 +7,7 @@ use ncvnf_gf256::bulk;
 use crate::config::GenerationConfig;
 use crate::error::CodecError;
 use crate::header::{CodedPacket, NcHeader, SessionId};
+use crate::pool::PayloadPool;
 
 /// Recodes coded packets of one generation inside the network.
 ///
@@ -26,6 +26,12 @@ pub struct Recoder {
     /// are retained to bound memory and maximize the innovation of outputs.
     coeff_rows: Vec<Vec<u8>>,
     payloads: Vec<Vec<u8>>,
+    /// Reusable elimination workspace — incoming packets are reduced here
+    /// so the per-packet path performs no heap allocation.
+    coeff_scratch: Vec<u8>,
+    data_scratch: Vec<u8>,
+    /// Reusable local mixing weights for [`recode_into`](Self::recode_into).
+    weights_scratch: Vec<u8>,
     packets_in: u64,
     packets_out: u64,
 }
@@ -39,6 +45,9 @@ impl Recoder {
             generation,
             coeff_rows: Vec::with_capacity(config.blocks_per_generation()),
             payloads: Vec::with_capacity(config.blocks_per_generation()),
+            coeff_scratch: vec![0u8; config.blocks_per_generation()],
+            data_scratch: vec![0u8; config.block_size()],
+            weights_scratch: Vec::with_capacity(config.blocks_per_generation()),
             packets_in: 0,
             packets_out: 0,
         }
@@ -94,24 +103,25 @@ impl Recoder {
         if self.rank() == g {
             return Ok(false);
         }
-        // Gaussian elimination against the buffer to test innovation.
-        let mut coeffs = coefficients.to_vec();
-        let mut data = payload.to_vec();
+        // Gaussian elimination against the buffer to test innovation. Runs
+        // in the reusable scratch rows; only an innovative packet (at most
+        // `g` per generation) is copied out of them into the buffer.
+        self.coeff_scratch.copy_from_slice(coefficients);
+        self.data_scratch.copy_from_slice(payload);
         for row in 0..self.coeff_rows.len() {
             let lead = leading_index(&self.coeff_rows[row]).expect("buffered rows are nonzero");
-            if coeffs[lead] != 0 {
-                let factor = mul_div(coeffs[lead], self.coeff_rows[row][lead]);
-                let (c, d) = (self.coeff_rows[row].clone(), self.payloads[row].clone());
-                bulk::mul_add_slice(&mut coeffs, &c, factor);
-                bulk::mul_add_slice(&mut data, &d, factor);
+            if self.coeff_scratch[lead] != 0 {
+                let factor = mul_div(self.coeff_scratch[lead], self.coeff_rows[row][lead]);
+                bulk::mul_add_slice(&mut self.coeff_scratch, &self.coeff_rows[row], factor);
+                bulk::mul_add_slice(&mut self.data_scratch, &self.payloads[row], factor);
             }
         }
-        if coeffs.iter().all(|&c| c == 0) {
+        if self.coeff_scratch.iter().all(|&c| c == 0) {
             return Ok(false);
         }
         // Keep rows sorted by leading index so elimination stays triangular.
-        self.coeff_rows.push(coeffs);
-        self.payloads.push(data);
+        self.coeff_rows.push(self.coeff_scratch.clone());
+        self.payloads.push(self.data_scratch.clone());
         let mut i = self.coeff_rows.len() - 1;
         while i > 0 && leading_index(&self.coeff_rows[i]) < leading_index(&self.coeff_rows[i - 1]) {
             self.coeff_rows.swap(i, i - 1);
@@ -147,25 +157,45 @@ impl Recoder {
 
     /// Emits a fresh random combination of the buffered packets.
     ///
+    /// Allocates fresh buffers per call; the hot path is
+    /// [`recode_into`](Self::recode_into).
+    ///
     /// # Errors
     ///
     /// Returns [`CodecError::EmptyRecoder`] if nothing has been buffered.
     pub fn recode<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<CodedPacket, CodecError> {
+        let mut pool = PayloadPool::new();
+        self.recode_into(rng, &mut pool)
+    }
+
+    /// Like [`recode`](Self::recode), but the output coefficient and
+    /// payload buffers come from `pool`: with a warm pool (packets recycled
+    /// back after forwarding) the steady state performs zero heap
+    /// allocations per emitted packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::EmptyRecoder`] if nothing has been buffered.
+    pub fn recode_into<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        pool: &mut PayloadPool,
+    ) -> Result<CodedPacket, CodecError> {
         if self.coeff_rows.is_empty() {
             return Err(CodecError::EmptyRecoder);
         }
         let g = self.config.blocks_per_generation();
         // Draw local mixing weights; make sure at least one is nonzero.
-        let mut weights = vec![0u8; self.coeff_rows.len()];
+        self.weights_scratch.resize(self.coeff_rows.len(), 0);
         loop {
-            rng.fill(&mut weights[..]);
-            if weights.iter().any(|&w| w != 0) {
+            rng.fill(&mut self.weights_scratch[..]);
+            if self.weights_scratch.iter().any(|&w| w != 0) {
                 break;
             }
         }
-        let mut coefficients = vec![0u8; g];
-        let mut payload = vec![0u8; self.config.block_size()];
-        for (i, &w) in weights.iter().enumerate() {
+        let mut coefficients = pool.checkout_zeroed(g);
+        let mut payload = pool.checkout_zeroed(self.config.block_size());
+        for (i, &w) in self.weights_scratch.iter().enumerate() {
             bulk::mul_add_slice(&mut coefficients, &self.coeff_rows[i], w);
             bulk::mul_add_slice(&mut payload, &self.payloads[i], w);
         }
@@ -174,9 +204,9 @@ impl Recoder {
             NcHeader {
                 session: self.session,
                 generation: self.generation,
-                coefficients,
+                coefficients: coefficients.freeze(),
             },
-            Bytes::from(payload),
+            payload.freeze(),
         ))
     }
 }

@@ -1,0 +1,118 @@
+//! The batch encode and recode paths are allocation-free at steady state.
+//!
+//! A counting global allocator wraps `System`; after a warm-up phase that
+//! fills the [`PayloadPool`] and grows every scratch buffer to its final
+//! capacity, checkout → code → freeze → recycle cycles must touch the
+//! heap exactly zero times. This binary holds a single `#[test]` so no
+//! concurrent test thread can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ncvnf_rlnc::{GenerationConfig, GenerationEncoder, PayloadPool, Recoder, SessionId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct CountingAlloc;
+
+static HEAP_OPS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        HEAP_OPS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        HEAP_OPS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Number of heap allocations (incl. reallocations) performed by `work`.
+fn heap_ops_during(mut work: impl FnMut()) -> u64 {
+    let before = HEAP_OPS.load(Ordering::SeqCst);
+    work();
+    HEAP_OPS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn warm_encode_and_recode_paths_do_not_allocate() {
+    const BLOCK: usize = 256;
+    const G: usize = 8;
+    const BATCH: usize = 4;
+
+    let config = GenerationConfig::new(BLOCK, G).expect("valid layout");
+    let mut rng = StdRng::seed_from_u64(0xA110_C001);
+    let mut data = vec![0u8; config.generation_payload()];
+    rng.fill(&mut data[..]);
+    let encoder = GenerationEncoder::new(config, &data).expect("valid generation");
+    let session = SessionId::new(42);
+
+    let mut pool = PayloadPool::new();
+    let mut out = Vec::with_capacity(BATCH);
+
+    // Warm-up: the pool fills with coefficient- and payload-sized buffers
+    // and the checkout order is LIFO, so after a few cycles every buffer
+    // settles into a fixed role with its final capacity.
+    for _ in 0..16 {
+        encoder.coded_packets_into(session, 0, BATCH, &mut rng, &mut pool, &mut out);
+        for pkt in out.drain(..) {
+            pool.recycle(pkt);
+        }
+    }
+    let idle_before = pool.idle();
+
+    let encode_allocs = heap_ops_during(|| {
+        for _ in 0..64 {
+            encoder.coded_packets_into(session, 0, BATCH, &mut rng, &mut pool, &mut out);
+            for pkt in out.drain(..) {
+                pool.recycle(pkt);
+            }
+        }
+    });
+    assert_eq!(
+        encode_allocs, 0,
+        "warm batch encode must not touch the heap (256 packets coded)"
+    );
+    assert_eq!(
+        pool.idle(),
+        idle_before,
+        "every buffer returned to the pool"
+    );
+
+    // Recode at full rank: the relay steady state.
+    let mut recoder = Recoder::new(config, session, 0);
+    while recoder.rank() < G {
+        let pkt = encoder.coded_packet(session, 0, &mut rng);
+        recoder
+            .absorb(pkt.coefficients(), pkt.payload())
+            .expect("layout matches");
+    }
+    for _ in 0..16 {
+        let pkt = recoder
+            .recode_into(&mut rng, &mut pool)
+            .expect("recoder is non-empty");
+        pool.recycle(pkt);
+    }
+
+    let recode_allocs = heap_ops_during(|| {
+        for _ in 0..256 {
+            let pkt = recoder
+                .recode_into(&mut rng, &mut pool)
+                .expect("recoder is non-empty");
+            pool.recycle(pkt);
+        }
+    });
+    assert_eq!(
+        recode_allocs, 0,
+        "warm recode must not touch the heap (256 packets recoded)"
+    );
+}

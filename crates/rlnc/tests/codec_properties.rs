@@ -100,7 +100,7 @@ proptest! {
             ncvnf_rlnc::NcHeader {
                 session: SessionId::new(session),
                 generation,
-                coefficients: coeffs,
+                coefficients: coeffs.into(),
             },
             bytes::Bytes::from(payload),
         );

@@ -1,0 +1,535 @@
+//! Workspace-local stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of the bytes 1.x API the workspace uses:
+//! [`Bytes`] (cheaply clonable, immutable), [`BytesMut`] (growable,
+//! freezable), the [`Buf`]/[`BufMut`] reader/writer traits over big-endian
+//! integers, and [`Bytes::try_into_mut`] for buffer reclamation (the hook
+//! the RLNC packet pool uses to recycle payload allocations).
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+fn debug_bytes(data: &[u8], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "b\"")?;
+    for &b in data.iter().take(64) {
+        if (0x20..0x7F).contains(&b) && b != b'"' && b != b'\\' {
+            write!(f, "{}", b as char)?;
+        } else {
+            write!(f, "\\x{b:02x}")?;
+        }
+    }
+    if data.len() > 64 {
+        write!(f, "…({} bytes)", data.len())?;
+    }
+    write!(f, "\"")
+}
+
+enum Inner {
+    /// Shared heap storage; `Bytes` views a `[start, end)` window of it.
+    Shared(Arc<Vec<u8>>),
+    /// Borrowed static storage (from [`Bytes::from_static`]).
+    Static(&'static [u8]),
+}
+
+impl Clone for Inner {
+    fn clone(&self) -> Self {
+        match self {
+            Inner::Shared(arc) => Inner::Shared(Arc::clone(arc)),
+            Inner::Static(s) => Inner::Static(s),
+        }
+    }
+}
+
+/// A cheaply clonable, immutable slice of bytes (reference-counted).
+#[derive(Clone)]
+pub struct Bytes {
+    inner: Inner,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        Bytes {
+            inner: Inner::Static(&[]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Wraps a static slice without copying.
+    pub const fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            inner: Inner::Static(data),
+            start: 0,
+            end: data.len(),
+        }
+    }
+
+    /// Copies `data` into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            Inner::Shared(arc) => &arc[self.start..self.end],
+            Inner::Static(s) => &s[self.start..self.end],
+        }
+    }
+
+    /// Returns a new `Bytes` viewing `range` of this one (zero-copy).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && self.start + range.end <= self.end);
+        Bytes {
+            inner: self.inner.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Attempts to reclaim the buffer as a [`BytesMut`] without copying.
+    ///
+    /// Succeeds only when this handle is the sole owner of a full-window
+    /// shared allocation; otherwise returns `self` unchanged. This mirrors
+    /// `bytes::Bytes::try_into_mut` (1.6+) and is what lets a packet pool
+    /// recycle payload buffers once every clone of a packet is dropped.
+    ///
+    /// The reclaimed [`BytesMut`] keeps the same heap storage (vector *and*
+    /// reference-count block), so a `freeze`/`try_into_mut` cycle performs
+    /// no allocation at all — the property the RLNC pool's zero-allocation
+    /// steady state rests on.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when the buffer is shared or static.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        match self.inner {
+            Inner::Shared(mut arc) if self.start == 0 && self.end == arc.len() => {
+                if Arc::get_mut(&mut arc).is_some() {
+                    Ok(BytesMut { inner: arc })
+                } else {
+                    Err(Bytes {
+                        start: 0,
+                        end: arc.len(),
+                        inner: Inner::Shared(arc),
+                    })
+                }
+            }
+            inner => Err(Bytes {
+                start: self.start,
+                end: self.end,
+                inner,
+            }),
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(vec: Vec<u8>) -> Self {
+        let len = vec.len();
+        Bytes {
+            inner: Inner::Shared(Arc::new(vec)),
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(data: &'static [u8]) -> Self {
+        Bytes::from_static(data)
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(data: Box<[u8]>) -> Self {
+        Bytes::from(data.into_vec())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        debug_bytes(self.as_slice(), f)
+    }
+}
+
+/// A growable byte buffer that can be frozen into [`Bytes`].
+///
+/// Internally the storage already sits behind the reference-count block a
+/// frozen [`Bytes`] will need (held uniquely while mutable), so
+/// [`freeze`](Self::freeze) and [`Bytes::try_into_mut`] both move the
+/// storage without allocating.
+pub struct BytesMut {
+    /// Invariant: this `Arc` is uniquely owned (no clones, no weak refs).
+    inner: Arc<Vec<u8>>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut {
+            inner: Arc::new(Vec::new()),
+        }
+    }
+
+    /// An empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Arc::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    fn vec(&self) -> &Vec<u8> {
+        &self.inner
+    }
+
+    fn vec_mut(&mut self) -> &mut Vec<u8> {
+        Arc::get_mut(&mut self.inner).expect("BytesMut storage is uniquely owned")
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.vec().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.vec().is_empty()
+    }
+
+    /// Allocated capacity.
+    pub fn capacity(&self) -> usize {
+        self.vec().capacity()
+    }
+
+    /// Ensures room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec_mut().reserve(additional);
+    }
+
+    /// Clears the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.vec_mut().clear();
+    }
+
+    /// Resizes to `new_len`, filling with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec_mut().resize(new_len, value);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.vec_mut().extend_from_slice(data);
+    }
+
+    /// Converts into an immutable, cheaply clonable [`Bytes`]
+    /// (zero-copy and zero-allocation: the storage is moved, not copied).
+    pub fn freeze(self) -> Bytes {
+        let len = self.inner.len();
+        Bytes {
+            inner: Inner::Shared(self.inner),
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut::new()
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> Self {
+        BytesMut {
+            inner: Arc::new(self.vec().clone()),
+        }
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.vec() == other.vec()
+    }
+}
+impl Eq for BytesMut {}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.vec()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.vec_mut()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.vec()
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        self.vec_mut()
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> Self {
+        BytesMut {
+            inner: Arc::new(vec),
+        }
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(buf: BytesMut) -> Self {
+        buf.freeze()
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        debug_bytes(self.vec(), f)
+    }
+}
+
+/// Read-side cursor trait over big-endian wire integers.
+///
+/// Implemented for `&[u8]`, which is how the control-plane wire codec
+/// consumes frames.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+    /// The unread window.
+    fn chunk(&self) -> &[u8];
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// True when bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self.chunk()[..2].try_into().expect("2 bytes"));
+        self.advance(2);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write-side trait over big-endian wire integers.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, data: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_and_clone_share_storage() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u16(0xBEEF);
+        b.put_slice(&[1, 2, 3]);
+        let frozen = b.freeze();
+        let copy = frozen.clone();
+        assert_eq!(&frozen[..], &[0xBE, 0xEF, 1, 2, 3]);
+        assert_eq!(frozen, copy);
+    }
+
+    #[test]
+    fn try_into_mut_reclaims_unique_buffers() {
+        let frozen = Bytes::from(vec![1u8, 2, 3]);
+        let reclaimed = frozen.try_into_mut().expect("unique");
+        assert_eq!(&reclaimed[..], &[1, 2, 3]);
+
+        let shared = Bytes::from(vec![4u8; 4]);
+        let keep = shared.clone();
+        assert!(shared.try_into_mut().is_err());
+        drop(keep);
+    }
+
+    #[test]
+    fn freeze_reclaim_cycle_keeps_storage() {
+        let mut b = BytesMut::with_capacity(16);
+        b.extend_from_slice(&[7u8; 16]);
+        let ptr = b.as_ref().as_ptr();
+        let frozen = b.freeze();
+        let back = frozen.try_into_mut().expect("unique");
+        assert_eq!(back.as_ref().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn buf_reads_big_endian() {
+        let data = [0xAB, 0x01, 0x02, 0, 0, 0, 4, 9];
+        let mut cursor = &data[..];
+        assert_eq!(cursor.get_u8(), 0xAB);
+        assert_eq!(cursor.get_u16(), 0x0102);
+        assert_eq!(cursor.get_u32(), 4);
+        assert_eq!(cursor.remaining(), 1);
+        cursor.advance(1);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn slice_views_subrange() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[1, 2, 3]);
+    }
+}

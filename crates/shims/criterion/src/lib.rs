@@ -1,0 +1,222 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the criterion 0.5 API subset the benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function`, `throughput`, `sample_size`, [`black_box`] — backed by
+//! a simple wall-clock harness: each benchmark is warmed up briefly, then
+//! timed over batches and reported as mean time per iteration (and
+//! throughput when configured).
+//!
+//! Honors `NCVNF_BENCH_QUICK=1` to shrink warmup/measurement windows so a
+//! full bench pass fits in CI budgets.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for reported throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing callback holder.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing per-iteration seconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a batch size targeting ~1ms per batch.
+        let warm_start = Instant::now();
+        let mut iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / iters.max(1) as f64;
+        let batch = ((1e-3 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64() / batch as f64;
+            self.samples.push(dt);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to annotate subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Criterion-compatibility knob; sample count is time-driven here.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark; nothing buffered).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("NCVNF_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let (warmup, measure) = if quick {
+            (Duration::from_millis(20), Duration::from_millis(80))
+        } else {
+            (Duration::from_millis(300), Duration::from_secs(1))
+        };
+        Criterion {
+            warmup,
+            measure,
+            filter: std::env::args().nth(1).filter(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            warmup: self.warmup,
+            measure: self.measure,
+        };
+        f(&mut bencher);
+        if samples.is_empty() {
+            println!("{id:<52} (no samples)");
+            return;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut line = format!(
+            "{id:<52} time: [median {} mean {}]",
+            fmt_time(median),
+            fmt_time(mean)
+        );
+        if let Some(Throughput::Bytes(bytes)) = throughput {
+            let rate = bytes as f64 / median;
+            line.push_str(&format!("  thrpt: {}/s", fmt_bytes(rate)));
+        } else if let Some(Throughput::Elements(n)) = throughput {
+            line.push_str(&format!("  thrpt: {:.1} elem/s", n as f64 / median));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn fmt_bytes(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} GiB", rate / (1u64 << 30) as f64)
+    } else if rate >= 1e6 {
+        format!("{:.1} MiB", rate / (1u64 << 20) as f64)
+    } else {
+        format!("{:.0} KiB", rate / 1024.0)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,106 @@
+//! Workspace-local stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::channel` is used by the workspace (bounded channels
+//! between the relay receiver thread and its owner), so this shim adapts
+//! `std::sync::mpsc` behind crossbeam's channel API surface.
+
+pub mod channel {
+    //! Multi-producer channels with timeout-aware receivers.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Sending half of a channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the receiving side disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    /// Creates a bounded channel of the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued (or the receiver is gone).
+        ///
+        /// # Errors
+        ///
+        /// Returns the message back when the receiver disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// Errors when every sender disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks up to `timeout` for a message.
+        ///
+        /// # Errors
+        ///
+        /// Distinguishes timeout from disconnection.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Non-blocking poll.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_round_trip() {
+        let (tx, rx) = bounded(1);
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Convenience re-exports matching `proptest::prelude`.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+    ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+};
+
+/// Namespace mirror so `prop::collection::vec(...)` resolves.
+pub mod prop {
+    pub use crate::collection;
+}

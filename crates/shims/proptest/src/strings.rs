@@ -1,0 +1,110 @@
+//! String-pattern sampling for `&str` strategies.
+//!
+//! Supports the regex subset the workspace's tests use: a concatenation of
+//! literal characters and character classes `[a-z0-9.:-]`, each optionally
+//! followed by a repetition `{m}` / `{m,n}`. Classes accept ranges
+//! (`a-z`), single characters, and a trailing or leading literal `-`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+            let class = expand_class(&chars[i + 1..close], pattern);
+            i = close + 1;
+            class
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("repetition min"),
+                    n.trim().parse::<usize>().expect("repetition max"),
+                ),
+                None => {
+                    let m = spec.trim().parse::<usize>().expect("repetition count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = if max > min {
+            rng.gen_range(min..=max)
+        } else {
+            min
+        };
+        for _ in 0..count {
+            out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+    let mut alphabet = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            let (lo, hi) = (body[j], body[j + 2]);
+            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            j += 3;
+        } else {
+            alphabet.push(body[j]);
+            j += 1;
+        }
+    }
+    alphabet
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_pattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = sample_pattern("[a-z0-9-]{1,32}", &mut rng);
+            assert!((1..=32).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = sample_pattern("ab[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

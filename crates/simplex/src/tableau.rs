@@ -102,8 +102,8 @@ impl Tableau {
                 // Most positive reduced cost (maximization).
                 let mut best = None;
                 let mut best_val = EPS;
-                for j in 0..self.cols {
-                    if allowed[j] && self.c[j] > best_val {
+                for (j, &ok) in allowed.iter().enumerate().take(self.cols) {
+                    if ok && self.c[j] > best_val {
                         best_val = self.c[j];
                         best = Some(j);
                     }
@@ -273,8 +273,8 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, SolveError> {
         // the basis would contain a duplicate and the tableau corrupts.
         for r in 0..m {
             if artificial_cols.contains(&t.basis[r]) {
-                let col = (0..n + n_slack)
-                    .find(|&j| !t.basis.contains(&j) && t.at(r, j).abs() > EPS);
+                let col =
+                    (0..n + n_slack).find(|&j| !t.basis.contains(&j) && t.at(r, j).abs() > EPS);
                 if let Some(col) = col {
                     t.pivot(r, col);
                 }
@@ -319,11 +319,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, SolveError> {
     }
     // Recompute the objective from the primal values rather than trusting
     // the incrementally tracked offset (immune to accumulated drift).
-    let objective = values
-        .iter()
-        .zip(&lp.objective)
-        .map(|(x, c)| x * c)
-        .sum();
+    let objective = values.iter().zip(&lp.objective).map(|(x, c)| x * c).sum();
     Ok(Solution { objective, values })
 }
 

@@ -29,7 +29,10 @@ fn run(coding: bool) -> (f64, f64) {
             config: cfg,
             redundancy: RedundancyPolicy::NC0,
             rate_bps: 1.9 * LINK_BPS,
-            next_hops: vec![Addr::new(o1_id, NC_DATA_PORT), Addr::new(c1_id, NC_DATA_PORT)],
+            next_hops: vec![
+                Addr::new(o1_id, NC_DATA_PORT),
+                Addr::new(c1_id, NC_DATA_PORT),
+            ],
             cost: CodingCostModel::default_calibration(),
             systematic_only: !coding,
         },
@@ -51,23 +54,48 @@ fn run(coding: bool) -> (f64, f64) {
     };
     let o1 = sim.add_node(
         "o1",
-        vnf(VnfRole::Forwarder, vec![Addr::new(r1_id, NC_DATA_PORT), Addr::new(t_id, NC_DATA_PORT)], None),
+        vnf(
+            VnfRole::Forwarder,
+            vec![
+                Addr::new(r1_id, NC_DATA_PORT),
+                Addr::new(t_id, NC_DATA_PORT),
+            ],
+            None,
+        ),
     );
     let c1 = sim.add_node(
         "c1",
-        vnf(VnfRole::Forwarder, vec![Addr::new(r2_id, NC_DATA_PORT), Addr::new(t_id, NC_DATA_PORT)], None),
+        vnf(
+            VnfRole::Forwarder,
+            vec![
+                Addr::new(r2_id, NC_DATA_PORT),
+                Addr::new(t_id, NC_DATA_PORT),
+            ],
+            None,
+        ),
     );
     let t = sim.add_node(
         "t",
         vnf(
-            if coding { VnfRole::Recoder } else { VnfRole::Forwarder },
+            if coding {
+                VnfRole::Recoder
+            } else {
+                VnfRole::Forwarder
+            },
             vec![Addr::new(v2_id, NC_DATA_PORT)],
             coding.then_some(1.0 / 1.9),
         ),
     );
     let v2 = sim.add_node(
         "v2",
-        vnf(VnfRole::Forwarder, vec![Addr::new(r1_id, NC_DATA_PORT), Addr::new(r2_id, NC_DATA_PORT)], None),
+        vnf(
+            VnfRole::Forwarder,
+            vec![
+                Addr::new(r1_id, NC_DATA_PORT),
+                Addr::new(r2_id, NC_DATA_PORT),
+            ],
+            None,
+        ),
     );
     let fb = Addr::new(src_id, NC_FEEDBACK_PORT);
     let r1 = sim.add_node(
@@ -79,7 +107,8 @@ fn run(coding: bool) -> (f64, f64) {
         ReceiverNode::new(SESSION, cfg, generations, fb, SimDuration::from_secs(1)),
     );
 
-    let link = || LinkConfig::new(LINK_BPS, SimDuration::from_millis(10)).with_queue_bytes(32 * 1024);
+    let link =
+        || LinkConfig::new(LINK_BPS, SimDuration::from_millis(10)).with_queue_bytes(32 * 1024);
     for (a, b) in [
         (src, o1),
         (src, c1),
@@ -112,7 +141,17 @@ fn main() {
         .iter()
         .map(|n| g.add_node(*n))
         .collect();
-    for (u, v) in [(0, 1), (0, 2), (1, 5), (2, 6), (1, 3), (2, 3), (3, 4), (4, 5), (4, 6)] {
+    for (u, v) in [
+        (0, 1),
+        (0, 2),
+        (1, 5),
+        (2, 6),
+        (1, 3),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (4, 6),
+    ] {
         g.add_edge(nodes[u], nodes[v], LINK_BPS / 1e6, 1.0).unwrap();
     }
     let cap = multicast::coded_capacity(&g, nodes[0], &[nodes[5], nodes[6]]);
@@ -122,9 +161,15 @@ fn main() {
     println!("routing-only bound (Steiner packing):      {routing:.1} Mbps");
 
     let (nc1, nc2) = run(true);
-    println!("\ncoded multicast: 8 MB to both receivers in {:.2}s / {:.2}s", nc1, nc2);
+    println!(
+        "\ncoded multicast: 8 MB to both receivers in {:.2}s / {:.2}s",
+        nc1, nc2
+    );
     let (p1, p2) = run(false);
-    println!("forwarding-only: 8 MB to both receivers in {:.2}s / {:.2}s", p1, p2);
+    println!(
+        "forwarding-only: 8 MB to both receivers in {:.2}s / {:.2}s",
+        p1, p2
+    );
     let speedup = p1.max(p2) / nc1.max(nc2);
     println!("network coding speedup: {speedup:.2}x");
 }

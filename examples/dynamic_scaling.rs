@@ -67,12 +67,9 @@ fn main() {
 
     println!("\nforwarding tables of the final deployment:");
     let dep = controller.deployment().expect("deployment");
-    let tables = tables_from_deployment(
-        controller.topology(),
-        controller.sessions(),
-        dep,
-        &|n| format!("10.0.{}.1:4000", n.0),
-    );
+    let tables = tables_from_deployment(controller.topology(), controller.sessions(), dep, &|n| {
+        format!("10.0.{}.1:4000", n.0)
+    });
     for (node, table) in &tables {
         println!(
             "-- {} --\n{}",

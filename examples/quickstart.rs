@@ -17,7 +17,9 @@ fn main() {
     let redundancy = RedundancyPolicy::NC1; // one extra coded packet/gen
 
     // A synthetic 1 MiB "file".
-    let object: Vec<u8> = (0..1 << 20).map(|i| (i * 2654435761u64 >> 24) as u8).collect();
+    let object: Vec<u8> = (0..1 << 20)
+        .map(|i| ((i * 2654435761u64) >> 24) as u8)
+        .collect();
 
     let encoder = ObjectEncoder::new(cfg, session, &object).expect("valid object");
     let mut decoder = ObjectDecoder::new(cfg, encoder.generations());

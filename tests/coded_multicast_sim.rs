@@ -76,9 +76,8 @@ fn heavy_reordering_does_not_hurt_coded_transfer() {
     // completes about as fast as the in-order one.
     let ordered = line_transfer(LossModel::None, RedundancyPolicy::NC0, 1_500_000)
         .expect("ordered completes");
-    let reordered =
-        line_transfer_jitter(LossModel::None, RedundancyPolicy::NC0, 1_500_000, 40)
-            .expect("reordered completes");
+    let reordered = line_transfer_jitter(LossModel::None, RedundancyPolicy::NC0, 1_500_000, 40)
+        .expect("reordered completes");
     assert!(
         reordered < ordered * 1.2 + 0.1,
         "reordering slowed the transfer: {reordered}s vs {ordered}s"
@@ -95,12 +94,8 @@ fn clean_line_completes_near_wire_time() {
 
 #[test]
 fn lossy_line_still_completes_byte_exact() {
-    let done = line_transfer(
-        LossModel::uniform(0.25),
-        RedundancyPolicy::NC1,
-        1_000_000,
-    )
-    .expect("lossy transfer completes");
+    let done = line_transfer(LossModel::uniform(0.25), RedundancyPolicy::NC1, 1_000_000)
+        .expect("lossy transfer completes");
     assert!(done < 60.0, "took {done}s");
 }
 
@@ -156,11 +151,7 @@ fn redundancy_cuts_repair_traffic_on_lossy_line() {
         );
         let link = LinkConfig::new(10e6, SimDuration::from_millis(15));
         sim.add_link(src, relay, link.clone());
-        sim.add_link(
-            relay,
-            rx,
-            link.clone().with_loss(LossModel::uniform(0.2)),
-        );
+        sim.add_link(relay, rx, link.clone().with_loss(LossModel::uniform(0.2)));
         sim.add_link(rx, src, link);
         sim.run_until(SimTime::from_secs(120));
         let r = sim.node_as::<ReceiverNode>(rx).unwrap();
@@ -170,7 +161,7 @@ fn redundancy_cuts_repair_traffic_on_lossy_line() {
     let (done2, nacks2) = run(RedundancyPolicy::NC2);
     assert!(done0 && done2);
     assert!(
-        nacks2 * 2 < nacks0.max(1) * 1 + nacks0,
+        nacks2 * 2 < nacks0.max(1) + nacks0,
         "NC2 nacks {nacks2} vs NC0 {nacks0}"
     );
 }

@@ -54,7 +54,9 @@ fn probe_to_controller_loop_applies_delay_change() {
     }
     let events = telemetry.drain_events(controller.topology(), 0.05);
     assert!(
-        events.iter().any(|e| matches!(e, ScalingEvent::DelayObserved { .. })),
+        events
+            .iter()
+            .any(|e| matches!(e, ScalingEvent::DelayObserved { .. })),
         "telemetry should flag the delay change: {events:?}"
     );
     for e in events {
