@@ -1,8 +1,10 @@
-//! Kernel and codec throughput report.
+//! Kernel, codec, and relay throughput report.
 //!
 //! Measures the GF(2^8) bulk kernels (every compiled tier the CPU
-//! supports) and the RLNC encode/recode paths, then writes
-//! `BENCH_rlnc.json` at the repository root. Run with:
+//! supports), the RLNC encode/recode paths, and the relay data path
+//! (legacy per-packet-allocation pipeline vs the zero-alloc
+//! [`relay_step`] pipeline), then writes `BENCH_rlnc.json` and
+//! `BENCH_relay.json` at the repository root. Run with:
 //!
 //! ```text
 //! cargo run --release -p ncvnf-bench --bin perf_report [-- --quick]
@@ -15,10 +17,17 @@
 //! machine single runs of memory-bound kernels vary by 2x or more.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
 
+use ncvnf_control::ForwardingTable;
+use ncvnf_dataplane::{CodingVnf, VnfRole};
 use ncvnf_gf256::bulk;
-use ncvnf_rlnc::{GenerationConfig, GenerationEncoder, PayloadPool, Recoder, SessionId};
+use ncvnf_relay::{relay_step, RelayConfig, RelayEngine, RelayNode, RelayScratch, RouteCache};
+use ncvnf_rlnc::{
+    CodedPacket, GenerationConfig, GenerationEncoder, PayloadPool, Recoder, SessionId,
+};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -175,6 +184,245 @@ fn bench_codec(timing: &Timing) -> Vec<CodecRow> {
     rows
 }
 
+/// The relay buffer depth of the paper's configuration; the legacy
+/// pipeline's linear generation scan is O(this) per packet.
+const BUFFERED_GENERATIONS: usize = 1024;
+const RELAY_SESSION: u16 = 1;
+const RELAY_G: usize = 4;
+
+/// Recent generations live traffic rotates over while the whole
+/// retention window stays populated — the steady state of a long-lived
+/// relay, where the legacy pipeline's linear scan walks essentially the
+/// entire buffer for every packet.
+const HOT_GENERATIONS: u64 = 8;
+
+/// Coded wire datagrams for the relay benchmark: `warmup` fills all
+/// `BUFFERED_GENERATIONS` generations of the retention window to full
+/// rank (oldest first), `hot` is the measured ring over the newest
+/// [`HOT_GENERATIONS`] generations.
+fn relay_workload(config: GenerationConfig) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let mut rng = StdRng::seed_from_u64(0xBE7C_0003);
+    let mut data = vec![0u8; config.generation_payload()];
+    rng.fill(&mut data[..]);
+    let enc = GenerationEncoder::new(config, &data).expect("valid generation");
+    let session = SessionId::new(RELAY_SESSION);
+    // Enough packets per generation to reach full rank during warm-up.
+    let per_gen = RELAY_G + 1;
+    let total_gens = BUFFERED_GENERATIONS as u64 + HOT_GENERATIONS;
+    let mut warmup = Vec::with_capacity(total_gens as usize * per_gen);
+    for gen in 0..total_gens {
+        for _ in 0..per_gen {
+            let pkt = enc.coded_packet(session, gen, &mut rng);
+            warmup.push(pkt.to_bytes().to_vec());
+        }
+    }
+    let mut hot = Vec::with_capacity(64);
+    for _ in 0..(64 / HOT_GENERATIONS) {
+        for gen in BUFFERED_GENERATIONS as u64..total_gens {
+            let pkt = enc.coded_packet(session, gen, &mut rng);
+            hot.push(pkt.to_bytes().to_vec());
+        }
+    }
+    (warmup, hot)
+}
+
+/// The pre-rebuild relay processing step, replicated verbatim: an
+/// allocating header parse, an O(n) linear scan over the buffered
+/// generations, a fresh-pool `recode()`, a `String → SocketAddr` parse
+/// per packet, and an allocating serialize.
+fn legacy_relay_step(
+    buffer: &mut Vec<(u64, Recoder)>,
+    config: GenerationConfig,
+    datagram: &[u8],
+    hops: &[String],
+    rng: &mut StdRng,
+    sink: &mut u64,
+) {
+    let Ok(pkt) = CodedPacket::from_bytes(datagram, config.blocks_per_generation()) else {
+        return;
+    };
+    let pos = match buffer.iter().position(|(g, _)| *g == pkt.generation()) {
+        Some(p) => p,
+        None => {
+            if buffer.len() == BUFFERED_GENERATIONS {
+                buffer.remove(0);
+            }
+            buffer.push((
+                pkt.generation(),
+                Recoder::new(config, pkt.session(), pkt.generation()),
+            ));
+            buffer.len() - 1
+        }
+    };
+    let recoder = &mut buffer[pos].1;
+    let first = recoder.rank() == 0;
+    let _ = recoder.absorb(pkt.coefficients(), pkt.payload());
+    // The seed's `process_packet_n` collected outputs into a fresh Vec.
+    let mut outputs = Vec::new();
+    outputs.push(if first {
+        pkt.clone()
+    } else {
+        recoder.recode(rng).expect("recoder is non-empty")
+    });
+    for out in &outputs {
+        // The seed's `next_hop_addrs` collected a fresh Vec of parsed
+        // addresses for every packet.
+        let addrs: Vec<SocketAddr> = hops.iter().filter_map(|h| h.parse().ok()).collect();
+        let wire = out.to_bytes();
+        for addr in addrs {
+            *sink = sink
+                .wrapping_add(wire.len() as u64)
+                .wrapping_add(addr.port() as u64);
+        }
+        std::hint::black_box(&wire);
+    }
+}
+
+struct RelayBench {
+    legacy_pps: f64,
+    new_pps: f64,
+}
+
+/// Legacy vs rebuilt relay data path over the same round-robin workload.
+/// Returns packets/sec for both.
+fn bench_relay_step(timing: &Timing, config: GenerationConfig) -> RelayBench {
+    let (warmup, hot) = relay_workload(config);
+    let hops = vec!["127.0.0.1:9000".to_string()];
+    let mut sink = 0u64;
+
+    // Legacy pipeline.
+    let mut buffer: Vec<(u64, Recoder)> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(0xBE7C_0004);
+    for wire in warmup.iter().chain(&hot) {
+        legacy_relay_step(&mut buffer, config, wire, &hops, &mut rng, &mut sink);
+    }
+    let mut i = 0usize;
+    let legacy_bps = timing.measure(PAYLOAD_LEN, || {
+        legacy_relay_step(&mut buffer, config, &hot[i], &hops, &mut rng, &mut sink);
+        i = (i + 1) % hot.len();
+    });
+
+    // Rebuilt pipeline: pooled parse, O(1) generation index, pooled
+    // recode, cached routes, reused wire buffer.
+    let mut vnf = CodingVnf::new(config, BUFFERED_GENERATIONS);
+    vnf.set_role(SessionId::new(RELAY_SESSION), VnfRole::Recoder);
+    let engine = Mutex::new(RelayEngine::new(vnf, StdRng::seed_from_u64(0xBE7C_0005)));
+    let mut table = ForwardingTable::new();
+    table.set(SessionId::new(RELAY_SESSION), hops.clone());
+    let mut cache = RouteCache::new();
+    cache.rebuild(&table);
+    let routes = Mutex::new(cache);
+    let mut scratch = RelayScratch::new();
+    for wire in warmup.iter().chain(&hot) {
+        let mut send = |_hop: SocketAddr, bytes: &[u8]| {
+            sink = sink.wrapping_add(bytes.len() as u64);
+            true
+        };
+        relay_step(&engine, &routes, &mut scratch, wire, &mut send);
+    }
+    let mut j = 0usize;
+    let new_bps = timing.measure(PAYLOAD_LEN, || {
+        let mut send = |_hop: SocketAddr, bytes: &[u8]| {
+            sink = sink.wrapping_add(bytes.len() as u64);
+            true
+        };
+        relay_step(&engine, &routes, &mut scratch, &hot[j], &mut send);
+        j = (j + 1) % hot.len();
+    });
+    std::hint::black_box(sink);
+
+    RelayBench {
+        legacy_pps: legacy_bps / PAYLOAD_LEN as f64,
+        new_pps: new_bps / PAYLOAD_LEN as f64,
+    }
+}
+
+struct LoopbackBench {
+    sent: u64,
+    received: u64,
+    packets_per_sec: f64,
+}
+
+/// Informational end-to-end measurement: blast coded packets through a
+/// live [`RelayNode`] on loopback and count arrivals at a sink. Includes
+/// both UDP syscalls, so it is dominated by the kernel, not the coding —
+/// and UDP may drop under burst, so nothing is asserted on it.
+fn bench_relay_loopback(quick: bool, config: GenerationConfig) -> LoopbackBench {
+    use ncvnf_control::signal::{Signal, VnfRoleWire};
+
+    let relay = RelayNode::spawn(RelayConfig {
+        generation: config,
+        buffer_generations: BUFFERED_GENERATIONS,
+        seed: 0xBE7C,
+    })
+    .expect("spawn relay");
+    let sink = UdpSocket::bind(("127.0.0.1", 0)).expect("bind sink");
+    sink.set_read_timeout(Some(Duration::from_millis(50)))
+        .expect("sink timeout");
+
+    let control = UdpSocket::bind(("127.0.0.1", 0)).expect("bind control");
+    control
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .expect("control timeout");
+    let mut ack = [0u8; 8];
+    let settings = Signal::NcSettings {
+        session: SessionId::new(RELAY_SESSION),
+        role: VnfRoleWire::Recoder,
+        data_port: relay.data_addr.port(),
+        block_size: PAYLOAD_LEN as u32,
+        generation_size: RELAY_G as u32,
+        buffer_generations: BUFFERED_GENERATIONS as u32,
+    };
+    control
+        .send_to(&settings.to_bytes(), relay.control_addr)
+        .expect("send settings");
+    let _ = control.recv_from(&mut ack);
+    let mut table = ForwardingTable::new();
+    table.set(
+        SessionId::new(RELAY_SESSION),
+        vec![sink.local_addr().expect("sink addr").to_string()],
+    );
+    let sig = Signal::NcForwardTab {
+        table: table.to_text(),
+    };
+    control
+        .send_to(&sig.to_bytes(), relay.control_addr)
+        .expect("send table");
+    let _ = control.recv_from(&mut ack);
+
+    let total: u64 = if quick { 2_000 } else { 20_000 };
+    let sender = UdpSocket::bind(("127.0.0.1", 0)).expect("bind sender");
+    let mut rng = StdRng::seed_from_u64(0xBE7C_0006);
+    let mut data = vec![0u8; config.generation_payload()];
+    rng.fill(&mut data[..]);
+    let enc = GenerationEncoder::new(config, &data).expect("valid generation");
+    let t0 = Instant::now();
+    let mut received = 0u64;
+    let mut buf = vec![0u8; 65536];
+    for i in 0..total {
+        let pkt = enc.coded_packet(SessionId::new(RELAY_SESSION), i / RELAY_G as u64, &mut rng);
+        let _ = sender.send_to(&pkt.to_bytes(), relay.data_addr);
+        // Keep the sink drained so its socket buffer never overflows.
+        if i % 32 == 0 {
+            sink.set_read_timeout(Some(Duration::from_micros(1))).ok();
+            while sink.recv_from(&mut buf).is_ok() {
+                received += 1;
+            }
+        }
+    }
+    sink.set_read_timeout(Some(Duration::from_millis(100))).ok();
+    while sink.recv_from(&mut buf).is_ok() {
+        received += 1;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    relay.shutdown();
+    LoopbackBench {
+        sent: total,
+        received,
+        packets_per_sec: received as f64 / secs,
+    }
+}
+
 fn main() {
     let timing = Timing::from_env();
     let started = Instant::now();
@@ -226,5 +474,52 @@ fn main() {
         "wrote BENCH_rlnc.json in {:.1}s (active tier: {})",
         started.elapsed().as_secs_f64(),
         bulk::kernel_tier().name()
+    );
+
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("NCVNF_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let relay_cfg = GenerationConfig::new(PAYLOAD_LEN, RELAY_G).expect("valid relay layout");
+    eprintln!(
+        "measuring relay data path (legacy vs rebuilt, {BUFFERED_GENERATIONS} buffered generations) ..."
+    );
+    let relay = bench_relay_step(&timing, relay_cfg);
+    eprintln!("measuring relay loopback throughput (real UDP sockets) ...");
+    let loopback = bench_relay_loopback(quick, relay_cfg);
+
+    let mbps = |pps: f64| pps * PAYLOAD_LEN as f64 * 8.0 / 1e6;
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"relay\",");
+    let _ = writeln!(json, "  \"payload_len\": {PAYLOAD_LEN},");
+    let _ = writeln!(json, "  \"generation_size\": {RELAY_G},");
+    let _ = writeln!(json, "  \"buffered_generations\": {BUFFERED_GENERATIONS},");
+    let _ = writeln!(
+        json,
+        "  \"legacy_packets_per_sec\": {:.0},",
+        relay.legacy_pps
+    );
+    let _ = writeln!(json, "  \"legacy_mbps\": {:.1},", mbps(relay.legacy_pps));
+    let _ = writeln!(json, "  \"packets_per_sec\": {:.0},", relay.new_pps);
+    let _ = writeln!(json, "  \"mbps\": {:.1},", mbps(relay.new_pps));
+    let _ = writeln!(
+        json,
+        "  \"speedup_pps\": {:.2},",
+        relay.new_pps / relay.legacy_pps
+    );
+    let _ = writeln!(
+        json,
+        "  \"loopback\": {{\"sent\": {}, \"received\": {}, \"packets_per_sec\": {:.0}, \"mbps\": {:.1}}}",
+        loopback.sent,
+        loopback.received,
+        loopback.packets_per_sec,
+        mbps(loopback.packets_per_sec)
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_relay.json", &json).expect("write BENCH_relay.json");
+    println!("{json}");
+    eprintln!(
+        "wrote BENCH_relay.json in {:.1}s total ({:.2}x packets/s over the legacy path)",
+        started.elapsed().as_secs_f64(),
+        relay.new_pps / relay.legacy_pps
     );
 }

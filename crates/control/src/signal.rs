@@ -15,12 +15,16 @@ use std::fmt;
 /// The VNF role carried in `NC_SETTINGS`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VnfRoleWire {
-    /// Encode/recode packets.
+    /// Encode at the source.
     Encoder,
     /// Decode packets near a destination.
     Decoder,
     /// Forward without coding.
     Forwarder,
+    /// Recode inside the network (in-network VNF). Controllers predating
+    /// this variant sent [`Encoder`](Self::Encoder) for relay recoding;
+    /// receivers must keep honouring that legacy meaning.
+    Recoder,
 }
 
 impl VnfRoleWire {
@@ -29,6 +33,7 @@ impl VnfRoleWire {
             VnfRoleWire::Encoder => 1,
             VnfRoleWire::Decoder => 2,
             VnfRoleWire::Forwarder => 3,
+            VnfRoleWire::Recoder => 4,
         }
     }
 
@@ -37,6 +42,7 @@ impl VnfRoleWire {
             1 => Some(VnfRoleWire::Encoder),
             2 => Some(VnfRoleWire::Decoder),
             3 => Some(VnfRoleWire::Forwarder),
+            4 => Some(VnfRoleWire::Recoder),
             _ => None,
         }
     }
@@ -329,6 +335,30 @@ mod tests {
             Signal::from_bytes(&bad).unwrap_err(),
             SignalError::UnknownTag(0xEE)
         );
+    }
+
+    #[test]
+    fn recoder_role_has_its_own_byte_and_legacy_bytes_are_stable() {
+        // Wire compat: bytes 1–3 keep their pre-Recoder meaning, Recoder
+        // gets the fresh byte 4.
+        assert_eq!(VnfRoleWire::Encoder.to_byte(), 1);
+        assert_eq!(VnfRoleWire::Decoder.to_byte(), 2);
+        assert_eq!(VnfRoleWire::Forwarder.to_byte(), 3);
+        assert_eq!(VnfRoleWire::Recoder.to_byte(), 4);
+        for b in 1..=4u8 {
+            let role = VnfRoleWire::from_byte(b).unwrap();
+            assert_eq!(role.to_byte(), b);
+        }
+        let sig = Signal::NcSettings {
+            session: SessionId::new(3),
+            role: VnfRoleWire::Recoder,
+            data_port: 4000,
+            block_size: 1460,
+            generation_size: 4,
+            buffer_generations: 1024,
+        };
+        let (back, _) = Signal::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(back, sig);
     }
 
     #[test]

@@ -10,7 +10,57 @@ fn arb_role() -> impl Strategy<Value = VnfRoleWire> {
         Just(VnfRoleWire::Encoder),
         Just(VnfRoleWire::Decoder),
         Just(VnfRoleWire::Forwarder),
+        Just(VnfRoleWire::Recoder),
     ]
+}
+
+/// A pre-`Recoder` controller encodes recoding relays as `Encoder`; the
+/// byte it puts on the wire must keep decoding to `Encoder` so receivers
+/// can apply the legacy mapping themselves.
+#[test]
+fn legacy_encoder_settings_decode_unchanged() {
+    let sig = Signal::NcSettings {
+        session: SessionId::new(11),
+        role: VnfRoleWire::Encoder,
+        data_port: 4000,
+        block_size: 1460,
+        generation_size: 4,
+        buffer_generations: 1024,
+    };
+    let wire = sig.to_bytes();
+    assert_eq!(wire[5 + 2], 1, "Encoder keeps wire byte 1");
+    let (back, _) = Signal::from_bytes(&wire).unwrap();
+    assert!(matches!(
+        back,
+        Signal::NcSettings {
+            role: VnfRoleWire::Encoder,
+            ..
+        }
+    ));
+}
+
+/// The explicit `Recoder` role survives the wire and is distinct from the
+/// legacy `Encoder` byte.
+#[test]
+fn recoder_settings_roundtrip_distinct_from_encoder() {
+    let sig = Signal::NcSettings {
+        session: SessionId::new(12),
+        role: VnfRoleWire::Recoder,
+        data_port: 4000,
+        block_size: 1460,
+        generation_size: 4,
+        buffer_generations: 1024,
+    };
+    let wire = sig.to_bytes();
+    assert_eq!(wire[5 + 2], 4, "Recoder uses the fresh wire byte 4");
+    let (back, _) = Signal::from_bytes(&wire).unwrap();
+    assert!(matches!(
+        back,
+        Signal::NcSettings {
+            role: VnfRoleWire::Recoder,
+            ..
+        }
+    ));
 }
 
 fn arb_signal() -> impl Strategy<Value = Signal> {

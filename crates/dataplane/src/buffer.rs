@@ -1,6 +1,6 @@
 //! Per-session generation buffers with FIFO eviction.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use ncvnf_rlnc::{GenerationConfig, Recoder, SessionId};
 
@@ -20,6 +20,10 @@ pub struct BufferStats {
 /// packets once the buffer is full. ... buffer size of 1024 generations is
 /// sufficient to guarantee good performance" (Sec. III-B). Capacity is in
 /// generations; evicting a generation drops all its buffered packets.
+///
+/// Lookups are O(1): the FIFO order lives in a [`VecDeque`] while the
+/// generation → recoder mapping is a [`HashMap`], so the relay hot loop
+/// never scans the (up to 1024-entry) buffer per packet.
 #[derive(Debug)]
 pub struct SessionBuffer {
     config: GenerationConfig,
@@ -27,7 +31,7 @@ pub struct SessionBuffer {
     capacity: usize,
     /// FIFO of live generations, oldest first.
     order: VecDeque<u64>,
-    entries: Vec<(u64, Recoder)>,
+    entries: HashMap<u64, Recoder>,
     stats: BufferStats,
 }
 
@@ -47,7 +51,7 @@ impl SessionBuffer {
             session,
             capacity,
             order: VecDeque::new(),
-            entries: Vec::new(),
+            entries: HashMap::new(),
             stats: BufferStats::default(),
         }
     }
@@ -75,35 +79,30 @@ impl SessionBuffer {
     /// Returns the recoder for `generation`, creating it (and evicting the
     /// oldest generation if at capacity).
     pub fn recoder_for(&mut self, generation: u64) -> &mut Recoder {
-        if let Some(pos) = self.entries.iter().position(|(g, _)| *g == generation) {
-            return &mut self.entries[pos].1;
+        if !self.entries.contains_key(&generation) {
+            if self.order.len() == self.capacity {
+                let evict = self.order.pop_front().expect("capacity > 0");
+                self.entries.remove(&evict);
+                self.stats.evictions += 1;
+            }
+            self.order.push_back(generation);
+            self.stats.generations_opened += 1;
+            self.entries.insert(
+                generation,
+                Recoder::new(self.config, self.session, generation),
+            );
         }
-        if self.order.len() == self.capacity {
-            let evict = self.order.pop_front().expect("capacity > 0");
-            self.entries.retain(|(g, _)| *g != evict);
-            self.stats.evictions += 1;
-        }
-        self.order.push_back(generation);
-        self.stats.generations_opened += 1;
-        self.entries.push((
-            generation,
-            Recoder::new(self.config, self.session, generation),
-        ));
-        let last = self.entries.len() - 1;
-        &mut self.entries[last].1
+        self.entries.get_mut(&generation).expect("just ensured")
     }
 
     /// Looks up an existing generation without creating it.
     pub fn get(&self, generation: u64) -> Option<&Recoder> {
-        self.entries
-            .iter()
-            .find(|(g, _)| *g == generation)
-            .map(|(_, r)| r)
+        self.entries.get(&generation)
     }
 
     /// True if `generation` is still buffered.
     pub fn contains(&self, generation: u64) -> bool {
-        self.order.contains(&generation)
+        self.entries.contains_key(&generation)
     }
 }
 

@@ -2,11 +2,11 @@
 
 use bytes::Bytes;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use ncvnf_rlnc::{
-    CodecError, CodedPacket, GenerationConfig, GenerationDecoder, HeaderError, PayloadPool,
-    SessionId,
+    CodecError, CodedPacket, GenerationConfig, GenerationDecoder, HeaderError, PacketView,
+    PayloadPool, PoolStats, SessionId,
 };
 
 use crate::buffer::SessionBuffer;
@@ -27,6 +27,11 @@ pub struct VnfStats {
     pub unknown_session: u64,
     /// Generations fully decoded (decoder role only).
     pub generations_decoded: u64,
+    /// Decoder-role generation states dropped by the FIFO retention policy
+    /// (mirrors the paper's 1024-generation buffer bound; without it a
+    /// long-lived decoder VNF leaks one `GenerationDecoder` per generation
+    /// forever).
+    pub evicted_decoders: u64,
 }
 
 /// What a VNF produced for one input packet.
@@ -67,13 +72,63 @@ pub enum VnfDecision {
     Nothing,
 }
 
+/// One input packet, either already owned or still borrowed from a
+/// receive buffer. The distinction only matters when the input must
+/// travel on verbatim: an owned packet forwards by reference-count bump,
+/// a view is copied into pooled storage at that point (and only then).
+enum Input<'a> {
+    Packet(&'a CodedPacket),
+    View(PacketView<'a>),
+}
+
+impl Input<'_> {
+    fn session(&self) -> SessionId {
+        match self {
+            Input::Packet(p) => p.session(),
+            Input::View(v) => v.session(),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        match self {
+            Input::Packet(p) => p.generation(),
+            Input::View(v) => v.generation(),
+        }
+    }
+
+    fn coefficients(&self) -> &[u8] {
+        match self {
+            Input::Packet(p) => p.coefficients(),
+            Input::View(v) => v.coefficients(),
+        }
+    }
+
+    fn payload(&self) -> &[u8] {
+        match self {
+            Input::Packet(p) => p.payload(),
+            Input::View(v) => v.payload(),
+        }
+    }
+
+    fn to_owned(&self, pool: &mut PayloadPool) -> CodedPacket {
+        match self {
+            Input::Packet(p) => (*p).clone(),
+            Input::View(v) => v.to_owned_pooled(pool),
+        }
+    }
+}
+
 /// Per-session state of the coding function.
 #[derive(Debug)]
 struct SessionState {
     role: VnfRole,
     buffer: SessionBuffer,
-    /// Decoder role: in-progress generations.
+    /// Decoder role: generation states, bounded by the same FIFO retention
+    /// policy as the recoder buffer (completed decoders stay until evicted
+    /// so late duplicates of a finished generation are still absorbed).
     decoders: HashMap<u64, GenerationDecoder>,
+    /// FIFO of decoder generations, oldest first.
+    decoder_order: VecDeque<u64>,
 }
 
 /// The virtual network coding function: a packet-in/packets-out state
@@ -134,6 +189,7 @@ impl CodingVnf {
                 role,
                 buffer: SessionBuffer::new(self.config, session, self.buffer_generations),
                 decoders: HashMap::new(),
+                decoder_order: VecDeque::new(),
             },
         );
     }
@@ -166,18 +222,56 @@ impl CodingVnf {
             .map(|r| r.rank())
     }
 
+    /// Live decoder generation states for a session (decoder role). The
+    /// retention policy keeps this at or below the configured buffer
+    /// capacity regardless of how many generations have flowed through.
+    pub fn decoder_count(&self, session: SessionId) -> usize {
+        self.sessions.get(&session).map_or(0, |s| s.decoders.len())
+    }
+
+    /// Counters of the VNF's internal buffer pool (hit rate ≈ 1.0 once the
+    /// forward/recode steady state is allocation-free).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Parses one raw datagram into a coded packet whose storage comes
+    /// from the VNF's buffer pool (recycle it back after processing and
+    /// sending). Malformed datagrams are counted in
+    /// [`VnfStats::malformed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates header parse failures.
+    pub fn parse_datagram(&mut self, data: &[u8]) -> Result<CodedPacket, HeaderError> {
+        match CodedPacket::from_bytes_pooled(
+            data,
+            self.config.blocks_per_generation(),
+            &mut self.pool,
+        ) {
+            Ok(pkt) => Ok(pkt),
+            Err(e) => {
+                self.stats.malformed += 1;
+                Err(e)
+            }
+        }
+    }
+
     /// Processes one raw datagram payload.
     ///
     /// Checks the NC header ("each VNF ... checks if a packet has the
     /// network coding protocol header"), then recodes / forwards / decodes
     /// according to the session's role.
     pub fn process_datagram<R: Rng + ?Sized>(&mut self, data: &[u8], rng: &mut R) -> VnfOutput {
-        match CodedPacket::from_bytes(data, self.config.blocks_per_generation()) {
-            Ok(pkt) => self.process_packet(&pkt, rng),
-            Err(HeaderError::BadMagic { .. }) | Err(HeaderError::Truncated { .. }) => {
-                self.stats.malformed += 1;
-                VnfOutput::Nothing
+        match self.parse_datagram(data) {
+            Ok(pkt) => {
+                let out = self.process_packet(&pkt, rng);
+                // Return the parsed packet's buffers to the pool (clones
+                // emitted to `out` keep them alive until they drop).
+                self.recycle(pkt);
+                out
             }
+            Err(_) => VnfOutput::Nothing,
         }
     }
 
@@ -226,21 +320,52 @@ impl CodingVnf {
         rng: &mut R,
         out: &mut Vec<CodedPacket>,
     ) -> VnfDecision {
+        self.process_input_into(Input::Packet(pkt), outputs, rng, out)
+    }
+
+    /// Processes one raw wire datagram without materializing the input:
+    /// the packet is parsed as a borrowed [`PacketView`], so the
+    /// recode/decode steady state reads coefficients and payload straight
+    /// from the receive buffer — the input is copied (into pooled
+    /// storage) only when it must travel on verbatim (forwarder role, or
+    /// the pipelined first packet of a generation). Malformed datagrams
+    /// are counted in [`VnfStats::malformed`].
+    pub fn process_wire_into<R: Rng + ?Sized>(
+        &mut self,
+        data: &[u8],
+        outputs: usize,
+        rng: &mut R,
+        out: &mut Vec<CodedPacket>,
+    ) -> VnfDecision {
+        let Ok(view) = PacketView::parse(data, self.config.blocks_per_generation()) else {
+            self.stats.malformed += 1;
+            return VnfDecision::Nothing;
+        };
+        self.process_input_into(Input::View(view), outputs, rng, out)
+    }
+
+    fn process_input_into<R: Rng + ?Sized>(
+        &mut self,
+        input: Input<'_>,
+        outputs: usize,
+        rng: &mut R,
+        out: &mut Vec<CodedPacket>,
+    ) -> VnfDecision {
         self.stats.packets_in += 1;
-        let Some(state) = self.sessions.get_mut(&pkt.session()) else {
+        let Some(state) = self.sessions.get_mut(&input.session()) else {
             self.stats.unknown_session += 1;
             return VnfDecision::Nothing;
         };
         match state.role {
             VnfRole::Forwarder => {
                 self.stats.packets_out += 1;
-                out.push(pkt.clone());
+                out.push(input.to_owned(&mut self.pool));
                 VnfDecision::Forwarded(1)
             }
             VnfRole::Recoder => {
-                let recoder = state.buffer.recoder_for(pkt.generation());
+                let recoder = state.buffer.recoder_for(input.generation());
                 let first = recoder.rank() == 0;
-                match recoder.absorb(pkt.coefficients(), pkt.payload()) {
+                match recoder.absorb(input.coefficients(), input.payload()) {
                     Ok(innovative) => {
                         if innovative {
                             self.stats.innovative_in += 1;
@@ -255,7 +380,7 @@ impl CodingVnf {
                             // generation passes through verbatim, later
                             // emissions are fresh recombinations.
                             if first && i == 0 {
-                                out.push(pkt.clone());
+                                out.push(input.to_owned(&mut self.pool));
                                 emitted += 1;
                                 continue;
                             }
@@ -265,7 +390,7 @@ impl CodingVnf {
                                     emitted += 1;
                                 }
                                 Err(CodecError::EmptyRecoder) => {
-                                    out.push(pkt.clone());
+                                    out.push(input.to_owned(&mut self.pool));
                                     emitted += 1;
                                 }
                                 Err(_) => break,
@@ -281,15 +406,27 @@ impl CodingVnf {
                 }
             }
             VnfRole::Decoder => {
-                let session = pkt.session();
+                let session = input.session();
+                if !state.decoders.contains_key(&input.generation()) {
+                    if state.decoder_order.len() >= self.buffer_generations {
+                        if let Some(evict) = state.decoder_order.pop_front() {
+                            state.decoders.remove(&evict);
+                            self.stats.evicted_decoders += 1;
+                        }
+                    }
+                    state.decoder_order.push_back(input.generation());
+                    state
+                        .decoders
+                        .insert(input.generation(), GenerationDecoder::new(self.config));
+                }
                 let decoder = state
                     .decoders
-                    .entry(pkt.generation())
-                    .or_insert_with(|| GenerationDecoder::new(self.config));
+                    .get_mut(&input.generation())
+                    .expect("just ensured");
                 if decoder.is_complete() {
                     return VnfDecision::Nothing;
                 }
-                match decoder.receive(pkt.coefficients(), pkt.payload()) {
+                match decoder.receive(input.coefficients(), input.payload()) {
                     Ok(outcome) => {
                         if matches!(outcome, ncvnf_rlnc::ReceiveOutcome::Innovative { .. }) {
                             self.stats.innovative_in += 1;
@@ -301,7 +438,7 @@ impl CodingVnf {
                             self.stats.generations_decoded += 1;
                             VnfDecision::Decoded {
                                 session,
-                                generation: pkt.generation(),
+                                generation: input.generation(),
                                 payload,
                             }
                         } else {

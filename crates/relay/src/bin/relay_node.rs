@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! relay_node [--data-port P] [--control-port P] [--session N]
-//!            [--role encoder|decoder|forwarder] [--next-hop ip:port]...
+//!            [--role encoder|recoder|decoder|forwarder] [--next-hop ip:port]...
 //!            [--block-size 1460] [--generation-size 4] [--stats-secs 10]
 //! ```
 //!
@@ -49,7 +49,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--role" => {
                 args.role = match value("--role")?.as_str() {
-                    "encoder" | "recoder" => VnfRoleWire::Encoder,
+                    "encoder" => VnfRoleWire::Encoder,
+                    "recoder" => VnfRoleWire::Recoder,
                     "decoder" => VnfRoleWire::Decoder,
                     "forwarder" => VnfRoleWire::Forwarder,
                     other => return Err(format!("unknown role {other}")),

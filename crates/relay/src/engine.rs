@@ -1,0 +1,334 @@
+//! The relay's datagram processing step, factored out of the socket loop.
+//!
+//! The hot path is structured around three rules:
+//!
+//! 1. **Process under the lock, send outside it.** The VNF mutex is held
+//!    only while the packet is parsed (into pooled buffers) and coded;
+//!    serialization and `send_to` run lock-free so the control thread can
+//!    swap tables without stalling behind socket syscalls.
+//! 2. **Zero per-packet heap operations once warm.** The ingress parse is
+//!    a borrowed [`PacketView`](ncvnf_rlnc::PacketView) over the receive
+//!    buffer (the input is copied — into recycled
+//!    [`PayloadPool`](ncvnf_rlnc::PayloadPool) storage — only when it is
+//!    forwarded verbatim), coding draws its outputs from the same pool,
+//!    serialization reuses a scratch wire buffer, and every emitted
+//!    packet is recycled back under the *next* packet's lock acquisition
+//!    (after its bytes have left via the socket).
+//!    `tests/relay_alloc_steady_state.rs` proves the warm forward/recode
+//!    step performs zero heap ops.
+//! 3. **No per-packet address parsing.** Next hops come from a
+//!    [`RouteCache`] of pre-resolved [`SocketAddr`]s, rebuilt only when
+//!    the control thread applies a forwarding-table swap.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+
+use ncvnf_control::ForwardingTable;
+use ncvnf_dataplane::{chunk_generation, CodingVnf, VnfDecision};
+use ncvnf_rlnc::{CodedPacket, SessionId};
+
+/// Session → resolved next-hop socket addresses.
+///
+/// The forwarding table stores next hops as text (`ip:port` strings, per
+/// the paper's text-file format); resolving them per packet would put a
+/// `String → SocketAddr` parse on the hot path. The cache resolves each
+/// hop once, on [`rebuild`](Self::rebuild), which the relay calls only on
+/// `TableSwapped` control events.
+#[derive(Debug, Default)]
+pub struct RouteCache {
+    routes: HashMap<SessionId, Vec<SocketAddr>>,
+}
+
+impl RouteCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        RouteCache::default()
+    }
+
+    /// Number of sessions with at least one resolved next hop.
+    pub fn sessions(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Re-resolves every table entry. Hops that do not parse as socket
+    /// addresses are skipped (the simulator's `node:port` strings, say);
+    /// sessions whose hops all fail to resolve get no entry.
+    pub fn rebuild(&mut self, table: &ForwardingTable) {
+        self.routes.clear();
+        for (session, hops) in table.iter() {
+            let resolved: Vec<SocketAddr> = hops.iter().filter_map(|h| h.parse().ok()).collect();
+            if !resolved.is_empty() {
+                self.routes.insert(session, resolved);
+            }
+        }
+    }
+
+    /// Copies the session's resolved next hops into `out` (cleared first).
+    /// `SocketAddr` is `Copy`, so with a settled `out` capacity the lookup
+    /// allocates nothing.
+    pub fn lookup_into(&self, session: SessionId, out: &mut Vec<SocketAddr>) {
+        out.clear();
+        if let Some(hops) = self.routes.get(&session) {
+            out.extend_from_slice(hops);
+        }
+    }
+}
+
+/// The lock-protected half of the relay data path: the coding VNF and the
+/// RNG its recoding coefficients are drawn from.
+#[derive(Debug)]
+pub struct RelayEngine {
+    vnf: CodingVnf,
+    rng: StdRng,
+}
+
+impl RelayEngine {
+    /// Wraps a configured VNF and coefficient RNG.
+    pub fn new(vnf: CodingVnf, rng: StdRng) -> Self {
+        RelayEngine { vnf, rng }
+    }
+
+    /// The wrapped VNF (for stats and role configuration).
+    pub fn vnf(&self) -> &CodingVnf {
+        &self.vnf
+    }
+
+    /// Mutable access to the wrapped VNF (control-plane reconfiguration).
+    pub fn vnf_mut(&mut self) -> &mut CodingVnf {
+        &mut self.vnf
+    }
+}
+
+/// Reusable per-thread scratch for [`relay_step`]: output packets, packets
+/// awaiting recycling, the serialized wire image, and resolved addresses.
+/// Every buffer's capacity settles after a few packets, after which the
+/// step allocates nothing.
+#[derive(Debug, Default)]
+pub struct RelayScratch {
+    /// Packets emitted by the current step.
+    out: Vec<CodedPacket>,
+    /// Packets from the previous step, recycled under the next lock.
+    pending: Vec<CodedPacket>,
+    /// Serialized wire image of one outgoing packet.
+    wire: Vec<u8>,
+    /// Resolved next hops of the current packet's session.
+    addrs: Vec<SocketAddr>,
+}
+
+impl RelayScratch {
+    /// Fresh scratch; buffers grow to their steady-state capacity over the
+    /// first few packets.
+    pub fn new() -> Self {
+        RelayScratch::default()
+    }
+}
+
+/// What one [`relay_step`] call did, for the caller's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Coded packets (or decoded chunks) produced by the VNF.
+    pub emitted: u64,
+    /// `send` invocations attempted (packets × next hops).
+    pub send_attempts: u64,
+    /// `send` invocations that reported success.
+    pub sends_ok: u64,
+}
+
+/// Processes one received datagram through the relay data path.
+///
+/// Under the `engine` lock: recycle the previous step's packets, parse
+/// `datagram` into pooled buffers, and run the VNF. Outside the lock:
+/// resolve next hops from `routes` (a brief second lock), serialize into
+/// the scratch wire buffer, and hand each (hop, bytes) pair to `send` —
+/// which returns whether the transmission succeeded. Emitted packets stay
+/// in `scratch` until the next call recycles them.
+pub fn relay_step(
+    engine: &Mutex<RelayEngine>,
+    routes: &Mutex<RouteCache>,
+    scratch: &mut RelayScratch,
+    datagram: &[u8],
+    send: &mut dyn FnMut(SocketAddr, &[u8]) -> bool,
+) -> StepReport {
+    let mut report = StepReport::default();
+    let (decision, block_size) = {
+        let mut guard = engine.lock();
+        let engine = &mut *guard;
+        for pkt in scratch.pending.drain(..) {
+            engine.vnf.recycle(pkt);
+        }
+        let block_size = engine.vnf.config().block_size();
+        // The datagram is processed as a borrowed view — the recode and
+        // decode steady states never copy the input; only a verbatim
+        // pass-through (forwarder role, first packet of a generation)
+        // materializes it from pooled storage into `out`.
+        let decision = engine
+            .vnf
+            .process_wire_into(datagram, 1, &mut engine.rng, &mut scratch.out);
+        (decision, block_size)
+    };
+    match decision {
+        VnfDecision::Forwarded(n) => {
+            report.emitted = n as u64;
+            if let Some(first) = scratch.out.first() {
+                routes
+                    .lock()
+                    .lookup_into(first.session(), &mut scratch.addrs);
+            }
+            if !scratch.addrs.is_empty() {
+                for pkt in &scratch.out {
+                    scratch.wire.clear();
+                    pkt.write_into(&mut scratch.wire);
+                    for &hop in &scratch.addrs {
+                        report.send_attempts += 1;
+                        if send(hop, &scratch.wire) {
+                            report.sends_ok += 1;
+                        }
+                    }
+                }
+            }
+            scratch.pending.append(&mut scratch.out);
+        }
+        VnfDecision::Decoded {
+            session,
+            generation,
+            payload,
+        } => {
+            // Decoder egress: the recovered generation leaves as plain
+            // MTU-sized chunks. This path allocates (fresh payload per
+            // decoded generation) — it is per-generation, not per-packet.
+            routes.lock().lookup_into(session, &mut scratch.addrs);
+            if !scratch.addrs.is_empty() {
+                for chunk in chunk_generation(generation, &payload, block_size) {
+                    report.emitted += 1;
+                    let wire = chunk.to_bytes();
+                    for &hop in &scratch.addrs {
+                        report.send_attempts += 1;
+                        if send(hop, &wire) {
+                            report.sends_ok += 1;
+                        }
+                    }
+                }
+            }
+        }
+        VnfDecision::Nothing => {}
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncvnf_dataplane::VnfRole;
+    use ncvnf_rlnc::{GenerationConfig, GenerationEncoder, SessionId};
+    use rand::SeedableRng;
+
+    fn cfg() -> GenerationConfig {
+        GenerationConfig::new(32, 4).unwrap()
+    }
+
+    fn engine_with_role(role: VnfRole) -> Mutex<RelayEngine> {
+        let mut vnf = CodingVnf::new(cfg(), 16);
+        vnf.set_role(SessionId::new(1), role);
+        Mutex::new(RelayEngine::new(vnf, StdRng::seed_from_u64(7)))
+    }
+
+    fn routes_to(addr: &str) -> Mutex<RouteCache> {
+        let mut table = ForwardingTable::new();
+        table.set(SessionId::new(1), vec![addr.to_string()]);
+        let mut cache = RouteCache::new();
+        cache.rebuild(&table);
+        Mutex::new(cache)
+    }
+
+    #[test]
+    fn forwarder_step_emits_one_wire_copy_per_hop() {
+        let engine = engine_with_role(VnfRole::Forwarder);
+        let routes = routes_to("127.0.0.1:9000");
+        let mut scratch = RelayScratch::new();
+        let enc = GenerationEncoder::new(cfg(), &[5u8; 128]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let wire = enc.coded_packet(SessionId::new(1), 0, &mut rng).to_bytes();
+        let mut sent = Vec::new();
+        let mut send = |hop: SocketAddr, bytes: &[u8]| {
+            sent.push((hop, bytes.to_vec()));
+            true
+        };
+        let report = relay_step(&engine, &routes, &mut scratch, &wire, &mut send);
+        assert_eq!(report.emitted, 1);
+        assert_eq!(report.send_attempts, 1);
+        assert_eq!(report.sends_ok, 1);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].1, wire.to_vec(), "forwarder passes bytes through");
+    }
+
+    #[test]
+    fn recoder_step_outputs_decodable_packets() {
+        use ncvnf_rlnc::GenerationDecoder;
+        let engine = engine_with_role(VnfRole::Recoder);
+        let routes = routes_to("127.0.0.1:9001");
+        let mut scratch = RelayScratch::new();
+        let data: Vec<u8> = (0..128u32).map(|i| (i * 3) as u8).collect();
+        let enc = GenerationEncoder::new(cfg(), &data).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut dec = GenerationDecoder::new(cfg());
+        let mut steps = 0;
+        while !dec.is_complete() {
+            let wire = enc.coded_packet(SessionId::new(1), 0, &mut rng).to_bytes();
+            let mut send = |_hop: SocketAddr, bytes: &[u8]| {
+                let pkt = CodedPacket::from_bytes(bytes, 4).unwrap();
+                let _ = dec.receive(pkt.coefficients(), pkt.payload());
+                true
+            };
+            relay_step(&engine, &routes, &mut scratch, &wire, &mut send);
+            steps += 1;
+            assert!(steps < 64, "recode chain failed to converge");
+        }
+        assert_eq!(dec.decoded_payload().unwrap(), data);
+    }
+
+    #[test]
+    fn unroutable_session_sends_nothing_but_still_codes() {
+        let engine = engine_with_role(VnfRole::Recoder);
+        let routes = Mutex::new(RouteCache::new());
+        let mut scratch = RelayScratch::new();
+        let enc = GenerationEncoder::new(cfg(), &[9u8; 128]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let wire = enc.coded_packet(SessionId::new(1), 0, &mut rng).to_bytes();
+        let mut send = |_hop: SocketAddr, _bytes: &[u8]| panic!("no hops resolved");
+        let report = relay_step(&engine, &routes, &mut scratch, &wire, &mut send);
+        assert_eq!(report.send_attempts, 0);
+        assert_eq!(engine.lock().vnf().stats().packets_in, 1);
+    }
+
+    #[test]
+    fn malformed_datagram_is_counted_and_ignored() {
+        let engine = engine_with_role(VnfRole::Recoder);
+        let routes = routes_to("127.0.0.1:9002");
+        let mut scratch = RelayScratch::new();
+        let mut send = |_hop: SocketAddr, _bytes: &[u8]| panic!("nothing to send");
+        let report = relay_step(&engine, &routes, &mut scratch, b"junk", &mut send);
+        assert_eq!(report, StepReport::default());
+        assert_eq!(engine.lock().vnf().stats().malformed, 1);
+    }
+
+    #[test]
+    fn route_cache_skips_unresolvable_hops() {
+        let mut table = ForwardingTable::new();
+        table.set(
+            SessionId::new(1),
+            vec!["127.0.0.1:4000".into(), "not-an-addr".into()],
+        );
+        table.set(SessionId::new(2), vec!["nodeA:4000".into()]);
+        let mut cache = RouteCache::new();
+        cache.rebuild(&table);
+        assert_eq!(cache.sessions(), 1);
+        let mut out = Vec::new();
+        cache.lookup_into(SessionId::new(1), &mut out);
+        assert_eq!(out, vec!["127.0.0.1:4000".parse::<SocketAddr>().unwrap()]);
+        cache.lookup_into(SessionId::new(2), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -18,8 +18,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod node;
 mod transfer;
 
+pub use engine::{relay_step, RelayEngine, RelayScratch, RouteCache, StepReport};
 pub use node::{RelayConfig, RelayHandle, RelayNode, RelayStats};
 pub use transfer::{chain, send_object, ObjectReceiver, ReceiverReport, TransferConfig};

@@ -1,4 +1,11 @@
 //! A coding VNF behind real UDP sockets.
+//!
+//! Threading model (see DESIGN.md §"Relay threading model"): the data
+//! thread runs [`relay_step`] — process under the VNF lock, serialize and
+//! `send_to` outside it — while the control thread owns the forwarding
+//! table and rebuilds the resolved [`RouteCache`] only on table swaps.
+//! Transient socket errors never kill a loop; they are counted in
+//! [`RelayStats::io_errors`] and retried until `running` clears.
 
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -13,8 +20,10 @@ use rand::SeedableRng;
 use ncvnf_control::daemon::{Daemon, DaemonEvent};
 use ncvnf_control::signal::{Signal, VnfRoleWire};
 use ncvnf_control::ForwardingTable;
-use ncvnf_dataplane::{CodingVnf, VnfRole};
-use ncvnf_rlnc::{GenerationConfig, SessionId};
+use ncvnf_dataplane::{CodingVnf, VnfRole, VnfStats};
+use ncvnf_rlnc::{GenerationConfig, PoolStats};
+
+use crate::engine::{relay_step, RelayEngine, RelayScratch, RouteCache};
 
 /// Configuration of a relay process.
 #[derive(Debug, Clone)]
@@ -44,17 +53,30 @@ pub struct RelayStats {
     pub datagrams_in: u64,
     /// Datagrams sent to next hops.
     pub datagrams_out: u64,
+    /// `send_to` attempts (packets × next hops), successful or not.
+    pub sends: u64,
+    /// Socket errors survived (failed sends plus non-timeout receive
+    /// errors on either loop).
+    pub io_errors: u64,
     /// Control signals processed.
     pub signals: u64,
+    /// Control signals rejected with an `ERR` reply (undecodable frame or
+    /// an invalid forwarding table).
+    pub rejected_signals: u64,
 }
 
 struct Shared {
-    vnf: Mutex<(CodingVnf, ForwardingTable, StdRng)>,
+    engine: Mutex<RelayEngine>,
+    routes: Mutex<RouteCache>,
+    table: Mutex<ForwardingTable>,
     daemon: Mutex<Daemon>,
     running: AtomicBool,
     datagrams_in: AtomicU64,
     datagrams_out: AtomicU64,
+    sends: AtomicU64,
+    io_errors: AtomicU64,
     signals: AtomicU64,
+    rejected_signals: AtomicU64,
 }
 
 /// A live relay: two sockets, two threads.
@@ -79,13 +101,27 @@ impl RelayHandle {
         RelayStats {
             datagrams_in: self.shared.datagrams_in.load(Ordering::Relaxed),
             datagrams_out: self.shared.datagrams_out.load(Ordering::Relaxed),
+            sends: self.shared.sends.load(Ordering::Relaxed),
+            io_errors: self.shared.io_errors.load(Ordering::Relaxed),
             signals: self.shared.signals.load(Ordering::Relaxed),
+            rejected_signals: self.shared.rejected_signals.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot of the coding VNF's counters (briefly takes the VNF lock).
+    pub fn vnf_stats(&self) -> VnfStats {
+        self.shared.engine.lock().vnf().stats()
+    }
+
+    /// Snapshot of the VNF buffer pool's counters (hit rate ≈ 1.0 once the
+    /// forward/recode steady state is allocation-free).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.engine.lock().vnf().pool_stats()
     }
 
     /// The relay's current forwarding table (text form).
     pub fn table_text(&self) -> String {
-        self.shared.vnf.lock().1.to_text()
+        self.shared.table.lock().to_text()
     }
 }
 
@@ -108,16 +144,17 @@ impl RelayNode {
 
         let vnf = CodingVnf::new(config.generation, config.buffer_generations);
         let shared = Arc::new(Shared {
-            vnf: Mutex::new((
-                vnf,
-                ForwardingTable::new(),
-                StdRng::seed_from_u64(config.seed),
-            )),
+            engine: Mutex::new(RelayEngine::new(vnf, StdRng::seed_from_u64(config.seed))),
+            routes: Mutex::new(RouteCache::new()),
+            table: Mutex::new(ForwardingTable::new()),
             daemon: Mutex::new(Daemon::new()),
             running: AtomicBool::new(true),
             datagrams_in: AtomicU64::new(0),
             datagrams_out: AtomicU64::new(0),
+            sends: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
             signals: AtomicU64::new(0),
+            rejected_signals: AtomicU64::new(0),
         });
 
         let mut threads = Vec::new();
@@ -129,10 +166,7 @@ impl RelayNode {
         {
             let shared = Arc::clone(&shared);
             let socket = control_socket;
-            let buffer_generations = config.buffer_generations;
-            threads.push(std::thread::spawn(move || {
-                control_loop(socket, shared, buffer_generations)
-            }));
+            threads.push(std::thread::spawn(move || control_loop(socket, shared)));
         }
         Ok(RelayNode {
             data_addr,
@@ -158,112 +192,115 @@ impl RelayNode {
     }
 }
 
+/// True for the receive-timeout errors the 20 ms poll loop expects.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 fn data_loop(socket: UdpSocket, shared: Arc<Shared>) {
     let mut buf = vec![0u8; 65536];
+    let mut scratch = RelayScratch::new();
     while shared.running.load(Ordering::Relaxed) {
         let n = match socket.recv_from(&mut buf) {
             Ok((n, _src)) => n,
-            Err(ref e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
+            Err(ref e) if is_timeout(e) => continue,
+            Err(_) => {
+                // Transient receive error (e.g. a previous send raised
+                // ECONNREFUSED on this socket): count it and keep
+                // serving. Only `running` stops the loop.
+                shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
-            Err(_) => break,
         };
         shared.datagrams_in.fetch_add(1, Ordering::Relaxed);
-        let mut guard = shared.vnf.lock();
-        let (vnf, table, rng) = &mut *guard;
-        let block_size = vnf.config().block_size();
-        match vnf.process_datagram(&buf[..n], rng) {
-            ncvnf_dataplane::VnfOutput::Forward(packets) => {
-                for pkt in packets {
-                    let hops = next_hop_addrs(table, pkt.session());
-                    if hops.is_empty() {
-                        continue;
-                    }
-                    let wire = pkt.to_bytes();
-                    for hop in hops {
-                        if socket.send_to(&wire, hop).is_ok() {
-                            shared.datagrams_out.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-            }
-            ncvnf_dataplane::VnfOutput::Decoded {
-                session,
-                generation,
-                payload,
-            } => {
-                // Decoder role: forward the recovered payload to the
-                // destinations as plain MTU-sized chunks.
-                let hops = next_hop_addrs(table, session);
-                for chunk in ncvnf_dataplane::chunk_generation(generation, &payload, block_size) {
-                    let wire = chunk.to_bytes();
-                    for hop in &hops {
-                        if socket.send_to(&wire, hop).is_ok() {
-                            shared.datagrams_out.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-            }
-            ncvnf_dataplane::VnfOutput::Nothing => {}
-        }
+        let mut send = |hop: SocketAddr, bytes: &[u8]| socket.send_to(bytes, hop).is_ok();
+        let report = relay_step(
+            &shared.engine,
+            &shared.routes,
+            &mut scratch,
+            &buf[..n],
+            &mut send,
+        );
+        shared
+            .sends
+            .fetch_add(report.send_attempts, Ordering::Relaxed);
+        shared
+            .datagrams_out
+            .fetch_add(report.sends_ok, Ordering::Relaxed);
+        shared
+            .io_errors
+            .fetch_add(report.send_attempts - report.sends_ok, Ordering::Relaxed);
     }
 }
 
-fn control_loop(socket: UdpSocket, shared: Arc<Shared>, buffer_generations: usize) {
+fn control_loop(socket: UdpSocket, shared: Arc<Shared>) {
     let mut buf = vec![0u8; 65536];
     while shared.running.load(Ordering::Relaxed) {
         let (n, src) = match socket.recv_from(&mut buf) {
             Ok(x) => x,
-            Err(ref e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
+            Err(ref e) if is_timeout(e) => continue,
+            Err(_) => {
+                shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
-            Err(_) => break,
         };
         let Ok((signal, _)) = Signal::from_bytes(&buf[..n]) else {
+            // Undecodable frame: tell the caller instead of staying
+            // silent, so controllers timing the round trip see failure.
+            shared.rejected_signals.fetch_add(1, Ordering::Relaxed);
+            let _ = socket.send_to(b"ERR", src);
             continue;
         };
         shared.signals.fetch_add(1, Ordering::Relaxed);
         let events = shared.daemon.lock().handle(&signal, 0.0);
+        // The daemon swallows an invalid table (bad parse → no events);
+        // distinguish that rejection from signals that legitimately have
+        // no local side effects (NC_VNF_START).
+        let rejected = matches!(&signal, Signal::NcForwardTab { .. }) && events.is_empty();
         for ev in events {
             match ev {
                 DaemonEvent::ConfigureSession { session, role, .. } => {
-                    let mut guard = shared.vnf.lock();
                     let role = match role {
+                        VnfRoleWire::Recoder => VnfRole::Recoder,
+                        // Legacy wire compat: controllers predating the
+                        // explicit Recoder variant configured in-network
+                        // recoding by sending Encoder.
                         VnfRoleWire::Encoder => VnfRole::Recoder,
                         VnfRoleWire::Decoder => VnfRole::Decoder,
                         VnfRoleWire::Forwarder => VnfRole::Forwarder,
                     };
-                    guard.0.set_role(session, role);
-                    let _ = buffer_generations;
+                    shared.engine.lock().vnf_mut().set_role(session, role);
                 }
                 DaemonEvent::TableSwapped { .. } => {
                     // The daemon already validated the table text; merge
-                    // the delta into the data path under the lock (the
-                    // pause of the SIGUSR1 sequence).
+                    // the delta into the authoritative table and rebuild
+                    // the resolved next-hop cache (the pause of the
+                    // SIGUSR1 sequence). The data thread keeps coding:
+                    // its per-packet route lookup picks up the new cache
+                    // on its next packet.
                     if let Signal::NcForwardTab { table } = &signal {
                         if let Ok(parsed) = ForwardingTable::parse(table) {
-                            shared.vnf.lock().1.merge(&parsed);
+                            let mut authoritative = shared.table.lock();
+                            authoritative.merge(&parsed);
+                            shared.routes.lock().rebuild(&authoritative);
                         }
                     }
                 }
                 _ => {}
             }
         }
-        // Acknowledge so callers can time the full round trip.
-        let _ = socket.send_to(b"OK", src);
+        // Acknowledge so callers can time the full round trip — and can
+        // distinguish a rejected signal from an applied one.
+        if rejected {
+            shared.rejected_signals.fetch_add(1, Ordering::Relaxed);
+            let _ = socket.send_to(b"ERR", src);
+        } else {
+            let _ = socket.send_to(b"OK", src);
+        }
     }
-}
-
-/// Resolves a session's next hops from the table into socket addresses.
-fn next_hop_addrs(table: &ForwardingTable, session: SessionId) -> Vec<SocketAddr> {
-    table
-        .next_hops(session)
-        .map(|hops| hops.iter().filter_map(|h| h.parse().ok()).collect())
-        .unwrap_or_default()
 }

@@ -1,0 +1,164 @@
+//! The relay processing step is allocation-free at steady state.
+//!
+//! Extends the rlnc counting-allocator test to the full relay data path:
+//! after warm-up, a [`relay_step`] cycle — recycle the previous packets,
+//! parse the datagram into pooled buffers, recode (or pass through),
+//! serialize into the scratch wire buffer, send — must perform zero heap
+//! operations, for both the forwarder and recoder roles. The counter is
+//! scoped to the measuring thread so harness threads (e.g. libtest's
+//! result-channel lazy init) cannot pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ncvnf_control::ForwardingTable;
+use ncvnf_dataplane::{CodingVnf, VnfRole};
+use ncvnf_relay::{relay_step, RelayEngine, RelayScratch, RouteCache};
+use ncvnf_rlnc::{GenerationConfig, GenerationEncoder, SessionId};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct CountingAlloc;
+
+static HEAP_OPS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // Count only allocations made by the thread under measurement: the
+    // libtest main thread lazily initializes its mpsc receiver context
+    // (one-time ~48 B Arc) while blocked waiting for the test result,
+    // which otherwise races into the measured window. Const-initialized
+    // native TLS for a `Cell<bool>` never allocates, so reading the flag
+    // inside the allocator is safe.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting_here() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting_here() {
+            HEAP_OPS.fetch_add(1, Ordering::SeqCst);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting_here() {
+            HEAP_OPS.fetch_add(1, Ordering::SeqCst);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Number of heap allocations (incl. reallocations) performed by `work`
+/// on the calling thread.
+fn heap_ops_during(mut work: impl FnMut()) -> u64 {
+    let before = HEAP_OPS.load(Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    work();
+    COUNTING.with(|c| c.set(false));
+    HEAP_OPS.load(Ordering::SeqCst) - before
+}
+
+const BLOCK: usize = 1460;
+const G: usize = 4;
+
+fn relay_with_role(role: VnfRole) -> Mutex<RelayEngine> {
+    let config = GenerationConfig::new(BLOCK, G).expect("valid layout");
+    let mut vnf = CodingVnf::new(config, 16);
+    vnf.set_role(SessionId::new(1), role);
+    Mutex::new(RelayEngine::new(vnf, StdRng::seed_from_u64(0xA110_C002)))
+}
+
+fn routes() -> Mutex<RouteCache> {
+    let mut table = ForwardingTable::new();
+    table.set(SessionId::new(1), vec!["127.0.0.1:9000".to_string()]);
+    let mut cache = RouteCache::new();
+    cache.rebuild(&table);
+    Mutex::new(cache)
+}
+
+/// One step per pre-serialized wire datagram, with a send sink that only
+/// reads the bytes (a checksum stands in for the `send_to` syscall).
+fn drive(
+    engine: &Mutex<RelayEngine>,
+    routes: &Mutex<RouteCache>,
+    scratch: &mut RelayScratch,
+    wires: &[Vec<u8>],
+    sink: &mut u64,
+) {
+    for wire in wires {
+        let mut send = |_hop: SocketAddr, bytes: &[u8]| {
+            *sink = sink.wrapping_add(bytes.iter().map(|&b| b as u64).sum::<u64>());
+            true
+        };
+        relay_step(engine, routes, scratch, wire, &mut send);
+    }
+}
+
+#[test]
+fn warm_relay_forward_and_recode_steps_do_not_allocate() {
+    let config = GenerationConfig::new(BLOCK, G).expect("valid layout");
+    let data: Vec<u8> = (0..config.generation_payload())
+        .map(|i| (i * 7 + 3) as u8)
+        .collect();
+    let enc = GenerationEncoder::new(config, &data).expect("valid generation");
+    let mut rng = StdRng::seed_from_u64(0xA110_C003);
+    // A ring of pre-serialized datagrams for one generation: the steady
+    // state of a relay serving a session (the generation reaches full rank
+    // during warm-up, after which absorb is a cheap early return).
+    let wires: Vec<Vec<u8>> = (0..32)
+        .map(|_| {
+            enc.coded_packet(SessionId::new(1), 0, &mut rng)
+                .to_bytes()
+                .to_vec()
+        })
+        .collect();
+    let mut sink = 0u64;
+
+    for role in [VnfRole::Recoder, VnfRole::Forwarder] {
+        let engine = relay_with_role(role);
+        let routes = routes();
+        let mut scratch = RelayScratch::new();
+
+        // Warm-up: fills the pool, brings the generation to full rank, and
+        // settles every scratch buffer at its final capacity.
+        for _ in 0..8 {
+            drive(&engine, &routes, &mut scratch, &wires, &mut sink);
+        }
+
+        let steps = 4 * wires.len() as u64;
+        let allocs = heap_ops_during(|| {
+            for _ in 0..4 {
+                drive(&engine, &routes, &mut scratch, &wires, &mut sink);
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "warm {role:?} relay step must not touch the heap ({steps} datagrams)"
+        );
+
+        let stats = engine.lock().vnf().stats();
+        assert_eq!(stats.packets_in, 12 * wires.len() as u64);
+        assert_eq!(stats.malformed, 0);
+        let pool = engine.lock().vnf().pool_stats();
+        assert!(
+            pool.hit_rate() > 0.9,
+            "steady state should run from recycled buffers (hit rate {})",
+            pool.hit_rate()
+        );
+    }
+    assert_ne!(sink, 0, "send sink observed real bytes");
+}

@@ -17,6 +17,7 @@
 use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::error::HeaderError;
+use crate::pool::PayloadPool;
 
 /// Magic byte identifying an NC packet.
 pub const NC_MAGIC: u8 = 0xAC;
@@ -184,12 +185,29 @@ impl CodedPacket {
         (self.header, self.payload)
     }
 
+    /// Total wire length of this packet (header + payload).
+    pub fn wire_len(&self) -> usize {
+        self.header.encoded_len() + self.payload.len()
+    }
+
     /// Serializes header + payload into a single wire buffer.
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.header.encoded_len() + self.payload.len());
+        let mut buf = BytesMut::with_capacity(self.wire_len());
         self.header.encode_into(&mut buf);
         buf.put_slice(&self.payload);
         buf.freeze()
+    }
+
+    /// Appends the wire form to `out` (the relay hot path: with a reused
+    /// `out` of settled capacity, serialization performs no allocation,
+    /// unlike [`to_bytes`](Self::to_bytes) which builds a fresh buffer).
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        out.push(NC_MAGIC);
+        out.push(NC_VERSION);
+        out.extend_from_slice(&self.header.session.value().to_be_bytes());
+        out.extend_from_slice(&(self.header.generation as u32).to_be_bytes());
+        out.extend_from_slice(&self.header.coefficients);
+        out.extend_from_slice(&self.payload);
     }
 
     /// Parses a wire buffer produced by [`CodedPacket::to_bytes`].
@@ -204,6 +222,106 @@ impl CodedPacket {
             header,
             payload: Bytes::copy_from_slice(&data[consumed..]),
         })
+    }
+
+    /// Like [`from_bytes`](Self::from_bytes), but the coefficient and
+    /// payload storage come from `pool` — with a warm pool the ingress
+    /// parse copies wire bytes into recycled buffers instead of
+    /// allocating two fresh ones per packet. Recycle the packet back into
+    /// the pool once processing is done.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`from_bytes`](Self::from_bytes).
+    pub fn from_bytes_pooled(
+        data: &[u8],
+        generation_size: usize,
+        pool: &mut PayloadPool,
+    ) -> Result<Self, HeaderError> {
+        Ok(PacketView::parse(data, generation_size)?.to_owned_pooled(pool))
+    }
+}
+
+/// A zero-copy view of a coded packet still sitting in a receive buffer.
+///
+/// The relay hot path parses ingress datagrams into a view instead of an
+/// owned [`CodedPacket`]: a recoding or decoding VNF only *reads* the
+/// coefficients and payload, so copying them into per-packet buffers is
+/// wasted work unless the packet itself must travel on verbatim — in
+/// which case [`to_owned_pooled`](Self::to_owned_pooled) materializes it
+/// from recycled pool storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketView<'a> {
+    session: SessionId,
+    generation: u64,
+    coefficients: &'a [u8],
+    payload: &'a [u8],
+}
+
+impl<'a> PacketView<'a> {
+    /// Parses a wire buffer without copying anything, with the same
+    /// validation as [`CodedPacket::from_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`HeaderError::BadMagic`] if the buffer is not an NC packet;
+    /// [`HeaderError::Truncated`] if it is too short.
+    pub fn parse(data: &'a [u8], generation_size: usize) -> Result<Self, HeaderError> {
+        let needed = NcHeader::FIXED_LEN + generation_size;
+        if data.is_empty() {
+            return Err(HeaderError::Truncated {
+                needed,
+                available: 0,
+            });
+        }
+        if data[0] != NC_MAGIC {
+            return Err(HeaderError::BadMagic { found: data[0] });
+        }
+        if data.len() < needed {
+            return Err(HeaderError::Truncated {
+                needed,
+                available: data.len(),
+            });
+        }
+        Ok(PacketView {
+            session: SessionId::new(u16::from_be_bytes([data[2], data[3]])),
+            generation: u32::from_be_bytes([data[4], data[5], data[6], data[7]]) as u64,
+            coefficients: &data[NcHeader::FIXED_LEN..needed],
+            payload: &data[needed..],
+        })
+    }
+
+    /// The session this packet belongs to.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// The generation number.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The encoding coefficient vector.
+    pub fn coefficients(&self) -> &'a [u8] {
+        self.coefficients
+    }
+
+    /// The encoded block carried by this packet.
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// Copies the view into an owned packet backed by recycled buffers
+    /// from `pool` (recycle it back once sent).
+    pub fn to_owned_pooled(&self, pool: &mut PayloadPool) -> CodedPacket {
+        CodedPacket {
+            header: NcHeader {
+                session: self.session,
+                generation: self.generation,
+                coefficients: pool.checkout_copy(self.coefficients).freeze(),
+            },
+            payload: pool.checkout_copy(self.payload).freeze(),
+        }
     }
 }
 
@@ -229,6 +347,49 @@ mod tests {
         assert_eq!(wire.len(), 8 + 4 + 13);
         let back = CodedPacket::from_bytes(&wire, 4).unwrap();
         assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn pooled_parse_and_write_into_match_allocating_twins() {
+        let pkt = sample();
+        let wire = pkt.to_bytes();
+        let mut pool = PayloadPool::new();
+        let back = CodedPacket::from_bytes_pooled(&wire, 4, &mut pool).unwrap();
+        assert_eq!(back, pkt);
+        let mut out = Vec::new();
+        back.write_into(&mut out);
+        assert_eq!(&out[..], &wire[..]);
+        assert_eq!(out.len(), back.wire_len());
+        // The pooled parse's buffers go back to the free list.
+        assert_eq!(pool.recycle(back), 2);
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn view_parse_borrows_and_owned_copy_matches() {
+        let pkt = sample();
+        let wire = pkt.to_bytes();
+        let view = PacketView::parse(&wire, 4).unwrap();
+        assert_eq!(view.session(), pkt.session());
+        assert_eq!(view.generation(), pkt.generation());
+        assert_eq!(view.coefficients(), pkt.coefficients());
+        assert_eq!(view.payload(), pkt.payload());
+        let mut pool = PayloadPool::new();
+        let owned = view.to_owned_pooled(&mut pool);
+        assert_eq!(owned, pkt);
+        assert!(PacketView::parse(&wire[..6], 4).is_err());
+        assert!(PacketView::parse(b"\x00junk-not-nc", 4).is_err());
+    }
+
+    #[test]
+    fn pooled_parse_rejects_bad_input() {
+        let mut pool = PayloadPool::new();
+        let mut wire = sample().to_bytes().to_vec();
+        wire[0] = 0x00;
+        assert!(CodedPacket::from_bytes_pooled(&wire, 4, &mut pool).is_err());
+        assert!(CodedPacket::from_bytes_pooled(&[], 4, &mut pool).is_err());
+        assert!(CodedPacket::from_bytes_pooled(&[NC_MAGIC, 1, 0], 4, &mut pool).is_err());
+        assert_eq!(pool.stats().checkouts, 0, "failed parses never checkout");
     }
 
     #[test]

@@ -57,9 +57,9 @@ pub use config::GenerationConfig;
 pub use decoder::{GenerationDecoder, ReceiveOutcome};
 pub use encoder::GenerationEncoder;
 pub use error::{CodecError, HeaderError};
-pub use header::{CodedPacket, NcHeader, SessionId};
+pub use header::{CodedPacket, NcHeader, PacketView, SessionId};
 pub use object::{ObjectDecoder, ObjectEncoder};
-pub use pool::PayloadPool;
+pub use pool::{PayloadPool, PoolStats};
 pub use rank::RankTracker;
 pub use recoder::Recoder;
 pub use redundancy::RedundancyPolicy;

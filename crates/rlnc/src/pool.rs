@@ -13,6 +13,32 @@ use bytes::{Bytes, BytesMut};
 
 use crate::header::CodedPacket;
 
+/// Counters exposed by a [`PayloadPool`]: how often checkouts were served
+/// from recycled buffers versus fresh allocations, and how reclamation
+/// fared. `hits / checkouts` is the pool hit rate an operator watches to
+/// confirm the data path runs allocation-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers checked out of the pool.
+    pub checkouts: u64,
+    /// Checkouts served by a recycled buffer (no fresh allocation).
+    pub hits: u64,
+    /// Buffers successfully reclaimed into the free list.
+    pub reclaimed: u64,
+    /// Reclaim attempts that failed because the buffer was still shared.
+    pub dropped: u64,
+}
+
+impl PoolStats {
+    /// Fraction of checkouts served from the free list (1.0 when warm).
+    pub fn hit_rate(&self) -> f64 {
+        if self.checkouts == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.checkouts as f64
+    }
+}
+
 /// A free list of byte buffers for packet payloads and coefficient vectors.
 ///
 /// Not thread-safe by design: each encoder/recoder pipeline stage owns its
@@ -20,6 +46,7 @@ use crate::header::CodedPacket;
 #[derive(Debug, Default)]
 pub struct PayloadPool {
     buffers: Vec<BytesMut>,
+    stats: PoolStats,
 }
 
 impl PayloadPool {
@@ -36,6 +63,7 @@ impl PayloadPool {
             buffers: (0..count)
                 .map(|_| BytesMut::with_capacity(capacity))
                 .collect(),
+            stats: PoolStats::default(),
         }
     }
 
@@ -44,12 +72,39 @@ impl PayloadPool {
         self.buffers.len()
     }
 
+    /// Checkout/reclaim counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    fn checkout(&mut self) -> BytesMut {
+        self.stats.checkouts += 1;
+        match self.buffers.pop() {
+            Some(buf) => {
+                self.stats.hits += 1;
+                buf
+            }
+            None => BytesMut::new(),
+        }
+    }
+
     /// Checks out a buffer of exactly `len` zeroed bytes, reusing a
     /// recycled allocation when one is available.
     pub fn checkout_zeroed(&mut self, len: usize) -> BytesMut {
-        let mut buf = self.buffers.pop().unwrap_or_default();
+        let mut buf = self.checkout();
         buf.clear();
         buf.resize(len, 0);
+        buf
+    }
+
+    /// Checks out a buffer holding a copy of `data`, reusing a recycled
+    /// allocation when one is available (the ingress twin of
+    /// [`checkout_zeroed`](Self::checkout_zeroed) — wire bytes are copied
+    /// straight into pooled storage instead of a fresh allocation).
+    pub fn checkout_copy(&mut self, data: &[u8]) -> BytesMut {
+        let mut buf = self.checkout();
+        buf.clear();
+        buf.extend_from_slice(data);
         buf
     }
 
@@ -58,10 +113,14 @@ impl PayloadPool {
     pub fn reclaim(&mut self, bytes: Bytes) -> bool {
         match bytes.try_into_mut() {
             Ok(buf) => {
+                self.stats.reclaimed += 1;
                 self.buffers.push(buf);
                 true
             }
-            Err(_) => false,
+            Err(_) => {
+                self.stats.dropped += 1;
+                false
+            }
         }
     }
 
@@ -100,6 +159,21 @@ mod tests {
         assert_eq!(pool.idle(), 0);
         assert!(pool.reclaim(keep));
         assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn checkout_copy_reuses_and_counts() {
+        let mut pool = PayloadPool::new();
+        let buf = pool.checkout_copy(b"abcd");
+        assert_eq!(&buf[..], b"abcd");
+        assert!(pool.reclaim(buf.freeze()));
+        let again = pool.checkout_copy(b"xy");
+        assert_eq!(&again[..], b"xy");
+        let stats = pool.stats();
+        assert_eq!(stats.checkouts, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.reclaimed, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! A counting global allocator wraps `System`; after a warm-up phase that
 //! fills the [`PayloadPool`] and grows every scratch buffer to its final
 //! capacity, checkout → code → freeze → recycle cycles must touch the
-//! heap exactly zero times. This binary holds a single `#[test]` so no
-//! concurrent test thread can pollute the counter.
+//! heap exactly zero times. The counter is scoped to the measuring thread
+//! so harness threads (e.g. libtest's result-channel lazy init) cannot
+//! pollute it.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ncvnf_rlnc::{GenerationConfig, GenerationEncoder, PayloadPool, Recoder, SessionId};
@@ -17,9 +19,25 @@ struct CountingAlloc;
 
 static HEAP_OPS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    // Count only allocations made by the thread under measurement: the
+    // libtest main thread lazily initializes its mpsc receiver context
+    // (one-time ~48 B Arc) while blocked waiting for the test result,
+    // which otherwise races into the measured window. Const-initialized
+    // native TLS for a `Cell<bool>` never allocates, so reading the flag
+    // inside the allocator is safe.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting_here() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        HEAP_OPS.fetch_add(1, Ordering::SeqCst);
+        if counting_here() {
+            HEAP_OPS.fetch_add(1, Ordering::SeqCst);
+        }
         System.alloc(layout)
     }
 
@@ -28,7 +46,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        HEAP_OPS.fetch_add(1, Ordering::SeqCst);
+        if counting_here() {
+            HEAP_OPS.fetch_add(1, Ordering::SeqCst);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -36,10 +56,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
-/// Number of heap allocations (incl. reallocations) performed by `work`.
+/// Number of heap allocations (incl. reallocations) performed by `work`
+/// on the calling thread.
 fn heap_ops_during(mut work: impl FnMut()) -> u64 {
     let before = HEAP_OPS.load(Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
     work();
+    COUNTING.with(|c| c.set(false));
     HEAP_OPS.load(Ordering::SeqCst) - before
 }
 
