@@ -354,6 +354,7 @@ fn bench_relay_loopback(quick: bool, config: GenerationConfig) -> LoopbackBench 
         generation: config,
         buffer_generations: BUFFERED_GENERATIONS,
         seed: 0xBE7C,
+        heartbeat: None,
     })
     .expect("spawn relay");
     let sink = UdpSocket::bind(("127.0.0.1", 0)).expect("bind sink");
@@ -423,6 +424,155 @@ fn bench_relay_loopback(quick: bool, config: GenerationConfig) -> LoopbackBench 
     }
 }
 
+struct RecoveryBench {
+    loss_rate: f64,
+    block_size: usize,
+    generation_size: usize,
+    object_bytes: usize,
+    initial_packets: u64,
+    retransmit_packets: u64,
+    nacks_sent: u64,
+    generations_recovered: u64,
+    unrecovered: u64,
+    failover_ms: f64,
+}
+
+/// Recovery-protocol counters for a reliable transfer through a relay
+/// whose socket drops 10% of datagrams (seeded), plus the liveness
+/// failover latency: relay killed → heartbeats stop → tracker declares
+/// it dead → rerouted `NC_FORWARD_TAB` acked by a survivor.
+fn bench_recovery(quick: bool) -> RecoveryBench {
+    use ncvnf_control::liveness::{LivenessConfig, LivenessEvent, LivenessTracker};
+    use ncvnf_control::signal::Signal;
+    use ncvnf_dataplane::{Feedback, FeedbackKind};
+    use ncvnf_relay::{
+        reliable_chain, FaultConfig, HeartbeatConfig, RecoveryConfig, TransferConfig,
+    };
+    use ncvnf_rlnc::RedundancyPolicy;
+
+    const LOSS_RATE: f64 = 0.10;
+    let generation = GenerationConfig::new(256, RELAY_G).expect("valid layout");
+    let config = TransferConfig {
+        session: SessionId::new(RELAY_SESSION),
+        generation,
+        redundancy: RedundancyPolicy::NC0,
+        rate_bps: 50e6,
+        seed: 0xBE7C_0007,
+    };
+    let recovery = RecoveryConfig {
+        decode_timeout: Duration::from_millis(40),
+        nack_interval: Duration::from_millis(40),
+        backoff_base: Duration::from_millis(15),
+        max_retries: 12,
+        ..RecoveryConfig::default()
+    };
+    let object_bytes = if quick { 16 * 1024 } else { 64 * 1024 };
+    let object: Vec<u8> = (0..object_bytes as u32)
+        .map(|i| (i.wrapping_mul(2654435761)) as u8)
+        .collect();
+    let faults = [Some(
+        FaultConfig::new(0xBE7C_0008)
+            .with_drop(LOSS_RATE)
+            .with_directions(true, true),
+    )];
+    let report = reliable_chain(
+        &config,
+        &recovery,
+        &object,
+        &faults,
+        Duration::from_secs(60),
+    )
+    .expect("chain runs")
+    .expect("transfer completes under seeded loss");
+    assert_eq!(report.receiver.object, object, "recovered byte-identical");
+
+    // Failover latency: kill a beaconing relay and time the path from
+    // the kill to the survivor acking the rerouted table.
+    let monitor = UdpSocket::bind(("127.0.0.1", 0)).expect("bind monitor");
+    monitor
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .expect("monitor timeout");
+    let monitor_addr = monitor.local_addr().expect("monitor addr");
+    let spawn_beaconing = |node_id: u32| {
+        RelayNode::spawn(RelayConfig {
+            generation,
+            buffer_generations: 64,
+            seed: 0xBE7C + node_id as u64,
+            heartbeat: Some(HeartbeatConfig {
+                monitor: monitor_addr,
+                interval: Duration::from_millis(10),
+                node_id,
+            }),
+        })
+        .expect("spawn relay")
+    };
+    let victim = spawn_beaconing(1);
+    let survivor = spawn_beaconing(2);
+    let mut tracker = LivenessTracker::new(LivenessConfig {
+        suspect_after: Duration::from_millis(30),
+        dead_after: Duration::from_millis(60),
+    });
+    let mut buf = [0u8; 64];
+    let mut absorb = |tracker: &mut LivenessTracker| {
+        while let Ok((n, _)) = monitor.recv_from(&mut buf) {
+            if let Ok(fb) = Feedback::from_bytes(&buf[..n]) {
+                if fb.kind == FeedbackKind::Heartbeat {
+                    tracker.heartbeat(fb.node_id(), Instant::now());
+                }
+            }
+        }
+    };
+    // Let both relays register with the tracker before the kill.
+    let warm_until = Instant::now() + Duration::from_millis(50);
+    while Instant::now() < warm_until {
+        absorb(&mut tracker);
+    }
+    let t_kill = Instant::now();
+    victim.shutdown();
+    let failover_ms = loop {
+        absorb(&mut tracker);
+        let died = tracker
+            .poll(Instant::now())
+            .iter()
+            .any(|ev| matches!(ev, LivenessEvent::Died(1)));
+        if died {
+            // Reroute: push a fresh forwarding table to the survivor.
+            let mut table = ForwardingTable::new();
+            table.set(SessionId::new(RELAY_SESSION), vec!["127.0.0.1:9".into()]);
+            let sig = Signal::NcForwardTab {
+                table: table.to_text(),
+            };
+            let push = UdpSocket::bind(("127.0.0.1", 0)).expect("bind push");
+            push.set_read_timeout(Some(Duration::from_secs(2)))
+                .expect("push timeout");
+            let mut ack = [0u8; 16];
+            push.send_to(&sig.to_bytes(), survivor.control_addr)
+                .expect("push table");
+            let (n, _) = push.recv_from(&mut ack).expect("survivor acks");
+            assert_eq!(&ack[..n], b"OK", "survivor applied the rerouted table");
+            break t_kill.elapsed().as_secs_f64() * 1e3;
+        }
+        assert!(
+            t_kill.elapsed() < Duration::from_secs(10),
+            "failover detection stalled"
+        );
+    };
+    survivor.shutdown();
+
+    RecoveryBench {
+        loss_rate: LOSS_RATE,
+        block_size: generation.block_size(),
+        generation_size: generation.blocks_per_generation(),
+        object_bytes,
+        initial_packets: report.source.initial_packets,
+        retransmit_packets: report.source.retransmit_packets,
+        nacks_sent: report.receiver.stats.nacks_sent,
+        generations_recovered: report.source.generations_recovered,
+        unrecovered: report.source.unrecovered,
+        failover_ms,
+    }
+}
+
 fn main() {
     let timing = Timing::from_env();
     let started = Instant::now();
@@ -485,6 +635,8 @@ fn main() {
     let relay = bench_relay_step(&timing, relay_cfg);
     eprintln!("measuring relay loopback throughput (real UDP sockets) ...");
     let loopback = bench_relay_loopback(quick, relay_cfg);
+    eprintln!("measuring loss recovery and liveness failover ...");
+    let recovery = bench_recovery(quick);
 
     let mbps = |pps: f64| pps * PAYLOAD_LEN as f64 * 8.0 / 1e6;
     let mut json = String::new();
@@ -508,13 +660,40 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"loopback\": {{\"sent\": {}, \"received\": {}, \"packets_per_sec\": {:.0}, \"mbps\": {:.1}}}",
+        "  \"loopback\": {{\"sent\": {}, \"received\": {}, \"packets_per_sec\": {:.0}, \"mbps\": {:.1}}},",
         loopback.sent,
         loopback.received,
         loopback.packets_per_sec,
         mbps(loopback.packets_per_sec)
     );
-    json.push_str("}\n");
+    json.push_str("  \"recovery\": {\n");
+    let _ = writeln!(json, "    \"loss_rate\": {:.2},", recovery.loss_rate);
+    let _ = writeln!(json, "    \"block_size\": {},", recovery.block_size);
+    let _ = writeln!(
+        json,
+        "    \"generation_size\": {},",
+        recovery.generation_size
+    );
+    let _ = writeln!(json, "    \"object_bytes\": {},", recovery.object_bytes);
+    let _ = writeln!(
+        json,
+        "    \"initial_packets\": {},",
+        recovery.initial_packets
+    );
+    let _ = writeln!(
+        json,
+        "    \"retransmit_packets\": {},",
+        recovery.retransmit_packets
+    );
+    let _ = writeln!(json, "    \"nacks_sent\": {},", recovery.nacks_sent);
+    let _ = writeln!(
+        json,
+        "    \"generations_recovered\": {},",
+        recovery.generations_recovered
+    );
+    let _ = writeln!(json, "    \"unrecovered\": {},", recovery.unrecovered);
+    let _ = writeln!(json, "    \"failover_ms\": {:.1}", recovery.failover_ms);
+    json.push_str("  }\n}\n");
     std::fs::write("BENCH_relay.json", &json).expect("write BENCH_relay.json");
     println!("{json}");
     eprintln!(

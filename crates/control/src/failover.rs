@@ -1,0 +1,136 @@
+//! Routing around a dead coding VNF.
+//!
+//! When [`crate::liveness::LivenessTracker`] declares a node dead, the
+//! controller must excise it from every survivor's forwarding table and
+//! push the changes as `NC_FORWARD_TAB` deltas — "updating the
+//! forwarding tables, terminating existing coding functions and
+//! launching new ones" (Sec. III-A), here triggered by failure instead
+//! of load. Tables are *delta-merged* by the daemons (only listed
+//! sessions are replaced), so each update contains exactly the sessions
+//! whose next hops changed.
+
+use crate::fwdtab::ForwardingTable;
+use crate::signal::Signal;
+
+/// Computes the delta that reroutes one node's table around a dead hop:
+/// every occurrence of `dead_hop` is replaced by `replacement_hop`
+/// (deduplicated if the replacement is already a next hop). Returns only
+/// the sessions that changed — `None` when the table never pointed at
+/// the dead node.
+pub fn reroute_table(
+    table: &ForwardingTable,
+    dead_hop: &str,
+    replacement_hop: &str,
+) -> Option<ForwardingTable> {
+    let mut delta = ForwardingTable::new();
+    for (session, hops) in table.iter() {
+        if !hops.iter().any(|h| h == dead_hop) {
+            continue;
+        }
+        let mut patched: Vec<String> = Vec::with_capacity(hops.len());
+        for h in hops {
+            let target = if h == dead_hop { replacement_hop } else { h };
+            if !patched.iter().any(|p| p == target) {
+                patched.push(target.to_string());
+            }
+        }
+        delta.set(session, patched);
+    }
+    (!delta.is_empty()).then_some(delta)
+}
+
+/// Applies [`reroute_table`] across a fleet: returns, per node key, the
+/// delta table to push. Nodes untouched by the failure are absent.
+pub fn plan_failover<K: Clone>(
+    tables: &[(K, ForwardingTable)],
+    dead_hop: &str,
+    replacement_hop: &str,
+) -> Vec<(K, ForwardingTable)> {
+    tables
+        .iter()
+        .filter_map(|(key, table)| {
+            reroute_table(table, dead_hop, replacement_hop).map(|delta| (key.clone(), delta))
+        })
+        .collect()
+}
+
+/// Renders a failover plan as the `NC_FORWARD_TAB` signals to send.
+pub fn failover_signals<K: Clone>(plan: &[(K, ForwardingTable)]) -> Vec<(K, Signal)> {
+    plan.iter()
+        .map(|(key, delta)| {
+            (
+                key.clone(),
+                Signal::NcForwardTab {
+                    table: delta.to_text(),
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncvnf_rlnc::SessionId;
+
+    fn table(entries: &[(u16, &[&str])]) -> ForwardingTable {
+        let mut t = ForwardingTable::new();
+        for &(s, hops) in entries {
+            t.set(
+                SessionId::new(s),
+                hops.iter().map(|h| h.to_string()).collect(),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn dead_hop_is_replaced_only_where_present() {
+        let t = table(&[
+            (1, &["10.0.0.2:4000", "10.0.0.3:4000"]),
+            (2, &["10.0.0.4:4000"]),
+        ]);
+        let delta = reroute_table(&t, "10.0.0.2:4000", "10.0.0.9:4000").unwrap();
+        assert_eq!(delta.len(), 1, "untouched sessions stay out of the delta");
+        assert_eq!(
+            delta.next_hops(SessionId::new(1)).unwrap(),
+            &["10.0.0.9:4000".to_string(), "10.0.0.3:4000".to_string()]
+        );
+    }
+
+    #[test]
+    fn replacement_already_present_deduplicates() {
+        let t = table(&[(1, &["10.0.0.2:4000", "10.0.0.9:4000"])]);
+        let delta = reroute_table(&t, "10.0.0.2:4000", "10.0.0.9:4000").unwrap();
+        assert_eq!(
+            delta.next_hops(SessionId::new(1)).unwrap(),
+            &["10.0.0.9:4000".to_string()]
+        );
+    }
+
+    #[test]
+    fn clean_tables_produce_no_delta() {
+        let t = table(&[(1, &["10.0.0.3:4000"])]);
+        assert_eq!(reroute_table(&t, "10.0.0.2:4000", "10.0.0.9:4000"), None);
+    }
+
+    #[test]
+    fn fleet_plan_covers_only_affected_nodes() {
+        let fleet = vec![
+            ("r0", table(&[(1, &["10.0.0.2:4000"])])),
+            ("r1", table(&[(1, &["10.0.0.5:4000"])])),
+        ];
+        let plan = plan_failover(&fleet, "10.0.0.2:4000", "10.0.0.9:4000");
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].0, "r0");
+        let signals = failover_signals(&plan);
+        assert_eq!(signals.len(), 1);
+        match &signals[0].1 {
+            Signal::NcForwardTab { table } => {
+                assert!(table.contains("10.0.0.9:4000"));
+                assert!(!table.contains("10.0.0.2:4000"));
+            }
+            other => panic!("unexpected signal {other:?}"),
+        }
+    }
+}

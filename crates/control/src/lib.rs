@@ -14,18 +14,26 @@
 //!   pauses/swaps/resumes on table updates (the paper's `SIGUSR1` dance),
 //!   honours the τ-delayed `NC_VNF_END` shutdown;
 //! * [`diff`] — turns two [`ncvnf_deploy::Deployment`]s into the signal
-//!   batch that morphs one into the other.
+//!   batch that morphs one into the other;
+//! * [`liveness`] — heartbeat bookkeeping: the Alive → Suspect → Dead
+//!   failure detector fed by the relays' beacon frames;
+//! * [`failover`] — reroutes forwarding tables around a dead node and
+//!   renders the `NC_FORWARD_TAB` deltas to push to survivors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod daemon;
 pub mod diff;
+pub mod failover;
 pub mod fwdtab;
+pub mod liveness;
 pub mod signal;
 pub mod telemetry;
 
 pub use daemon::{Daemon, DaemonEvent, DaemonState};
+pub use failover::{failover_signals, plan_failover, reroute_table};
 pub use fwdtab::ForwardingTable;
+pub use liveness::{LivenessConfig, LivenessEvent, LivenessState, LivenessTracker};
 pub use signal::{Signal, SignalError, VnfRoleWire};
-pub use telemetry::Telemetry;
+pub use telemetry::{DataplaneHealth, Telemetry};

@@ -50,6 +50,51 @@ impl Window {
     }
 }
 
+/// A data-plane health snapshot reported by a relay (its cumulative
+/// `RelayStats` counters) plus the recovery counters contributed by the
+/// transfer endpoints. All counters are cumulative since node start;
+/// re-recording a node replaces its previous snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataplaneHealth {
+    /// Datagrams received on the data socket.
+    pub datagrams_in: u64,
+    /// Datagrams sent to next hops.
+    pub datagrams_out: u64,
+    /// Socket errors survived.
+    pub io_errors: u64,
+    /// Control signals rejected with an `ERR` reply.
+    pub rejected_signals: u64,
+    /// Feedback-magic frames that failed to decode (dropped, counted).
+    pub malformed_feedback: u64,
+    /// Liveness beacons the node emitted.
+    pub heartbeats_sent: u64,
+    /// NACKs sent by receivers for undecodable generations.
+    pub nacks_sent: u64,
+    /// Fresh coded packets retransmitted in response to NACKs.
+    pub retransmit_packets: u64,
+    /// Generations that needed at least one retransmission round and
+    /// still decoded.
+    pub generations_recovered: u64,
+}
+
+impl DataplaneHealth {
+    /// Field-wise sum (fleet-wide aggregation).
+    #[must_use]
+    pub fn combined(&self, other: &DataplaneHealth) -> DataplaneHealth {
+        DataplaneHealth {
+            datagrams_in: self.datagrams_in + other.datagrams_in,
+            datagrams_out: self.datagrams_out + other.datagrams_out,
+            io_errors: self.io_errors + other.io_errors,
+            rejected_signals: self.rejected_signals + other.rejected_signals,
+            malformed_feedback: self.malformed_feedback + other.malformed_feedback,
+            heartbeats_sent: self.heartbeats_sent + other.heartbeats_sent,
+            nacks_sent: self.nacks_sent + other.nacks_sent,
+            retransmit_packets: self.retransmit_packets + other.retransmit_packets,
+            generations_recovered: self.generations_recovered + other.generations_recovered,
+        }
+    }
+}
+
 /// Aggregates probe measurements and emits [`ScalingEvent`]s when the
 /// smoothed estimate deviates from the topology's current belief.
 #[derive(Debug)]
@@ -59,6 +104,8 @@ pub struct Telemetry {
     bandwidth: HashMap<NodeId, (Window, Window)>,
     /// Per-directed-pair RTT windows (ms).
     rtt: HashMap<(NodeId, NodeId), Window>,
+    /// Latest data-plane health snapshot per relay node id.
+    dataplane: HashMap<u32, DataplaneHealth>,
 }
 
 impl Telemetry {
@@ -73,7 +120,33 @@ impl Telemetry {
             window,
             bandwidth: HashMap::new(),
             rtt: HashMap::new(),
+            dataplane: HashMap::new(),
         }
+    }
+
+    /// Records a relay's latest data-plane health snapshot (counters are
+    /// cumulative, so the newest snapshot supersedes older ones).
+    pub fn record_dataplane(&mut self, node: u32, health: DataplaneHealth) {
+        self.dataplane.insert(node, health);
+    }
+
+    /// The latest health snapshot recorded for a relay, if any.
+    pub fn dataplane_health(&self, node: u32) -> Option<&DataplaneHealth> {
+        self.dataplane.get(&node)
+    }
+
+    /// Field-wise sum of every relay's latest snapshot.
+    pub fn dataplane_total(&self) -> DataplaneHealth {
+        self.dataplane
+            .values()
+            .fold(DataplaneHealth::default(), |acc, h| acc.combined(h))
+    }
+
+    /// Node ids with a recorded health snapshot, ascending.
+    pub fn dataplane_nodes(&self) -> Vec<u32> {
+        let mut nodes: Vec<u32> = self.dataplane.keys().copied().collect();
+        nodes.sort_unstable();
+        nodes
     }
 
     /// Records one iperf-style sample of a DC's per-VNF bandwidth.
@@ -237,6 +310,47 @@ mod tests {
         t.record_bandwidth(dc, 910e6, 915e6); // ~1% off nominal 920
         t.record_bandwidth(dc, 912e6, 913e6);
         assert!(t.drain_events(&topo, 0.05).is_empty());
+    }
+
+    #[test]
+    fn dataplane_snapshots_replace_and_aggregate() {
+        let mut t = Telemetry::new(2);
+        assert_eq!(t.dataplane_health(7), None);
+        t.record_dataplane(
+            7,
+            DataplaneHealth {
+                datagrams_in: 10,
+                nacks_sent: 2,
+                ..DataplaneHealth::default()
+            },
+        );
+        // Counters are cumulative: a fresher snapshot supersedes.
+        t.record_dataplane(
+            7,
+            DataplaneHealth {
+                datagrams_in: 25,
+                nacks_sent: 3,
+                retransmit_packets: 8,
+                ..DataplaneHealth::default()
+            },
+        );
+        t.record_dataplane(
+            9,
+            DataplaneHealth {
+                datagrams_in: 5,
+                generations_recovered: 1,
+                heartbeats_sent: 40,
+                ..DataplaneHealth::default()
+            },
+        );
+        assert_eq!(t.dataplane_health(7).unwrap().datagrams_in, 25);
+        assert_eq!(t.dataplane_nodes(), vec![7, 9]);
+        let total = t.dataplane_total();
+        assert_eq!(total.datagrams_in, 30);
+        assert_eq!(total.nacks_sent, 3);
+        assert_eq!(total.retransmit_packets, 8);
+        assert_eq!(total.generations_recovered, 1);
+        assert_eq!(total.heartbeats_sent, 40);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use buffer::{BufferStats, SessionBuffer};
 pub use cost::CodingCostModel;
 pub use decoded::{chunk_generation, DecodedChunk, PlainReceiver};
 pub use dispatch::Dispatcher;
-pub use feedback::{Feedback, FeedbackKind};
+pub use feedback::{Feedback, FeedbackError, FeedbackKind, FEEDBACK_LEN, FEEDBACK_MAGIC};
 pub use role::VnfRole;
 pub use sim_nodes::{NextHop, ObjectSource, ReceiverNode, SourceConfig, VnfNode};
 pub use vnf::{CodingVnf, VnfDecision, VnfOutput, VnfStats};

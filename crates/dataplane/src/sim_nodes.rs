@@ -283,7 +283,7 @@ impl NodeBehavior for ObjectSource {
     }
 
     fn on_datagram(&mut self, ctx: &mut Context<'_>, dgram: Datagram) {
-        let Some(fb) = Feedback::from_bytes(&dgram.payload) else {
+        let Ok(fb) = Feedback::from_bytes(&dgram.payload) else {
             return;
         };
         if fb.session != self.cfg.session {
@@ -315,6 +315,9 @@ impl NodeBehavior for ObjectSource {
                     ctx.set_timer(SimDuration::ZERO, TOKEN_SEND);
                 }
             }
+            // Heartbeats are controller-facing liveness beacons; a source
+            // has no use for them.
+            FeedbackKind::Heartbeat => {}
         }
     }
 

@@ -92,6 +92,7 @@ fn main() {
         generation,
         buffer_generations: 1024,
         seed: std::process::id() as u64,
+        heartbeat: None,
     })
     .expect("bind relay sockets");
     println!("relay data    {}", relay.data_addr);

@@ -1,0 +1,604 @@
+//! Deterministic fault injection on real UDP sockets.
+//!
+//! The paper's robustness experiments shape the bottleneck link with
+//! `netem`; this module is the same idea for the in-process testbed:
+//! [`FaultSocket`] wraps a real `UdpSocket` behind the
+//! [`DatagramSocket`] trait and injects seeded drop / duplicate /
+//! reorder / delay faults (mirroring `netsim::LossModel` semantics, but
+//! on the live socket path), plus crash-after-N-packets to simulate a
+//! VNF dying mid-transfer. Every decision is drawn from a seeded
+//! `StdRng` in packet order, so a test that replays the same traffic
+//! sees the same pathology.
+//!
+//! Faults can be applied on egress (`send_to`), ingress (`recv_from`),
+//! or both — a chain test typically enables one direction per relay so
+//! each network hop is perturbed exactly once.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::socket::DatagramSocket;
+
+/// Which directions of a [`FaultSocket`] inject faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultDirections {
+    /// Apply faults to received datagrams.
+    pub ingress: bool,
+    /// Apply faults to sent datagrams.
+    pub egress: bool,
+}
+
+/// Fault plan for one socket. Rates are per-datagram probabilities; the
+/// gates are drawn independently in a fixed order (drop, duplicate,
+/// reorder, delay) and the first that fires wins, so the RNG consumption
+/// per datagram is constant and runs are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// RNG seed for all fault decisions.
+    pub seed: u64,
+    /// Probability a datagram is silently dropped.
+    pub drop_rate: f64,
+    /// Probability a datagram is delivered twice.
+    pub duplicate_rate: f64,
+    /// Probability a datagram is held back and swapped with the next one.
+    pub reorder_rate: f64,
+    /// Probability a datagram is delayed by [`delay`](Self::delay).
+    pub delay_rate: f64,
+    /// Extra latency applied to delayed datagrams.
+    pub delay: Duration,
+    /// After this many datagrams (sent + received), the socket "crashes":
+    /// sends are blackholed and receives go silent, as if the VNF died.
+    pub crash_after: Option<u64>,
+    /// Directions faults apply to.
+    pub directions: FaultDirections,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xC405,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            delay_rate: 0.0,
+            delay: Duration::from_millis(2),
+            crash_after: None,
+            directions: FaultDirections {
+                ingress: false,
+                egress: true,
+            },
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A fault-free plan with the given seed (faults added via `with_*`).
+    pub fn new(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Sets the drop probability.
+    #[must_use]
+    pub fn with_drop(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "drop rate out of range");
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the duplication probability.
+    #[must_use]
+    pub fn with_duplicate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "duplicate rate out of range");
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Sets the reorder probability.
+    #[must_use]
+    pub fn with_reorder(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "reorder rate out of range");
+        self.reorder_rate = rate;
+        self
+    }
+
+    /// Sets the delay probability and latency.
+    #[must_use]
+    pub fn with_delay(mut self, rate: f64, delay: Duration) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "delay rate out of range");
+        self.delay_rate = rate;
+        self.delay = delay;
+        self
+    }
+
+    /// Crashes the socket after `n` datagrams.
+    #[must_use]
+    pub fn with_crash_after(mut self, n: u64) -> Self {
+        self.crash_after = Some(n);
+        self
+    }
+
+    /// Sets which directions inject faults.
+    #[must_use]
+    pub fn with_directions(mut self, ingress: bool, egress: bool) -> Self {
+        self.directions = FaultDirections { ingress, egress };
+        self
+    }
+}
+
+/// What a [`FaultSocket`] did so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Datagrams passed through unharmed (either direction).
+    pub delivered: u64,
+    /// Datagrams silently dropped (including blackholed sends after a
+    /// crash).
+    pub dropped: u64,
+    /// Extra copies delivered.
+    pub duplicated: u64,
+    /// Datagrams swapped with their successor.
+    pub reordered: u64,
+    /// Datagrams delayed.
+    pub delayed: u64,
+    /// True once the socket crashed.
+    pub crashed: bool,
+}
+
+/// The three per-datagram outcomes a fault draw can pick (besides clean
+/// delivery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultDraw {
+    Clean,
+    Drop,
+    Duplicate,
+    Reorder,
+    Delay,
+}
+
+struct FaultState {
+    rng: StdRng,
+    stats: FaultStats,
+    events: u64,
+    /// Held-back egress datagram awaiting its swap partner.
+    stash_tx: Option<(Vec<u8>, SocketAddr)>,
+    /// Held-back ingress datagram awaiting its swap partner.
+    stash_rx: Option<(Vec<u8>, SocketAddr)>,
+    /// Ingress datagrams ready to deliver before touching the wire
+    /// (duplicates and released reorder stashes).
+    pending_rx: Vec<(Vec<u8>, SocketAddr)>,
+    read_timeout: Option<Duration>,
+}
+
+impl FaultState {
+    /// Draws the per-datagram gates in fixed order; constant RNG
+    /// consumption keeps fault sequences reproducible.
+    fn draw(&mut self, config: &FaultConfig) -> FaultDraw {
+        let drop = self.rng.gen::<f64>() < config.drop_rate;
+        let dup = self.rng.gen::<f64>() < config.duplicate_rate;
+        let reorder = self.rng.gen::<f64>() < config.reorder_rate;
+        let delay = self.rng.gen::<f64>() < config.delay_rate;
+        if drop {
+            FaultDraw::Drop
+        } else if dup {
+            FaultDraw::Duplicate
+        } else if reorder {
+            FaultDraw::Reorder
+        } else if delay {
+            FaultDraw::Delay
+        } else {
+            FaultDraw::Clean
+        }
+    }
+
+    /// Counts one datagram toward the crash budget; returns true if the
+    /// socket is (now) crashed.
+    fn tick_crash(&mut self, config: &FaultConfig) -> bool {
+        if self.stats.crashed {
+            return true;
+        }
+        self.events += 1;
+        if let Some(limit) = config.crash_after {
+            if self.events > limit {
+                self.stats.crashed = true;
+            }
+        }
+        self.stats.crashed
+    }
+}
+
+/// A cloneable handle for inspecting (and crashing) a [`FaultSocket`]
+/// from the test harness while the relay owns the socket.
+#[derive(Clone)]
+pub struct FaultHandle {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultHandle {
+    /// Snapshot of the fault counters.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().stats
+    }
+
+    /// Kills the socket immediately: subsequent sends are blackholed and
+    /// receives go silent.
+    pub fn crash(&self) {
+        self.state.lock().stats.crashed = true;
+    }
+}
+
+/// A [`DatagramSocket`] that perturbs traffic according to a
+/// [`FaultConfig`].
+pub struct FaultSocket {
+    inner: UdpSocket,
+    config: FaultConfig,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultSocket {
+    /// Wraps an already-bound socket.
+    pub fn wrap(inner: UdpSocket, config: FaultConfig) -> (FaultSocket, FaultHandle) {
+        let state = Arc::new(Mutex::new(FaultState {
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: FaultStats::default(),
+            events: 0,
+            stash_tx: None,
+            stash_rx: None,
+            pending_rx: Vec::new(),
+            read_timeout: None,
+        }));
+        let handle = FaultHandle {
+            state: Arc::clone(&state),
+        };
+        (
+            FaultSocket {
+                inner,
+                config,
+                state,
+            },
+            handle,
+        )
+    }
+
+    /// Binds a fresh loopback socket with an OS-assigned port and wraps
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind_loopback(config: FaultConfig) -> io::Result<(FaultSocket, FaultHandle)> {
+        let inner = UdpSocket::bind(("127.0.0.1", 0))?;
+        Ok(Self::wrap(inner, config))
+    }
+}
+
+/// How long a crashed socket's `recv_from` sleeps before reporting
+/// `WouldBlock` when no read timeout was configured.
+const CRASHED_POLL: Duration = Duration::from_millis(20);
+
+impl DatagramSocket for FaultSocket {
+    fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize> {
+        // Decide under the lock, do socket I/O outside it.
+        let (draw, release, crashed) = {
+            let mut st = self.state.lock();
+            if st.tick_crash(&self.config) {
+                st.stats.dropped += 1;
+                (FaultDraw::Drop, None, true)
+            } else if !self.config.directions.egress {
+                st.stats.delivered += 1;
+                (FaultDraw::Clean, None, false)
+            } else {
+                let mut draw = st.draw(&self.config);
+                // A held-back datagram rides out with this send. If the
+                // stash is occupied, a fresh reorder draw degrades to a
+                // clean delivery (one hold-back slot, like a one-deep
+                // netem reorder queue).
+                let release = st.stash_tx.take();
+                if draw == FaultDraw::Reorder {
+                    if release.is_some() {
+                        draw = FaultDraw::Clean;
+                    } else {
+                        st.stash_tx = Some((buf.to_vec(), addr));
+                    }
+                }
+                match draw {
+                    FaultDraw::Drop => st.stats.dropped += 1,
+                    FaultDraw::Duplicate => {
+                        st.stats.delivered += 1;
+                        st.stats.duplicated += 1;
+                    }
+                    FaultDraw::Delay => {
+                        st.stats.delivered += 1;
+                        st.stats.delayed += 1;
+                    }
+                    FaultDraw::Reorder => {
+                        st.stats.delivered += 1;
+                        st.stats.reordered += 1;
+                    }
+                    FaultDraw::Clean => st.stats.delivered += 1,
+                }
+                (draw, release, false)
+            }
+        };
+        if crashed {
+            // Blackhole: pretend the bytes left, exactly like a dead VM
+            // whose peers keep sending into the void.
+            return Ok(buf.len());
+        }
+        match draw {
+            FaultDraw::Drop => {}
+            FaultDraw::Duplicate => {
+                self.inner.send_to(buf, addr)?;
+                self.inner.send_to(buf, addr)?;
+            }
+            FaultDraw::Delay => {
+                std::thread::sleep(self.config.delay);
+                self.inner.send_to(buf, addr)?;
+            }
+            FaultDraw::Reorder => {
+                // Held back: it leaves with the next datagram (below).
+            }
+            FaultDraw::Clean => {
+                self.inner.send_to(buf, addr)?;
+            }
+        }
+        if let Some((held, held_addr)) = release {
+            self.inner.send_to(&held, held_addr)?;
+        }
+        Ok(buf.len())
+    }
+
+    fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        loop {
+            // Deliver queued duplicates / released reorder stashes first.
+            {
+                let mut st = self.state.lock();
+                if st.stats.crashed {
+                    let nap = st.read_timeout.unwrap_or(CRASHED_POLL);
+                    drop(st);
+                    std::thread::sleep(nap);
+                    return Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        "fault socket crashed",
+                    ));
+                }
+                if let Some((data, src)) = st.pending_rx.pop() {
+                    let n = data.len().min(buf.len());
+                    buf[..n].copy_from_slice(&data[..n]);
+                    return Ok((n, src));
+                }
+            }
+            let result = self.inner.recv_from(buf);
+            let mut st = self.state.lock();
+            let (n, src) = match result {
+                Ok(x) => x,
+                Err(e) => {
+                    // Timeout with a held-back datagram: release it late
+                    // rather than losing it.
+                    if let Some((data, src)) = st.stash_rx.take() {
+                        let n = data.len().min(buf.len());
+                        buf[..n].copy_from_slice(&data[..n]);
+                        return Ok((n, src));
+                    }
+                    return Err(e);
+                }
+            };
+            if st.tick_crash(&self.config) {
+                st.stats.dropped += 1;
+                continue;
+            }
+            if !self.config.directions.ingress {
+                st.stats.delivered += 1;
+                return Ok((n, src));
+            }
+            let draw = st.draw(&self.config);
+            match draw {
+                FaultDraw::Drop => {
+                    st.stats.dropped += 1;
+                    continue;
+                }
+                FaultDraw::Duplicate => {
+                    st.stats.delivered += 1;
+                    st.stats.duplicated += 1;
+                    st.pending_rx.push((buf[..n].to_vec(), src));
+                    return Ok((n, src));
+                }
+                FaultDraw::Reorder => {
+                    if st.stash_rx.is_none() {
+                        st.stats.reordered += 1;
+                        st.stash_rx = Some((buf[..n].to_vec(), src));
+                        continue;
+                    }
+                    st.stats.delivered += 1;
+                    return Ok((n, src));
+                }
+                FaultDraw::Delay => {
+                    st.stats.delivered += 1;
+                    st.stats.delayed += 1;
+                    let delay = self.config.delay;
+                    drop(st);
+                    std::thread::sleep(delay);
+                    return Ok((n, src));
+                }
+                FaultDraw::Clean => {
+                    st.stats.delivered += 1;
+                    // A packet was successfully received: any held-back
+                    // predecessor is now "overtaken" and released next.
+                    if let Some(held) = st.stash_rx.take() {
+                        st.pending_rx.push(held);
+                    }
+                    return Ok((n, src));
+                }
+            }
+        }
+    }
+
+    fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.state.lock().read_timeout = dur;
+        self.inner.set_read_timeout(dur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (FaultSocket, FaultHandle, UdpSocket) {
+        let sink = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sink.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let (sock, handle) = FaultSocket::bind_loopback(
+            FaultConfig::new(7)
+                .with_drop(0.5)
+                .with_directions(false, true),
+        )
+        .unwrap();
+        (sock, handle, sink)
+    }
+
+    #[test]
+    fn seeded_drops_are_deterministic() {
+        let observed: Vec<u64> = (0..2)
+            .map(|_| {
+                let (sock, handle, sink) = pair();
+                let to = sink.local_addr().unwrap();
+                for i in 0..100u8 {
+                    sock.send_to(&[i], to).unwrap();
+                }
+                let mut buf = [0u8; 8];
+                let mut got = 0u64;
+                while sink.recv_from(&mut buf).is_ok() {
+                    got += 1;
+                }
+                let stats = handle.stats();
+                assert_eq!(stats.delivered, got, "every non-drop arrives");
+                assert_eq!(stats.delivered + stats.dropped, 100);
+                got
+            })
+            .collect();
+        assert_eq!(observed[0], observed[1], "same seed, same loss pattern");
+        assert!(observed[0] > 20 && observed[0] < 80, "≈50% loss");
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let sink = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sink.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let (sock, handle) =
+            FaultSocket::bind_loopback(FaultConfig::new(3).with_duplicate(1.0)).unwrap();
+        let to = sink.local_addr().unwrap();
+        for i in 0..10u8 {
+            sock.send_to(&[i], to).unwrap();
+        }
+        let mut buf = [0u8; 8];
+        let mut got = 0;
+        while sink.recv_from(&mut buf).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, 20, "every datagram arrives twice");
+        assert_eq!(handle.stats().duplicated, 10);
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_datagrams() {
+        let sink = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sink.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        // Reorder every packet: stash 0, send 1 then 0, stash 2, ...
+        let (sock, handle) =
+            FaultSocket::bind_loopback(FaultConfig::new(5).with_reorder(1.0)).unwrap();
+        let to = sink.local_addr().unwrap();
+        for i in 0..4u8 {
+            sock.send_to(&[i], to).unwrap();
+        }
+        let mut order = Vec::new();
+        let mut buf = [0u8; 8];
+        while let Ok((n, _)) = sink.recv_from(&mut buf) {
+            assert_eq!(n, 1);
+            order.push(buf[0]);
+        }
+        assert_eq!(order, vec![1, 0, 3, 2], "adjacent pairs swapped");
+        assert!(handle.stats().reordered >= 2);
+    }
+
+    #[test]
+    fn crash_after_n_blackholes_sends_and_silences_receives() {
+        let sink = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sink.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let (sock, handle) =
+            FaultSocket::bind_loopback(FaultConfig::new(1).with_crash_after(3)).unwrap();
+        sock.set_read_timeout(Some(Duration::from_millis(5)))
+            .unwrap();
+        let to = sink.local_addr().unwrap();
+        for i in 0..10u8 {
+            sock.send_to(&[i], to).unwrap(); // all "succeed"
+        }
+        let mut buf = [0u8; 8];
+        let mut got = 0;
+        while sink.recv_from(&mut buf).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, 3, "only the pre-crash datagrams escaped");
+        assert!(handle.stats().crashed);
+        // Receives on the crashed socket look like silence, not errors.
+        let err = sock.recv_from(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn handle_crash_kills_a_healthy_socket() {
+        let sink = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sink.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let (sock, handle) = FaultSocket::bind_loopback(FaultConfig::new(2)).unwrap();
+        let to = sink.local_addr().unwrap();
+        sock.send_to(b"a", to).unwrap();
+        handle.crash();
+        sock.send_to(b"b", to).unwrap();
+        let mut buf = [0u8; 8];
+        let mut got = 0;
+        while sink.recv_from(&mut buf).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, 1, "post-crash sends are blackholed");
+    }
+
+    #[test]
+    fn ingress_faults_drop_on_receive() {
+        let sender = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let (sock, handle) = FaultSocket::bind_loopback(
+            FaultConfig::new(11)
+                .with_drop(0.5)
+                .with_directions(true, false),
+        )
+        .unwrap();
+        sock.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let to = sock.local_addr().unwrap();
+        for i in 0..50u8 {
+            sender.send_to(&[i], to).unwrap();
+        }
+        let mut buf = [0u8; 8];
+        let mut got = 0u64;
+        while sock.recv_from(&mut buf).is_ok() {
+            got += 1;
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.delivered, got);
+        assert!(stats.dropped > 5, "ingress drops occurred: {stats:?}");
+        assert_eq!(stats.delivered + stats.dropped, 50);
+    }
+}

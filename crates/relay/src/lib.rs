@@ -13,15 +13,32 @@
 //!   from the evaluation: a source streams a coded object, receivers
 //!   decode and verify it byte-exactly;
 //! * [`chain`] — helpers that assemble source → relays → receiver
-//!   pipelines on 127.0.0.1 and report timing.
+//!   pipelines on 127.0.0.1 and report timing;
+//! * [`DatagramSocket`]/[`FaultSocket`] — the chaos harness: every loop
+//!   in this crate is generic over a socket trait, and the fault wrapper
+//!   injects deterministic seeded drop/duplicate/reorder/delay (and
+//!   crash-after-N) into the live path;
+//! * [`send_object_reliable`]/[`ReliableReceiver`] — feedback-driven
+//!   loss recovery: NACK/ACK over the `ncvnf-dataplane` feedback codec,
+//!   bounded retransmission with exponential backoff, and AIMD-adaptive
+//!   redundancy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod engine;
 mod node;
+mod recovery;
+mod socket;
 mod transfer;
 
+pub use chaos::{FaultConfig, FaultDirections, FaultHandle, FaultSocket, FaultStats};
 pub use engine::{relay_step, RelayEngine, RelayScratch, RouteCache, StepReport};
-pub use node::{RelayConfig, RelayHandle, RelayNode, RelayStats};
+pub use node::{HeartbeatConfig, RelayConfig, RelayHandle, RelayNode, RelayStats};
+pub use recovery::{
+    reliable_chain, send_object_reliable, RecoveryConfig, RecoveryStats, ReliableChainReport,
+    ReliableReceiver,
+};
+pub use socket::DatagramSocket;
 pub use transfer::{chain, send_object, ObjectReceiver, ReceiverReport, TransferConfig};

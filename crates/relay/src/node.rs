@@ -6,12 +6,19 @@
 //! table and rebuilds the resolved [`RouteCache`] only on table swaps.
 //! Transient socket errors never kill a loop; they are counted in
 //! [`RelayStats::io_errors`] and retried until `running` clears.
+//!
+//! Both loops are generic over [`DatagramSocket`], so the chaos harness
+//! ([`crate::FaultSocket`]) can subject a live relay to seeded Internet
+//! pathologies; and when [`RelayConfig::heartbeat`] is set, the control
+//! thread doubles as a liveness beacon, emitting periodic heartbeat
+//! frames (feedback kind 3) toward the controller's monitor address so a
+//! dead VNF is detectable by silence (DESIGN.md §"Failure model").
 
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -19,11 +26,26 @@ use rand::SeedableRng;
 
 use ncvnf_control::daemon::{Daemon, DaemonEvent};
 use ncvnf_control::signal::{Signal, VnfRoleWire};
+use ncvnf_control::telemetry::DataplaneHealth;
 use ncvnf_control::ForwardingTable;
-use ncvnf_dataplane::{CodingVnf, VnfRole, VnfStats};
+use ncvnf_dataplane::{CodingVnf, Feedback, VnfRole, VnfStats, FEEDBACK_MAGIC};
 use ncvnf_rlnc::{GenerationConfig, PoolStats};
 
 use crate::engine::{relay_step, RelayEngine, RelayScratch, RouteCache};
+use crate::socket::DatagramSocket;
+
+/// Liveness beaconing: where and how often a relay announces it is alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Controller address heartbeats are sent to (from the control
+    /// socket).
+    pub monitor: SocketAddr,
+    /// Beacon period. The control loop polls at 20 ms, so intervals
+    /// below that are quantized up.
+    pub interval: Duration,
+    /// Identity carried in the heartbeat frame.
+    pub node_id: u32,
+}
 
 /// Configuration of a relay process.
 #[derive(Debug, Clone)]
@@ -34,6 +56,8 @@ pub struct RelayConfig {
     pub buffer_generations: usize,
     /// RNG seed for recoding coefficients.
     pub seed: u64,
+    /// Liveness beaconing (off by default).
+    pub heartbeat: Option<HeartbeatConfig>,
 }
 
 impl Default for RelayConfig {
@@ -42,6 +66,7 @@ impl Default for RelayConfig {
             generation: GenerationConfig::paper_default(),
             buffer_generations: 1024,
             seed: 0xC0DE,
+            heartbeat: None,
         }
     }
 }
@@ -63,6 +88,32 @@ pub struct RelayStats {
     /// Control signals rejected with an `ERR` reply (undecodable frame or
     /// an invalid forwarding table).
     pub rejected_signals: u64,
+    /// Well-formed feedback frames that reached the data socket (dropped:
+    /// feedback is endpoint-to-endpoint, relays do not route it).
+    pub feedback_frames: u64,
+    /// Feedback-magic frames that failed to decode (dropped and counted,
+    /// never crashing the loop).
+    pub malformed_feedback: u64,
+    /// Liveness beacons emitted by the control thread.
+    pub heartbeats_sent: u64,
+}
+
+impl RelayStats {
+    /// This snapshot as the controller-facing health record
+    /// (`ncvnf-control`'s telemetry ingestion format). Recovery counters
+    /// are zero here; the transfer endpoints fill those in via
+    /// [`crate::RecoveryStats::apply_to`].
+    pub fn health(&self) -> DataplaneHealth {
+        DataplaneHealth {
+            datagrams_in: self.datagrams_in,
+            datagrams_out: self.datagrams_out,
+            io_errors: self.io_errors,
+            rejected_signals: self.rejected_signals,
+            malformed_feedback: self.malformed_feedback,
+            heartbeats_sent: self.heartbeats_sent,
+            ..DataplaneHealth::default()
+        }
+    }
 }
 
 struct Shared {
@@ -77,6 +128,9 @@ struct Shared {
     io_errors: AtomicU64,
     signals: AtomicU64,
     rejected_signals: AtomicU64,
+    feedback_frames: AtomicU64,
+    malformed_feedback: AtomicU64,
+    heartbeats_sent: AtomicU64,
 }
 
 /// A live relay: two sockets, two threads.
@@ -105,6 +159,9 @@ impl RelayHandle {
             io_errors: self.shared.io_errors.load(Ordering::Relaxed),
             signals: self.shared.signals.load(Ordering::Relaxed),
             rejected_signals: self.shared.rejected_signals.load(Ordering::Relaxed),
+            feedback_frames: self.shared.feedback_frames.load(Ordering::Relaxed),
+            malformed_feedback: self.shared.malformed_feedback.load(Ordering::Relaxed),
+            heartbeats_sent: self.shared.heartbeats_sent.load(Ordering::Relaxed),
         }
     }
 
@@ -137,6 +194,25 @@ impl RelayNode {
     pub fn spawn(config: RelayConfig) -> std::io::Result<RelayNode> {
         let data_socket = UdpSocket::bind(("127.0.0.1", 0))?;
         let control_socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        Self::spawn_with(config, data_socket, control_socket)
+    }
+
+    /// Starts a relay on caller-provided sockets — real `UdpSocket`s or
+    /// chaos-wrapped [`crate::FaultSocket`]s — so tests can inject faults
+    /// into the live loops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn_with<D, C>(
+        config: RelayConfig,
+        data_socket: D,
+        control_socket: C,
+    ) -> std::io::Result<RelayNode>
+    where
+        D: DatagramSocket + 'static,
+        C: DatagramSocket + 'static,
+    {
         data_socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         control_socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         let data_addr = data_socket.local_addr()?;
@@ -155,8 +231,12 @@ impl RelayNode {
             io_errors: AtomicU64::new(0),
             signals: AtomicU64::new(0),
             rejected_signals: AtomicU64::new(0),
+            feedback_frames: AtomicU64::new(0),
+            malformed_feedback: AtomicU64::new(0),
+            heartbeats_sent: AtomicU64::new(0),
         });
 
+        let heartbeat = config.heartbeat;
         let mut threads = Vec::new();
         {
             let shared = Arc::clone(&shared);
@@ -166,7 +246,9 @@ impl RelayNode {
         {
             let shared = Arc::clone(&shared);
             let socket = control_socket;
-            threads.push(std::thread::spawn(move || control_loop(socket, shared)));
+            threads.push(std::thread::spawn(move || {
+                control_loop(socket, shared, heartbeat)
+            }));
         }
         Ok(RelayNode {
             data_addr,
@@ -200,7 +282,7 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
-fn data_loop(socket: UdpSocket, shared: Arc<Shared>) {
+fn data_loop<S: DatagramSocket>(socket: S, shared: Arc<Shared>) {
     let mut buf = vec![0u8; 65536];
     let mut scratch = RelayScratch::new();
     while shared.running.load(Ordering::Relaxed) {
@@ -217,6 +299,16 @@ fn data_loop(socket: UdpSocket, shared: Arc<Shared>) {
             }
         };
         shared.datagrams_in.fetch_add(1, Ordering::Relaxed);
+        if n > 0 && buf[0] == FEEDBACK_MAGIC {
+            // Feedback is endpoint-to-endpoint; a relay neither codes nor
+            // routes it. Count (well-formed vs malformed) and drop —
+            // hostile bytes must never reach the coding engine as data.
+            match Feedback::from_bytes(&buf[..n]) {
+                Ok(_) => shared.feedback_frames.fetch_add(1, Ordering::Relaxed),
+                Err(_) => shared.malformed_feedback.fetch_add(1, Ordering::Relaxed),
+            };
+            continue;
+        }
         let mut send = |hop: SocketAddr, bytes: &[u8]| socket.send_to(bytes, hop).is_ok();
         let report = relay_step(
             &shared.engine,
@@ -237,9 +329,30 @@ fn data_loop(socket: UdpSocket, shared: Arc<Shared>) {
     }
 }
 
-fn control_loop(socket: UdpSocket, shared: Arc<Shared>) {
+fn control_loop<S: DatagramSocket>(
+    socket: S,
+    shared: Arc<Shared>,
+    heartbeat: Option<HeartbeatConfig>,
+) {
     let mut buf = vec![0u8; 65536];
+    // First beacon fires immediately so monitors learn of the node on
+    // startup, not one interval later.
+    let mut last_beat: Option<Instant> = None;
+    let mut beat_seq: u16 = 0;
     while shared.running.load(Ordering::Relaxed) {
+        if let Some(hb) = heartbeat {
+            let due = last_beat.is_none_or(|t| t.elapsed() >= hb.interval);
+            if due {
+                let frame = Feedback::heartbeat(hb.node_id, beat_seq).to_bytes();
+                beat_seq = beat_seq.wrapping_add(1);
+                last_beat = Some(Instant::now());
+                if socket.send_to(&frame, hb.monitor).is_ok() {
+                    shared.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         let (n, src) = match socket.recv_from(&mut buf) {
             Ok(x) => x,
             Err(ref e) if is_timeout(e) => continue,
@@ -252,8 +365,9 @@ fn control_loop(socket: UdpSocket, shared: Arc<Shared>) {
         let Ok((signal, _)) = Signal::from_bytes(&buf[..n]) else {
             // Undecodable frame: tell the caller instead of staying
             // silent, so controllers timing the round trip see failure.
+            // The reply carries a reason code for the operator's logs.
             shared.rejected_signals.fetch_add(1, Ordering::Relaxed);
-            let _ = socket.send_to(b"ERR", src);
+            let _ = socket.send_to(b"ERR bad-frame", src);
             continue;
         };
         shared.signals.fetch_add(1, Ordering::Relaxed);
@@ -298,7 +412,7 @@ fn control_loop(socket: UdpSocket, shared: Arc<Shared>) {
         // distinguish a rejected signal from an applied one.
         if rejected {
             shared.rejected_signals.fetch_add(1, Ordering::Relaxed);
-            let _ = socket.send_to(b"ERR", src);
+            let _ = socket.send_to(b"ERR bad-table", src);
         } else {
             let _ = socket.send_to(b"OK", src);
         }

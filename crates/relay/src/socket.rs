@@ -1,0 +1,83 @@
+//! The datagram-socket abstraction the relay data path runs over.
+//!
+//! Everything in this crate that touches the network — the relay's data
+//! and control loops, the transfer source, the receivers — speaks
+//! [`DatagramSocket`] instead of `std::net::UdpSocket` directly. A plain
+//! `UdpSocket` implements it by delegation; the chaos harness
+//! ([`crate::chaos::FaultSocket`]) wraps one with deterministic seeded
+//! Internet pathologies (drop/duplicate/reorder/delay/crash), so
+//! integration tests can subject the *live* socket path to the paper's
+//! loss experiments without leaving loopback.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+/// An unconnected datagram endpoint (the `UdpSocket` API subset the relay
+/// uses).
+pub trait DatagramSocket: Send + Sync {
+    /// Sends `buf` to `addr`; returns bytes sent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize>;
+
+    /// Receives one datagram into `buf`; returns size and sender.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (including read-timeout expiry as
+    /// `WouldBlock`/`TimedOut`).
+    fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)>;
+
+    /// The local address the socket is bound to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    fn local_addr(&self) -> io::Result<SocketAddr>;
+
+    /// Sets the blocking-receive timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+}
+
+impl DatagramSocket for UdpSocket {
+    fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize> {
+        UdpSocket::send_to(self, buf, addr)
+    }
+
+    fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        UdpSocket::recv_from(self, buf)
+    }
+
+    fn local_addr(&self) -> io::Result<SocketAddr> {
+        UdpSocket::local_addr(self)
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        UdpSocket::set_read_timeout(self, dur)
+    }
+}
+
+impl<S: DatagramSocket + ?Sized> DatagramSocket for &S {
+    fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize> {
+        (**self).send_to(buf, addr)
+    }
+
+    fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        (**self).recv_from(buf)
+    }
+
+    fn local_addr(&self) -> io::Result<SocketAddr> {
+        (**self).local_addr()
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        (**self).set_read_timeout(dur)
+    }
+}

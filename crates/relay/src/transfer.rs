@@ -215,6 +215,7 @@ pub fn chain(
             generation: config.generation,
             buffer_generations: 1024,
             seed: config.seed + 100 + i as u64,
+            heartbeat: None,
         })?;
         relays.push(relay);
     }

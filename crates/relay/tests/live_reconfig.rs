@@ -68,6 +68,7 @@ fn table_swap_under_live_traffic_redirects_cleanly() {
         generation: cfg(),
         buffer_generations: 64,
         seed: 3,
+        heartbeat: None,
     })
     .unwrap();
     let sink_a = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
@@ -161,11 +162,11 @@ fn rejected_signals_get_err_replies() {
     let relay = RelayNode::spawn(RelayConfig::default()).unwrap();
     let control = control_client();
 
-    // Garbage frame: undecodable.
+    // Garbage frame: undecodable. The reply names the reason.
     let mut ack = [0u8; 16];
     control.send_to(b"\xEE junk", relay.control_addr).unwrap();
     let (n, _) = control.recv_from(&mut ack).expect("relay replies to junk");
-    assert_eq!(&ack[..n], b"ERR");
+    assert_eq!(&ack[..n], b"ERR bad-frame");
 
     // Valid frame, invalid table text: daemon rejects the swap.
     let bad_table = Signal::NcForwardTab {
@@ -173,7 +174,7 @@ fn rejected_signals_get_err_replies() {
     };
     assert_eq!(
         signal_roundtrip(&control, relay.control_addr, &bad_table),
-        b"ERR"
+        b"ERR bad-table"
     );
 
     // The relay still applies good signals afterwards.
@@ -191,4 +192,94 @@ fn rejected_signals_get_err_replies() {
     relay.shutdown();
     assert_eq!(stats.rejected_signals, 2);
     assert_eq!(stats.signals, 2, "decodable frames are counted");
+}
+
+/// A rejected table swap must leave the previous routes fully in force:
+/// traffic flowing through the relay keeps reaching the old hop while
+/// and after the bad swap is refused.
+#[test]
+fn rejected_table_swap_preserves_routes_under_traffic() {
+    let relay = RelayNode::spawn(RelayConfig {
+        generation: cfg(),
+        buffer_generations: 64,
+        seed: 9,
+        heartbeat: None,
+    })
+    .unwrap();
+    let sink = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+    sink.set_read_timeout(Some(Duration::from_millis(20)))
+        .unwrap();
+
+    let control = control_client();
+    let settings = Signal::NcSettings {
+        session: SessionId::new(SESSION),
+        role: VnfRoleWire::Recoder,
+        data_port: relay.data_addr.port(),
+        block_size: 256,
+        generation_size: 4,
+        buffer_generations: 64,
+    };
+    assert_eq!(
+        signal_roundtrip(&control, relay.control_addr, &settings),
+        b"OK"
+    );
+    let hop = sink.local_addr().unwrap().to_string();
+    assert_eq!(
+        signal_roundtrip(&control, relay.control_addr, &table_signal(hop)),
+        b"OK"
+    );
+    let handle = relay.handle();
+    let good_table = handle.table_text();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let sender = {
+        let stop = Arc::clone(&stop);
+        let data_addr = relay.data_addr;
+        std::thread::spawn(move || {
+            let enc = GenerationEncoder::new(cfg(), &[0x5A; 1024]).unwrap();
+            let mut rng = StdRng::seed_from_u64(17);
+            let socket = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+            let mut generation = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..8 {
+                    let pkt = enc.coded_packet(SessionId::new(SESSION), generation, &mut rng);
+                    let _ = socket.send_to(&pkt.to_bytes(), data_addr);
+                }
+                generation += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+
+    assert!(
+        drain_for(&sink, Duration::from_millis(200)) > 0,
+        "traffic flows before the bad swap"
+    );
+
+    // A malformed table is refused mid-stream…
+    let bad_table = Signal::NcForwardTab {
+        table: "session notanumber 127.0.0.1:1\n".into(),
+    };
+    assert_eq!(
+        signal_roundtrip(&control, relay.control_addr, &bad_table),
+        b"ERR bad-table"
+    );
+
+    // …and the old routes stay in force: the hop keeps receiving.
+    assert!(
+        drain_for(&sink, Duration::from_millis(300)) > 0,
+        "old RouteCache survives a rejected swap"
+    );
+    assert_eq!(
+        handle.table_text(),
+        good_table,
+        "authoritative table is untouched by the rejected swap"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    sender.join().unwrap();
+    let stats = handle.stats();
+    relay.shutdown();
+    assert_eq!(stats.rejected_signals, 1);
+    assert!(stats.datagrams_out > 0);
 }

@@ -103,6 +103,7 @@ fn decoder_relay_delivers_plain_chunks() {
         generation: cfg,
         buffer_generations: 64,
         seed: 1,
+        heartbeat: None,
     })
     .unwrap();
     // A plain sink for decoded chunks.

@@ -62,7 +62,7 @@ pub use object::{ObjectDecoder, ObjectEncoder};
 pub use pool::{PayloadPool, PoolStats};
 pub use rank::RankTracker;
 pub use recoder::Recoder;
-pub use redundancy::RedundancyPolicy;
+pub use redundancy::{AdaptiveRedundancy, AimdConfig, RedundancyPolicy};
 
 /// Probability that a uniformly random `g x g` matrix over GF(q) is
 /// invertible: `Π_{i=1..g} (1 - q^{-i})`.
