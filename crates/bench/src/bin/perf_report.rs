@@ -1,10 +1,12 @@
 //! Kernel, codec, and relay throughput report.
 //!
 //! Measures the GF(2^8) bulk kernels (every compiled tier the CPU
-//! supports), the RLNC encode/recode paths, and the relay data path
+//! supports), the RLNC encode/recode paths, the relay data path
 //! (legacy per-packet-allocation pipeline vs the zero-alloc
-//! [`relay_step`] pipeline), then writes `BENCH_rlnc.json` and
-//! `BENCH_relay.json` at the repository root. Run with:
+//! [`relay_step`] pipeline), and the observability layer's overhead
+//! (instrumented vs bare relay step, plus an `NC_STATS` round trip),
+//! then writes `BENCH_rlnc.json`, `BENCH_relay.json` and
+//! `BENCH_obs.json` at the repository root. Run with:
 //!
 //! ```text
 //! cargo run --release -p ncvnf-bench --bin perf_report [-- --quick]
@@ -23,6 +25,7 @@ use std::time::{Duration, Instant};
 use ncvnf_control::ForwardingTable;
 use ncvnf_dataplane::{CodingVnf, VnfRole};
 use ncvnf_gf256::bulk;
+use ncvnf_obs::Registry;
 use ncvnf_relay::{relay_step, RelayConfig, RelayEngine, RelayNode, RelayScratch, RouteCache};
 use ncvnf_rlnc::{
     CodedPacket, GenerationConfig, GenerationEncoder, PayloadPool, Recoder, SessionId,
@@ -355,6 +358,7 @@ fn bench_relay_loopback(quick: bool, config: GenerationConfig) -> LoopbackBench 
         buffer_generations: BUFFERED_GENERATIONS,
         seed: 0xBE7C,
         heartbeat: None,
+        registry: None,
     })
     .expect("spawn relay");
     let sink = UdpSocket::bind(("127.0.0.1", 0)).expect("bind sink");
@@ -441,6 +445,9 @@ struct RecoveryBench {
 /// whose socket drops 10% of datagrams (seeded), plus the liveness
 /// failover latency: relay killed → heartbeats stop → tracker declares
 /// it dead → rerouted `NC_FORWARD_TAB` acked by a survivor.
+///
+/// The counters come from the transfer's registry snapshot — the same
+/// cells the `NC_STATS` query serves — not from side-channel structs.
 fn bench_recovery(quick: bool) -> RecoveryBench {
     use ncvnf_control::liveness::{LivenessConfig, LivenessEvent, LivenessTracker};
     use ncvnf_control::signal::Signal;
@@ -503,6 +510,7 @@ fn bench_recovery(quick: bool) -> RecoveryBench {
                 interval: Duration::from_millis(10),
                 node_id,
             }),
+            registry: None,
         })
         .expect("spawn relay")
     };
@@ -559,17 +567,215 @@ fn bench_recovery(quick: bool) -> RecoveryBench {
     };
     survivor.shutdown();
 
+    // One source of truth: the transfer endpoints shared a registry, so
+    // the report's snapshot carries every recovery counter.
+    let snap = &report.snapshot;
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
     RecoveryBench {
         loss_rate: LOSS_RATE,
         block_size: generation.block_size(),
         generation_size: generation.blocks_per_generation(),
         object_bytes,
-        initial_packets: report.source.initial_packets,
-        retransmit_packets: report.source.retransmit_packets,
-        nacks_sent: report.receiver.stats.nacks_sent,
-        generations_recovered: report.source.generations_recovered,
-        unrecovered: report.source.unrecovered,
+        initial_packets: c("recovery.initial_packets"),
+        retransmit_packets: c("recovery.retransmit_packets"),
+        nacks_sent: c("recovery.nacks_sent"),
+        generations_recovered: c("recovery.generations_recovered"),
+        unrecovered: c("recovery.unrecovered"),
         failover_ms,
+    }
+}
+
+struct ObsBench {
+    bare_pps: f64,
+    instrumented_pps: f64,
+    overhead_pct: f64,
+    steps_recorded: u64,
+    step_ns_samples: u64,
+    nc_stats_roundtrip_us: f64,
+    snapshot_bytes: usize,
+}
+
+/// Budget the observability layer must stay inside: metrics on the
+/// relay hot path may cost at most this much packets/s.
+const OBS_OVERHEAD_BUDGET_PCT: f64 = 2.0;
+
+/// Cost of the observability layer on the relay hot path.
+///
+/// Two identical recoder pipelines run the same hot workload, one with
+/// a bare [`RelayScratch`] and one with an instrumented scratch that
+/// records into a live registry (step counter, emit/recycle counters,
+/// pending-depth gauge, sampled latency histogram). Rounds are
+/// interleaved bare/instrumented so frequency drift and scheduler noise
+/// hit both sides equally; the overhead is the median per-round
+/// regression, floored at zero. Also times one `NC_STATS` control
+/// round trip (query → JSON snapshot reply) against a live relay node.
+fn bench_observability(timing: &Timing, config: GenerationConfig) -> ObsBench {
+    use ncvnf_control::signal::Signal;
+
+    fn one_step(
+        engine: &Mutex<RelayEngine>,
+        routes: &Mutex<RouteCache>,
+        scratch: &mut RelayScratch,
+        wire: &[u8],
+        sink: &mut u64,
+    ) {
+        let mut send = |_hop: SocketAddr, bytes: &[u8]| {
+            *sink = sink.wrapping_add(bytes.len() as u64);
+            true
+        };
+        relay_step(engine, routes, scratch, wire, &mut send);
+    }
+
+    /// Packets/sec of one timed round over the hot ring.
+    fn round(
+        engine: &Mutex<RelayEngine>,
+        routes: &Mutex<RouteCache>,
+        scratch: &mut RelayScratch,
+        hot: &[Vec<u8>],
+        idx: &mut usize,
+        sink: &mut u64,
+        min_secs: f64,
+    ) -> f64 {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            one_step(engine, routes, scratch, &hot[*idx], sink);
+            *idx = (*idx + 1) % hot.len();
+            iters += 1;
+            if start.elapsed().as_secs_f64() >= min_secs {
+                break;
+            }
+        }
+        iters as f64 / start.elapsed().as_secs_f64()
+    }
+
+    let (warmup, hot) = relay_workload(config);
+    let hops = vec!["127.0.0.1:9000".to_string()];
+    let mut sink = 0u64;
+
+    let build = |seed: u64| {
+        let mut vnf = CodingVnf::new(config, BUFFERED_GENERATIONS);
+        vnf.set_role(SessionId::new(RELAY_SESSION), VnfRole::Recoder);
+        let engine = Mutex::new(RelayEngine::new(vnf, StdRng::seed_from_u64(seed)));
+        let mut table = ForwardingTable::new();
+        table.set(SessionId::new(RELAY_SESSION), hops.clone());
+        let mut cache = RouteCache::new();
+        cache.rebuild(&table);
+        (engine, Mutex::new(cache))
+    };
+    let (bare_engine, bare_routes) = build(0xBE7C_0009);
+    let (obs_engine, obs_routes) = build(0xBE7C_000A);
+    let registry = Registry::new();
+    let mut bare_scratch = RelayScratch::new();
+    let mut obs_scratch = RelayScratch::instrumented(&registry);
+
+    for wire in warmup.iter().chain(&hot) {
+        one_step(
+            &bare_engine,
+            &bare_routes,
+            &mut bare_scratch,
+            wire,
+            &mut sink,
+        );
+    }
+    for wire in warmup.iter().chain(&hot) {
+        one_step(&obs_engine, &obs_routes, &mut obs_scratch, wire, &mut sink);
+    }
+
+    // Each repeat brackets the instrumented round between two bare
+    // rounds and compares against their mean: machine-speed drift within
+    // a repeat (turbo decay, VM steal) is linear to first order, so the
+    // bracket cancels it instead of charging it to the instrumentation.
+    let mut bare_rates = Vec::with_capacity(2 * timing.repeats);
+    let mut obs_rates = Vec::with_capacity(timing.repeats);
+    let mut overheads = Vec::with_capacity(timing.repeats);
+    let (mut bi, mut oi) = (0usize, 0usize);
+    for _ in 0..timing.repeats {
+        let b1 = round(
+            &bare_engine,
+            &bare_routes,
+            &mut bare_scratch,
+            &hot,
+            &mut bi,
+            &mut sink,
+            timing.min_duration_secs,
+        );
+        let o = round(
+            &obs_engine,
+            &obs_routes,
+            &mut obs_scratch,
+            &hot,
+            &mut oi,
+            &mut sink,
+            timing.min_duration_secs,
+        );
+        let b2 = round(
+            &bare_engine,
+            &bare_routes,
+            &mut bare_scratch,
+            &hot,
+            &mut bi,
+            &mut sink,
+            timing.min_duration_secs,
+        );
+        let b = (b1 + b2) / 2.0;
+        bare_rates.push(b1);
+        bare_rates.push(b2);
+        obs_rates.push(o);
+        overheads.push((b - o) / b * 100.0);
+    }
+    std::hint::black_box(sink);
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        v[v.len() / 2]
+    };
+    let bare_pps = median(&mut bare_rates);
+    let instrumented_pps = median(&mut obs_rates);
+    let overhead_pct = median(&mut overheads).max(0.0);
+
+    let snap = registry.snapshot();
+    let steps_recorded = snap.counter("relay.steps").unwrap_or(0);
+    let step_ns_samples = snap.histogram("relay.step_ns").map_or(0, |h| h.count);
+
+    // NC_STATS round trip: one UDP query, one JSON snapshot back.
+    let relay = RelayNode::spawn(RelayConfig {
+        generation: config,
+        buffer_generations: 64,
+        seed: 0xBE7C_000B,
+        heartbeat: None,
+        registry: None,
+    })
+    .expect("spawn relay");
+    let control = UdpSocket::bind(("127.0.0.1", 0)).expect("bind control");
+    control
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .expect("control timeout");
+    let mut buf = vec![0u8; 65536];
+    // Throwaway query warms the path (thread wakeup, JSON buffer).
+    control
+        .send_to(&Signal::NcStats.to_bytes(), relay.control_addr)
+        .expect("send warmup query");
+    let _ = control.recv_from(&mut buf);
+    let t0 = Instant::now();
+    control
+        .send_to(&Signal::NcStats.to_bytes(), relay.control_addr)
+        .expect("send stats query");
+    let (n, _) = control.recv_from(&mut buf).expect("stats reply");
+    let nc_stats_roundtrip_us = t0.elapsed().as_secs_f64() * 1e6;
+    assert!(
+        buf[..n].starts_with(b"{"),
+        "NC_STATS replies with a JSON snapshot"
+    );
+    relay.shutdown();
+
+    ObsBench {
+        bare_pps,
+        instrumented_pps,
+        overhead_pct,
+        steps_recorded,
+        step_ns_samples,
+        nc_stats_roundtrip_us,
+        snapshot_bytes: n,
     }
 }
 
@@ -637,6 +843,8 @@ fn main() {
     let loopback = bench_relay_loopback(quick, relay_cfg);
     eprintln!("measuring loss recovery and liveness failover ...");
     let recovery = bench_recovery(quick);
+    eprintln!("measuring observability overhead (bare vs instrumented relay step) ...");
+    let obs = bench_observability(&timing, relay_cfg);
 
     let mbps = |pps: f64| pps * PAYLOAD_LEN as f64 * 8.0 / 1e6;
     let mut json = String::new();
@@ -665,6 +873,11 @@ fn main() {
         loopback.received,
         loopback.packets_per_sec,
         mbps(loopback.packets_per_sec)
+    );
+    let _ = writeln!(
+        json,
+        "  \"observability\": {{\"overhead_pct\": {:.2}, \"bare_packets_per_sec\": {:.0}, \"instrumented_packets_per_sec\": {:.0}}},",
+        obs.overhead_pct, obs.bare_pps, obs.instrumented_pps
     );
     json.push_str("  \"recovery\": {\n");
     let _ = writeln!(json, "    \"loss_rate\": {:.2},", recovery.loss_rate);
@@ -700,5 +913,46 @@ fn main() {
         "wrote BENCH_relay.json in {:.1}s total ({:.2}x packets/s over the legacy path)",
         started.elapsed().as_secs_f64(),
         relay.new_pps / relay.legacy_pps
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"observability\",");
+    let _ = writeln!(json, "  \"payload_len\": {PAYLOAD_LEN},");
+    let _ = writeln!(json, "  \"generation_size\": {RELAY_G},");
+    let _ = writeln!(json, "  \"buffered_generations\": {BUFFERED_GENERATIONS},");
+    let _ = writeln!(json, "  \"bare_packets_per_sec\": {:.0},", obs.bare_pps);
+    let _ = writeln!(
+        json,
+        "  \"instrumented_packets_per_sec\": {:.0},",
+        obs.instrumented_pps
+    );
+    let _ = writeln!(json, "  \"overhead_pct\": {:.2},", obs.overhead_pct);
+    let _ = writeln!(
+        json,
+        "  \"overhead_budget_pct\": {OBS_OVERHEAD_BUDGET_PCT:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"within_budget\": {},",
+        obs.overhead_pct < OBS_OVERHEAD_BUDGET_PCT
+    );
+    let _ = writeln!(
+        json,
+        "  \"recorded\": {{\"steps\": {}, \"step_latency_samples\": {}}},",
+        obs.steps_recorded, obs.step_ns_samples
+    );
+    let _ = writeln!(
+        json,
+        "  \"nc_stats\": {{\"roundtrip_us\": {:.1}, \"snapshot_bytes\": {}}}",
+        obs.nc_stats_roundtrip_us, obs.snapshot_bytes
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("{json}");
+    eprintln!(
+        "wrote BENCH_obs.json in {:.1}s total (observability overhead {:.2}% of packets/s, budget {OBS_OVERHEAD_BUDGET_PCT:.1}%)",
+        started.elapsed().as_secs_f64(),
+        obs.overhead_pct
     );
 }

@@ -192,6 +192,9 @@ impl Daemon {
             }
             // NC_VNF_START is controller-to-cloud-API, not daemon-facing.
             Signal::NcVnfStart { .. } => Vec::new(),
+            // NC_STATS is a read-only query; the transport layer builds
+            // the snapshot reply, the daemon state machine is untouched.
+            Signal::NcStats => Vec::new(),
         }
     }
 

@@ -3,9 +3,10 @@
 //! A central controller launches coding VNFs in data centers, configures
 //! them and steers traffic by talking to a daemon on every coding node:
 //!
-//! * [`signal`] — the five control signals (`NC_START`, `NC_VNF_START`,
-//!   `NC_VNF_END`, `NC_FORWARD_TAB`, `NC_SETTINGS`) with a length-prefixed
-//!   wire codec usable over any byte transport;
+//! * [`signal`] — the paper's five control signals (`NC_START`,
+//!   `NC_VNF_START`, `NC_VNF_END`, `NC_FORWARD_TAB`, `NC_SETTINGS`) plus
+//!   the `NC_STATS` observability query, with a length-prefixed wire
+//!   codec usable over any byte transport;
 //! * [`fwdtab`] — the forwarding table, which the paper keeps as "a text
 //!   file, recording the next hops' IP addresses for each relevant
 //!   multicast session": parser, serializer, and diff (Table III measures
@@ -18,7 +19,9 @@
 //! * [`liveness`] — heartbeat bookkeeping: the Alive → Suspect → Dead
 //!   failure detector fed by the relays' beacon frames;
 //! * [`failover`] — reroutes forwarding tables around a dead node and
-//!   renders the `NC_FORWARD_TAB` deltas to push to survivors.
+//!   renders the `NC_FORWARD_TAB` deltas to push to survivors;
+//! * [`metrics`] — the control-plane slice of the `ncvnf-obs` registry:
+//!   liveness transitions, scaling observations, table-push latency.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub mod diff;
 pub mod failover;
 pub mod fwdtab;
 pub mod liveness;
+pub mod metrics;
 pub mod signal;
 pub mod telemetry;
 
@@ -35,5 +39,6 @@ pub use daemon::{Daemon, DaemonEvent, DaemonState};
 pub use failover::{failover_signals, plan_failover, reroute_table};
 pub use fwdtab::ForwardingTable;
 pub use liveness::{LivenessConfig, LivenessEvent, LivenessState, LivenessTracker};
+pub use metrics::ControlMetrics;
 pub use signal::{Signal, SignalError, VnfRoleWire};
 pub use telemetry::{DataplaneHealth, Telemetry};

@@ -1,0 +1,156 @@
+//! Control-plane metrics: liveness transitions, scaling activity, and
+//! table-push latency.
+//!
+//! The controller's closed loop (Sec. IV-B) acts on exactly these
+//! signals — node health, load observations, and how fast a
+//! `NC_FORWARD_TAB` push lands — so they are the control-plane slice of
+//! the observability registry. [`ControlMetrics`] is a cheap-to-clone
+//! handle bundle; hosts register it once and feed it from
+//! [`LivenessTracker::poll`](crate::LivenessTracker::poll) events and
+//! table-push round trips.
+
+use ncvnf_obs::{desc, Counter, Histogram, MetricDesc, MetricKind, Registry, TraceKind, TraceRing};
+
+use crate::liveness::LivenessEvent;
+
+/// `control.liveness.suspected` — nodes that went silent past the
+/// suspect threshold.
+pub const LIVENESS_SUSPECTED: MetricDesc = desc(
+    "control.liveness.suspected",
+    MetricKind::Counter,
+    "events",
+    "control",
+    "Liveness transitions into Suspect",
+);
+
+/// `control.liveness.died` — nodes declared dead.
+pub const LIVENESS_DIED: MetricDesc = desc(
+    "control.liveness.died",
+    MetricKind::Counter,
+    "events",
+    "control",
+    "Liveness transitions into Dead",
+);
+
+/// `control.liveness.recovered` — suspect/dead nodes that resumed
+/// beaconing.
+pub const LIVENESS_RECOVERED: MetricDesc = desc(
+    "control.liveness.recovered",
+    MetricKind::Counter,
+    "events",
+    "control",
+    "Suspect or dead nodes that resumed beaconing",
+);
+
+/// `control.scaling.events` — scaling observations emitted by telemetry.
+pub const SCALING_EVENTS: MetricDesc = desc(
+    "control.scaling.events",
+    MetricKind::Counter,
+    "events",
+    "control",
+    "Scaling observations emitted by telemetry aggregation",
+);
+
+/// `control.table_push_ns` — round-trip latency of a table push.
+pub const TABLE_PUSH_NS: MetricDesc = desc(
+    "control.table_push_ns",
+    MetricKind::Histogram,
+    "ns",
+    "control",
+    "NC_FORWARD_TAB push round-trip latency (send to OK)",
+);
+
+/// Registry-backed handles for control-plane metrics.
+#[derive(Debug, Clone)]
+pub struct ControlMetrics {
+    suspected: Counter,
+    died: Counter,
+    recovered: Counter,
+    scaling_events: Counter,
+    table_push_ns: Histogram,
+    trace: TraceRing,
+}
+
+impl ControlMetrics {
+    /// Registers (or retrieves) the control metrics in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        ControlMetrics {
+            suspected: registry.counter(LIVENESS_SUSPECTED),
+            died: registry.counter(LIVENESS_DIED),
+            recovered: registry.counter(LIVENESS_RECOVERED),
+            scaling_events: registry.counter(SCALING_EVENTS),
+            table_push_ns: registry.histogram(TABLE_PUSH_NS),
+            trace: registry.trace(),
+        }
+    }
+
+    /// Counts one liveness transition and emits the matching trace
+    /// event (`a` = node id, `b` = 0 suspect / 1 dead / 2 recovered).
+    pub fn record_liveness_event(&self, event: &LivenessEvent) {
+        match event {
+            LivenessEvent::Suspected(node) => {
+                self.suspected.inc();
+                self.trace.push(TraceKind::Liveness, *node as u64, 0);
+            }
+            LivenessEvent::Died(node) => {
+                self.died.inc();
+                self.trace.push(TraceKind::Liveness, *node as u64, 1);
+            }
+            LivenessEvent::Recovered(node) => {
+                self.recovered.inc();
+                self.trace.push(TraceKind::Liveness, *node as u64, 2);
+            }
+        }
+    }
+
+    /// Counts a batch of liveness transitions (the shape
+    /// [`LivenessTracker::poll`](crate::LivenessTracker::poll) returns).
+    pub fn record_liveness_events(&self, events: &[LivenessEvent]) {
+        for ev in events {
+            self.record_liveness_event(ev);
+        }
+    }
+
+    /// Counts `n` scaling observations.
+    pub fn record_scaling_events(&self, n: u64) {
+        self.scaling_events.add(n);
+    }
+
+    /// Records one table-push round trip.
+    pub fn record_table_push_ns(&self, nanos: u64) {
+        self.table_push_ns.record(nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn liveness_events_count_and_trace() {
+        let registry = Registry::new();
+        let m = ControlMetrics::register(&registry);
+        m.record_liveness_events(&[
+            LivenessEvent::Suspected(7),
+            LivenessEvent::Died(7),
+            LivenessEvent::Recovered(7),
+            LivenessEvent::Suspected(9),
+        ]);
+        m.record_scaling_events(2);
+        m.record_table_push_ns(1_000_000);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("control.liveness.suspected"), Some(2));
+        assert_eq!(snap.counter("control.liveness.died"), Some(1));
+        assert_eq!(snap.counter("control.liveness.recovered"), Some(1));
+        assert_eq!(snap.counter("control.scaling.events"), Some(2));
+        assert_eq!(
+            snap.histogram("control.table_push_ns").map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(snap.events.len(), 4, "one trace event per transition");
+        assert!(snap
+            .events
+            .iter()
+            .all(|e| e.kind == ncvnf_obs::TraceKind::Liveness));
+    }
+}

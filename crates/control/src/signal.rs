@@ -88,6 +88,10 @@ pub enum Signal {
         /// Buffer capacity in generations.
         buffer_generations: u32,
     },
+    /// Query a node's observability snapshot. The node replies with one
+    /// JSON object ([`ncvnf_obs::Snapshot::to_json`] format) instead of
+    /// the usual `OK`/`ERR` acknowledgement.
+    NcStats,
 }
 
 /// Wire-decoding errors.
@@ -118,6 +122,7 @@ const TAG_VNF_START: u8 = 2;
 const TAG_VNF_END: u8 = 3;
 const TAG_FORWARD_TAB: u8 = 4;
 const TAG_SETTINGS: u8 = 5;
+const TAG_STATS: u8 = 6;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u16(s.len() as u16);
@@ -178,6 +183,7 @@ impl Signal {
                 body.put_u32(*buffer_generations);
                 TAG_SETTINGS
             }
+            Signal::NcStats => TAG_STATS,
         };
         let mut frame = BytesMut::with_capacity(5 + body.len());
         frame.put_u8(tag);
@@ -259,6 +265,7 @@ impl Signal {
                     buffer_generations: body.get_u32(),
                 }
             }
+            TAG_STATS => Signal::NcStats,
             t => return Err(SignalError::UnknownTag(t)),
         };
         Ok((sig, 5 + len))
@@ -290,6 +297,7 @@ mod tests {
                 generation_size: 4,
                 buffer_generations: 1024,
             },
+            Signal::NcStats,
         ]
     }
 

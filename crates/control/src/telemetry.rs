@@ -13,6 +13,9 @@ use std::collections::HashMap;
 use ncvnf_deploy::model::VnfSpec;
 use ncvnf_deploy::{ScalingEvent, Topology};
 use ncvnf_flowgraph::NodeId;
+use ncvnf_obs::Snapshot;
+
+use crate::metrics::ControlMetrics;
 
 /// Sliding-window median estimator.
 #[derive(Debug, Clone)]
@@ -78,6 +81,27 @@ pub struct DataplaneHealth {
 }
 
 impl DataplaneHealth {
+    /// Builds the health record from an observability snapshot — the
+    /// node-side registry is the single source of truth, and this is
+    /// the controller's ingestion mapping from metric names (the relay's
+    /// `relay.*` node counters plus the transfer endpoints' `recovery.*`
+    /// counters) to health fields. Metrics a node never registered read
+    /// as zero.
+    pub fn from_snapshot(snapshot: &Snapshot) -> DataplaneHealth {
+        let c = |name: &str| snapshot.counter(name).unwrap_or(0);
+        DataplaneHealth {
+            datagrams_in: c("relay.datagrams_in"),
+            datagrams_out: c("relay.datagrams_out"),
+            io_errors: c("relay.io_errors"),
+            rejected_signals: c("relay.rejected_signals"),
+            malformed_feedback: c("relay.malformed_feedback"),
+            heartbeats_sent: c("relay.heartbeats_sent"),
+            nacks_sent: c("recovery.nacks_sent"),
+            retransmit_packets: c("recovery.retransmit_packets"),
+            generations_recovered: c("recovery.generations_recovered"),
+        }
+    }
+
     /// Field-wise sum (fleet-wide aggregation).
     #[must_use]
     pub fn combined(&self, other: &DataplaneHealth) -> DataplaneHealth {
@@ -106,6 +130,9 @@ pub struct Telemetry {
     rtt: HashMap<(NodeId, NodeId), Window>,
     /// Latest data-plane health snapshot per relay node id.
     dataplane: HashMap<u32, DataplaneHealth>,
+    /// Optional registry handles; when attached, `drain_events` counts
+    /// the scaling observations it emits.
+    metrics: Option<ControlMetrics>,
 }
 
 impl Telemetry {
@@ -121,7 +148,14 @@ impl Telemetry {
             bandwidth: HashMap::new(),
             rtt: HashMap::new(),
             dataplane: HashMap::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches registry handles so emitted scaling observations are
+    /// counted under `control.scaling.events`.
+    pub fn attach_metrics(&mut self, metrics: ControlMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Records a relay's latest data-plane health snapshot (counters are
@@ -221,6 +255,9 @@ impl Telemetry {
             if rel(current, delay_ms) >= min_rel_change {
                 events.push(ScalingEvent::DelayObserved { from, to, delay_ms });
             }
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.record_scaling_events(events.len() as u64);
         }
         events
     }
@@ -351,6 +388,55 @@ mod tests {
         assert_eq!(total.retransmit_packets, 8);
         assert_eq!(total.generations_recovered, 1);
         assert_eq!(total.heartbeats_sent, 40);
+    }
+
+    #[test]
+    fn health_derives_from_registry_snapshot() {
+        use ncvnf_obs::{desc, MetricKind, Registry};
+        let registry = Registry::new();
+        registry
+            .counter(desc(
+                "relay.datagrams_in",
+                MetricKind::Counter,
+                "datagrams",
+                "relay",
+                "test",
+            ))
+            .add(42);
+        registry
+            .counter(desc(
+                "recovery.nacks_sent",
+                MetricKind::Counter,
+                "nacks",
+                "relay",
+                "test",
+            ))
+            .add(3);
+        let health = DataplaneHealth::from_snapshot(&registry.snapshot());
+        assert_eq!(health.datagrams_in, 42);
+        assert_eq!(health.nacks_sent, 3);
+        // Metrics the node never registered read as zero.
+        assert_eq!(health.io_errors, 0);
+        assert_eq!(health.retransmit_packets, 0);
+    }
+
+    #[test]
+    fn attached_metrics_count_scaling_events() {
+        use crate::metrics::ControlMetrics;
+        use ncvnf_obs::Registry;
+        let registry = Registry::new();
+        let topo = topo();
+        let dc = topo.data_centers()[1];
+        let mut t = Telemetry::new(2);
+        t.attach_metrics(ControlMetrics::register(&registry));
+        for _ in 0..2 {
+            t.record_bandwidth(dc, 460e6, 470e6);
+        }
+        assert_eq!(t.drain_events(&topo, 0.05).len(), 1);
+        assert_eq!(
+            registry.snapshot().counter("control.scaling.events"),
+            Some(1)
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod cost;
 mod decoded;
 mod dispatch;
 mod feedback;
+pub mod metrics;
 mod role;
 mod sim_nodes;
 mod vnf;
@@ -39,6 +40,7 @@ pub use cost::CodingCostModel;
 pub use decoded::{chunk_generation, DecodedChunk, PlainReceiver};
 pub use dispatch::Dispatcher;
 pub use feedback::{Feedback, FeedbackError, FeedbackKind, FEEDBACK_LEN, FEEDBACK_MAGIC};
+pub use metrics::VnfMetrics;
 pub use role::VnfRole;
 pub use sim_nodes::{NextHop, ObjectSource, ReceiverNode, SourceConfig, VnfNode};
 pub use vnf::{CodingVnf, VnfDecision, VnfOutput, VnfStats};

@@ -1,0 +1,141 @@
+//! Registry republication of [`VnfStats`].
+//!
+//! The VNF keeps plain `u64` fields on the packet path (a single
+//! mutable struct behind the engine lock is cheaper than atomics
+//! there); [`VnfMetrics::publish`] exports those running totals into a
+//! registry at snapshot time so the fleet-wide view and the `NC_STATS`
+//! query see the same numbers as the in-process struct.
+
+use ncvnf_obs::{desc, Counter, MetricDesc, MetricKind, Registry};
+
+use crate::vnf::VnfStats;
+
+/// `dataplane.packets_in` — NC packets received by the VNF.
+pub const PACKETS_IN: MetricDesc = desc(
+    "dataplane.packets_in",
+    MetricKind::Counter,
+    "packets",
+    "dataplane",
+    "NC packets received by the VNF",
+);
+
+/// `dataplane.packets_out` — NC packets emitted by the VNF.
+pub const PACKETS_OUT: MetricDesc = desc(
+    "dataplane.packets_out",
+    MetricKind::Counter,
+    "packets",
+    "dataplane",
+    "NC packets emitted by the VNF",
+);
+
+/// `dataplane.innovative_in` — received packets that increased rank.
+pub const INNOVATIVE_IN: MetricDesc = desc(
+    "dataplane.innovative_in",
+    MetricKind::Counter,
+    "packets",
+    "dataplane",
+    "Received packets that increased some generation's rank",
+);
+
+/// `dataplane.malformed` — inputs that were not valid NC packets.
+pub const MALFORMED: MetricDesc = desc(
+    "dataplane.malformed",
+    MetricKind::Counter,
+    "packets",
+    "dataplane",
+    "Inputs that were not valid NC packets",
+);
+
+/// `dataplane.unknown_session` — packets for sessions with no local role.
+pub const UNKNOWN_SESSION: MetricDesc = desc(
+    "dataplane.unknown_session",
+    MetricKind::Counter,
+    "packets",
+    "dataplane",
+    "Packets for sessions this VNF has no role for",
+);
+
+/// `dataplane.generations_decoded` — generations fully decoded.
+pub const GENERATIONS_DECODED: MetricDesc = desc(
+    "dataplane.generations_decoded",
+    MetricKind::Counter,
+    "generations",
+    "dataplane",
+    "Generations fully decoded (decoder role)",
+);
+
+/// `dataplane.evicted_decoders` — decoder states dropped by retention.
+pub const EVICTED_DECODERS: MetricDesc = desc(
+    "dataplane.evicted_decoders",
+    MetricKind::Counter,
+    "decoders",
+    "dataplane",
+    "Decoder generation states dropped by the FIFO retention bound",
+);
+
+/// Registry-backed republication handles for [`VnfStats`].
+#[derive(Debug, Clone)]
+pub struct VnfMetrics {
+    packets_in: Counter,
+    packets_out: Counter,
+    innovative_in: Counter,
+    malformed: Counter,
+    unknown_session: Counter,
+    generations_decoded: Counter,
+    evicted_decoders: Counter,
+}
+
+impl VnfMetrics {
+    /// Registers (or retrieves) the VNF metrics in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        VnfMetrics {
+            packets_in: registry.counter(PACKETS_IN),
+            packets_out: registry.counter(PACKETS_OUT),
+            innovative_in: registry.counter(INNOVATIVE_IN),
+            malformed: registry.counter(MALFORMED),
+            unknown_session: registry.counter(UNKNOWN_SESSION),
+            generations_decoded: registry.counter(GENERATIONS_DECODED),
+            evicted_decoders: registry.counter(EVICTED_DECODERS),
+        }
+    }
+
+    /// Overwrites the registry counters with the VNF's running totals.
+    pub fn publish(&self, stats: &VnfStats) {
+        self.packets_in.publish(stats.packets_in);
+        self.packets_out.publish(stats.packets_out);
+        self.innovative_in.publish(stats.innovative_in);
+        self.malformed.publish(stats.malformed);
+        self.unknown_session.publish(stats.unknown_session);
+        self.generations_decoded.publish(stats.generations_decoded);
+        self.evicted_decoders.publish(stats.evicted_decoders);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_mirrors_vnf_stats() {
+        let registry = Registry::new();
+        let m = VnfMetrics::register(&registry);
+        let stats = VnfStats {
+            packets_in: 100,
+            packets_out: 90,
+            innovative_in: 80,
+            malformed: 2,
+            unknown_session: 3,
+            generations_decoded: 7,
+            evicted_decoders: 1,
+        };
+        m.publish(&stats);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("dataplane.packets_in"), Some(100));
+        assert_eq!(snap.counter("dataplane.packets_out"), Some(90));
+        assert_eq!(snap.counter("dataplane.innovative_in"), Some(80));
+        assert_eq!(snap.counter("dataplane.malformed"), Some(2));
+        assert_eq!(snap.counter("dataplane.unknown_session"), Some(3));
+        assert_eq!(snap.counter("dataplane.generations_decoded"), Some(7));
+        assert_eq!(snap.counter("dataplane.evicted_decoders"), Some(1));
+    }
+}

@@ -93,6 +93,7 @@ fn main() {
         buffer_generations: 1024,
         seed: std::process::id() as u64,
         heartbeat: None,
+        registry: None,
     })
     .expect("bind relay sockets");
     println!("relay data    {}", relay.data_addr);
@@ -143,5 +144,8 @@ fn main() {
             "stats: in {} out {} signals {}",
             s.datagrams_in, s.datagrams_out, s.signals
         );
+        // Full observability snapshot (same data an NC_STATS query on the
+        // control port returns as JSON; see OPERATIONS.md).
+        println!("{}", handle.snapshot().to_text());
     }
 }

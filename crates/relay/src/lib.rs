@@ -21,13 +21,18 @@
 //! * [`send_object_reliable`]/[`ReliableReceiver`] — feedback-driven
 //!   loss recovery: NACK/ACK over the `ncvnf-dataplane` feedback codec,
 //!   bounded retransmission with exponential backoff, and AIMD-adaptive
-//!   redundancy.
+//!   redundancy;
+//! * [`metrics`] — the relay's slice of the `ncvnf-obs` registry: every
+//!   counter in [`RelayStats`]/[`RecoveryStats`] lives in registry cells
+//!   (the structs are typed views), plus step-latency and table-swap
+//!   histograms; see `OPERATIONS.md` for the full metric reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod chaos;
 mod engine;
+pub mod metrics;
 mod node;
 mod recovery;
 mod socket;
@@ -35,6 +40,7 @@ mod transfer;
 
 pub use chaos::{FaultConfig, FaultDirections, FaultHandle, FaultSocket, FaultStats};
 pub use engine::{relay_step, RelayEngine, RelayScratch, RouteCache, StepReport};
+pub use metrics::{RecoveryMetrics, RelayNodeMetrics, StepMetrics, TransferObs};
 pub use node::{HeartbeatConfig, RelayConfig, RelayHandle, RelayNode, RelayStats};
 pub use recovery::{
     reliable_chain, send_object_reliable, RecoveryConfig, RecoveryStats, ReliableChainReport,

@@ -1,0 +1,535 @@
+//! The relay's slice of the observability registry.
+//!
+//! Three handle bundles cover the crate's three planes:
+//!
+//! * [`RelayNodeMetrics`] — the node loops' counters (socket traffic,
+//!   control signals, heartbeats). These registry cells *are* the
+//!   node's counters; [`RelayStats`](crate::RelayStats) is a typed view
+//!   read back from them, not a second copy.
+//! * [`StepMetrics`] — the data thread's per-step instrumentation
+//!   (latency histogram, emit/recycle counters, pending-queue gauge),
+//!   carried inside [`RelayScratch`](crate::RelayScratch) so
+//!   [`relay_step`](crate::relay_step)'s signature stays unchanged.
+//! * [`RecoveryMetrics`] — the reliable-transfer endpoints' feedback
+//!   counters and backoff timings, bundled with the codec's
+//!   [`RlncMetrics`] in a per-transfer [`TransferObs`].
+//!
+//! Record calls are relaxed atomic ops — or, on the per-step hot path,
+//! plain scratch-local adds flushed to the atomics once per sampling
+//! window. No locks, no heap: the counting-allocator test keeps proving
+//! 0 heap ops per packet with all of this enabled, and the perf report
+//! holds the measured step overhead under its 2% budget.
+
+use ncvnf_obs::{
+    desc, Counter, Gauge, Histogram, MetricDesc, MetricKind, Registry, Snapshot, TraceRing,
+};
+use ncvnf_rlnc::{PoolMetrics, RlncMetrics};
+
+/// `relay.datagrams_in` — datagrams received on the data socket.
+pub const DATAGRAMS_IN: MetricDesc = desc(
+    "relay.datagrams_in",
+    MetricKind::Counter,
+    "datagrams",
+    "relay",
+    "Datagrams received on the data socket",
+);
+
+/// `relay.datagrams_out` — datagrams sent to next hops.
+pub const DATAGRAMS_OUT: MetricDesc = desc(
+    "relay.datagrams_out",
+    MetricKind::Counter,
+    "datagrams",
+    "relay",
+    "Datagrams sent to next hops",
+);
+
+/// `relay.sends` — `send_to` attempts (packets × next hops).
+pub const SENDS: MetricDesc = desc(
+    "relay.sends",
+    MetricKind::Counter,
+    "attempts",
+    "relay",
+    "send_to attempts (packets times next hops), successful or not",
+);
+
+/// `relay.io_errors` — socket errors survived.
+pub const IO_ERRORS: MetricDesc = desc(
+    "relay.io_errors",
+    MetricKind::Counter,
+    "errors",
+    "relay",
+    "Socket errors survived (failed sends and receive errors)",
+);
+
+/// `relay.signals` — control signals processed.
+pub const SIGNALS: MetricDesc = desc(
+    "relay.signals",
+    MetricKind::Counter,
+    "signals",
+    "relay",
+    "Control signals processed",
+);
+
+/// `relay.rejected_signals` — control signals answered with `ERR`.
+pub const REJECTED_SIGNALS: MetricDesc = desc(
+    "relay.rejected_signals",
+    MetricKind::Counter,
+    "signals",
+    "relay",
+    "Control signals rejected with an ERR reply",
+);
+
+/// `relay.feedback_frames` — well-formed feedback seen on the data
+/// socket (dropped: relays do not route feedback).
+pub const FEEDBACK_FRAMES: MetricDesc = desc(
+    "relay.feedback_frames",
+    MetricKind::Counter,
+    "frames",
+    "relay",
+    "Well-formed feedback frames dropped by the data loop",
+);
+
+/// `relay.malformed_feedback` — feedback-magic frames that failed to
+/// decode.
+pub const MALFORMED_FEEDBACK: MetricDesc = desc(
+    "relay.malformed_feedback",
+    MetricKind::Counter,
+    "frames",
+    "relay",
+    "Feedback-magic frames that failed to decode",
+);
+
+/// `relay.heartbeats_sent` — liveness beacons emitted.
+pub const HEARTBEATS_SENT: MetricDesc = desc(
+    "relay.heartbeats_sent",
+    MetricKind::Counter,
+    "beacons",
+    "relay",
+    "Liveness beacons emitted by the control thread",
+);
+
+/// `relay.table_swap_ns` — route-cache rebuild latency on table swaps.
+pub const TABLE_SWAP_NS: MetricDesc = desc(
+    "relay.table_swap_ns",
+    MetricKind::Histogram,
+    "ns",
+    "relay",
+    "Forwarding-table swap latency (merge plus route-cache rebuild)",
+);
+
+/// Registry-backed counters for a relay node's two socket loops.
+#[derive(Debug, Clone)]
+pub struct RelayNodeMetrics {
+    /// Datagrams received on the data socket.
+    pub datagrams_in: Counter,
+    /// Datagrams sent to next hops.
+    pub datagrams_out: Counter,
+    /// `send_to` attempts.
+    pub sends: Counter,
+    /// Socket errors survived.
+    pub io_errors: Counter,
+    /// Control signals processed.
+    pub signals: Counter,
+    /// Control signals rejected.
+    pub rejected_signals: Counter,
+    /// Feedback frames dropped by the data loop.
+    pub feedback_frames: Counter,
+    /// Malformed feedback frames.
+    pub malformed_feedback: Counter,
+    /// Heartbeats emitted.
+    pub heartbeats_sent: Counter,
+    /// Table-swap latency.
+    pub table_swap_ns: Histogram,
+}
+
+impl RelayNodeMetrics {
+    /// Registers (or retrieves) the node metrics in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        RelayNodeMetrics {
+            datagrams_in: registry.counter(DATAGRAMS_IN),
+            datagrams_out: registry.counter(DATAGRAMS_OUT),
+            sends: registry.counter(SENDS),
+            io_errors: registry.counter(IO_ERRORS),
+            signals: registry.counter(SIGNALS),
+            rejected_signals: registry.counter(REJECTED_SIGNALS),
+            feedback_frames: registry.counter(FEEDBACK_FRAMES),
+            malformed_feedback: registry.counter(MALFORMED_FEEDBACK),
+            heartbeats_sent: registry.counter(HEARTBEATS_SENT),
+            table_swap_ns: registry.histogram(TABLE_SWAP_NS),
+        }
+    }
+}
+
+/// `relay.steps` — datagrams processed by the relay step.
+pub const STEPS: MetricDesc = desc(
+    "relay.steps",
+    MetricKind::Counter,
+    "steps",
+    "relay",
+    "Datagrams processed by the relay step",
+);
+
+/// `relay.step_ns` — per-step processing latency (sampled).
+pub const STEP_NS: MetricDesc = desc(
+    "relay.step_ns",
+    MetricKind::Histogram,
+    "ns",
+    "relay",
+    "Relay step latency, sampled 1-in-32 (parse, code, serialize, send)",
+);
+
+/// `relay.packets_emitted` — coded packets/chunks produced by steps.
+pub const PACKETS_EMITTED: MetricDesc = desc(
+    "relay.packets_emitted",
+    MetricKind::Counter,
+    "packets",
+    "relay",
+    "Coded packets or decoded chunks produced by relay steps",
+);
+
+/// `relay.payloads_recycled` — emitted packets returned to the pool.
+pub const PAYLOADS_RECYCLED: MetricDesc = desc(
+    "relay.payloads_recycled",
+    MetricKind::Counter,
+    "packets",
+    "relay",
+    "Emitted packets recycled back into the payload pool",
+);
+
+/// `relay.pending_depth` — packets awaiting recycling after a step.
+pub const PENDING_DEPTH: MetricDesc = desc(
+    "relay.pending_depth",
+    MetricKind::Gauge,
+    "packets",
+    "relay",
+    "Packets held for recycling at the end of the last step",
+);
+
+/// One-in-N sampling rate for step-latency timestamps (power of two).
+/// Doubles as the counter flush interval: batched step counters are
+/// published to the shared registry cells once per sampling window.
+pub(crate) const STEP_SAMPLE_EVERY: u64 = 32;
+
+/// Per-data-thread step instrumentation, owned by the scratch so the
+/// hot path records without any sharing or locking.
+///
+/// Step counters accumulate in plain scratch-local fields and are
+/// flushed to the shared atomics once per 32-step sampling window and
+/// when the scratch drops, so the per-step cost is three integer adds
+/// and a branch instead of four atomic read-modify-writes. Snapshots
+/// taken while the data thread is running may therefore lag the true
+/// totals by up to one sampling window.
+#[derive(Debug)]
+pub struct StepMetrics {
+    pub(crate) steps: Counter,
+    pub(crate) step_ns: Histogram,
+    pub(crate) emitted: Counter,
+    pub(crate) recycled: Counter,
+    pub(crate) pending_depth: Gauge,
+    /// Thread-local tick for 1-in-N latency sampling (plain field: the
+    /// scratch is single-threaded).
+    pub(crate) tick: u64,
+    /// Steps completed since the last flush.
+    batch_steps: u64,
+    /// Packets emitted since the last flush.
+    batch_emitted: u64,
+    /// Payloads recycled since the last flush.
+    batch_recycled: u64,
+    /// Pending-queue depth after the most recent step.
+    last_depth: f64,
+}
+
+impl StepMetrics {
+    /// Registers (or retrieves) the step metrics in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        StepMetrics {
+            steps: registry.counter(STEPS),
+            step_ns: registry.histogram(STEP_NS),
+            emitted: registry.counter(PACKETS_EMITTED),
+            recycled: registry.counter(PAYLOADS_RECYCLED),
+            pending_depth: registry.gauge(PENDING_DEPTH),
+            tick: 0,
+            batch_steps: 0,
+            batch_emitted: 0,
+            batch_recycled: 0,
+            last_depth: 0.0,
+        }
+    }
+
+    /// Records one completed step into the scratch-local batch; flushes
+    /// to the shared registry cells once per sampling window (the tick
+    /// was already advanced when the step-start timestamp was sampled).
+    #[inline]
+    pub(crate) fn record_step(&mut self, emitted: u64, recycled: u64, depth: usize) {
+        self.batch_steps += 1;
+        self.batch_emitted += emitted;
+        self.batch_recycled += recycled;
+        self.last_depth = depth as f64;
+        if self.tick & (STEP_SAMPLE_EVERY - 1) == 0 {
+            self.flush();
+        }
+    }
+
+    /// Publishes the batched counters and the latest pending depth to
+    /// the shared registry cells.
+    fn flush(&mut self) {
+        if self.batch_steps == 0 {
+            return;
+        }
+        self.steps.add(self.batch_steps);
+        self.emitted.add(self.batch_emitted);
+        self.recycled.add(self.batch_recycled);
+        self.pending_depth.set(self.last_depth);
+        self.batch_steps = 0;
+        self.batch_emitted = 0;
+        self.batch_recycled = 0;
+    }
+}
+
+impl Clone for StepMetrics {
+    /// Clones the registry handles; the scratch-local batch and sampling
+    /// tick start fresh so a clone never republishes counts the original
+    /// still holds.
+    fn clone(&self) -> Self {
+        StepMetrics {
+            steps: self.steps.clone(),
+            step_ns: self.step_ns.clone(),
+            emitted: self.emitted.clone(),
+            recycled: self.recycled.clone(),
+            pending_depth: self.pending_depth.clone(),
+            tick: 0,
+            batch_steps: 0,
+            batch_emitted: 0,
+            batch_recycled: 0,
+            last_depth: 0.0,
+        }
+    }
+}
+
+impl Drop for StepMetrics {
+    /// Final flush: totals are exact once the owning scratch is gone.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// `recovery.initial_packets` — coded packets in the initial paced pass.
+pub const RECOVERY_INITIAL_PACKETS: MetricDesc = desc(
+    "recovery.initial_packets",
+    MetricKind::Counter,
+    "packets",
+    "relay",
+    "Coded packets sent in the initial paced pass (source)",
+);
+
+/// `recovery.retransmit_packets` — fresh packets sent answering NACKs.
+pub const RECOVERY_RETRANSMIT_PACKETS: MetricDesc = desc(
+    "recovery.retransmit_packets",
+    MetricKind::Counter,
+    "packets",
+    "relay",
+    "Fresh coded packets retransmitted in response to NACKs (source)",
+);
+
+/// `recovery.retransmit_rounds` — NACKs honoured with a packet burst.
+pub const RECOVERY_RETRANSMIT_ROUNDS: MetricDesc = desc(
+    "recovery.retransmit_rounds",
+    MetricKind::Counter,
+    "rounds",
+    "relay",
+    "Retransmission rounds: NACKs honoured with a burst (source)",
+);
+
+/// `recovery.nacks_sent` — NACKs emitted by the receiver.
+pub const RECOVERY_NACKS_SENT: MetricDesc = desc(
+    "recovery.nacks_sent",
+    MetricKind::Counter,
+    "frames",
+    "relay",
+    "NACKs emitted for stalled generations (receiver)",
+);
+
+/// `recovery.nacks_received` — NACKs the source honoured as actionable.
+pub const RECOVERY_NACKS_RECEIVED: MetricDesc = desc(
+    "recovery.nacks_received",
+    MetricKind::Counter,
+    "frames",
+    "relay",
+    "NACKs received and not ignored as stale or unsent (source)",
+);
+
+/// `recovery.acks_sent` — ACKs emitted by the receiver.
+pub const RECOVERY_ACKS_SENT: MetricDesc = desc(
+    "recovery.acks_sent",
+    MetricKind::Counter,
+    "frames",
+    "relay",
+    "ACKs emitted for decoded generations (receiver)",
+);
+
+/// `recovery.acks_received` — ACKs seen by the source.
+pub const RECOVERY_ACKS_RECEIVED: MetricDesc = desc(
+    "recovery.acks_received",
+    MetricKind::Counter,
+    "frames",
+    "relay",
+    "ACKs received (source)",
+);
+
+/// `recovery.generations_recovered` — generations saved by retransmits.
+pub const RECOVERY_GENERATIONS_RECOVERED: MetricDesc = desc(
+    "recovery.generations_recovered",
+    MetricKind::Counter,
+    "generations",
+    "relay",
+    "Generations that needed retransmission and still decoded (source)",
+);
+
+/// `recovery.unrecovered` — generations abandoned by the source.
+pub const RECOVERY_UNRECOVERED: MetricDesc = desc(
+    "recovery.unrecovered",
+    MetricKind::Counter,
+    "generations",
+    "relay",
+    "Generations never ACKed when the source gave up",
+);
+
+/// `recovery.backoff_ns` — backoff waits scheduled between retries.
+pub const RECOVERY_BACKOFF_NS: MetricDesc = desc(
+    "recovery.backoff_ns",
+    MetricKind::Histogram,
+    "ns",
+    "relay",
+    "Exponential-backoff waits scheduled between retransmission rounds",
+);
+
+/// Registry-backed counters for the reliable-transfer protocol.
+///
+/// Field meanings mirror [`RecoveryStats`](crate::RecoveryStats); the
+/// struct there is a typed view derived from these cells.
+#[derive(Debug, Clone)]
+pub struct RecoveryMetrics {
+    /// Initial-pass packets (source).
+    pub initial_packets: Counter,
+    /// Retransmitted packets (source).
+    pub retransmit_packets: Counter,
+    /// Retransmission rounds (source).
+    pub retransmit_rounds: Counter,
+    /// NACKs emitted (receiver).
+    pub nacks_sent: Counter,
+    /// Actionable NACKs received (source).
+    pub nacks_received: Counter,
+    /// ACKs emitted (receiver).
+    pub acks_sent: Counter,
+    /// ACKs received (source).
+    pub acks_received: Counter,
+    /// Generations recovered via retransmission (source).
+    pub generations_recovered: Counter,
+    /// Generations abandoned (source).
+    pub unrecovered: Counter,
+    /// Backoff waits scheduled (source).
+    pub backoff_ns: Histogram,
+    /// Trace ring for repair-burst events.
+    pub trace: TraceRing,
+}
+
+impl RecoveryMetrics {
+    /// Registers (or retrieves) the recovery metrics in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        RecoveryMetrics {
+            initial_packets: registry.counter(RECOVERY_INITIAL_PACKETS),
+            retransmit_packets: registry.counter(RECOVERY_RETRANSMIT_PACKETS),
+            retransmit_rounds: registry.counter(RECOVERY_RETRANSMIT_ROUNDS),
+            nacks_sent: registry.counter(RECOVERY_NACKS_SENT),
+            nacks_received: registry.counter(RECOVERY_NACKS_RECEIVED),
+            acks_sent: registry.counter(RECOVERY_ACKS_SENT),
+            acks_received: registry.counter(RECOVERY_ACKS_RECEIVED),
+            generations_recovered: registry.counter(RECOVERY_GENERATIONS_RECOVERED),
+            unrecovered: registry.counter(RECOVERY_UNRECOVERED),
+            backoff_ns: registry.histogram(RECOVERY_BACKOFF_NS),
+            trace: registry.trace(),
+        }
+    }
+}
+
+/// Everything a reliable transfer records into: one registry plus the
+/// recovery and codec handle bundles, shared by the source and receiver
+/// ends (distinct metric names keep the halves separable).
+#[derive(Debug, Clone)]
+pub struct TransferObs {
+    registry: Registry,
+    /// Feedback/retransmission counters.
+    pub recovery: RecoveryMetrics,
+    /// Codec-level metrics (redundancy gauges, decode histograms).
+    pub rlnc: RlncMetrics,
+    /// Pool republication handles.
+    pub pool: PoolMetrics,
+}
+
+impl Default for TransferObs {
+    fn default() -> Self {
+        TransferObs::new()
+    }
+}
+
+impl TransferObs {
+    /// A transfer observer with its own private registry.
+    pub fn new() -> Self {
+        TransferObs::in_registry(&Registry::new())
+    }
+
+    /// A transfer observer recording into an existing registry (e.g. a
+    /// chain harness aggregating source and receiver into one snapshot).
+    pub fn in_registry(registry: &Registry) -> Self {
+        TransferObs {
+            registry: registry.clone(),
+            recovery: RecoveryMetrics::register(registry),
+            rlnc: RlncMetrics::register(registry),
+            pool: PoolMetrics::register(registry),
+        }
+    }
+
+    /// The backing registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_step_metrics_share_one_registry() {
+        let registry = Registry::new();
+        let node = RelayNodeMetrics::register(&registry);
+        let step = StepMetrics::register(&registry);
+        node.datagrams_in.add(5);
+        step.emitted.add(7);
+        step.pending_depth.set(3.0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("relay.datagrams_in"), Some(5));
+        assert_eq!(snap.counter("relay.packets_emitted"), Some(7));
+        assert_eq!(snap.gauge("relay.pending_depth"), Some(3.0));
+    }
+
+    #[test]
+    fn transfer_obs_bundles_recovery_and_codec() {
+        let obs = TransferObs::new();
+        obs.recovery.nacks_sent.inc();
+        obs.recovery.backoff_ns.record(20_000_000);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("recovery.nacks_sent"), Some(1));
+        assert_eq!(
+            snap.histogram("recovery.backoff_ns").map(|h| h.count),
+            Some(1)
+        );
+        // Codec metrics registered alongside.
+        assert_eq!(snap.counter("rlnc.decode.generations"), Some(0));
+    }
+}

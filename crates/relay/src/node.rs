@@ -15,7 +15,7 @@
 //! dead VNF is detectable by silence (DESIGN.md §"Failure model").
 
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -28,10 +28,13 @@ use ncvnf_control::daemon::{Daemon, DaemonEvent};
 use ncvnf_control::signal::{Signal, VnfRoleWire};
 use ncvnf_control::telemetry::DataplaneHealth;
 use ncvnf_control::ForwardingTable;
+use ncvnf_dataplane::metrics::VnfMetrics;
 use ncvnf_dataplane::{CodingVnf, Feedback, VnfRole, VnfStats, FEEDBACK_MAGIC};
-use ncvnf_rlnc::{GenerationConfig, PoolStats};
+use ncvnf_obs::{Registry, Snapshot, TraceKind};
+use ncvnf_rlnc::{GenerationConfig, PoolMetrics, PoolStats};
 
 use crate::engine::{relay_step, RelayEngine, RelayScratch, RouteCache};
+use crate::metrics::RelayNodeMetrics;
 use crate::socket::DatagramSocket;
 
 /// Liveness beaconing: where and how often a relay announces it is alive.
@@ -58,6 +61,11 @@ pub struct RelayConfig {
     pub seed: u64,
     /// Liveness beaconing (off by default).
     pub heartbeat: Option<HeartbeatConfig>,
+    /// Observability registry the node records into. `None` gives the
+    /// node a private registry (still queryable via
+    /// [`RelayHandle::snapshot`] or the `NC_STATS` signal); pass a shared
+    /// one to aggregate several relays into a single snapshot.
+    pub registry: Option<Registry>,
 }
 
 impl Default for RelayConfig {
@@ -67,11 +75,16 @@ impl Default for RelayConfig {
             buffer_generations: 1024,
             seed: 0xC0DE,
             heartbeat: None,
+            registry: None,
         }
     }
 }
 
 /// Counters exposed by a running relay.
+///
+/// This is a typed *view* read back from the node's `ncvnf-obs` registry
+/// cells (the `relay.*` counters in `OPERATIONS.md`) — the registry is
+/// the single source of truth; there is no second copy to drift.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RelayStats {
     /// Datagrams received on the data socket.
@@ -98,39 +111,31 @@ pub struct RelayStats {
     pub heartbeats_sent: u64,
 }
 
-impl RelayStats {
-    /// This snapshot as the controller-facing health record
-    /// (`ncvnf-control`'s telemetry ingestion format). Recovery counters
-    /// are zero here; the transfer endpoints fill those in via
-    /// [`crate::RecoveryStats::apply_to`].
-    pub fn health(&self) -> DataplaneHealth {
-        DataplaneHealth {
-            datagrams_in: self.datagrams_in,
-            datagrams_out: self.datagrams_out,
-            io_errors: self.io_errors,
-            rejected_signals: self.rejected_signals,
-            malformed_feedback: self.malformed_feedback,
-            heartbeats_sent: self.heartbeats_sent,
-            ..DataplaneHealth::default()
-        }
-    }
-}
-
 struct Shared {
     engine: Mutex<RelayEngine>,
     routes: Mutex<RouteCache>,
     table: Mutex<ForwardingTable>,
     daemon: Mutex<Daemon>,
     running: AtomicBool,
-    datagrams_in: AtomicU64,
-    datagrams_out: AtomicU64,
-    sends: AtomicU64,
-    io_errors: AtomicU64,
-    signals: AtomicU64,
-    rejected_signals: AtomicU64,
-    feedback_frames: AtomicU64,
-    malformed_feedback: AtomicU64,
-    heartbeats_sent: AtomicU64,
+    registry: Registry,
+    metrics: RelayNodeMetrics,
+    vnf_metrics: VnfMetrics,
+    pool_metrics: PoolMetrics,
+}
+
+impl Shared {
+    /// Publishes the lock-protected VNF/pool counters into the registry,
+    /// then snapshots everything. The engine lock is held only for the
+    /// two stats copies.
+    fn snapshot(&self) -> Snapshot {
+        let (vnf, pool) = {
+            let guard = self.engine.lock();
+            (guard.vnf().stats(), guard.vnf().pool_stats())
+        };
+        self.vnf_metrics.publish(&vnf);
+        self.pool_metrics.publish(&pool);
+        self.registry.snapshot()
+    }
 }
 
 /// A live relay: two sockets, two threads.
@@ -150,19 +155,39 @@ pub struct RelayHandle {
 }
 
 impl RelayHandle {
-    /// Snapshot of the counters.
+    /// Snapshot of the counters (a typed view over the registry cells).
     pub fn stats(&self) -> RelayStats {
+        let m = &self.shared.metrics;
         RelayStats {
-            datagrams_in: self.shared.datagrams_in.load(Ordering::Relaxed),
-            datagrams_out: self.shared.datagrams_out.load(Ordering::Relaxed),
-            sends: self.shared.sends.load(Ordering::Relaxed),
-            io_errors: self.shared.io_errors.load(Ordering::Relaxed),
-            signals: self.shared.signals.load(Ordering::Relaxed),
-            rejected_signals: self.shared.rejected_signals.load(Ordering::Relaxed),
-            feedback_frames: self.shared.feedback_frames.load(Ordering::Relaxed),
-            malformed_feedback: self.shared.malformed_feedback.load(Ordering::Relaxed),
-            heartbeats_sent: self.shared.heartbeats_sent.load(Ordering::Relaxed),
+            datagrams_in: m.datagrams_in.get(),
+            datagrams_out: m.datagrams_out.get(),
+            sends: m.sends.get(),
+            io_errors: m.io_errors.get(),
+            signals: m.signals.get(),
+            rejected_signals: m.rejected_signals.get(),
+            feedback_frames: m.feedback_frames.get(),
+            malformed_feedback: m.malformed_feedback.get(),
+            heartbeats_sent: m.heartbeats_sent.get(),
         }
+    }
+
+    /// The node's observability registry (the one passed in via
+    /// [`RelayConfig::registry`], or the node-private one).
+    pub fn registry(&self) -> Registry {
+        self.shared.registry.clone()
+    }
+
+    /// Full observability snapshot: publishes the VNF and pool counters
+    /// into the registry first (brief engine lock), then snapshots every
+    /// metric and drains the trace ring.
+    pub fn snapshot(&self) -> Snapshot {
+        self.shared.snapshot()
+    }
+
+    /// The controller-facing health record, derived from the registry
+    /// snapshot (`ncvnf-control`'s telemetry ingestion format).
+    pub fn health(&self) -> DataplaneHealth {
+        DataplaneHealth::from_snapshot(&self.snapshot())
     }
 
     /// Snapshot of the coding VNF's counters (briefly takes the VNF lock).
@@ -219,21 +244,20 @@ impl RelayNode {
         let control_addr = control_socket.local_addr()?;
 
         let vnf = CodingVnf::new(config.generation, config.buffer_generations);
+        let registry = config.registry.unwrap_or_default();
+        let metrics = RelayNodeMetrics::register(&registry);
+        let vnf_metrics = VnfMetrics::register(&registry);
+        let pool_metrics = PoolMetrics::register(&registry);
         let shared = Arc::new(Shared {
             engine: Mutex::new(RelayEngine::new(vnf, StdRng::seed_from_u64(config.seed))),
             routes: Mutex::new(RouteCache::new()),
             table: Mutex::new(ForwardingTable::new()),
             daemon: Mutex::new(Daemon::new()),
             running: AtomicBool::new(true),
-            datagrams_in: AtomicU64::new(0),
-            datagrams_out: AtomicU64::new(0),
-            sends: AtomicU64::new(0),
-            io_errors: AtomicU64::new(0),
-            signals: AtomicU64::new(0),
-            rejected_signals: AtomicU64::new(0),
-            feedback_frames: AtomicU64::new(0),
-            malformed_feedback: AtomicU64::new(0),
-            heartbeats_sent: AtomicU64::new(0),
+            registry,
+            metrics,
+            vnf_metrics,
+            pool_metrics,
         });
 
         let heartbeat = config.heartbeat;
@@ -284,7 +308,8 @@ fn is_timeout(e: &std::io::Error) -> bool {
 
 fn data_loop<S: DatagramSocket>(socket: S, shared: Arc<Shared>) {
     let mut buf = vec![0u8; 65536];
-    let mut scratch = RelayScratch::new();
+    let mut scratch = RelayScratch::instrumented(&shared.registry);
+    let m = shared.metrics.clone();
     while shared.running.load(Ordering::Relaxed) {
         let n = match socket.recv_from(&mut buf) {
             Ok((n, _src)) => n,
@@ -293,19 +318,19 @@ fn data_loop<S: DatagramSocket>(socket: S, shared: Arc<Shared>) {
                 // Transient receive error (e.g. a previous send raised
                 // ECONNREFUSED on this socket): count it and keep
                 // serving. Only `running` stops the loop.
-                shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                m.io_errors.inc();
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
         };
-        shared.datagrams_in.fetch_add(1, Ordering::Relaxed);
+        m.datagrams_in.inc();
         if n > 0 && buf[0] == FEEDBACK_MAGIC {
             // Feedback is endpoint-to-endpoint; a relay neither codes nor
             // routes it. Count (well-formed vs malformed) and drop —
             // hostile bytes must never reach the coding engine as data.
             match Feedback::from_bytes(&buf[..n]) {
-                Ok(_) => shared.feedback_frames.fetch_add(1, Ordering::Relaxed),
-                Err(_) => shared.malformed_feedback.fetch_add(1, Ordering::Relaxed),
+                Ok(_) => m.feedback_frames.inc(),
+                Err(_) => m.malformed_feedback.inc(),
             };
             continue;
         }
@@ -317,15 +342,9 @@ fn data_loop<S: DatagramSocket>(socket: S, shared: Arc<Shared>) {
             &buf[..n],
             &mut send,
         );
-        shared
-            .sends
-            .fetch_add(report.send_attempts, Ordering::Relaxed);
-        shared
-            .datagrams_out
-            .fetch_add(report.sends_ok, Ordering::Relaxed);
-        shared
-            .io_errors
-            .fetch_add(report.send_attempts - report.sends_ok, Ordering::Relaxed);
+        m.sends.add(report.send_attempts);
+        m.datagrams_out.add(report.sends_ok);
+        m.io_errors.add(report.send_attempts - report.sends_ok);
     }
 }
 
@@ -335,6 +354,8 @@ fn control_loop<S: DatagramSocket>(
     heartbeat: Option<HeartbeatConfig>,
 ) {
     let mut buf = vec![0u8; 65536];
+    let m = shared.metrics.clone();
+    let trace = shared.registry.trace();
     // First beacon fires immediately so monitors learn of the node on
     // startup, not one interval later.
     let mut last_beat: Option<Instant> = None;
@@ -347,9 +368,9 @@ fn control_loop<S: DatagramSocket>(
                 beat_seq = beat_seq.wrapping_add(1);
                 last_beat = Some(Instant::now());
                 if socket.send_to(&frame, hb.monitor).is_ok() {
-                    shared.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+                    m.heartbeats_sent.inc();
                 } else {
-                    shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                    m.io_errors.inc();
                 }
             }
         }
@@ -357,7 +378,7 @@ fn control_loop<S: DatagramSocket>(
             Ok(x) => x,
             Err(ref e) if is_timeout(e) => continue,
             Err(_) => {
-                shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                m.io_errors.inc();
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
@@ -366,11 +387,19 @@ fn control_loop<S: DatagramSocket>(
             // Undecodable frame: tell the caller instead of staying
             // silent, so controllers timing the round trip see failure.
             // The reply carries a reason code for the operator's logs.
-            shared.rejected_signals.fetch_add(1, Ordering::Relaxed);
+            m.rejected_signals.inc();
             let _ = socket.send_to(b"ERR bad-frame", src);
             continue;
         };
-        shared.signals.fetch_add(1, Ordering::Relaxed);
+        m.signals.inc();
+        if matches!(signal, Signal::NcStats) {
+            // Observability query: reply with the full snapshot as one
+            // JSON datagram (the frame starts with '{', so callers can
+            // tell it from an OK/ERR acknowledgement).
+            let json = shared.snapshot().to_json();
+            let _ = socket.send_to(json.as_bytes(), src);
+            continue;
+        }
         let events = shared.daemon.lock().handle(&signal, 0.0);
         // The daemon swallows an invalid table (bad parse → no events);
         // distinguish that rejection from signals that legitimately have
@@ -399,9 +428,18 @@ fn control_loop<S: DatagramSocket>(
                     // on its next packet.
                     if let Signal::NcForwardTab { table } = &signal {
                         if let Ok(parsed) = ForwardingTable::parse(table) {
-                            let mut authoritative = shared.table.lock();
-                            authoritative.merge(&parsed);
-                            shared.routes.lock().rebuild(&authoritative);
+                            let swap_started = Instant::now();
+                            let sessions;
+                            {
+                                let mut authoritative = shared.table.lock();
+                                authoritative.merge(&parsed);
+                                let mut routes = shared.routes.lock();
+                                routes.rebuild(&authoritative);
+                                sessions = routes.sessions() as u64;
+                            }
+                            let swap_ns = swap_started.elapsed().as_nanos() as u64;
+                            m.table_swap_ns.record(swap_ns);
+                            trace.push(TraceKind::TableSwap, sessions, swap_ns);
                         }
                     }
                 }
@@ -411,7 +449,7 @@ fn control_loop<S: DatagramSocket>(
         // Acknowledge so callers can time the full round trip — and can
         // distinguish a rejected signal from an applied one.
         if rejected {
-            shared.rejected_signals.fetch_add(1, Ordering::Relaxed);
+            m.rejected_signals.inc();
             let _ = socket.send_to(b"ERR bad-table", src);
         } else {
             let _ = socket.send_to(b"OK", src);

@@ -32,12 +32,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use ncvnf_control::signal::{Signal, VnfRoleWire};
-use ncvnf_control::telemetry::DataplaneHealth;
 use ncvnf_control::ForwardingTable;
 use ncvnf_dataplane::{Feedback, FeedbackKind, FEEDBACK_MAGIC};
+use ncvnf_obs::{Snapshot, TraceKind};
 use ncvnf_rlnc::{AdaptiveRedundancy, AimdConfig, CodedPacket, ObjectDecoder, ObjectEncoder};
 
 use crate::chaos::{FaultConfig, FaultSocket, FaultStats};
+use crate::metrics::{RecoveryMetrics, TransferObs};
 use crate::node::{RelayConfig, RelayNode, RelayStats};
 use crate::socket::DatagramSocket;
 use crate::transfer::TransferConfig;
@@ -77,9 +78,13 @@ impl Default for RecoveryConfig {
 }
 
 /// Counters from one reliable transfer. The source fills the
-/// received/retransmit side, the receiver the sent side; either half can
-/// be folded into a controller health record via [`apply_to`]
-/// (Self::apply_to).
+/// received/retransmit side, the receiver the sent side.
+///
+/// Like [`RelayStats`], this is a typed *view*: the protocol records
+/// into `recovery.*` registry cells (a [`RecoveryMetrics`] bundle inside
+/// the caller's [`TransferObs`]) and each call returns the delta it
+/// contributed. Controllers derive their health record from the registry
+/// snapshot via `DataplaneHealth::from_snapshot`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
     /// Coded packets sent in the initial paced pass (source).
@@ -106,12 +111,40 @@ pub struct RecoveryStats {
     pub unrecovered: u64,
 }
 
-impl RecoveryStats {
-    /// Folds these counters into a controller-facing health record.
-    pub fn apply_to(&self, health: &mut DataplaneHealth) {
-        health.nacks_sent += self.nacks_sent;
-        health.retransmit_packets += self.retransmit_packets;
-        health.generations_recovered += self.generations_recovered;
+/// Reads the current cumulative `recovery.*` cell values as a typed view
+/// (`peak_extra` is gauge-derived and left 0 here; callers fill it from
+/// the AIMD controller).
+fn recovery_counts(m: &RecoveryMetrics) -> RecoveryStats {
+    RecoveryStats {
+        initial_packets: m.initial_packets.get(),
+        retransmit_packets: m.retransmit_packets.get(),
+        retransmit_rounds: m.retransmit_rounds.get(),
+        nacks_sent: m.nacks_sent.get(),
+        nacks_received: m.nacks_received.get(),
+        acks_sent: m.acks_sent.get(),
+        acks_received: m.acks_received.get(),
+        generations_recovered: m.generations_recovered.get(),
+        peak_extra: 0,
+        unrecovered: m.unrecovered.get(),
+    }
+}
+
+/// Field-wise `after - before`: the delta one call contributed to shared
+/// cumulative cells. Source-side and receiver-side fields are written by
+/// disjoint parties, so deltas stay exact even when both ends share one
+/// registry.
+fn recovery_delta(before: &RecoveryStats, after: &RecoveryStats) -> RecoveryStats {
+    RecoveryStats {
+        initial_packets: after.initial_packets - before.initial_packets,
+        retransmit_packets: after.retransmit_packets - before.retransmit_packets,
+        retransmit_rounds: after.retransmit_rounds - before.retransmit_rounds,
+        nacks_sent: after.nacks_sent - before.nacks_sent,
+        nacks_received: after.nacks_received - before.nacks_received,
+        acks_sent: after.acks_sent - before.acks_sent,
+        acks_received: after.acks_received - before.acks_received,
+        generations_recovered: after.generations_recovered - before.generations_recovered,
+        peak_extra: 0,
+        unrecovered: after.unrecovered - before.unrecovered,
     }
 }
 
@@ -130,6 +163,11 @@ struct GenState {
 /// budgets run out). Feedback arrives on `socket` itself, so the caller
 /// binds it and tells the receiver its address.
 ///
+/// Everything the protocol does is recorded into `obs` (the
+/// `recovery.*` and `rlnc.redundancy.*` metrics plus repair-burst trace
+/// events); the returned [`RecoveryStats`] is the delta this call
+/// contributed.
+///
 /// # Errors
 ///
 /// Propagates socket errors from the data path (feedback I/O errors are
@@ -144,6 +182,7 @@ pub fn send_object_reliable<S: DatagramSocket>(
     recovery: &RecoveryConfig,
     object: &[u8],
     next_hops: &[SocketAddr],
+    obs: &TransferObs,
 ) -> io::Result<RecoveryStats> {
     assert!(!next_hops.is_empty(), "need at least one next hop");
     let encoder =
@@ -151,7 +190,8 @@ pub fn send_object_reliable<S: DatagramSocket>(
     let generations = encoder.generations();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut adaptive = AdaptiveRedundancy::from_policy(config.redundancy, recovery.aimd);
-    let mut stats = RecoveryStats::default();
+    let m = obs.recovery.clone();
+    let before = recovery_counts(&m);
     let now = Instant::now();
     let mut gens: Vec<GenState> = (0..generations)
         .map(|_| GenState {
@@ -184,26 +224,20 @@ pub fn send_object_reliable<S: DatagramSocket>(
                 std::thread::sleep(target - elapsed);
             }
         }
-        drain_feedback(socket, config, g + 1, &mut gens, &mut adaptive, &mut stats);
+        drain_feedback(socket, config, g + 1, &mut gens, &mut adaptive, &m);
     }
-    stats.initial_packets = sent;
+    m.initial_packets.add(sent);
 
     // Repair loop: honour NACKs with fresh combinations until everything
     // is ACKed or the budgets run out.
     socket.set_read_timeout(Some(Duration::from_millis(5)))?;
     let mut last_feedback = Instant::now();
+    let mut retransmitted = 0u64;
     let mut buf = [0u8; 64];
     while gens.iter().any(|g| !g.acked) {
         match socket.recv_from(&mut buf) {
             Ok((n, _)) => {
-                if absorb_feedback(
-                    &buf[..n],
-                    config,
-                    generations,
-                    &mut gens,
-                    &mut adaptive,
-                    &mut stats,
-                ) {
+                if absorb_feedback(&buf[..n], config, generations, &mut gens, &mut adaptive, &m) {
                     last_feedback = Instant::now();
                 }
             }
@@ -229,16 +263,20 @@ pub fn send_object_reliable<S: DatagramSocket>(
             let burst = want.max(1) + adaptive.policy().extra() as usize;
             for _ in 0..burst {
                 let pkt = encoder.coded_packet(g as u64, &mut rng);
-                let hop = next_hops[(stats.retransmit_packets as usize) % next_hops.len()];
+                let hop = next_hops[(retransmitted as usize) % next_hops.len()];
                 let _ = socket.send_to(&pkt.to_bytes(), hop);
-                stats.retransmit_packets += 1;
+                retransmitted += 1;
             }
+            m.retransmit_packets.add(burst as u64);
+            m.trace.push(TraceKind::RepairBurst, g as u64, burst as u64);
             st.retries += 1;
-            stats.retransmit_rounds += 1;
+            m.retransmit_rounds.inc();
             // Exponential backoff: retry k waits base * 2^(k-1) before
             // honouring the next NACK for this generation.
             let shift = (st.retries - 1).min(16);
-            st.next_retry = now + recovery.backoff_base * (1u32 << shift);
+            let backoff = recovery.backoff_base * (1u32 << shift);
+            m.backoff_ns.record(backoff.as_nanos() as u64);
+            st.next_retry = now + backoff;
         }
         if !progress_possible && gens.iter().all(|g| g.pending_nack.is_none()) {
             break; // every open generation has exhausted its retries
@@ -247,8 +285,12 @@ pub fn send_object_reliable<S: DatagramSocket>(
             break; // receiver went silent
         }
     }
+    m.unrecovered
+        .add(gens.iter().filter(|g| !g.acked).count() as u64);
+    // Publish where the AIMD controller ended up (and peaked) as gauges.
+    obs.rlnc.observe_redundancy(&adaptive);
+    let mut stats = recovery_delta(&before, &recovery_counts(&m));
     stats.peak_extra = adaptive.peak_extra().round() as u32;
-    stats.unrecovered = gens.iter().filter(|g| !g.acked).count() as u64;
     Ok(stats)
 }
 
@@ -259,11 +301,11 @@ fn drain_feedback<S: DatagramSocket>(
     gens_sent: u64,
     gens: &mut [GenState],
     adaptive: &mut AdaptiveRedundancy,
-    stats: &mut RecoveryStats,
+    metrics: &RecoveryMetrics,
 ) {
     let mut buf = [0u8; 64];
     while let Ok((n, _)) = socket.recv_from(&mut buf) {
-        absorb_feedback(&buf[..n], config, gens_sent, gens, adaptive, stats);
+        absorb_feedback(&buf[..n], config, gens_sent, gens, adaptive, metrics);
     }
 }
 
@@ -275,7 +317,7 @@ fn absorb_feedback(
     gens_sent: u64,
     gens: &mut [GenState],
     adaptive: &mut AdaptiveRedundancy,
-    stats: &mut RecoveryStats,
+    metrics: &RecoveryMetrics,
 ) -> bool {
     let Ok(fb) = Feedback::from_bytes(frame) else {
         return false;
@@ -286,14 +328,14 @@ fn absorb_feedback(
     let g = &mut gens[fb.generation as usize];
     match fb.kind {
         FeedbackKind::GenerationAck => {
-            stats.acks_received += 1;
+            metrics.acks_received.inc();
             if !g.acked {
                 g.acked = true;
                 g.pending_nack = None;
                 if g.retries == 0 {
                     adaptive.on_clean();
                 } else {
-                    stats.generations_recovered += 1;
+                    metrics.generations_recovered.inc();
                 }
             }
             true
@@ -305,7 +347,7 @@ fn absorb_feedback(
             if fb.generation >= gens_sent || g.acked {
                 return true;
             }
-            stats.nacks_received += 1;
+            metrics.nacks_received.inc();
             adaptive.on_loss(fb.count);
             g.pending_nack = Some(g.pending_nack.unwrap_or(0).max(fb.count));
             true
@@ -346,7 +388,9 @@ pub struct ReliableReceiver {
 
 impl ReliableReceiver {
     /// Spawns a receiver expecting `generations` generations, sending
-    /// feedback to `source`.
+    /// feedback to `source`. Feedback counters, decode-progress metrics
+    /// and `generation_decoded` trace events are recorded into `obs`;
+    /// the report's [`RecoveryStats`] is this receiver's delta.
     ///
     /// # Errors
     ///
@@ -356,6 +400,7 @@ impl ReliableReceiver {
         recovery: &RecoveryConfig,
         generations: u64,
         source: SocketAddr,
+        obs: &TransferObs,
     ) -> io::Result<ReliableReceiver> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         socket.set_read_timeout(Some(Duration::from_millis(10)))?;
@@ -365,11 +410,16 @@ impl ReliableReceiver {
         let session = config.session;
         let generation = config.generation;
         let recovery = *recovery;
+        let obs = obs.clone();
         let run = Arc::clone(&running);
         let thread = std::thread::spawn(move || {
             let blocks = generation.blocks_per_generation();
             let mut decoder = ObjectDecoder::new(generation, generations);
-            let mut stats = RecoveryStats::default();
+            let m = obs.recovery.clone();
+            let before = recovery_counts(&m);
+            // Packets that arrived per generation, reported into the
+            // codec's decode histogram when the generation closes.
+            let mut gen_packets = vec![0u64; generations as usize];
             let mut packets = 0u64;
             let start = Instant::now();
             // A generation becomes NACK-eligible once its `last_event`
@@ -410,6 +460,7 @@ impl ReliableReceiver {
                         );
                         if gen < generations {
                             let gi = gen as usize;
+                            gen_packets[gi] += 1;
                             if innovative {
                                 last_event[gi] = Some(now);
                             }
@@ -417,7 +468,10 @@ impl ReliableReceiver {
                                 acked[gi] = true;
                                 let ack = Feedback::ack(session, gen).to_bytes();
                                 let _ = socket.send_to(&ack, source);
-                                stats.acks_sent += 1;
+                                m.acks_sent.inc();
+                                obs.rlnc.record_generation_decoded(gen_packets[gi]);
+                                m.trace
+                                    .push(TraceKind::GenerationDecoded, gen, gen_packets[gi]);
                             }
                         }
                         if decoder.is_complete() {
@@ -427,14 +481,14 @@ impl ReliableReceiver {
                             for g in 0..generations {
                                 let ack = Feedback::ack(session, g).to_bytes();
                                 let _ = socket.send_to(&ack, source);
-                                stats.acks_sent += 1;
+                                m.acks_sent.inc();
                             }
                             let object = decoder.into_object().unwrap_or_default();
                             let _ = tx.send(ReliableReport {
                                 object,
                                 packets,
                                 elapsed,
-                                stats,
+                                stats: recovery_delta(&before, &recovery_counts(&m)),
                             });
                             return;
                         }
@@ -474,7 +528,7 @@ impl ReliableReceiver {
                     }
                     let nack = Feedback::nack(session, g as u64, missing, bitmap).to_bytes();
                     let _ = socket.send_to(&nack, source);
-                    stats.nacks_sent += 1;
+                    m.nacks_sent.inc();
                     last_nack[g] = Some(now);
                 }
             }
@@ -483,7 +537,7 @@ impl ReliableReceiver {
                 object: Vec::new(),
                 packets,
                 elapsed: start.elapsed(),
-                stats,
+                stats: recovery_delta(&before, &recovery_counts(&m)),
             });
         });
         Ok(ReliableReceiver {
@@ -518,6 +572,9 @@ pub struct ReliableChainReport {
     /// Per-relay fault-injection counters (`None` for clean relays),
     /// chain order.
     pub faults: Vec<Option<FaultStats>>,
+    /// Observability snapshot of the shared endpoint registry (source +
+    /// receiver `recovery.*`/`rlnc.*` metrics and trace events).
+    pub snapshot: Snapshot,
 }
 
 /// Builds a source → relays → receiver pipeline where relay `i`'s data
@@ -546,7 +603,11 @@ pub fn reliable_chain(
         ObjectEncoder::new(config.generation, config.session, object).expect("valid object");
     let source_socket = UdpSocket::bind(("127.0.0.1", 0))?;
     let source_addr = source_socket.local_addr()?;
-    let receiver = ReliableReceiver::spawn(config, recovery, encoder.generations(), source_addr)?;
+    // Both endpoints record into one registry: the chain snapshot is the
+    // single source of truth for the transfer's recovery/codec metrics.
+    let obs = TransferObs::new();
+    let receiver =
+        ReliableReceiver::spawn(config, recovery, encoder.generations(), source_addr, &obs)?;
 
     let mut relays = Vec::new();
     let mut fault_handles = Vec::new();
@@ -556,6 +617,7 @@ pub fn reliable_chain(
             buffer_generations: 1024,
             seed: config.seed + 100 + i as u64,
             heartbeat: None,
+            registry: None,
         };
         let control_socket = UdpSocket::bind(("127.0.0.1", 0))?;
         let relay = match fault {
@@ -607,7 +669,8 @@ pub fn reliable_chain(
     } else {
         relays[0].data_addr
     };
-    let source = send_object_reliable(&source_socket, config, recovery, object, &[first_hop])?;
+    let source =
+        send_object_reliable(&source_socket, config, recovery, object, &[first_hop], &obs)?;
     let report = receiver.wait(timeout);
     let relay_stats: Vec<RelayStats> = relays.iter().map(|r| r.handle().stats()).collect();
     let fault_stats: Vec<Option<FaultStats>> = fault_handles
@@ -617,11 +680,13 @@ pub fn reliable_chain(
     for r in relays {
         r.shutdown();
     }
+    let snapshot = obs.snapshot();
     Ok(report.map(|receiver| ReliableChainReport {
         receiver,
         source,
         relays: relay_stats,
         faults: fault_stats,
+        snapshot,
     }))
 }
 
@@ -656,21 +721,34 @@ mod tests {
         let object: Vec<u8> = (0..4096u32).map(|i| (i % 255) as u8).collect();
         let encoder = ObjectEncoder::new(cfg.generation, cfg.session, &object).unwrap();
         let source_socket = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let obs = TransferObs::new();
         let receiver = ReliableReceiver::spawn(
             &cfg,
             &rec,
             encoder.generations(),
             source_socket.local_addr().unwrap(),
+            &obs,
         )
         .unwrap();
         let hops = [receiver.addr];
-        let stats = send_object_reliable(&source_socket, &cfg, &rec, &object, &hops).unwrap();
+        let stats = send_object_reliable(&source_socket, &cfg, &rec, &object, &hops, &obs).unwrap();
         let report = receiver.wait(Duration::from_secs(10)).expect("completes");
         assert_eq!(report.object, object, "byte-identical");
         assert_eq!(stats.unrecovered, 0);
         assert_eq!(stats.retransmit_packets, 0, "clean path: no retransmits");
         assert_eq!(report.stats.nacks_sent, 0, "clean path: no NACKs");
         assert!(stats.acks_received > 0, "ACKs close out generations");
+        // The registry saw the same protocol the structs report.
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("recovery.retransmit_packets"), Some(0));
+        assert_eq!(
+            snap.counter("recovery.acks_received"),
+            Some(stats.acks_received)
+        );
+        assert_eq!(
+            snap.counter("rlnc.decode.generations"),
+            Some(encoder.generations())
+        );
     }
 
     #[test]
@@ -683,15 +761,17 @@ mod tests {
         // the transfer without any relay in the path.
         let (source_socket, fault) =
             FaultSocket::bind_loopback(FaultConfig::new(0xBEEF).with_drop(0.25)).unwrap();
+        let obs = TransferObs::new();
         let receiver = ReliableReceiver::spawn(
             &cfg,
             &rec,
             encoder.generations(),
             source_socket.local_addr().unwrap(),
+            &obs,
         )
         .unwrap();
         let hops = [receiver.addr];
-        let stats = send_object_reliable(&source_socket, &cfg, &rec, &object, &hops).unwrap();
+        let stats = send_object_reliable(&source_socket, &cfg, &rec, &object, &hops, &obs).unwrap();
         let report = receiver.wait(Duration::from_secs(30)).expect("completes");
         assert_eq!(report.object, object, "byte-identical despite loss");
         assert_eq!(stats.unrecovered, 0);
@@ -702,21 +782,26 @@ mod tests {
             stats.generations_recovered > 0,
             "recovered generations are counted"
         );
+        // Repair activity left its trail in the registry: backoff
+        // timings and repair-burst trace events.
+        let snap = obs.snapshot();
+        assert!(snap.histogram("recovery.backoff_ns").unwrap().count > 0);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == ncvnf_obs::TraceKind::RepairBurst));
     }
 
     #[test]
-    fn recovery_stats_fold_into_health() {
-        let stats = RecoveryStats {
-            nacks_sent: 3,
-            retransmit_packets: 9,
-            generations_recovered: 2,
-            ..RecoveryStats::default()
-        };
-        let mut health = DataplaneHealth::default();
-        stats.apply_to(&mut health);
-        stats.apply_to(&mut health);
-        assert_eq!(health.nacks_sent, 6);
-        assert_eq!(health.retransmit_packets, 18);
-        assert_eq!(health.generations_recovered, 4);
+    fn health_record_derives_from_transfer_snapshot() {
+        use ncvnf_control::telemetry::DataplaneHealth;
+        let obs = TransferObs::new();
+        obs.recovery.nacks_sent.add(3);
+        obs.recovery.retransmit_packets.add(9);
+        obs.recovery.generations_recovered.add(2);
+        let health = DataplaneHealth::from_snapshot(&obs.snapshot());
+        assert_eq!(health.nacks_sent, 3);
+        assert_eq!(health.retransmit_packets, 9);
+        assert_eq!(health.generations_recovered, 2);
     }
 }

@@ -216,6 +216,7 @@ pub fn chain(
             buffer_generations: 1024,
             seed: config.seed + 100 + i as u64,
             heartbeat: None,
+            registry: None,
         })?;
         relays.push(relay);
     }

@@ -115,6 +115,33 @@ fn seeded_chaos_on_every_hop_still_delivers_byte_identical() {
         );
         assert_eq!(rs.rejected_signals, 0, "relay {i} control plane clean");
     }
+
+    // The endpoint registry snapshot is the same source of truth the
+    // typed stats came from — the numbers must agree, and the repair
+    // work must have left trace events behind.
+    let snap = &report.snapshot;
+    assert_eq!(
+        snap.counter("recovery.nacks_sent"),
+        Some(report.receiver.stats.nacks_sent)
+    );
+    assert_eq!(
+        snap.counter("recovery.retransmit_packets"),
+        Some(report.source.retransmit_packets)
+    );
+    assert!(snap.counter("rlnc.decode.generations").unwrap() > 0);
+    assert!(snap.histogram("recovery.backoff_ns").unwrap().count > 0);
+    assert!(
+        snap.events
+            .iter()
+            .any(|e| e.kind == ncvnf_obs::TraceKind::RepairBurst),
+        "repair bursts were traced"
+    );
+    assert!(
+        snap.events
+            .iter()
+            .any(|e| e.kind == ncvnf_obs::TraceKind::GenerationDecoded),
+        "decoded generations were traced"
+    );
 }
 
 /// Under sustained loss the AIMD controller must actually raise the
@@ -160,4 +187,10 @@ fn adaptive_redundancy_rises_under_chaos() {
         "AIMD redundancy rose above the NC0 floor: {:?}",
         report.source
     );
+    // The peak is also published as a registry gauge.
+    let peak = report
+        .snapshot
+        .gauge("rlnc.redundancy.peak_extra")
+        .expect("gauge registered");
+    assert!(peak > 0.0, "peak redundancy gauge rose: {peak}");
 }

@@ -20,11 +20,12 @@ use parking_lot::Mutex;
 use ncvnf_control::failover::reroute_table;
 use ncvnf_control::liveness::{LivenessConfig, LivenessEvent, LivenessTracker};
 use ncvnf_control::signal::{Signal, VnfRoleWire};
-use ncvnf_control::ForwardingTable;
+use ncvnf_control::{ControlMetrics, ForwardingTable};
 use ncvnf_dataplane::{Feedback, FeedbackKind};
+use ncvnf_obs::Registry;
 use ncvnf_relay::{
     send_object_reliable, HeartbeatConfig, RecoveryConfig, RelayConfig, RelayNode,
-    ReliableReceiver, TransferConfig,
+    ReliableReceiver, TransferConfig, TransferObs,
 };
 use ncvnf_rlnc::{GenerationConfig, ObjectEncoder, RedundancyPolicy, SessionId};
 
@@ -52,6 +53,7 @@ fn relay_config(node_id: u32, monitor: SocketAddr) -> RelayConfig {
             interval: HEARTBEAT_EVERY,
             node_id,
         }),
+        registry: None,
     }
 }
 
@@ -120,11 +122,13 @@ fn relay_death_is_detected_and_routed_around_mid_transfer() {
         idle_timeout: Duration::from_secs(5),
         ..RecoveryConfig::default()
     };
+    let obs = TransferObs::new();
     let receiver = ReliableReceiver::spawn(
         &config,
         &recovery,
         encoder.generations(),
         source_socket.local_addr().unwrap(),
+        &obs,
     )
     .unwrap();
 
@@ -140,11 +144,17 @@ fn relay_death_is_detected_and_routed_around_mid_transfer() {
     configure(&control, r2.control_addr, &settings_for(&r2));
     configure(&control, r2.control_addr, &table_to(receiver.addr));
 
-    // The monitor: heartbeats → liveness tracker → failover push.
+    // The monitor: heartbeats → liveness tracker → failover push. Its
+    // liveness transitions and table-push latency go through the
+    // control-plane metrics bundle, so the test can assert on the
+    // registry snapshot instead of ad-hoc counters.
+    let controller_registry = Registry::new();
     let state = Arc::new(Mutex::new(MonitorState::default()));
     let r0_handle = r0.handle();
     let monitor = {
         let state = Arc::clone(&state);
+        let metrics = ControlMetrics::register(&controller_registry);
+        let r0_handle = r0_handle.clone();
         let r0_control = r0.control_addr;
         let dead_hop = r1.data_addr.to_string();
         let replacement = r2.data_addr.to_string();
@@ -163,6 +173,7 @@ fn relay_death_is_detected_and_routed_around_mid_transfer() {
                     }
                 }
                 for ev in tracker.poll(Instant::now()) {
+                    metrics.record_liveness_event(&ev);
                     let LivenessEvent::Died(node) = ev else {
                         continue;
                     };
@@ -184,9 +195,11 @@ fn relay_death_is_detected_and_routed_around_mid_transfer() {
                     let push = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
                     push.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
                     let mut ack = [0u8; 16];
+                    let push_started = Instant::now();
                     push.send_to(&sig.to_bytes(), r0_control).unwrap();
                     let (n, _) = push.recv_from(&mut ack).expect("R0 acks failover table");
                     assert_eq!(&ack[..n], b"OK");
+                    metrics.record_table_push_ns(push_started.elapsed().as_nanos() as u64);
                     let mut st = state.lock();
                     st.failover = Some(killed_at.map_or(Duration::ZERO, |t| t.elapsed()));
                     return; // failover done; monitor's job is over
@@ -208,9 +221,17 @@ fn relay_death_is_detected_and_routed_around_mid_transfer() {
         let config = config.clone();
         let object = object.clone();
         let first_hop = r0.data_addr;
+        let obs = obs.clone();
         std::thread::spawn(move || {
-            send_object_reliable(&source_socket, &config, &recovery, &object, &[first_hop])
-                .expect("source runs")
+            send_object_reliable(
+                &source_socket,
+                &config,
+                &recovery,
+                &object,
+                &[first_hop],
+                &obs,
+            )
+            .expect("source runs")
         })
     };
 
@@ -258,6 +279,22 @@ fn relay_death_is_detected_and_routed_around_mid_transfer() {
         r2.handle().stats().datagrams_in > 0,
         "standby took over the flow"
     );
+
+    // The controller's registry recorded the whole episode: the death,
+    // at least one suspicion, and the timed failover-table push.
+    let csnap = controller_registry.snapshot();
+    assert!(csnap.counter("control.liveness.died").unwrap() >= 1);
+    assert!(csnap.counter("control.liveness.suspected").unwrap() >= 1);
+    assert_eq!(csnap.histogram("control.table_push_ns").unwrap().count, 1);
+
+    // R0's own registry timed both table swaps (initial wiring + the
+    // failover push) and traced them.
+    let r0_snap = r0_handle.snapshot();
+    assert_eq!(r0_snap.histogram("relay.table_swap_ns").unwrap().count, 2);
+    assert!(r0_snap
+        .events
+        .iter()
+        .any(|e| e.kind == ncvnf_obs::TraceKind::TableSwap));
     r0.shutdown();
     r2.shutdown();
 }

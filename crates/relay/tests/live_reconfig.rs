@@ -69,6 +69,7 @@ fn table_swap_under_live_traffic_redirects_cleanly() {
         buffer_generations: 64,
         seed: 3,
         heartbeat: None,
+        registry: None,
     })
     .unwrap();
     let sink_a = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
@@ -204,6 +205,7 @@ fn rejected_table_swap_preserves_routes_under_traffic() {
         buffer_generations: 64,
         seed: 9,
         heartbeat: None,
+        registry: None,
     })
     .unwrap();
     let sink = UdpSocket::bind(("127.0.0.1", 0)).unwrap();

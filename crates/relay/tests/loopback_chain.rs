@@ -104,6 +104,7 @@ fn decoder_relay_delivers_plain_chunks() {
         buffer_generations: 64,
         seed: 1,
         heartbeat: None,
+        registry: None,
     })
     .unwrap();
     // A plain sink for decoded chunks.

@@ -46,6 +46,7 @@ mod decoder;
 mod encoder;
 mod error;
 mod header;
+pub mod metrics;
 mod object;
 mod pool;
 mod rank;
@@ -58,6 +59,7 @@ pub use decoder::{GenerationDecoder, ReceiveOutcome};
 pub use encoder::GenerationEncoder;
 pub use error::{CodecError, HeaderError};
 pub use header::{CodedPacket, NcHeader, PacketView, SessionId};
+pub use metrics::{PoolMetrics, RlncMetrics};
 pub use object::{ObjectDecoder, ObjectEncoder};
 pub use pool::{PayloadPool, PoolStats};
 pub use rank::RankTracker;

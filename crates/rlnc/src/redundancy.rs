@@ -95,8 +95,8 @@ impl Default for AimdConfig {
 ///
 /// Each NACK (a generation the receiver could not decode) bumps the
 /// working redundancy additively; each ACKed-without-retransmit
-/// generation decays it multiplicatively toward the floor. [`policy`]
-/// (Self::policy) rounds the working value to the
+/// generation decays it multiplicatively toward the floor.
+/// [`policy`](Self::policy) rounds the working value to the
 /// [`RedundancyPolicy`] the encoder applies to the *next* generation, so
 /// under sustained loss the source sends more coded packets per
 /// generation instead of stalling on retransmission round trips.
