@@ -5,8 +5,10 @@
 //! (legacy per-packet-allocation pipeline vs the zero-alloc
 //! [`relay_step`] pipeline), and the observability layer's overhead
 //! (instrumented vs bare relay step, plus an `NC_STATS` round trip),
-//! then writes `BENCH_rlnc.json`, `BENCH_relay.json` and
-//! `BENCH_obs.json` at the repository root. Run with:
+//! and the crash-safe control plane (journal append/commit, replay,
+//! reconcile round trip), then writes `BENCH_rlnc.json`,
+//! `BENCH_relay.json`, `BENCH_obs.json` and `BENCH_control.json` at the
+//! repository root. Run with:
 //!
 //! ```text
 //! cargo run --release -p ncvnf-bench --bin perf_report [-- --quick]
@@ -585,6 +587,128 @@ fn bench_recovery(quick: bool) -> RecoveryBench {
     }
 }
 
+struct ControlBench {
+    journal_records: u64,
+    append_ns_per_record: f64,
+    commit_batch_records: u64,
+    commit_ns_per_batch: f64,
+    wal_bytes: u64,
+    replayed_records: u64,
+    replay_records_per_sec: f64,
+    reconcile_runs: u64,
+    reconcile_roundtrip_us: f64,
+}
+
+/// Crash-safe control-plane costs (DESIGN.md §13): write-ahead journal
+/// append and fsync'd-batch commit latency, replay throughput on
+/// restart, and the full reconcile round trip (NC_STATS observe → diff
+/// → fenced re-push → ACK) against a live relay.
+fn bench_control(quick: bool, config: GenerationConfig) -> ControlBench {
+    use ncvnf_control::{
+        reconcile, ControlRecord, ControllerState, Journal, SenderConfig, SignalSender,
+    };
+
+    let median_ns = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+
+    let path = std::env::temp_dir().join(format!("ncvnf-bench-journal-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let (mut journal, _, _) = Journal::open(&path).expect("open bench WAL");
+    journal
+        .log(&ControlRecord::EpochStarted { epoch: 1 })
+        .expect("seed epoch record");
+    let record = |i: u64| ControlRecord::TablePushed {
+        node: (i % 16) as u32,
+        epoch: 1,
+        seq: i,
+        table: format!("session {} 127.0.0.1:{}\n", i % 64, 4000 + (i % 1000)),
+    };
+
+    // Append latency: buffered frame construction + CRC, no fsync.
+    let appends: u64 = if quick { 4_000 } else { 40_000 };
+    let t0 = Instant::now();
+    for i in 0..appends {
+        journal.append(&record(i));
+    }
+    let append_ns_per_record = t0.elapsed().as_nanos() as f64 / appends as f64;
+    journal.commit().expect("flush append batch");
+
+    // Commit latency: fsync'd batches, the durability unit a controller
+    // pays before letting a push hit the network.
+    const BATCH: u64 = 64;
+    let batches: u64 = if quick { 32 } else { 128 };
+    let mut commit_ns = Vec::with_capacity(batches as usize);
+    for b in 0..batches {
+        for i in 0..BATCH {
+            journal.append(&record(appends + b * BATCH + i));
+        }
+        let t0 = Instant::now();
+        journal.commit().expect("fsync batch");
+        commit_ns.push(t0.elapsed().as_nanos() as f64);
+    }
+    let commit_ns_per_batch = median_ns(&mut commit_ns);
+    drop(journal);
+    let wal_bytes = std::fs::metadata(&path).expect("WAL exists").len();
+
+    // Replay throughput: reopen the whole file, records/s.
+    let t0 = Instant::now();
+    let (journal2, _, report) = Journal::open(&path).expect("reopen bench WAL");
+    let replay_secs = t0.elapsed().as_secs_f64();
+    assert!(!report.torn_tail, "bench WAL replays clean");
+    drop(journal2);
+    let _ = std::fs::remove_file(&path);
+
+    // Reconcile round trip against a live relay: every run's belief
+    // diverges from the relay's table, so each pass does the full
+    // observe (NC_STATS) → plan → fenced re-push → ACK cycle.
+    let relay = RelayNode::spawn(RelayConfig {
+        generation: config,
+        buffer_generations: 64,
+        seed: 0xBE7C_000C,
+        heartbeat: None,
+        registry: None,
+    })
+    .expect("spawn relay");
+    let mut sender = SignalSender::new(1, SenderConfig::default()).expect("bind sender");
+    let runs: u64 = if quick { 5 } else { 9 };
+    let mut roundtrip_us = Vec::with_capacity(runs as usize);
+    for i in 0..runs {
+        let state = ControllerState::replay(&[
+            ControlRecord::EpochStarted { epoch: 1 },
+            ControlRecord::VnfLaunched {
+                node: 0,
+                data_center: "bench".into(),
+                control_addr: relay.control_addr.to_string(),
+            },
+            ControlRecord::TablePushed {
+                node: 0,
+                epoch: 1,
+                seq: 1,
+                table: format!("session {} 127.0.0.1:9\n", 100 + i),
+            },
+        ]);
+        let t0 = Instant::now();
+        let outcome = reconcile(&mut sender, &state, 0.0, None);
+        roundtrip_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(outcome.repushed_ok, 1, "bench reconcile re-pushed");
+    }
+    relay.shutdown();
+
+    ControlBench {
+        journal_records: appends + batches * BATCH + 1,
+        append_ns_per_record,
+        commit_batch_records: BATCH,
+        commit_ns_per_batch,
+        wal_bytes,
+        replayed_records: report.records,
+        replay_records_per_sec: report.records as f64 / replay_secs,
+        reconcile_runs: runs,
+        reconcile_roundtrip_us: median_ns(&mut roundtrip_us),
+    }
+}
+
 struct ObsBench {
     bare_pps: f64,
     instrumented_pps: f64,
@@ -845,6 +969,8 @@ fn main() {
     let recovery = bench_recovery(quick);
     eprintln!("measuring observability overhead (bare vs instrumented relay step) ...");
     let obs = bench_observability(&timing, relay_cfg);
+    eprintln!("measuring crash-safe control plane (journal, replay, reconcile) ...");
+    let control = bench_control(quick, relay_cfg);
 
     let mbps = |pps: f64| pps * PAYLOAD_LEN as f64 * 8.0 / 1e6;
     let mut json = String::new();
@@ -954,5 +1080,53 @@ fn main() {
         "wrote BENCH_obs.json in {:.1}s total (observability overhead {:.2}% of packets/s, budget {OBS_OVERHEAD_BUDGET_PCT:.1}%)",
         started.elapsed().as_secs_f64(),
         obs.overhead_pct
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"control\",");
+    json.push_str("  \"journal\": {\n");
+    let _ = writeln!(json, "    \"records\": {},", control.journal_records);
+    let _ = writeln!(
+        json,
+        "    \"append_ns_per_record\": {:.0},",
+        control.append_ns_per_record
+    );
+    let _ = writeln!(
+        json,
+        "    \"commit_batch_records\": {},",
+        control.commit_batch_records
+    );
+    let _ = writeln!(
+        json,
+        "    \"commit_ns_per_batch\": {:.0},",
+        control.commit_ns_per_batch
+    );
+    let _ = writeln!(json, "    \"wal_bytes\": {}", control.wal_bytes);
+    json.push_str("  },\n");
+    json.push_str("  \"replay\": {\n");
+    let _ = writeln!(json, "    \"records\": {},", control.replayed_records);
+    let _ = writeln!(
+        json,
+        "    \"records_per_sec\": {:.0}",
+        control.replay_records_per_sec
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"reconcile\": {\n");
+    let _ = writeln!(json, "    \"runs\": {},", control.reconcile_runs);
+    let _ = writeln!(
+        json,
+        "    \"roundtrip_us\": {:.1}",
+        control.reconcile_roundtrip_us
+    );
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_control.json", &json).expect("write BENCH_control.json");
+    println!("{json}");
+    eprintln!(
+        "wrote BENCH_control.json in {:.1}s total (journal append {:.0} ns/record, replay {:.0} records/s, reconcile {:.0} us)",
+        started.elapsed().as_secs_f64(),
+        control.append_ns_per_record,
+        control.replay_records_per_sec,
+        control.reconcile_roundtrip_us
     );
 }

@@ -9,6 +9,14 @@
 //! This state machine is transport-agnostic: it consumes [`Signal`]s and
 //! emits [`DaemonEvent`]s that the hosting process (simulated node or real
 //! UDP relay) acts on.
+//!
+//! Ordering and duplicate suppression are the transport's job — the relay
+//! control loop fences frames by controller epoch and sequence number
+//! (DESIGN.md §13) — but the daemon is still written to absorb whatever
+//! slips through: duplicate `NC_SETTINGS` are idempotent, `Draining`
+//! survives table pushes, and `Stopped` ignores everything. The
+//! `daemon_properties` integration test drives random signal orderings
+//! against these invariants.
 
 use std::collections::HashMap;
 

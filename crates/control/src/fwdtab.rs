@@ -169,6 +169,24 @@ impl ForwardingTable {
         changed
     }
 
+    /// A content digest of the table, derived from the canonical text
+    /// form (FNV-1a over [`to_text`](Self::to_text)), masked to 53 bits
+    /// so the value survives a round trip through an `f64` metric gauge
+    /// exactly. The controller's reconciliation pass compares the digest
+    /// it believes a node holds (journal replay) against the digest the
+    /// node reports (`relay.table_digest` in `NC_STATS`) to find
+    /// diverged tables without shipping the text back.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.to_text().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash & ((1u64 << 53) - 1)
+    }
+
     /// Merges `other` into this table (delta update): entries present in
     /// `other` replace or add to the current table, everything else is
     /// kept. Returns how many entries actually changed. This is the
@@ -225,6 +243,24 @@ mod tests {
         assert!(ForwardingTable::parse("nonsense").is_err());
         assert!(ForwardingTable::parse("session x a:1").is_err());
         assert!(ForwardingTable::parse("session 5").is_err());
+    }
+
+    #[test]
+    fn digest_tracks_content_and_fits_f64() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.digest(), b.digest(), "equal tables, equal digest");
+        let mut c = sample();
+        c.set(SessionId::new(1), vec!["10.9.9.9:4000".into()]);
+        assert_ne!(a.digest(), c.digest(), "changed entry, changed digest");
+        assert_ne!(
+            ForwardingTable::new().digest(),
+            a.digest(),
+            "empty differs from populated"
+        );
+        // Survives the f64 gauge round trip losslessly.
+        let through_gauge = a.digest() as f64 as u64;
+        assert_eq!(through_gauge, a.digest());
     }
 
     #[test]

@@ -21,7 +21,16 @@
 //! * [`failover`] — reroutes forwarding tables around a dead node and
 //!   renders the `NC_FORWARD_TAB` deltas to push to survivors;
 //! * [`metrics`] — the control-plane slice of the `ncvnf-obs` registry:
-//!   liveness transitions, scaling observations, table-push latency.
+//!   liveness transitions, scaling observations, table-push latency,
+//!   and the journal/sender/reconcile instrumentation;
+//! * [`journal`] — the crash-safety layer (DESIGN.md §13): an
+//!   append-only checksummed write-ahead log of [`ControlRecord`]s with
+//!   torn-tail-tolerant replay into a [`ControllerState`];
+//! * [`sender`] — reliable, epoch-fenced signal delivery: every push is
+//!   a [`FencedSignal`] retried with exponential backoff until ACKed;
+//! * [`reconcile()`] — restart reconciliation: diff the replayed journal
+//!   belief against live `NC_STATS` observations, re-adopt healthy
+//!   VNFs, re-push diverged tables, expire overdue τ-pool entries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,15 +39,23 @@ pub mod daemon;
 pub mod diff;
 pub mod failover;
 pub mod fwdtab;
+pub mod journal;
 pub mod liveness;
 pub mod metrics;
+pub mod reconcile;
+pub mod sender;
 pub mod signal;
 pub mod telemetry;
 
 pub use daemon::{Daemon, DaemonEvent, DaemonState};
 pub use failover::{failover_signals, plan_failover, reroute_table};
 pub use fwdtab::ForwardingTable;
+pub use journal::{
+    ControlRecord, ControllerState, Journal, NodeBelief, NodeStatus, ReplayReport, SessionSpec,
+};
 pub use liveness::{LivenessConfig, LivenessEvent, LivenessState, LivenessTracker};
 pub use metrics::ControlMetrics;
-pub use signal::{Signal, SignalError, VnfRoleWire};
+pub use reconcile::{reconcile, NodeObservation, ReconcilePlan, ReconcileReport};
+pub use sender::{SendError, SendReceipt, SenderConfig, SignalSender};
+pub use signal::{FencedSignal, Signal, SignalError, SignalFrame, VnfRoleWire};
 pub use telemetry::{DataplaneHealth, Telemetry};

@@ -156,14 +156,31 @@ impl LivenessTracker {
 
     /// Node ids currently declared dead, ascending.
     pub fn dead_nodes(&self) -> Vec<u32> {
-        let mut dead: Vec<u32> = self
+        self.nodes_in(LivenessState::Dead)
+    }
+
+    /// Node ids currently alive, ascending — the healthy set restart
+    /// reconciliation re-adopts.
+    pub fn alive_nodes(&self) -> Vec<u32> {
+        self.nodes_in(LivenessState::Alive)
+    }
+
+    /// Stops tracking a node entirely (e.g. its τ-pool entry expired
+    /// while the controller was down, so its silence is expected, not a
+    /// failure). Returns true if it was tracked.
+    pub fn forget(&mut self, node: u32) -> bool {
+        self.nodes.remove(&node).is_some()
+    }
+
+    fn nodes_in(&self, state: LivenessState) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
             .nodes
             .iter()
-            .filter(|(_, r)| r.state == LivenessState::Dead)
+            .filter(|(_, r)| r.state == state)
             .map(|(&id, _)| id)
             .collect();
-        dead.sort_unstable();
-        dead
+        ids.sort_unstable();
+        ids
     }
 }
 
@@ -234,6 +251,65 @@ mod tests {
         assert_eq!(ev, Some(LivenessEvent::Recovered(5)));
         assert_eq!(t.state(5), Some(LivenessState::Alive));
         assert!(t.poll(t0 + Duration::from_millis(120)).is_empty());
+    }
+
+    #[test]
+    fn a_flapping_node_reregisters_alive_and_can_die_again() {
+        // A node that dies, comes back, and dies again must go through
+        // the full Alive → Suspect → Dead ladder each time — one
+        // Recovered per comeback, one Suspected+Died per outage, never
+        // a corpse that stops being tracked.
+        let mut t = LivenessTracker::new(cfg());
+        let t0 = Instant::now();
+        t.heartbeat(4, t0);
+
+        // Outage #1.
+        assert_eq!(
+            t.poll(t0 + Duration::from_millis(100)),
+            vec![LivenessEvent::Suspected(4), LivenessEvent::Died(4)]
+        );
+        assert_eq!(t.dead_nodes(), vec![4]);
+        assert!(t.alive_nodes().is_empty());
+
+        // Comeback #1: the dead node re-registers as Alive.
+        assert_eq!(
+            t.heartbeat(4, t0 + Duration::from_millis(120)),
+            Some(LivenessEvent::Recovered(4))
+        );
+        assert_eq!(t.state(4), Some(LivenessState::Alive));
+        assert_eq!(t.alive_nodes(), vec![4]);
+        assert!(t.poll(t0 + Duration::from_millis(130)).is_empty());
+
+        // Outage #2 escalates again — exactly once.
+        assert_eq!(
+            t.poll(t0 + Duration::from_millis(300)),
+            vec![LivenessEvent::Suspected(4), LivenessEvent::Died(4)]
+        );
+        assert!(t.poll(t0 + Duration::from_millis(400)).is_empty());
+
+        // Comeback #2 still works: recovery is not a one-shot.
+        assert_eq!(
+            t.heartbeat(4, t0 + Duration::from_millis(410)),
+            Some(LivenessEvent::Recovered(4))
+        );
+        assert_eq!(t.state(4), Some(LivenessState::Alive));
+    }
+
+    #[test]
+    fn forgotten_nodes_stop_generating_events() {
+        let mut t = LivenessTracker::new(cfg());
+        let t0 = Instant::now();
+        t.heartbeat(1, t0);
+        t.heartbeat(2, t0);
+        assert!(t.forget(1));
+        assert!(!t.forget(1), "already forgotten");
+        let events = t.poll(t0 + Duration::from_millis(100));
+        assert_eq!(
+            events,
+            vec![LivenessEvent::Suspected(2), LivenessEvent::Died(2)],
+            "only the still-tracked node escalates"
+        );
+        assert_eq!(t.state(1), None);
     }
 
     #[test]

@@ -60,6 +60,125 @@ pub const TABLE_PUSH_NS: MetricDesc = desc(
     "NC_FORWARD_TAB push round-trip latency (send to OK)",
 );
 
+/// `control.journal.appends` — records appended to the write-ahead
+/// journal.
+pub const JOURNAL_APPENDS: MetricDesc = desc(
+    "control.journal.appends",
+    MetricKind::Counter,
+    "records",
+    "control",
+    "Records appended to the write-ahead journal",
+);
+
+/// `control.journal.commit_ns` — fsync'd commit latency per batch.
+pub const JOURNAL_COMMIT_NS: MetricDesc = desc(
+    "control.journal.commit_ns",
+    MetricKind::Histogram,
+    "ns",
+    "control",
+    "Journal commit latency (buffered write plus fsync) per batch",
+);
+
+/// `control.journal.replayed` — records replayed on restart.
+pub const JOURNAL_REPLAYED: MetricDesc = desc(
+    "control.journal.replayed",
+    MetricKind::Counter,
+    "records",
+    "control",
+    "Journal records replayed into controller state on restart",
+);
+
+/// `control.journal.torn_tails` — torn tails truncated on open.
+pub const JOURNAL_TORN_TAILS: MetricDesc = desc(
+    "control.journal.torn_tails",
+    MetricKind::Counter,
+    "events",
+    "control",
+    "Torn journal tails detected and truncated on open",
+);
+
+/// `control.sender.pushes` — fenced signal pushes attempted.
+pub const SENDER_PUSHES: MetricDesc = desc(
+    "control.sender.pushes",
+    MetricKind::Counter,
+    "signals",
+    "control",
+    "Fenced signal pushes attempted by the reliable sender",
+);
+
+/// `control.sender.retries` — retransmissions after an ACK timeout.
+pub const SENDER_RETRIES: MetricDesc = desc(
+    "control.sender.retries",
+    MetricKind::Counter,
+    "attempts",
+    "control",
+    "Signal retransmissions after an ACK timeout (exponential backoff)",
+);
+
+/// `control.sender.failed` — pushes abandoned after exhausting retries.
+pub const SENDER_FAILED: MetricDesc = desc(
+    "control.sender.failed",
+    MetricKind::Counter,
+    "signals",
+    "control",
+    "Signal pushes abandoned after exhausting every retry",
+);
+
+/// `control.sender.ack_ns` — push-to-ACK latency of delivered signals.
+pub const SENDER_ACK_NS: MetricDesc = desc(
+    "control.sender.ack_ns",
+    MetricKind::Histogram,
+    "ns",
+    "control",
+    "Push-to-ACK latency of successfully delivered fenced signals",
+);
+
+/// `control.reconcile.runs` — restart reconciliation passes executed.
+pub const RECONCILE_RUNS: MetricDesc = desc(
+    "control.reconcile.runs",
+    MetricKind::Counter,
+    "runs",
+    "control",
+    "Restart reconciliation passes executed",
+);
+
+/// `control.reconcile.readopted` — nodes re-adopted unchanged.
+pub const RECONCILE_READOPTED: MetricDesc = desc(
+    "control.reconcile.readopted",
+    MetricKind::Counter,
+    "nodes",
+    "control",
+    "Healthy nodes re-adopted with their tables intact",
+);
+
+/// `control.reconcile.repushed` — diverged tables re-pushed.
+pub const RECONCILE_REPUSHED: MetricDesc = desc(
+    "control.reconcile.repushed",
+    MetricKind::Counter,
+    "tables",
+    "control",
+    "Forwarding tables re-pushed because the live digest diverged",
+);
+
+/// `control.reconcile.expired` — τ-pool entries expired during downtime.
+pub const RECONCILE_EXPIRED: MetricDesc = desc(
+    "control.reconcile.expired",
+    MetricKind::Counter,
+    "instances",
+    "control",
+    "Lingering instances whose deadline passed while the controller was down",
+);
+
+/// `control.reconcile.unreachable` — journaled nodes that failed to
+/// answer the reconciliation query.
+pub const RECONCILE_UNREACHABLE: MetricDesc = desc(
+    "control.reconcile.unreachable",
+    MetricKind::Counter,
+    "nodes",
+    "control",
+    "Journaled nodes that did not answer the reconciliation NC_STATS query",
+);
+
 /// Registry-backed handles for control-plane metrics.
 #[derive(Debug, Clone)]
 pub struct ControlMetrics {
@@ -68,6 +187,19 @@ pub struct ControlMetrics {
     recovered: Counter,
     scaling_events: Counter,
     table_push_ns: Histogram,
+    journal_appends: Counter,
+    journal_commit_ns: Histogram,
+    journal_replayed: Counter,
+    journal_torn_tails: Counter,
+    sender_pushes: Counter,
+    sender_retries: Counter,
+    sender_failed: Counter,
+    sender_ack_ns: Histogram,
+    reconcile_runs: Counter,
+    reconcile_readopted: Counter,
+    reconcile_repushed: Counter,
+    reconcile_expired: Counter,
+    reconcile_unreachable: Counter,
     trace: TraceRing,
 }
 
@@ -80,6 +212,19 @@ impl ControlMetrics {
             recovered: registry.counter(LIVENESS_RECOVERED),
             scaling_events: registry.counter(SCALING_EVENTS),
             table_push_ns: registry.histogram(TABLE_PUSH_NS),
+            journal_appends: registry.counter(JOURNAL_APPENDS),
+            journal_commit_ns: registry.histogram(JOURNAL_COMMIT_NS),
+            journal_replayed: registry.counter(JOURNAL_REPLAYED),
+            journal_torn_tails: registry.counter(JOURNAL_TORN_TAILS),
+            sender_pushes: registry.counter(SENDER_PUSHES),
+            sender_retries: registry.counter(SENDER_RETRIES),
+            sender_failed: registry.counter(SENDER_FAILED),
+            sender_ack_ns: registry.histogram(SENDER_ACK_NS),
+            reconcile_runs: registry.counter(RECONCILE_RUNS),
+            reconcile_readopted: registry.counter(RECONCILE_READOPTED),
+            reconcile_repushed: registry.counter(RECONCILE_REPUSHED),
+            reconcile_expired: registry.counter(RECONCILE_EXPIRED),
+            reconcile_unreachable: registry.counter(RECONCILE_UNREACHABLE),
             trace: registry.trace(),
         }
     }
@@ -120,6 +265,57 @@ impl ControlMetrics {
     pub fn record_table_push_ns(&self, nanos: u64) {
         self.table_push_ns.record(nanos);
     }
+
+    /// Counts one record appended to the write-ahead journal.
+    pub fn record_journal_append(&self) {
+        self.journal_appends.inc();
+    }
+
+    /// Records one fsync'd journal commit.
+    pub fn record_journal_commit_ns(&self, nanos: u64) {
+        self.journal_commit_ns.record(nanos);
+    }
+
+    /// Records the outcome of a journal replay: records recovered and
+    /// whether a torn tail had to be truncated.
+    pub fn record_journal_replay(&self, records: u64, torn_tail: bool) {
+        self.journal_replayed.add(records);
+        if torn_tail {
+            self.journal_torn_tails.inc();
+        }
+    }
+
+    /// Counts one fenced push attempt by the reliable sender.
+    pub fn record_sender_push(&self) {
+        self.sender_pushes.inc();
+    }
+
+    /// Counts one retransmission after an ACK timeout.
+    pub fn record_sender_retry(&self) {
+        self.sender_retries.inc();
+    }
+
+    /// Counts one push abandoned after exhausting every retry.
+    pub fn record_sender_failure(&self) {
+        self.sender_failed.inc();
+    }
+
+    /// Records the push-to-ACK latency of a delivered signal.
+    pub fn record_sender_ack_ns(&self, nanos: u64) {
+        self.sender_ack_ns.record(nanos);
+    }
+
+    /// Records one reconciliation pass: how many nodes were re-adopted
+    /// untouched, how many tables were re-pushed, how many τ-pool
+    /// entries had expired during the outage, and how many journaled
+    /// nodes never answered.
+    pub fn record_reconcile(&self, readopted: u64, repushed: u64, expired: u64, unreachable: u64) {
+        self.reconcile_runs.inc();
+        self.reconcile_readopted.add(readopted);
+        self.reconcile_repushed.add(repushed);
+        self.reconcile_expired.add(expired);
+        self.reconcile_unreachable.add(unreachable);
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +348,41 @@ mod tests {
             .events
             .iter()
             .all(|e| e.kind == ncvnf_obs::TraceKind::Liveness));
+    }
+
+    #[test]
+    fn journal_sender_and_reconcile_metrics_record() {
+        let registry = Registry::new();
+        let m = ControlMetrics::register(&registry);
+        m.record_journal_append();
+        m.record_journal_append();
+        m.record_journal_commit_ns(50_000);
+        m.record_journal_replay(7, true);
+        m.record_journal_replay(3, false);
+        m.record_sender_push();
+        m.record_sender_retry();
+        m.record_sender_failure();
+        m.record_sender_ack_ns(1_000_000);
+        m.record_reconcile(2, 1, 1, 0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("control.journal.appends"), Some(2));
+        assert_eq!(
+            snap.histogram("control.journal.commit_ns").map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(snap.counter("control.journal.replayed"), Some(10));
+        assert_eq!(snap.counter("control.journal.torn_tails"), Some(1));
+        assert_eq!(snap.counter("control.sender.pushes"), Some(1));
+        assert_eq!(snap.counter("control.sender.retries"), Some(1));
+        assert_eq!(snap.counter("control.sender.failed"), Some(1));
+        assert_eq!(
+            snap.histogram("control.sender.ack_ns").map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(snap.counter("control.reconcile.runs"), Some(1));
+        assert_eq!(snap.counter("control.reconcile.readopted"), Some(2));
+        assert_eq!(snap.counter("control.reconcile.repushed"), Some(1));
+        assert_eq!(snap.counter("control.reconcile.expired"), Some(1));
+        assert_eq!(snap.counter("control.reconcile.unreachable"), Some(0));
     }
 }

@@ -123,6 +123,7 @@ const TAG_VNF_END: u8 = 3;
 const TAG_FORWARD_TAB: u8 = 4;
 const TAG_SETTINGS: u8 = 5;
 const TAG_STATS: u8 = 6;
+const TAG_FENCED: u8 = 7;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u16(s.len() as u16);
@@ -272,6 +273,107 @@ impl Signal {
     }
 }
 
+/// An epoch-fenced, sequence-numbered signal frame.
+///
+/// The crash-safe controller (DESIGN.md §13) wraps every push in this
+/// envelope so receivers can reject signals from a superseded controller
+/// incarnation (`epoch` fencing) and acknowledge retransmitted
+/// duplicates without re-applying them (`seq` idempotence). On the wire
+/// it is an ordinary signal frame with tag 7 whose body is
+/// `epoch:u64 | seq:u64 | <inner legacy frame>`, so pre-fencing
+/// receivers fail cleanly with [`SignalError::UnknownTag`] instead of
+/// misparsing, and fencing receivers still decode bare legacy frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FencedSignal {
+    /// Controller incarnation: bumped on every restart. Receivers
+    /// reject frames whose epoch is below the highest they have seen.
+    pub epoch: u64,
+    /// Per-(controller, destination) sequence number, starting at 1.
+    /// Within one epoch a receiver applies each seq at most once.
+    pub seq: u64,
+    /// The wrapped control signal.
+    pub signal: Signal,
+}
+
+impl FencedSignal {
+    /// Serializes the fenced frame (tag 7, fence header, inner frame).
+    pub fn to_bytes(&self) -> Bytes {
+        let inner = self.signal.to_bytes();
+        let mut body = BytesMut::with_capacity(16 + inner.len());
+        body.put_u64(self.epoch);
+        body.put_u64(self.seq);
+        body.put_slice(&inner);
+        let mut frame = BytesMut::with_capacity(5 + body.len());
+        frame.put_u8(TAG_FENCED);
+        frame.put_u32(body.len() as u32);
+        frame.put_slice(&body);
+        frame.freeze()
+    }
+
+    /// Decodes one fenced frame; returns the frame and bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`SignalError::Truncated`], [`SignalError::UnknownTag`] (not a
+    /// tag-7 frame, or unknown inner tag) or [`SignalError::Malformed`]
+    /// (inner frame shorter than the declared body, or a fenced frame
+    /// nested inside another fenced frame).
+    pub fn from_bytes(data: &[u8]) -> Result<(Self, usize), SignalError> {
+        if data.len() < 5 {
+            return Err(SignalError::Truncated);
+        }
+        if data[0] != TAG_FENCED {
+            return Err(SignalError::UnknownTag(data[0]));
+        }
+        let len = u32::from_be_bytes([data[1], data[2], data[3], data[4]]) as usize;
+        if data.len() < 5 + len {
+            return Err(SignalError::Truncated);
+        }
+        let mut body = &data[5..5 + len];
+        if body.len() < 16 {
+            return Err(SignalError::Truncated);
+        }
+        let epoch = body.get_u64();
+        let seq = body.get_u64();
+        if !body.is_empty() && body[0] == TAG_FENCED {
+            return Err(SignalError::Malformed("nested fenced frame"));
+        }
+        let (signal, used) = Signal::from_bytes(body)?;
+        if used != body.len() {
+            return Err(SignalError::Malformed("trailing bytes after inner frame"));
+        }
+        Ok((FencedSignal { epoch, seq, signal }, 5 + len))
+    }
+}
+
+/// Either wire shape a control socket can receive: a bare legacy frame
+/// (tags 1–6) or an epoch-fenced envelope (tag 7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignalFrame {
+    /// A pre-fencing frame with no delivery metadata.
+    Legacy(Signal),
+    /// An epoch-fenced, sequence-numbered frame.
+    Fenced(FencedSignal),
+}
+
+impl SignalFrame {
+    /// Decodes one frame of either shape; returns it and the bytes
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Signal::from_bytes`] / [`FencedSignal::from_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<(Self, usize), SignalError> {
+        if !data.is_empty() && data[0] == TAG_FENCED {
+            let (fenced, used) = FencedSignal::from_bytes(data)?;
+            Ok((SignalFrame::Fenced(fenced), used))
+        } else {
+            let (signal, used) = Signal::from_bytes(data)?;
+            Ok((SignalFrame::Legacy(signal), used))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +469,74 @@ mod tests {
         };
         let (back, _) = Signal::from_bytes(&sig.to_bytes()).unwrap();
         assert_eq!(back, sig);
+    }
+
+    #[test]
+    fn fenced_frames_roundtrip_every_variant() {
+        for (i, sig) in samples().into_iter().enumerate() {
+            let fenced = FencedSignal {
+                epoch: 3,
+                seq: i as u64 + 1,
+                signal: sig,
+            };
+            let wire = fenced.to_bytes();
+            assert_eq!(wire[0], 7, "fenced frames use tag 7");
+            let (back, used) = FencedSignal::from_bytes(&wire).unwrap();
+            assert_eq!(back, fenced);
+            assert_eq!(used, wire.len());
+            // The generic frame decoder takes both shapes.
+            let (frame, used2) = SignalFrame::from_bytes(&wire).unwrap();
+            assert_eq!(frame, SignalFrame::Fenced(back));
+            assert_eq!(used2, wire.len());
+        }
+        for sig in samples() {
+            let wire = sig.to_bytes();
+            let (frame, _) = SignalFrame::from_bytes(&wire).unwrap();
+            assert_eq!(frame, SignalFrame::Legacy(sig));
+        }
+    }
+
+    #[test]
+    fn fenced_truncation_and_junk_detected() {
+        let fenced = FencedSignal {
+            epoch: u64::MAX,
+            seq: 42,
+            signal: samples()[3].clone(),
+        };
+        let wire = fenced.to_bytes();
+        for cut in 0..wire.len() {
+            assert!(
+                FencedSignal::from_bytes(&wire[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // Trailing garbage inside the declared body is rejected, not
+        // silently dropped.
+        let mut padded = wire.to_vec();
+        let len = u32::from_be_bytes([padded[1], padded[2], padded[3], padded[4]]);
+        padded.push(0xAB);
+        padded[1..5].copy_from_slice(&(len + 1).to_be_bytes());
+        assert_eq!(
+            FencedSignal::from_bytes(&padded).unwrap_err(),
+            SignalError::Malformed("trailing bytes after inner frame")
+        );
+        // A fenced frame may not nest another fenced frame.
+        let nested = FencedSignal {
+            epoch: 1,
+            seq: 1,
+            signal: samples()[0].clone(),
+        };
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u64.to_be_bytes());
+        body.extend_from_slice(&2u64.to_be_bytes());
+        body.extend_from_slice(&nested.to_bytes());
+        let mut outer = vec![7u8];
+        outer.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        outer.extend_from_slice(&body);
+        assert_eq!(
+            FencedSignal::from_bytes(&outer).unwrap_err(),
+            SignalError::Malformed("nested fenced frame")
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the control-plane wire formats.
 
-use ncvnf_control::signal::{Signal, VnfRoleWire};
+use ncvnf_control::signal::{FencedSignal, Signal, SignalFrame, VnfRoleWire};
 use ncvnf_control::ForwardingTable;
 use ncvnf_rlnc::SessionId;
 use proptest::prelude::*;
@@ -99,6 +99,22 @@ fn arb_signal() -> impl Strategy<Value = Signal> {
     ]
 }
 
+fn arb_fenced() -> impl Strategy<Value = FencedSignal> {
+    (any::<u64>(), any::<u64>(), arb_signal()).prop_map(|(epoch, seq, signal)| FencedSignal {
+        epoch,
+        seq,
+        signal,
+    })
+}
+
+/// Either wire shape a control socket may legitimately receive.
+fn arb_frame_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        arb_signal().prop_map(|s| s.to_bytes().to_vec()),
+        arb_fenced().prop_map(|f| f.to_bytes().to_vec()),
+    ]
+}
+
 proptest! {
     /// Every signal round-trips through the wire codec.
     #[test]
@@ -172,6 +188,76 @@ proptest! {
         prop_assert_eq!(changed, expected_changes);
         for (s, hops) in d.iter() {
             prop_assert_eq!(t.next_hops(s), Some(hops));
+        }
+    }
+
+    /// Epoch-fenced frames round-trip, preserving fencing metadata and
+    /// the inner signal.
+    #[test]
+    fn fenced_wire_roundtrip(fenced in arb_fenced()) {
+        let wire = fenced.to_bytes();
+        let (back, used) = FencedSignal::from_bytes(&wire).unwrap();
+        prop_assert_eq!(&back, &fenced);
+        prop_assert_eq!(used, wire.len());
+    }
+
+    /// `SignalFrame::from_bytes` dispatches both generations correctly:
+    /// a legacy frame decodes as `Legacy`, a fenced one as `Fenced`.
+    #[test]
+    fn frame_dispatch_never_confuses_generations(sig in arb_signal(), epoch in any::<u64>(), seq in any::<u64>()) {
+        let legacy_wire = sig.to_bytes();
+        match SignalFrame::from_bytes(&legacy_wire).unwrap() {
+            (SignalFrame::Legacy(back), used) => {
+                prop_assert_eq!(back, sig.clone());
+                prop_assert_eq!(used, legacy_wire.len());
+            }
+            (SignalFrame::Fenced(_), _) => prop_assert!(false, "legacy decoded as fenced"),
+        }
+        let fenced = FencedSignal { epoch, seq, signal: sig.clone() };
+        let fenced_wire = fenced.to_bytes();
+        match SignalFrame::from_bytes(&fenced_wire).unwrap() {
+            (SignalFrame::Fenced(back), used) => {
+                prop_assert_eq!(back, fenced);
+                prop_assert_eq!(used, fenced_wire.len());
+            }
+            (SignalFrame::Legacy(_), _) => prop_assert!(false, "fenced decoded as legacy"),
+        }
+    }
+
+    /// Truncating either frame generation at any point is detected —
+    /// an `Err`, never a panic, never a mis-parse.
+    #[test]
+    fn frame_truncation_always_detected(wire in arb_frame_bytes(), cut_frac in 0.0f64..1.0) {
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        if cut < wire.len() {
+            prop_assert!(SignalFrame::from_bytes(&wire[..cut]).is_err());
+        }
+    }
+
+    /// Arbitrary byte flips anywhere in a frame must never panic the
+    /// decoder, and whatever (if anything) decodes must not claim more
+    /// bytes than the buffer holds.
+    #[test]
+    fn frame_corruption_never_panics(
+        wire in arb_frame_bytes(),
+        flips in prop::collection::vec((any::<u16>(), 1u8..=255), 1..8),
+    ) {
+        let mut corrupt = wire;
+        for (pos, xor) in flips {
+            let at = pos as usize % corrupt.len();
+            corrupt[at] ^= xor;
+        }
+        if let Ok((_, used)) = SignalFrame::from_bytes(&corrupt) {
+            prop_assert!(used <= corrupt.len());
+        }
+    }
+
+    /// Pure junk — random bytes that were never a frame — is rejected
+    /// or bounded, never a panic.
+    #[test]
+    fn random_junk_never_panics(junk in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok((_, used)) = SignalFrame::from_bytes(&junk) {
+            prop_assert!(used <= junk.len());
         }
     }
 }

@@ -180,9 +180,18 @@ impl CodingVnf {
         self.config
     }
 
-    /// Assigns (or replaces) the role for a session. Replacing a role
-    /// clears the session's buffered state.
+    /// Assigns (or replaces) the role for a session.
+    ///
+    /// Re-applying the role a session already holds is idempotent: the
+    /// buffered generation state survives, so a duplicate `NC_SETTINGS`
+    /// delivery (the control plane retries un-ACKed pushes) cannot wipe
+    /// in-flight generations. Switching to a *different* role clears
+    /// the session's buffered state, since buffers and decoders of the
+    /// old role are meaningless to the new one.
     pub fn set_role(&mut self, session: SessionId, role: VnfRole) {
+        if self.sessions.get(&session).is_some_and(|s| s.role == role) {
+            return;
+        }
         self.sessions.insert(
             session,
             SessionState {
@@ -565,15 +574,38 @@ mod tests {
     }
 
     #[test]
-    fn role_replacement_clears_state() {
+    fn same_role_reapply_keeps_in_flight_state() {
+        // Duplicate NC_SETTINGS delivery must not clear buffers: after
+        // re-applying Recoder, the buffered generation still has rank,
+        // so the next packet recodes instead of passing verbatim.
         let mut vnf = CodingVnf::new(cfg(), 8);
         vnf.set_role(SessionId::new(1), VnfRole::Recoder);
         let enc = encoder(&[1u8; 64]);
         let mut rng = StdRng::seed_from_u64(5);
         let pkt = enc.coded_packet(SessionId::new(1), 0, &mut rng);
         vnf.process_packet(&pkt, &mut rng);
+        assert_eq!(vnf.generation_rank(SessionId::new(1), 0), Some(1));
         vnf.set_role(SessionId::new(1), VnfRole::Recoder);
-        // Fresh buffer: next packet is "first" again and passes verbatim.
+        assert_eq!(
+            vnf.generation_rank(SessionId::new(1), 0),
+            Some(1),
+            "idempotent re-apply keeps the buffered generation"
+        );
+    }
+
+    #[test]
+    fn different_role_replacement_clears_state() {
+        let mut vnf = CodingVnf::new(cfg(), 8);
+        vnf.set_role(SessionId::new(1), VnfRole::Recoder);
+        let enc = encoder(&[1u8; 64]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let pkt = enc.coded_packet(SessionId::new(1), 0, &mut rng);
+        vnf.process_packet(&pkt, &mut rng);
+        // Switch roles and back: the buffered state is gone, so the
+        // next packet is "first" again and passes verbatim.
+        vnf.set_role(SessionId::new(1), VnfRole::Forwarder);
+        vnf.set_role(SessionId::new(1), VnfRole::Recoder);
+        assert_eq!(vnf.generation_rank(SessionId::new(1), 0), None);
         let p2 = enc.coded_packet(SessionId::new(1), 0, &mut rng);
         match vnf.process_packet(&p2, &mut rng) {
             VnfOutput::Forward(out) => assert_eq!(out, vec![p2]),

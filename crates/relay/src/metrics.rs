@@ -117,6 +117,53 @@ pub const TABLE_SWAP_NS: MetricDesc = desc(
     "Forwarding-table swap latency (merge plus route-cache rebuild)",
 );
 
+/// `relay.stale_epoch_rejected` — fenced signals refused because their
+/// epoch predates the highest this node has accepted.
+pub const STALE_EPOCH_REJECTED: MetricDesc = desc(
+    "relay.stale_epoch_rejected",
+    MetricKind::Counter,
+    "signals",
+    "relay",
+    "Fenced signals rejected for carrying a superseded controller epoch",
+);
+
+/// `relay.duplicate_signals` — retransmitted fenced signals ACKed
+/// without being re-applied.
+pub const DUPLICATE_SIGNALS: MetricDesc = desc(
+    "relay.duplicate_signals",
+    MetricKind::Counter,
+    "signals",
+    "relay",
+    "Duplicate fenced signals acknowledged without re-applying",
+);
+
+/// `relay.ctrl_epoch` — highest controller epoch accepted so far.
+pub const CTRL_EPOCH: MetricDesc = desc(
+    "relay.ctrl_epoch",
+    MetricKind::Gauge,
+    "epoch",
+    "relay",
+    "Highest controller epoch accepted on the control socket",
+);
+
+/// `relay.ctrl_seq` — last applied sequence number in that epoch.
+pub const CTRL_SEQ: MetricDesc = desc(
+    "relay.ctrl_seq",
+    MetricKind::Gauge,
+    "seq",
+    "relay",
+    "Last fenced sequence number applied within the current epoch",
+);
+
+/// `relay.table_digest` — digest of the live forwarding table.
+pub const TABLE_DIGEST: MetricDesc = desc(
+    "relay.table_digest",
+    MetricKind::Gauge,
+    "digest",
+    "relay",
+    "53-bit FNV digest of the live forwarding table (reconciliation diff key)",
+);
+
 /// Registry-backed counters for a relay node's two socket loops.
 #[derive(Debug, Clone)]
 pub struct RelayNodeMetrics {
@@ -140,6 +187,16 @@ pub struct RelayNodeMetrics {
     pub heartbeats_sent: Counter,
     /// Table-swap latency.
     pub table_swap_ns: Histogram,
+    /// Fenced signals rejected as stale-epoch.
+    pub stale_epoch_rejected: Counter,
+    /// Duplicate fenced signals ACKed without re-applying.
+    pub duplicate_signals: Counter,
+    /// Highest accepted controller epoch.
+    pub ctrl_epoch: Gauge,
+    /// Last applied fenced sequence number.
+    pub ctrl_seq: Gauge,
+    /// Digest of the live forwarding table.
+    pub table_digest: Gauge,
 }
 
 impl RelayNodeMetrics {
@@ -156,6 +213,11 @@ impl RelayNodeMetrics {
             malformed_feedback: registry.counter(MALFORMED_FEEDBACK),
             heartbeats_sent: registry.counter(HEARTBEATS_SENT),
             table_swap_ns: registry.histogram(TABLE_SWAP_NS),
+            stale_epoch_rejected: registry.counter(STALE_EPOCH_REJECTED),
+            duplicate_signals: registry.counter(DUPLICATE_SIGNALS),
+            ctrl_epoch: registry.gauge(CTRL_EPOCH),
+            ctrl_seq: registry.gauge(CTRL_SEQ),
+            table_digest: registry.gauge(TABLE_DIGEST),
         }
     }
 }

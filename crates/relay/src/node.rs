@@ -25,7 +25,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use ncvnf_control::daemon::{Daemon, DaemonEvent};
-use ncvnf_control::signal::{Signal, VnfRoleWire};
+use ncvnf_control::signal::{Signal, SignalFrame, VnfRoleWire};
 use ncvnf_control::telemetry::DataplaneHealth;
 use ncvnf_control::ForwardingTable;
 use ncvnf_dataplane::metrics::VnfMetrics;
@@ -109,6 +109,20 @@ pub struct RelayStats {
     pub malformed_feedback: u64,
     /// Liveness beacons emitted by the control thread.
     pub heartbeats_sent: u64,
+    /// Fenced signals rejected for carrying a superseded controller
+    /// epoch (never applied).
+    pub stale_epoch_rejected: u64,
+    /// Duplicate fenced signals acknowledged without re-applying.
+    pub duplicate_signals: u64,
+}
+
+/// Epoch/sequence fence state of the control socket: the highest
+/// controller epoch accepted and the last sequence number applied
+/// within it (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, Default)]
+struct Fence {
+    epoch: u64,
+    last_seq: u64,
 }
 
 struct Shared {
@@ -116,6 +130,7 @@ struct Shared {
     routes: Mutex<RouteCache>,
     table: Mutex<ForwardingTable>,
     daemon: Mutex<Daemon>,
+    fence: Mutex<Fence>,
     running: AtomicBool,
     registry: Registry,
     metrics: RelayNodeMetrics,
@@ -168,6 +183,8 @@ impl RelayHandle {
             feedback_frames: m.feedback_frames.get(),
             malformed_feedback: m.malformed_feedback.get(),
             heartbeats_sent: m.heartbeats_sent.get(),
+            stale_epoch_rejected: m.stale_epoch_rejected.get(),
+            duplicate_signals: m.duplicate_signals.get(),
         }
     }
 
@@ -253,12 +270,19 @@ impl RelayNode {
             routes: Mutex::new(RouteCache::new()),
             table: Mutex::new(ForwardingTable::new()),
             daemon: Mutex::new(Daemon::new()),
+            fence: Mutex::new(Fence::default()),
             running: AtomicBool::new(true),
             registry,
             metrics,
             vnf_metrics,
             pool_metrics,
         });
+        // Publish the empty table's digest so reconciliation can diff a
+        // node that never received a push.
+        shared
+            .metrics
+            .table_digest
+            .set(ForwardingTable::new().digest() as f64);
 
         let heartbeat = config.heartbeat;
         let mut threads = Vec::new();
@@ -383,7 +407,7 @@ fn control_loop<S: DatagramSocket>(
                 continue;
             }
         };
-        let Ok((signal, _)) = Signal::from_bytes(&buf[..n]) else {
+        let Ok((frame, _)) = SignalFrame::from_bytes(&buf[..n]) else {
             // Undecodable frame: tell the caller instead of staying
             // silent, so controllers timing the round trip see failure.
             // The reply carries a reason code for the operator's logs.
@@ -391,7 +415,49 @@ fn control_loop<S: DatagramSocket>(
             let _ = socket.send_to(b"ERR bad-frame", src);
             continue;
         };
+        // Legacy frames (tags 1–6) carry no delivery metadata and keep
+        // their fire-and-forget semantics; fenced frames (tag 7) go
+        // through epoch fencing and duplicate suppression first.
+        let (signal, fence_meta) = match frame {
+            SignalFrame::Legacy(signal) => (signal, None),
+            SignalFrame::Fenced(fenced) => (fenced.signal, Some((fenced.epoch, fenced.seq))),
+        };
         m.signals.inc();
+        if let Some((epoch, seq)) = fence_meta {
+            let mut fence = shared.fence.lock();
+            if epoch < fence.epoch {
+                // A superseded controller incarnation: never apply, and
+                // tell the sender why so it stops (fencing rule 1).
+                drop(fence);
+                m.stale_epoch_rejected.inc();
+                m.rejected_signals.inc();
+                let _ = socket.send_to(format!("ERR stale-epoch {seq}").as_bytes(), src);
+                continue;
+            }
+            if epoch > fence.epoch {
+                // A newer controller took over: adopt its epoch and
+                // restart duplicate tracking (fencing rule 2).
+                fence.epoch = epoch;
+                fence.last_seq = 0;
+                m.ctrl_epoch.set(epoch as f64);
+            }
+            // NC_STATS is a read-only query: fence-checked for epoch
+            // staleness above, but exempt from sequence bookkeeping so
+            // repeated probes are never mistaken for duplicates.
+            if !matches!(signal, Signal::NcStats) {
+                if seq <= fence.last_seq {
+                    // At-least-once delivery: the first copy already
+                    // applied; ACK so the sender stops retrying, but do
+                    // not touch the daemon again (fencing rule 3).
+                    drop(fence);
+                    m.duplicate_signals.inc();
+                    let _ = socket.send_to(format!("OK {seq}").as_bytes(), src);
+                    continue;
+                }
+                fence.last_seq = seq;
+                m.ctrl_seq.set(seq as f64);
+            }
+        }
         if matches!(signal, Signal::NcStats) {
             // Observability query: reply with the full snapshot as one
             // JSON datagram (the frame starts with '{', so callers can
@@ -430,15 +496,20 @@ fn control_loop<S: DatagramSocket>(
                         if let Ok(parsed) = ForwardingTable::parse(table) {
                             let swap_started = Instant::now();
                             let sessions;
+                            let digest;
                             {
                                 let mut authoritative = shared.table.lock();
                                 authoritative.merge(&parsed);
+                                digest = authoritative.digest();
                                 let mut routes = shared.routes.lock();
                                 routes.rebuild(&authoritative);
                                 sessions = routes.sessions() as u64;
                             }
                             let swap_ns = swap_started.elapsed().as_nanos() as u64;
                             m.table_swap_ns.record(swap_ns);
+                            // Reconciliation reads this back through
+                            // NC_STATS to spot diverged tables.
+                            m.table_digest.set(digest as f64);
                             trace.push(TraceKind::TableSwap, sessions, swap_ns);
                         }
                     }
@@ -447,12 +518,18 @@ fn control_loop<S: DatagramSocket>(
             }
         }
         // Acknowledge so callers can time the full round trip — and can
-        // distinguish a rejected signal from an applied one.
+        // distinguish a rejected signal from an applied one. Fenced
+        // frames echo the sequence number so the reliable sender can
+        // match the ACK to the in-flight push.
+        let reply = match (rejected, fence_meta) {
+            (true, Some((_, seq))) => format!("ERR bad-table {seq}").into_bytes(),
+            (true, None) => b"ERR bad-table".to_vec(),
+            (false, Some((_, seq))) => format!("OK {seq}").into_bytes(),
+            (false, None) => b"OK".to_vec(),
+        };
         if rejected {
             m.rejected_signals.inc();
-            let _ = socket.send_to(b"ERR bad-table", src);
-        } else {
-            let _ = socket.send_to(b"OK", src);
         }
+        let _ = socket.send_to(&reply, src);
     }
 }
