@@ -343,17 +343,35 @@ fn bench_relay_step(timing: &Timing, config: GenerationConfig) -> RelayBench {
 }
 
 struct LoopbackBench {
+    shards: usize,
+    batch: usize,
     sent: u64,
     received: u64,
     packets_per_sec: f64,
 }
 
-/// Informational end-to-end measurement: blast coded packets through a
+/// End-to-end measurement: blast pre-serialized coded packets through a
 /// live [`RelayNode`] on loopback and count arrivals at a sink. Includes
 /// both UDP syscalls, so it is dominated by the kernel, not the coding —
 /// and UDP may drop under burst, so nothing is asserted on it.
-fn bench_relay_loopback(quick: bool, config: GenerationConfig) -> LoopbackBench {
+///
+/// The sender keeps many packets in flight: a dedicated drain thread
+/// empties the sink concurrently (the old harness drained inline between
+/// sends, which serialized the pipeline and measured the harness, not
+/// the relay), wire images are serialized once up front, and the sender
+/// paces itself with a yield per burst so the relay threads get
+/// scheduled on small machines. `shards`/`batch` select the relay
+/// runtime configuration under test (`batch = 1` forces one datagram
+/// per syscall — the unbatched baseline).
+fn bench_relay_loopback(
+    quick: bool,
+    config: GenerationConfig,
+    shards: usize,
+    batch: usize,
+) -> LoopbackBench {
     use ncvnf_control::signal::{Signal, VnfRoleWire};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
 
     let relay = RelayNode::spawn(RelayConfig {
         generation: config,
@@ -361,11 +379,11 @@ fn bench_relay_loopback(quick: bool, config: GenerationConfig) -> LoopbackBench 
         seed: 0xBE7C,
         heartbeat: None,
         registry: None,
+        shards,
+        batch,
     })
     .expect("spawn relay");
     let sink = UdpSocket::bind(("127.0.0.1", 0)).expect("bind sink");
-    sink.set_read_timeout(Some(Duration::from_millis(50)))
-        .expect("sink timeout");
 
     let control = UdpSocket::bind(("127.0.0.1", 0)).expect("bind control");
     control
@@ -397,36 +415,91 @@ fn bench_relay_loopback(quick: bool, config: GenerationConfig) -> LoopbackBench 
         .expect("send table");
     let _ = control.recv_from(&mut ack);
 
-    let total: u64 = if quick { 2_000 } else { 20_000 };
-    let sender = UdpSocket::bind(("127.0.0.1", 0)).expect("bind sender");
+    // Pre-serialize the wire ring: one generation per shard (scanning
+    // the shard map), RELAY_G packets each, so every engine shard does
+    // real work. Serialization cost is paid here, not in the timed loop.
+    let mut picks: Vec<u64> = Vec::new();
+    let mut owners_seen = vec![false; shards.max(1)];
+    for g in 0..4096u64 {
+        let owner = ncvnf_relay::shard_of(SessionId::new(RELAY_SESSION), g, shards.max(1));
+        if !owners_seen[owner] {
+            owners_seen[owner] = true;
+            picks.push(g);
+        }
+        if picks.len() == shards.max(1) {
+            break;
+        }
+    }
     let mut rng = StdRng::seed_from_u64(0xBE7C_0006);
     let mut data = vec![0u8; config.generation_payload()];
     rng.fill(&mut data[..]);
     let enc = GenerationEncoder::new(config, &data).expect("valid generation");
-    let t0 = Instant::now();
-    let mut received = 0u64;
-    let mut buf = vec![0u8; 65536];
-    for i in 0..total {
-        let pkt = enc.coded_packet(SessionId::new(RELAY_SESSION), i / RELAY_G as u64, &mut rng);
-        let _ = sender.send_to(&pkt.to_bytes(), relay.data_addr);
-        // Keep the sink drained so its socket buffer never overflows.
-        if i % 32 == 0 {
-            sink.set_read_timeout(Some(Duration::from_micros(1))).ok();
-            while sink.recv_from(&mut buf).is_ok() {
-                received += 1;
-            }
+    let mut wires: Vec<Vec<u8>> = Vec::with_capacity(picks.len() * 4 * RELAY_G);
+    for &g in &picks {
+        for _ in 0..4 * RELAY_G {
+            wires.push(
+                enc.coded_packet(SessionId::new(RELAY_SESSION), g, &mut rng)
+                    .to_bytes()
+                    .to_vec(),
+            );
         }
     }
-    sink.set_read_timeout(Some(Duration::from_millis(100))).ok();
-    while sink.recv_from(&mut buf).is_ok() {
-        received += 1;
+
+    let total: u64 = if quick { 8_000 } else { 40_000 };
+    let stop = Arc::new(AtomicBool::new(false));
+    let received = Arc::new(AtomicU64::new(0));
+    let drain = {
+        let stop = Arc::clone(&stop);
+        let received = Arc::clone(&received);
+        let sink = sink.try_clone().expect("clone sink");
+        sink.set_read_timeout(Some(Duration::from_millis(5)))
+            .expect("sink timeout");
+        std::thread::spawn(move || {
+            let mut buf = vec![0u8; 65536];
+            while !stop.load(Ordering::Relaxed) {
+                while sink.recv_from(&mut buf).is_ok() {
+                    received.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        })
+    };
+
+    let sender = UdpSocket::bind(("127.0.0.1", 0)).expect("bind sender");
+    let t0 = Instant::now();
+    for i in 0..total {
+        let _ = sender.send_to(&wires[i as usize % wires.len()], relay.data_addr);
+        // A yield per burst keeps the relay and drain threads fed on
+        // single-core machines without serializing the pipeline.
+        if i % 32 == 31 {
+            std::thread::yield_now();
+        }
     }
-    let secs = t0.elapsed().as_secs_f64();
+    // Tail: wait until arrivals go quiet (or a hard deadline), and time
+    // the run to the last observed arrival.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    let mut last_count = received.load(Ordering::Relaxed);
+    let mut last_change = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(10));
+        let now = received.load(Ordering::Relaxed);
+        if now != last_count {
+            last_count = now;
+            last_change = Instant::now();
+        }
+        if last_change.elapsed() > Duration::from_millis(100) || Instant::now() > deadline {
+            break;
+        }
+    }
+    let secs = last_change.duration_since(t0).as_secs_f64().max(1e-9);
+    stop.store(true, Ordering::Relaxed);
+    drain.join().expect("drain thread");
     relay.shutdown();
     LoopbackBench {
+        shards,
+        batch,
         sent: total,
-        received,
-        packets_per_sec: received as f64 / secs,
+        received: last_count,
+        packets_per_sec: last_count as f64 / secs,
     }
 }
 
@@ -513,6 +586,7 @@ fn bench_recovery(quick: bool) -> RecoveryBench {
                 node_id,
             }),
             registry: None,
+            ..RelayConfig::default()
         })
         .expect("spawn relay")
     };
@@ -669,6 +743,7 @@ fn bench_control(quick: bool, config: GenerationConfig) -> ControlBench {
         seed: 0xBE7C_000C,
         heartbeat: None,
         registry: None,
+        ..RelayConfig::default()
     })
     .expect("spawn relay");
     let mut sender = SignalSender::new(1, SenderConfig::default()).expect("bind sender");
@@ -868,6 +943,7 @@ fn bench_observability(timing: &Timing, config: GenerationConfig) -> ObsBench {
         seed: 0xBE7C_000B,
         heartbeat: None,
         registry: None,
+        ..RelayConfig::default()
     })
     .expect("spawn relay");
     let control = UdpSocket::bind(("127.0.0.1", 0)).expect("bind control");
@@ -963,8 +1039,20 @@ fn main() {
         "measuring relay data path (legacy vs rebuilt, {BUFFERED_GENERATIONS} buffered generations) ..."
     );
     let relay = bench_relay_step(&timing, relay_cfg);
-    eprintln!("measuring relay loopback throughput (real UDP sockets) ...");
-    let loopback = bench_relay_loopback(quick, relay_cfg);
+    eprintln!("measuring relay loopback throughput (real UDP sockets, batched) ...");
+    let loopback = bench_relay_loopback(quick, relay_cfg, 1, ncvnf_relay::MAX_BATCH);
+    eprintln!("measuring relay loopback throughput (unbatched baseline) ...");
+    let loopback_unbatched = bench_relay_loopback(quick, relay_cfg, 1, 1);
+    let mut shard_curve = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        eprintln!("measuring relay loopback at {shards} shard(s) ...");
+        shard_curve.push(bench_relay_loopback(
+            quick,
+            relay_cfg,
+            shards,
+            ncvnf_relay::MAX_BATCH,
+        ));
+    }
     eprintln!("measuring loss recovery and liveness failover ...");
     let recovery = bench_recovery(quick);
     eprintln!("measuring observability overhead (bare vs instrumented relay step) ...");
@@ -992,14 +1080,38 @@ fn main() {
         "  \"speedup_pps\": {:.2},",
         relay.new_pps / relay.legacy_pps
     );
+    let loopback_row = |b: &LoopbackBench| {
+        format!(
+            "{{\"shards\": {}, \"batch\": {}, \"sent\": {}, \"received\": {}, \"packets_per_sec\": {:.0}, \"mbps\": {:.1}}}",
+            b.shards,
+            b.batch,
+            b.sent,
+            b.received,
+            b.packets_per_sec,
+            mbps(b.packets_per_sec)
+        )
+    };
+    let _ = writeln!(json, "  \"loopback\": {},", loopback_row(&loopback));
     let _ = writeln!(
         json,
-        "  \"loopback\": {{\"sent\": {}, \"received\": {}, \"packets_per_sec\": {:.0}, \"mbps\": {:.1}}},",
-        loopback.sent,
-        loopback.received,
-        loopback.packets_per_sec,
-        mbps(loopback.packets_per_sec)
+        "  \"loopback_unbatched\": {},",
+        loopback_row(&loopback_unbatched)
     );
+    let _ = writeln!(
+        json,
+        "  \"batching_speedup_pps\": {:.2},",
+        loopback.packets_per_sec / loopback_unbatched.packets_per_sec
+    );
+    json.push_str("  \"loopback_shards\": [\n");
+    for (i, row) in shard_curve.iter().enumerate() {
+        let _ = write!(json, "    {}", loopback_row(row));
+        json.push_str(if i + 1 < shard_curve.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"observability\": {{\"overhead_pct\": {:.2}, \"bare_packets_per_sec\": {:.0}, \"instrumented_packets_per_sec\": {:.0}}},",

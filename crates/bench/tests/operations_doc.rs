@@ -14,13 +14,14 @@ use std::path::Path;
 use ncvnf_control::ControlMetrics;
 use ncvnf_dataplane::VnfMetrics;
 use ncvnf_obs::{MetricDesc, Registry};
-use ncvnf_relay::{RelayNodeMetrics, StepMetrics, TransferObs};
+use ncvnf_relay::{BatchMetrics, RelayNodeMetrics, StepMetrics, TransferObs};
 
 /// One registry holding every metric any ncvnf component can register.
 fn full_registry() -> Registry {
     let registry = Registry::new();
     let _ = RelayNodeMetrics::register(&registry);
     let _ = StepMetrics::register(&registry);
+    let _ = BatchMetrics::register(&registry);
     // Recovery + rlnc codec + payload pool bundles.
     let _ = TransferObs::in_registry(&registry);
     let _ = VnfMetrics::register(&registry);

@@ -9,7 +9,12 @@
 //! relay_node [--data-port P] [--control-port P] [--session N]
 //!            [--role encoder|recoder|decoder|forwarder] [--next-hop ip:port]...
 //!            [--block-size 1460] [--generation-size 4] [--stats-secs 10]
+//!            [--shards N] [--batch M]
 //! ```
+//!
+//! `--shards N` splits the data path across N engine shards, each with
+//! its own `SO_REUSEPORT` receive socket behind the one printed data
+//! address; `--batch M` sets the per-syscall datagram batch (up to 32).
 //!
 //! A chain of these processes plus `send_file` / `recv_file` is a real
 //! multi-process deployment of the paper's data plane.
@@ -29,6 +34,8 @@ struct Args {
     block_size: usize,
     generation_size: usize,
     stats_secs: u64,
+    shards: usize,
+    batch: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +46,8 @@ fn parse_args() -> Result<Args, String> {
         block_size: 1460,
         generation_size: 4,
         stats_secs: 10,
+        shards: RelayConfig::default().shards,
+        batch: RelayConfig::default().batch,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,6 +77,8 @@ fn parse_args() -> Result<Args, String> {
             "--stats-secs" => {
                 args.stats_secs = value("--stats-secs")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--shards" => args.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?,
+            "--batch" => args.batch = value("--batch")?.parse().map_err(|e| format!("{e}"))?,
             "--help" | "-h" => {
                 eprintln!("see module docs: relay_node --session N --role R --next-hop ip:port");
                 std::process::exit(0);
@@ -94,10 +105,13 @@ fn main() {
         seed: std::process::id() as u64,
         heartbeat: None,
         registry: None,
+        shards: args.shards,
+        batch: args.batch,
     })
     .expect("bind relay sockets");
     println!("relay data    {}", relay.data_addr);
     println!("relay control {}", relay.control_addr);
+    println!("relay shards  {}", relay.handle().shards());
 
     // Self-configure over the control channel, exactly as the controller
     // would.

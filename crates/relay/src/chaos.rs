@@ -13,6 +13,17 @@
 //! Faults can be applied on egress (`send_to`), ingress (`recv_from`),
 //! or both — a chain test typically enables one direction per relay so
 //! each network hop is perturbed exactly once.
+//!
+//! **Batched paths.** The relay's batched loops go through the same
+//! four-gate draws, one per datagram, in arrival order:
+//! `recv_batch` receives the first datagram exactly like `recv_from`,
+//! then drains the queue without blocking (ending the batch — without
+//! releasing the reorder stash, since no timeout expired — when the
+//! queue is momentarily empty); `send_batch` uses the trait's
+//! `send_to`-loop default. The RNG is consumed only per *wire* datagram
+//! in both modes, so a pinned `NCVNF_CHAOS_SEED` reproduces the same
+//! fault pattern whether the relay runs batched or unbatched —
+//! `tests/sharded_relay.rs` pins this equivalence.
 
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
@@ -23,7 +34,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::socket::DatagramSocket;
+use crate::socket::{DatagramSocket, RecvBatch};
 
 /// Which directions of a [`FaultSocket`] inject faults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -277,6 +288,77 @@ impl FaultSocket {
         let inner = UdpSocket::bind(("127.0.0.1", 0))?;
         Ok(Self::wrap(inner, config))
     }
+
+    /// One non-blocking faulted receive for the batched drain: identical
+    /// per-datagram logic to `recv_from`, except a momentarily empty
+    /// queue ends the batch (`None`) *without* releasing the reorder
+    /// stash — no read timeout has expired, so the held-back datagram
+    /// keeps waiting for its swap partner exactly as it would between
+    /// two unbatched `recv_from` calls.
+    fn recv_drain(&self, buf: &mut [u8]) -> Option<(usize, SocketAddr)> {
+        loop {
+            {
+                let mut st = self.state.lock();
+                if st.stats.crashed {
+                    return None;
+                }
+                if let Some((data, src)) = st.pending_rx.pop() {
+                    let n = data.len().min(buf.len());
+                    buf[..n].copy_from_slice(&data[..n]);
+                    return Some((n, src));
+                }
+            }
+            let result = self.inner.recv_from(buf);
+            let mut st = self.state.lock();
+            let Ok((n, src)) = result else {
+                return None;
+            };
+            if st.tick_crash(&self.config) {
+                st.stats.dropped += 1;
+                continue;
+            }
+            if !self.config.directions.ingress {
+                st.stats.delivered += 1;
+                return Some((n, src));
+            }
+            match st.draw(&self.config) {
+                FaultDraw::Drop => {
+                    st.stats.dropped += 1;
+                    continue;
+                }
+                FaultDraw::Duplicate => {
+                    st.stats.delivered += 1;
+                    st.stats.duplicated += 1;
+                    st.pending_rx.push((buf[..n].to_vec(), src));
+                    return Some((n, src));
+                }
+                FaultDraw::Reorder => {
+                    if st.stash_rx.is_none() {
+                        st.stats.reordered += 1;
+                        st.stash_rx = Some((buf[..n].to_vec(), src));
+                        continue;
+                    }
+                    st.stats.delivered += 1;
+                    return Some((n, src));
+                }
+                FaultDraw::Delay => {
+                    st.stats.delivered += 1;
+                    st.stats.delayed += 1;
+                    let delay = self.config.delay;
+                    drop(st);
+                    std::thread::sleep(delay);
+                    return Some((n, src));
+                }
+                FaultDraw::Clean => {
+                    st.stats.delivered += 1;
+                    if let Some(held) = st.stash_rx.take() {
+                        st.pending_rx.push(held);
+                    }
+                    return Some((n, src));
+                }
+            }
+        }
+    }
 }
 
 /// How long a crashed socket's `recv_from` sleeps before reporting
@@ -447,6 +529,38 @@ impl DatagramSocket for FaultSocket {
     fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         self.state.lock().read_timeout = dur;
         self.inner.set_read_timeout(dur)
+    }
+
+    // `send_batch` deliberately keeps the trait's `send_to`-loop default:
+    // each outgoing datagram takes its own four-gate draw in flush order,
+    // byte-identical to an unbatched run under the same seed.
+
+    fn recv_batch(&self, batch: &mut RecvBatch) -> io::Result<usize> {
+        batch.clear();
+        let (bufs, meta) = batch.parts_mut();
+        // First datagram: the full blocking faulted path, so timeout
+        // expiry (including the late stash release) behaves exactly as
+        // it does unbatched.
+        let (n, src) = self.recv_from(&mut bufs[0])?;
+        meta[0] = (n, src);
+        let mut filled = 1;
+        // Drain whatever is immediately available, one draw per wire
+        // datagram. O_NONBLOCK is orthogonal to SO_RCVTIMEO, so the
+        // configured read timeout survives the toggle.
+        if self.inner.set_nonblocking(true).is_ok() {
+            while filled < bufs.len() {
+                match self.recv_drain(&mut bufs[filled]) {
+                    Some(got) => {
+                        meta[filled] = got;
+                        filled += 1;
+                    }
+                    None => break,
+                }
+            }
+            let _ = self.inner.set_nonblocking(false);
+        }
+        batch.set_filled(filled);
+        Ok(filled)
     }
 }
 

@@ -28,11 +28,13 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 
 use ncvnf_control::ForwardingTable;
-use ncvnf_dataplane::{chunk_generation, CodingVnf, VnfDecision};
+use ncvnf_dataplane::{chunk_generation, CodingVnf, Feedback, VnfDecision, FEEDBACK_MAGIC};
 use ncvnf_obs::Registry;
-use ncvnf_rlnc::{CodedPacket, SessionId};
+use ncvnf_rlnc::{CodedPacket, NcHeader, SessionId};
 
-use crate::metrics::{StepMetrics, STEP_SAMPLE_EVERY};
+use crate::metrics::{BatchMetrics, StepMetrics, STEP_SAMPLE_EVERY};
+use crate::socket::RecvBatch;
+use crate::SendBatch;
 
 /// Session → resolved next-hop socket addresses.
 ///
@@ -253,6 +255,285 @@ pub fn relay_step(
             obs.step_ns.record(started.elapsed().as_nanos() as u64);
         }
         obs.record_step(report.emitted, recycled, scratch.pending.len());
+    }
+    report
+}
+
+/// Deterministic `(session, generation) → shard` map (FNV-1a over the
+/// id bytes, xor-folded so power-of-two shard counts still see the whole
+/// hash).
+///
+/// Every packet of one generation must land on the same shard — a
+/// generation's decoder state is not splittable — and successive
+/// generations of one session should spread across shards so a single
+/// heavy session can still use more than one core. Hashing `(session,
+/// generation)` gives both properties; `tests/sharded_relay.rs` pins
+/// them with a proptest.
+#[must_use]
+pub fn shard_of(session: SessionId, generation: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be positive");
+    if shards <= 1 {
+        return 0;
+    }
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in session.value().to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    for b in generation.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    ((h ^ (h >> 32)) % shards as u64) as usize
+}
+
+/// One engine shard: a coding engine plus its own pre-resolved route
+/// cache, each behind its own lock.
+///
+/// The sharded relay holds an array of these. All packets of one
+/// `(session, generation)` reach the same shard (see [`shard_of`]), so
+/// shards never contend on the hot path; the control thread reaches
+/// *every* shard when it applies a table swap (rebuilding each
+/// `RouteCache`) or a role change, which keeps reconfiguration
+/// semantics identical to the single-engine relay.
+#[derive(Debug)]
+pub struct RelayShard {
+    engine: Mutex<RelayEngine>,
+    routes: Mutex<RouteCache>,
+}
+
+impl RelayShard {
+    /// Wraps an engine with an empty route cache.
+    pub fn new(engine: RelayEngine) -> Self {
+        RelayShard {
+            engine: Mutex::new(engine),
+            routes: Mutex::new(RouteCache::new()),
+        }
+    }
+
+    /// The shard's engine lock (control plane: role changes, stats).
+    pub fn engine(&self) -> &Mutex<RelayEngine> {
+        &self.engine
+    }
+
+    /// The shard's route-cache lock (control plane: table swaps).
+    pub fn routes(&self) -> &Mutex<RouteCache> {
+        &self.routes
+    }
+}
+
+/// Per-shard working state inside a [`BatchScratch`]. All buffers reach
+/// a steady-state capacity and stay there.
+#[derive(Debug, Default)]
+struct ShardSlot {
+    /// Indices (into the receive batch) of datagrams this shard owns.
+    group: Vec<u32>,
+    /// Per-datagram VNF decisions, tagged with where the datagram's
+    /// outputs start in `out`.
+    decisions: Vec<(u32, VnfDecision)>,
+    /// Packets emitted by this batch, recycled under the *next* batch's
+    /// lock acquisition (after their bytes have left via the socket).
+    out: Vec<CodedPacket>,
+    /// Emitted packets awaiting recycling.
+    pending: Vec<CodedPacket>,
+    /// Resolved next hops of the session being serialized.
+    addrs: Vec<SocketAddr>,
+}
+
+/// Reusable per-thread scratch for [`relay_batch`]: per-shard dispatch
+/// groups and recycle queues, plus the egress [`SendBatch`] the caller
+/// flushes after each call. Like [`RelayScratch`], every buffer's
+/// capacity settles after a few batches, after which a batch performs
+/// zero heap operations (feedback and decode egress excepted).
+#[derive(Debug)]
+pub struct BatchScratch {
+    slots: Vec<ShardSlot>,
+    send: SendBatch,
+    obs: Option<BatchMetrics>,
+}
+
+impl BatchScratch {
+    /// Fresh scratch for `shards` engine shards.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        BatchScratch {
+            slots: (0..shards.max(1)).map(|_| ShardSlot::default()).collect(),
+            send: SendBatch::new(),
+            obs: None,
+        }
+    }
+
+    /// Scratch whose batches record into `registry`: the step series
+    /// (`relay.steps`, `relay.packets_emitted`, …) exactly as the
+    /// unbatched path does, plus `relay.batches`, `relay.batch_fill`,
+    /// a 1-in-8-sampled `relay.batch_ns` latency histogram, and
+    /// `relay.cross_shard_packets`.
+    #[must_use]
+    pub fn instrumented(shards: usize, registry: &Registry) -> Self {
+        BatchScratch {
+            obs: Some(BatchMetrics::register(registry)),
+            ..BatchScratch::new(shards)
+        }
+    }
+
+    /// The egress batch the last [`relay_batch`] call filled; the
+    /// caller flushes it with
+    /// [`DatagramSocket::send_batch`](crate::DatagramSocket::send_batch).
+    #[must_use]
+    pub fn send(&self) -> &SendBatch {
+        &self.send
+    }
+}
+
+/// What one [`relay_batch`] call did, for the caller's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Coded datagrams run through a shard engine.
+    pub steps: u64,
+    /// Coded packets (or decoded chunks) produced by the VNF.
+    pub emitted: u64,
+    /// Datagrams queued for egress (packets × next hops).
+    pub queued: u64,
+    /// Well-formed feedback frames seen (and dropped — relays do not
+    /// route feedback).
+    pub feedback_frames: u64,
+    /// Feedback-magic frames that failed to decode.
+    pub malformed_feedback: u64,
+    /// Datagrams whose owner shard differs from `home` (they arrived on
+    /// another shard's socket; the kernel's `SO_REUSEPORT` hash and the
+    /// relay's `(session, generation)` hash need not agree).
+    pub cross_shard: u64,
+}
+
+/// Processes one received batch through the sharded relay data path.
+///
+/// Dispatch groups the batch's datagrams by owner shard
+/// ([`shard_of`] over a header peek — no allocation, no lock). Then,
+/// shard by shard: one engine-lock acquisition recycles the shard's
+/// previous outputs and codes its whole group; one route-lock
+/// acquisition serializes the results into the scratch's [`SendBatch`].
+/// The caller flushes that batch with a single `send_batch` call —
+/// which is the point: syscalls are paid per *batch*, locks per
+/// *shard-group*, not per packet.
+///
+/// `home` is the index of the shard whose socket fed this batch (used
+/// for the cross-shard counter, and as the fallback owner for
+/// malformed datagrams so exactly one VNF counts them).
+pub fn relay_batch(
+    shards: &[RelayShard],
+    home: usize,
+    scratch: &mut BatchScratch,
+    batch: &RecvBatch,
+) -> BatchReport {
+    let BatchScratch { slots, send, obs } = scratch;
+    debug_assert_eq!(slots.len(), shards.len(), "scratch/shard count mismatch");
+    let mut report = BatchReport::default();
+    let started = match obs {
+        Some(obs) => obs.sample_latency().then(Instant::now),
+        None => None,
+    };
+    send.clear();
+    for slot in slots.iter_mut() {
+        slot.group.clear();
+    }
+
+    // Dispatch: peek (session, generation) from the fixed header
+    // prefix and group datagram indices by owner shard.
+    for (i, (dg, _src)) in batch.iter().enumerate() {
+        if dg.first() == Some(&FEEDBACK_MAGIC) {
+            match Feedback::from_bytes(dg) {
+                Ok(_) => report.feedback_frames += 1,
+                Err(_) => report.malformed_feedback += 1,
+            }
+            continue;
+        }
+        let owner = match NcHeader::peek_ids(dg) {
+            Some((session, generation)) => shard_of(session, generation, shards.len()),
+            // Malformed: hand it to the home shard's VNF, which counts
+            // it in `malformed` like the unbatched path.
+            None => home,
+        };
+        if owner != home {
+            report.cross_shard += 1;
+        }
+        slots[owner].group.push(i as u32);
+    }
+
+    let mut recycled_total = 0u64;
+    for (s, shard) in shards.iter().enumerate() {
+        let ShardSlot {
+            group,
+            decisions,
+            out,
+            pending,
+            addrs,
+        } = &mut slots[s];
+        if group.is_empty() && pending.is_empty() {
+            continue;
+        }
+
+        // Process under the shard's engine lock: one acquisition for
+        // recycle + the whole group.
+        let block_size = {
+            let mut guard = shard.engine.lock();
+            let engine = &mut *guard;
+            recycled_total += pending.len() as u64;
+            for pkt in pending.drain(..) {
+                engine.vnf.recycle(pkt);
+            }
+            for &idx in group.iter() {
+                let (dg, _src) = batch.get(idx as usize);
+                let start = out.len() as u32;
+                let decision = engine.vnf.process_wire_into(dg, 1, &mut engine.rng, out);
+                report.steps += 1;
+                decisions.push((start, decision));
+            }
+            engine.vnf.config().block_size()
+        };
+
+        // Serialize outside the engine lock, under the shard's route
+        // lock (contended only by control-plane swaps).
+        let routes = shard.routes.lock();
+        for (start, decision) in decisions.drain(..) {
+            match decision {
+                VnfDecision::Forwarded(n) if n > 0 => {
+                    report.emitted += n as u64;
+                    let pkts = &out[start as usize..start as usize + n];
+                    routes.lookup_into(pkts[0].session(), addrs);
+                    if !addrs.is_empty() {
+                        for pkt in pkts {
+                            send.push_wire(|w| pkt.write_into(w), addrs);
+                        }
+                    }
+                }
+                VnfDecision::Decoded {
+                    session,
+                    generation,
+                    payload,
+                } => {
+                    // Decoder egress allocates (fresh payload per
+                    // decoded generation) — per-generation, not
+                    // per-packet.
+                    routes.lookup_into(session, addrs);
+                    if !addrs.is_empty() {
+                        for chunk in chunk_generation(generation, &payload, block_size) {
+                            report.emitted += 1;
+                            send.push_bytes(&chunk.to_bytes(), addrs);
+                        }
+                    }
+                }
+                VnfDecision::Forwarded(_) | VnfDecision::Nothing => {}
+            }
+        }
+        drop(routes);
+        pending.append(out);
+    }
+    report.queued = send.len() as u64;
+
+    if let Some(obs) = obs {
+        let elapsed = started.map(|t| t.elapsed().as_nanos() as u64);
+        let depth: usize = slots.iter().map(|s| s.pending.len()).sum();
+        obs.record_batch(&report, batch.len() as u64, recycled_total, depth, elapsed);
     }
     report
 }

@@ -39,12 +39,15 @@ mod socket;
 mod transfer;
 
 pub use chaos::{FaultConfig, FaultDirections, FaultHandle, FaultSocket, FaultStats};
-pub use engine::{relay_step, RelayEngine, RelayScratch, RouteCache, StepReport};
-pub use metrics::{RecoveryMetrics, RelayNodeMetrics, StepMetrics, TransferObs};
+pub use engine::{
+    relay_batch, relay_step, shard_of, BatchReport, BatchScratch, RelayEngine, RelayScratch,
+    RelayShard, RouteCache, StepReport,
+};
+pub use metrics::{BatchMetrics, RecoveryMetrics, RelayNodeMetrics, StepMetrics, TransferObs};
 pub use node::{HeartbeatConfig, RelayConfig, RelayHandle, RelayNode, RelayStats};
 pub use recovery::{
     reliable_chain, send_object_reliable, RecoveryConfig, RecoveryStats, ReliableChainReport,
     ReliableReceiver,
 };
-pub use socket::DatagramSocket;
+pub use socket::{DatagramSocket, RecvBatch, SendBatch, MAX_BATCH};
 pub use transfer::{chain, send_object, ObjectReceiver, ReceiverReport, TransferConfig};

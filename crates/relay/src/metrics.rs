@@ -164,6 +164,53 @@ pub const TABLE_DIGEST: MetricDesc = desc(
     "53-bit FNV digest of the live forwarding table (reconciliation diff key)",
 );
 
+/// `relay.shards` — engine shards this node runs.
+pub const SHARDS: MetricDesc = desc(
+    "relay.shards",
+    MetricKind::Gauge,
+    "shards",
+    "relay",
+    "Engine shards the relay data path is split across",
+);
+
+/// `relay.batches` — ingress batches drained from the data socket.
+pub const BATCHES: MetricDesc = desc(
+    "relay.batches",
+    MetricKind::Counter,
+    "batches",
+    "relay",
+    "Ingress batches drained from the data socket",
+);
+
+/// `relay.batch_fill` — datagrams per drained ingress batch.
+pub const BATCH_FILL: MetricDesc = desc(
+    "relay.batch_fill",
+    MetricKind::Histogram,
+    "datagrams",
+    "relay",
+    "Datagrams per drained ingress batch (batch occupancy)",
+);
+
+/// `relay.batch_ns` — whole-batch relay latency (sampled).
+pub const BATCH_NS: MetricDesc = desc(
+    "relay.batch_ns",
+    MetricKind::Histogram,
+    "ns",
+    "relay",
+    "Batch relay latency, sampled 1-in-8 (dispatch, code, serialize, flush)",
+);
+
+/// `relay.cross_shard_packets` — datagrams that arrived on a socket
+/// owned by a different shard than the packet's `(session, generation)`
+/// hash selects.
+pub const CROSS_SHARD_PACKETS: MetricDesc = desc(
+    "relay.cross_shard_packets",
+    MetricKind::Counter,
+    "datagrams",
+    "relay",
+    "Datagrams received on one shard's socket but owned by another shard",
+);
+
 /// Registry-backed counters for a relay node's two socket loops.
 #[derive(Debug, Clone)]
 pub struct RelayNodeMetrics {
@@ -197,6 +244,8 @@ pub struct RelayNodeMetrics {
     pub ctrl_seq: Gauge,
     /// Digest of the live forwarding table.
     pub table_digest: Gauge,
+    /// Engine shards this node runs.
+    pub shards: Gauge,
 }
 
 impl RelayNodeMetrics {
@@ -218,6 +267,7 @@ impl RelayNodeMetrics {
             ctrl_epoch: registry.gauge(CTRL_EPOCH),
             ctrl_seq: registry.gauge(CTRL_SEQ),
             table_digest: registry.gauge(TABLE_DIGEST),
+            shards: registry.gauge(SHARDS),
         }
     }
 }
@@ -332,6 +382,21 @@ impl StepMetrics {
         }
     }
 
+    /// Records `steps` datagrams processed as one batch (the batched
+    /// data path's analogue of [`Self::record_step`]); flushes once the
+    /// accumulated count crosses a sampling window.
+    #[inline]
+    pub(crate) fn record_steps(&mut self, steps: u64, emitted: u64, recycled: u64, depth: usize) {
+        self.batch_steps += steps;
+        self.batch_emitted += emitted;
+        self.batch_recycled += recycled;
+        self.last_depth = depth as f64;
+        self.tick = self.tick.wrapping_add(steps);
+        if self.batch_steps >= STEP_SAMPLE_EVERY {
+            self.flush();
+        }
+    }
+
     /// Publishes the batched counters and the latest pending depth to
     /// the shared registry cells.
     fn flush(&mut self) {
@@ -372,6 +437,68 @@ impl Drop for StepMetrics {
     /// Final flush: totals are exact once the owning scratch is gone.
     fn drop(&mut self) {
         self.flush();
+    }
+}
+
+/// One-in-N sampling rate for whole-batch latency timestamps.
+pub(crate) const BATCH_SAMPLE_EVERY: u64 = 8;
+
+/// Per-data-thread instrumentation for the batched relay path, owned by
+/// [`BatchScratch`](crate::BatchScratch).
+///
+/// Wraps [`StepMetrics`] (so `relay.steps`/`relay.packets_emitted`/…
+/// count identically whether the relay runs batched or unbatched) and
+/// adds the batch-shape series: batch count, occupancy histogram,
+/// sampled whole-batch latency, and the cross-shard dispatch counter.
+/// Everything on the per-datagram path is a plain scratch-local add;
+/// atomics are touched once per batch at most.
+#[derive(Debug, Clone)]
+pub struct BatchMetrics {
+    pub(crate) steps: StepMetrics,
+    pub(crate) batches: Counter,
+    pub(crate) batch_fill: Histogram,
+    pub(crate) batch_ns: Histogram,
+    pub(crate) cross_shard: Counter,
+}
+
+impl BatchMetrics {
+    /// Registers (or retrieves) the batch metrics in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        BatchMetrics {
+            steps: StepMetrics::register(registry),
+            batches: registry.counter(BATCHES),
+            batch_fill: registry.histogram(BATCH_FILL),
+            batch_ns: registry.histogram(BATCH_NS),
+            cross_shard: registry.counter(CROSS_SHARD_PACKETS),
+        }
+    }
+
+    /// Whether the next batch's latency should be timed (1-in-N).
+    #[inline]
+    pub(crate) fn sample_latency(&self) -> bool {
+        (self.steps.tick / STEP_SAMPLE_EVERY).is_multiple_of(BATCH_SAMPLE_EVERY)
+    }
+
+    /// Records one completed batch (per-step totals come from `report`).
+    #[inline]
+    pub(crate) fn record_batch(
+        &mut self,
+        report: &crate::engine::BatchReport,
+        fill: u64,
+        recycled: u64,
+        depth: usize,
+        elapsed_ns: Option<u64>,
+    ) {
+        self.batches.inc();
+        self.batch_fill.record(fill);
+        if report.cross_shard > 0 {
+            self.cross_shard.add(report.cross_shard);
+        }
+        if let Some(ns) = elapsed_ns {
+            self.batch_ns.record(ns);
+        }
+        self.steps
+            .record_steps(report.steps, report.emitted, recycled, depth);
     }
 }
 

@@ -1,18 +1,33 @@
-//! A coding VNF behind real UDP sockets.
+//! A sharded coding VNF behind real UDP sockets.
 //!
-//! Threading model (see DESIGN.md §"Relay threading model"): the data
-//! thread runs [`relay_step`] — process under the VNF lock, serialize and
-//! `send_to` outside it — while the control thread owns the forwarding
-//! table and rebuilds the resolved [`RouteCache`] only on table swaps.
+//! Threading model (see DESIGN.md §14 "Sharded relay runtime"): the
+//! data path is split across [`RelayConfig::shards`] engine shards,
+//! each owning its own [`RelayEngine`] and [`RouteCache`] behind its
+//! own locks; every datagram is dispatched to the shard selected by
+//! [`shard_of`]`(session, generation)`, so one generation's decoder
+//! state is never split and shards do not contend. One data thread per
+//! data socket runs [`relay_batch`] — drain up to [`RelayConfig::batch`]
+//! datagrams in one `recv_batch` (a single `recvmmsg` on Linux), code
+//! each shard's group under one lock acquisition, then flush the whole
+//! egress batch with one `send_batch` (`sendmmsg`). With
+//! `SO_REUSEPORT` ([`RelayNode::spawn`] on Linux), all shard sockets
+//! share a single advertised port and the kernel spreads ingress load
+//! across them.
+//!
+//! The control thread owns the forwarding table and fans reconfiguration
+//! out to *every* shard: a table swap rebuilds each shard's resolved
+//! `RouteCache`; a role change reaches each shard's VNF; fenced signals
+//! are fence-checked once (the fence is node-level, not per-shard).
 //! Transient socket errors never kill a loop; they are counted in
 //! [`RelayStats::io_errors`] and retried until `running` clears.
 //!
-//! Both loops are generic over [`DatagramSocket`], so the chaos harness
-//! ([`crate::FaultSocket`]) can subject a live relay to seeded Internet
-//! pathologies; and when [`RelayConfig::heartbeat`] is set, the control
-//! thread doubles as a liveness beacon, emitting periodic heartbeat
-//! frames (feedback kind 3) toward the controller's monitor address so a
-//! dead VNF is detectable by silence (DESIGN.md §"Failure model").
+//! All loops are generic over [`DatagramSocket`], so the chaos harness
+//! ([`crate::FaultSocket`]) can subject a live relay — batched or not —
+//! to seeded Internet pathologies; and when [`RelayConfig::heartbeat`]
+//! is set, the control thread doubles as a liveness beacon, emitting
+//! periodic heartbeat frames (feedback kind 3) toward the controller's
+//! monitor address so a dead VNF is detectable by silence (DESIGN.md
+//! §"Failure model").
 
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -29,13 +44,13 @@ use ncvnf_control::signal::{Signal, SignalFrame, VnfRoleWire};
 use ncvnf_control::telemetry::DataplaneHealth;
 use ncvnf_control::ForwardingTable;
 use ncvnf_dataplane::metrics::VnfMetrics;
-use ncvnf_dataplane::{CodingVnf, Feedback, VnfRole, VnfStats, FEEDBACK_MAGIC};
-use ncvnf_obs::{Registry, Snapshot, TraceKind};
+use ncvnf_dataplane::{CodingVnf, Feedback, VnfRole, VnfStats};
+use ncvnf_obs::{Counter, Registry, Snapshot, TraceKind};
 use ncvnf_rlnc::{GenerationConfig, PoolMetrics, PoolStats};
 
-use crate::engine::{relay_step, RelayEngine, RelayScratch, RouteCache};
-use crate::metrics::RelayNodeMetrics;
-use crate::socket::DatagramSocket;
+use crate::engine::{relay_batch, BatchScratch, RelayEngine, RelayShard};
+use crate::metrics::{self, RelayNodeMetrics};
+use crate::socket::{DatagramSocket, RecvBatch, MAX_BATCH};
 
 /// Liveness beaconing: where and how often a relay announces it is alive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +81,25 @@ pub struct RelayConfig {
     /// [`RelayHandle::snapshot`] or the `NC_STATS` signal); pass a shared
     /// one to aggregate several relays into a single snapshot.
     pub registry: Option<Registry>,
+    /// Engine shards the data path is split across (≥ 1). Each shard
+    /// owns its own coding engine, route cache, and — on Linux via
+    /// `SO_REUSEPORT` — its own receive socket. The default reads
+    /// `NCVNF_SHARDS` (falling back to 1) so the whole test suite can
+    /// run sharded without touching call sites.
+    pub shards: usize,
+    /// Ingress/egress batch size in datagrams (clamped to
+    /// 1..=[`MAX_BATCH`]). The default reads `NCVNF_BATCH`, falling
+    /// back to [`MAX_BATCH`].
+    pub batch: usize,
+}
+
+/// A positive `usize` from the environment, or `default`.
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
 }
 
 impl Default for RelayConfig {
@@ -76,6 +110,8 @@ impl Default for RelayConfig {
             seed: 0xC0DE,
             heartbeat: None,
             registry: None,
+            shards: env_usize("NCVNF_SHARDS", 1),
+            batch: env_usize("NCVNF_BATCH", MAX_BATCH),
         }
     }
 }
@@ -114,6 +150,15 @@ pub struct RelayStats {
     pub stale_epoch_rejected: u64,
     /// Duplicate fenced signals acknowledged without re-applying.
     pub duplicate_signals: u64,
+    /// Engine shards the data path runs across.
+    pub shards: u64,
+    /// Ingress batches drained from the data socket(s).
+    pub batches: u64,
+    /// Datagrams received on one shard's socket but owned by another
+    /// shard (the kernel's `SO_REUSEPORT` hash and the relay's
+    /// `(session, generation)` hash need not agree; correctness is
+    /// unaffected — the owning shard's engine still processes them).
+    pub cross_shard_packets: u64,
 }
 
 /// Epoch/sequence fence state of the control socket: the highest
@@ -126,8 +171,8 @@ struct Fence {
 }
 
 struct Shared {
-    engine: Mutex<RelayEngine>,
-    routes: Mutex<RouteCache>,
+    shards: Vec<RelayShard>,
+    batch: usize,
     table: Mutex<ForwardingTable>,
     daemon: Mutex<Daemon>,
     fence: Mutex<Fence>,
@@ -136,17 +181,42 @@ struct Shared {
     metrics: RelayNodeMetrics,
     vnf_metrics: VnfMetrics,
     pool_metrics: PoolMetrics,
+    /// Read-back handles for the batch-path counters (the data threads'
+    /// [`BatchScratch`] instances record into the same registry cells).
+    batches: Counter,
+    cross_shard: Counter,
 }
 
 impl Shared {
-    /// Publishes the lock-protected VNF/pool counters into the registry,
-    /// then snapshots everything. The engine lock is held only for the
-    /// two stats copies.
+    /// Sums the per-shard VNF and pool counters (each shard's engine
+    /// lock is held only for its two stats copies).
+    fn vnf_totals(&self) -> (VnfStats, PoolStats) {
+        let mut vnf = VnfStats::default();
+        let mut pool = PoolStats::default();
+        for shard in &self.shards {
+            let guard = shard.engine().lock();
+            let s = guard.vnf().stats();
+            let p = guard.vnf().pool_stats();
+            drop(guard);
+            vnf.packets_in += s.packets_in;
+            vnf.packets_out += s.packets_out;
+            vnf.innovative_in += s.innovative_in;
+            vnf.malformed += s.malformed;
+            vnf.unknown_session += s.unknown_session;
+            vnf.generations_decoded += s.generations_decoded;
+            vnf.evicted_decoders += s.evicted_decoders;
+            pool.checkouts += p.checkouts;
+            pool.hits += p.hits;
+            pool.reclaimed += p.reclaimed;
+            pool.dropped += p.dropped;
+        }
+        (vnf, pool)
+    }
+
+    /// Publishes the aggregated VNF/pool counters into the registry,
+    /// then snapshots everything.
     fn snapshot(&self) -> Snapshot {
-        let (vnf, pool) = {
-            let guard = self.engine.lock();
-            (guard.vnf().stats(), guard.vnf().pool_stats())
-        };
+        let (vnf, pool) = self.vnf_totals();
         self.vnf_metrics.publish(&vnf);
         self.pool_metrics.publish(&pool);
         self.registry.snapshot()
@@ -185,7 +255,15 @@ impl RelayHandle {
             heartbeats_sent: m.heartbeats_sent.get(),
             stale_epoch_rejected: m.stale_epoch_rejected.get(),
             duplicate_signals: m.duplicate_signals.get(),
+            shards: self.shared.shards.len() as u64,
+            batches: self.shared.batches.get(),
+            cross_shard_packets: self.shared.cross_shard.get(),
         }
+    }
+
+    /// Number of engine shards the data path runs across.
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
     }
 
     /// The node's observability registry (the one passed in via
@@ -207,15 +285,17 @@ impl RelayHandle {
         DataplaneHealth::from_snapshot(&self.snapshot())
     }
 
-    /// Snapshot of the coding VNF's counters (briefly takes the VNF lock).
+    /// Snapshot of the coding VNF's counters, summed over every shard
+    /// (each shard's engine lock is taken briefly in turn).
     pub fn vnf_stats(&self) -> VnfStats {
-        self.shared.engine.lock().vnf().stats()
+        self.shared.vnf_totals().0
     }
 
-    /// Snapshot of the VNF buffer pool's counters (hit rate ≈ 1.0 once the
-    /// forward/recode steady state is allocation-free).
+    /// Snapshot of the VNF buffer pools' counters, summed over every
+    /// shard (hit rate ≈ 1.0 once the forward/recode steady state is
+    /// allocation-free).
     pub fn pool_stats(&self) -> PoolStats {
-        self.shared.engine.lock().vnf().pool_stats()
+        self.shared.vnf_totals().1
     }
 
     /// The relay's current forwarding table (text form).
@@ -230,18 +310,26 @@ impl RelayNode {
     /// function on a launched VM" step whose latency Sec. V-C-5 reports
     /// as ≈376 ms on EC2 (sockets + configuration; no VM boot).
     ///
+    /// With [`RelayConfig::shards`] > 1, the node binds one data socket
+    /// per shard via `SO_REUSEPORT` — all sharing the single advertised
+    /// [`RelayNode::data_addr`] — so the kernel spreads ingress across
+    /// the shard threads. Where `SO_REUSEPORT` is unavailable, the node
+    /// falls back to one shared data socket; engine-state sharding (and
+    /// its correctness) is unaffected, only ingress parallelism drops.
+    ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn spawn(config: RelayConfig) -> std::io::Result<RelayNode> {
-        let data_socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        let data_sockets = bind_shard_sockets(config.shards.max(1))?;
         let control_socket = UdpSocket::bind(("127.0.0.1", 0))?;
-        Self::spawn_with(config, data_socket, control_socket)
+        Self::spawn_with_sockets(config, data_sockets, control_socket)
     }
 
     /// Starts a relay on caller-provided sockets — real `UdpSocket`s or
     /// chaos-wrapped [`crate::FaultSocket`]s — so tests can inject faults
-    /// into the live loops.
+    /// into the live loops. The single data socket feeds every engine
+    /// shard (dispatch is by packet hash, not by socket).
     ///
     /// # Errors
     ///
@@ -255,28 +343,69 @@ impl RelayNode {
         D: DatagramSocket + 'static,
         C: DatagramSocket + 'static,
     {
-        data_socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        Self::spawn_with_sockets(config, vec![data_socket], control_socket)
+    }
+
+    /// Starts a relay over an explicit set of data sockets: one data
+    /// thread per socket, each with shard `i % shards` as its home.
+    /// [`RelayNode::data_addr`] is the first socket's address (with
+    /// `SO_REUSEPORT` they are all the same).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_sockets` is empty.
+    pub fn spawn_with_sockets<D, C>(
+        config: RelayConfig,
+        data_sockets: Vec<D>,
+        control_socket: C,
+    ) -> std::io::Result<RelayNode>
+    where
+        D: DatagramSocket + 'static,
+        C: DatagramSocket + 'static,
+    {
+        assert!(!data_sockets.is_empty(), "at least one data socket");
+        for s in &data_sockets {
+            s.set_read_timeout(Some(Duration::from_millis(20)))?;
+        }
         control_socket.set_read_timeout(Some(Duration::from_millis(20)))?;
-        let data_addr = data_socket.local_addr()?;
+        let data_addr = data_sockets[0].local_addr()?;
         let control_addr = control_socket.local_addr()?;
 
-        let vnf = CodingVnf::new(config.generation, config.buffer_generations);
+        let shard_count = config.shards.max(1);
+        let shards: Vec<RelayShard> = (0..shard_count as u64)
+            .map(|i| {
+                let vnf = CodingVnf::new(config.generation, config.buffer_generations);
+                // Distinct per-shard coefficient streams derived from
+                // the one node seed (splitmix-style odd-constant mix).
+                let seed = config.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1);
+                RelayShard::new(RelayEngine::new(vnf, StdRng::seed_from_u64(seed)))
+            })
+            .collect();
         let registry = config.registry.unwrap_or_default();
-        let metrics = RelayNodeMetrics::register(&registry);
+        let node_metrics = RelayNodeMetrics::register(&registry);
         let vnf_metrics = VnfMetrics::register(&registry);
         let pool_metrics = PoolMetrics::register(&registry);
+        let batches = registry.counter(metrics::BATCHES);
+        let cross_shard = registry.counter(metrics::CROSS_SHARD_PACKETS);
         let shared = Arc::new(Shared {
-            engine: Mutex::new(RelayEngine::new(vnf, StdRng::seed_from_u64(config.seed))),
-            routes: Mutex::new(RouteCache::new()),
+            shards,
+            batch: config.batch.clamp(1, MAX_BATCH),
             table: Mutex::new(ForwardingTable::new()),
             daemon: Mutex::new(Daemon::new()),
             fence: Mutex::new(Fence::default()),
             running: AtomicBool::new(true),
             registry,
-            metrics,
+            metrics: node_metrics,
             vnf_metrics,
             pool_metrics,
+            batches,
+            cross_shard,
         });
+        shared.metrics.shards.set(shard_count as f64);
         // Publish the empty table's digest so reconciliation can diff a
         // node that never received a push.
         shared
@@ -286,10 +415,10 @@ impl RelayNode {
 
         let heartbeat = config.heartbeat;
         let mut threads = Vec::new();
-        {
+        for (i, socket) in data_sockets.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
-            let socket = data_socket;
-            threads.push(std::thread::spawn(move || data_loop(socket, shared)));
+            let home = i % shard_count;
+            threads.push(std::thread::spawn(move || data_loop(socket, shared, home)));
         }
         {
             let shared = Arc::clone(&shared);
@@ -322,6 +451,31 @@ impl RelayNode {
     }
 }
 
+/// Binds `n` loopback data sockets. For `n > 1` they share one port via
+/// `SO_REUSEPORT`; where that is unavailable (non-Linux), falls back to
+/// a single shared socket — engine sharding still applies, only ingress
+/// parallelism degrades.
+fn bind_shard_sockets(n: usize) -> std::io::Result<Vec<UdpSocket>> {
+    let loopback: SocketAddr = ([127, 0, 0, 1], 0).into();
+    if n > 1 {
+        if let Ok(first) = ncvnf_sysnet::bind_reuseport(loopback) {
+            if let Ok(addr) = first.local_addr() {
+                let mut sockets = vec![first];
+                while sockets.len() < n {
+                    match ncvnf_sysnet::bind_reuseport(addr) {
+                        Ok(s) => sockets.push(s),
+                        Err(_) => break,
+                    }
+                }
+                if sockets.len() == n {
+                    return Ok(sockets);
+                }
+            }
+        }
+    }
+    Ok(vec![UdpSocket::bind(("127.0.0.1", 0))?])
+}
+
 /// True for the receive-timeout errors the 20 ms poll loop expects.
 fn is_timeout(e: &std::io::Error) -> bool {
     matches!(
@@ -330,13 +484,18 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
-fn data_loop<S: DatagramSocket>(socket: S, shared: Arc<Shared>) {
-    let mut buf = vec![0u8; 65536];
-    let mut scratch = RelayScratch::instrumented(&shared.registry);
+/// One data thread: drain a batch, relay it through the shard array
+/// (feedback frames are classified and dropped inside [`relay_batch`]),
+/// flush the egress batch. `home` is the shard whose receive queue this
+/// thread's socket notionally is — the cross-shard counter measures how
+/// often the kernel's socket choice and the packet hash disagree.
+fn data_loop<S: DatagramSocket>(socket: S, shared: Arc<Shared>, home: usize) {
+    let mut batch = RecvBatch::new(shared.batch, 65536);
+    let mut scratch = BatchScratch::instrumented(shared.shards.len(), &shared.registry);
     let m = shared.metrics.clone();
     while shared.running.load(Ordering::Relaxed) {
-        let n = match socket.recv_from(&mut buf) {
-            Ok((n, _src)) => n,
+        match socket.recv_batch(&mut batch) {
+            Ok(_) => {}
             Err(ref e) if is_timeout(e) => continue,
             Err(_) => {
                 // Transient receive error (e.g. a previous send raised
@@ -346,29 +505,24 @@ fn data_loop<S: DatagramSocket>(socket: S, shared: Arc<Shared>) {
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
-        };
-        m.datagrams_in.inc();
-        if n > 0 && buf[0] == FEEDBACK_MAGIC {
-            // Feedback is endpoint-to-endpoint; a relay neither codes nor
-            // routes it. Count (well-formed vs malformed) and drop —
-            // hostile bytes must never reach the coding engine as data.
-            match Feedback::from_bytes(&buf[..n]) {
-                Ok(_) => m.feedback_frames.inc(),
-                Err(_) => m.malformed_feedback.inc(),
-            };
+        }
+        if batch.is_empty() {
             continue;
         }
-        let mut send = |hop: SocketAddr, bytes: &[u8]| socket.send_to(bytes, hop).is_ok();
-        let report = relay_step(
-            &shared.engine,
-            &shared.routes,
-            &mut scratch,
-            &buf[..n],
-            &mut send,
-        );
-        m.sends.add(report.send_attempts);
-        m.datagrams_out.add(report.sends_ok);
-        m.io_errors.add(report.send_attempts - report.sends_ok);
+        m.datagrams_in.add(batch.len() as u64);
+        let report = relay_batch(&shared.shards, home, &mut scratch, &batch);
+        if report.feedback_frames > 0 {
+            m.feedback_frames.add(report.feedback_frames);
+        }
+        if report.malformed_feedback > 0 {
+            m.malformed_feedback.add(report.malformed_feedback);
+        }
+        if report.queued > 0 {
+            let sent = socket.send_batch(scratch.send()).unwrap_or(0) as u64;
+            m.sends.add(report.queued);
+            m.datagrams_out.add(sent);
+            m.io_errors.add(report.queued.saturating_sub(sent));
+        }
     }
 }
 
@@ -483,27 +637,37 @@ fn control_loop<S: DatagramSocket>(
                         VnfRoleWire::Decoder => VnfRole::Decoder,
                         VnfRoleWire::Forwarder => VnfRole::Forwarder,
                     };
-                    shared.engine.lock().vnf_mut().set_role(session, role);
+                    // Fan out to every shard: any shard can own any
+                    // generation of this session.
+                    for shard in &shared.shards {
+                        shard.engine().lock().vnf_mut().set_role(session, role);
+                    }
                 }
                 DaemonEvent::TableSwapped { .. } => {
                     // The daemon already validated the table text; merge
                     // the delta into the authoritative table and rebuild
-                    // the resolved next-hop cache (the pause of the
-                    // SIGUSR1 sequence). The data thread keeps coding:
-                    // its per-packet route lookup picks up the new cache
-                    // on its next packet.
+                    // every shard's resolved next-hop cache (the pause
+                    // of the SIGUSR1 sequence). The data threads keep
+                    // coding: each shard-group route lookup picks up its
+                    // shard's new cache on the next batch. Shards are
+                    // rebuilt in index order under the table lock, so a
+                    // swap is atomic per shard and no shard can observe
+                    // a table older than one a lower shard already
+                    // serves.
                     if let Signal::NcForwardTab { table } = &signal {
                         if let Ok(parsed) = ForwardingTable::parse(table) {
                             let swap_started = Instant::now();
-                            let sessions;
+                            let mut sessions = 0;
                             let digest;
                             {
                                 let mut authoritative = shared.table.lock();
                                 authoritative.merge(&parsed);
                                 digest = authoritative.digest();
-                                let mut routes = shared.routes.lock();
-                                routes.rebuild(&authoritative);
-                                sessions = routes.sessions() as u64;
+                                for shard in &shared.shards {
+                                    let mut routes = shard.routes().lock();
+                                    routes.rebuild(&authoritative);
+                                    sessions = routes.sessions() as u64;
+                                }
                             }
                             let swap_ns = swap_started.elapsed().as_nanos() as u64;
                             m.table_swap_ns.record(swap_ns);

@@ -618,6 +618,7 @@ pub fn reliable_chain(
             seed: config.seed + 100 + i as u64,
             heartbeat: None,
             registry: None,
+            ..RelayConfig::default()
         };
         let control_socket = UdpSocket::bind(("127.0.0.1", 0))?;
         let relay = match fault {

@@ -217,6 +217,7 @@ pub fn chain(
             seed: config.seed + 100 + i as u64,
             heartbeat: None,
             registry: None,
+            ..RelayConfig::default()
         })?;
         relays.push(relay);
     }

@@ -62,6 +62,7 @@ fn relay_config(node_id: u32) -> RelayConfig {
         seed: 0xBEEF + node_id as u64,
         heartbeat: None,
         registry: None,
+        ..RelayConfig::default()
     }
 }
 

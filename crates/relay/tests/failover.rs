@@ -54,6 +54,7 @@ fn relay_config(node_id: u32, monitor: SocketAddr) -> RelayConfig {
             node_id,
         }),
         registry: None,
+        ..RelayConfig::default()
     }
 }
 

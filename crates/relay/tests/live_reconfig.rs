@@ -70,6 +70,7 @@ fn table_swap_under_live_traffic_redirects_cleanly() {
         seed: 3,
         heartbeat: None,
         registry: None,
+        ..RelayConfig::default()
     })
     .unwrap();
     let sink_a = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
@@ -206,6 +207,7 @@ fn rejected_table_swap_preserves_routes_under_traffic() {
         seed: 9,
         heartbeat: None,
         registry: None,
+        ..RelayConfig::default()
     })
     .unwrap();
     let sink = UdpSocket::bind(("127.0.0.1", 0)).unwrap();

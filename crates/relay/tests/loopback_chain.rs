@@ -105,6 +105,7 @@ fn decoder_relay_delivers_plain_chunks() {
         seed: 1,
         heartbeat: None,
         registry: None,
+        ..RelayConfig::default()
     })
     .unwrap();
     // A plain sink for decoded chunks.

@@ -139,6 +139,22 @@ impl NcHeader {
             needed,
         ))
     }
+
+    /// Reads just `(session, generation)` from the fixed prefix, without
+    /// knowing the generation size and without touching the heap.
+    ///
+    /// This is the dispatch peek a sharded relay runs on every ingress
+    /// datagram to pick the owning shard before full parsing; `None`
+    /// means the datagram is not a (complete) NC packet.
+    #[must_use]
+    pub fn peek_ids(data: &[u8]) -> Option<(SessionId, u64)> {
+        if data.len() < Self::FIXED_LEN || data[0] != NC_MAGIC {
+            return None;
+        }
+        let session = SessionId::new(u16::from_be_bytes([data[2], data[3]]));
+        let generation = u32::from_be_bytes([data[4], data[5], data[6], data[7]]) as u64;
+        Some((session, generation))
+    }
 }
 
 /// One coded packet: an NC header plus one encoded block.
