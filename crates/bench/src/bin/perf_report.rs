@@ -784,6 +784,274 @@ fn bench_control(quick: bool, config: GenerationConfig) -> ControlBench {
     }
 }
 
+struct AutoscaleBench {
+    polls: u64,
+    steady_poll_us: f64,
+    detect_polls: u64,
+    adoptions: u64,
+    adopt_us: f64,
+    drained: u64,
+    woken: u64,
+    wake_poll_us: f64,
+}
+
+/// The closed control loop end to end (DESIGN.md §15): bootstrap two
+/// live relays, drive the autoscaler's measure → decide → actuate cycle
+/// on a scripted 1 Hz virtual stats clock, and time the real work — the
+/// steady-state poll, the adopting poll (planner re-solve + fsync'd
+/// `ScaleDecision` + fenced table pushes with ACKs), and the
+/// wake-from-drain pass. Stats are scripted so the collapse, the idle
+/// window and the returning traffic are deterministic; every push and
+/// journal write is real.
+fn bench_autoscale(config: GenerationConfig) -> AutoscaleBench {
+    use std::collections::HashMap;
+
+    use ncvnf_control::signal::Signal;
+    use ncvnf_control::{
+        AutoscaleConfig, Autoscaler, ControlLink, Journal, RelayTarget, SendError, SendReceipt,
+        SenderConfig, SignalSender, VnfRoleWire,
+    };
+    use ncvnf_deploy::{
+        Planner, ScalingController, ScalingEvent, ScalingParams, SessionSpec, TopologyBuilder,
+        VnfSpec,
+    };
+
+    /// Real fenced pushes to live relays; scripted `NC_STATS` replies so
+    /// the measurement timeline is deterministic.
+    struct ScriptedStatsLink<'a> {
+        inner: &'a mut SignalSender,
+        stats: HashMap<SocketAddr, String>,
+    }
+
+    impl ScriptedStatsLink<'_> {
+        fn set_stats(&mut self, to: SocketAddr, out: u64, idle_ms: u64) {
+            self.stats.insert(
+                to,
+                format!(
+                    r#"{{"counters":{{"relay.datagrams_out":{out}}},"gauges":{{"relay.idle_ms":{idle_ms},"relay.daemon_state":1}}}}"#
+                ),
+            );
+        }
+    }
+
+    impl ControlLink for ScriptedStatsLink<'_> {
+        fn epoch(&self) -> u64 {
+            self.inner.epoch()
+        }
+
+        fn next_seq(&self, to: SocketAddr) -> u64 {
+            self.inner.next_seq(to)
+        }
+
+        fn push(&mut self, to: SocketAddr, signal: &Signal) -> Result<SendReceipt, SendError> {
+            self.inner.push(to, signal)
+        }
+
+        fn query_stats(&mut self, to: SocketAddr) -> Result<String, SendError> {
+            self.stats
+                .get(&to)
+                .cloned()
+                .ok_or(SendError::Timeout { attempts: 1 })
+        }
+    }
+
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+
+    // src → dc-a (recoder) → dc-b (decoder) → rx, source-capped demand.
+    let mut b = TopologyBuilder::new();
+    let spec = VnfSpec {
+        bin_bps: 920e6,
+        bout_bps: 920e6,
+        coding_bps: 1000e6,
+    };
+    let dc_a = b.data_center("dc-a", spec);
+    let dc_b = b.data_center("dc-b", spec);
+    let s = b.source("src", 400e6);
+    let r = b.receiver("rx", 400e6);
+    b.link(s, dc_a, 5.0)
+        .link(dc_a, dc_b, 5.0)
+        .link(dc_b, r, 5.0);
+    let params = ScalingParams {
+        alpha: 20e6,
+        rho1: 0.05,
+        tau1_secs: 2.0,
+        rho2: 0.05,
+        tau2_secs: 2.0,
+        pool_tau_secs: 60.0,
+        launch_latency_secs: 0.0,
+    };
+    let mut controller = ScalingController::new(b.build(), Planner::new(), params);
+    controller
+        .handle(
+            ScalingEvent::SessionJoin(SessionSpec::elastic(
+                SessionId::new(RELAY_SESSION),
+                s,
+                vec![r],
+                200.0,
+            )),
+            0.0,
+        )
+        .expect("bench session plans");
+
+    let spawn = |seed: u64| {
+        RelayNode::spawn(RelayConfig {
+            generation: config,
+            buffer_generations: 64,
+            seed,
+            heartbeat: None,
+            registry: None,
+            ..RelayConfig::default()
+        })
+        .expect("spawn autoscale bench relay")
+    };
+    let ra = spawn(0xA5CA_0001);
+    let rb = spawn(0xA5CA_0002);
+    let settings = |relay: &RelayNode, role| {
+        vec![Signal::NcSettings {
+            session: SessionId::new(RELAY_SESSION),
+            role,
+            data_port: relay.data_addr.port(),
+            block_size: config.block_size() as u32,
+            generation_size: config.blocks_per_generation() as u32,
+            buffer_generations: 64,
+        }]
+    };
+    let targets = vec![
+        RelayTarget {
+            node: 1,
+            dc: dc_a,
+            control_addr: ra.control_addr,
+            role: VnfRoleWire::Recoder,
+            settings: settings(&ra, VnfRoleWire::Recoder),
+        },
+        RelayTarget {
+            node: 2,
+            dc: dc_b,
+            control_addr: rb.control_addr,
+            role: VnfRoleWire::Decoder,
+            settings: settings(&rb, VnfRoleWire::Decoder),
+        },
+    ];
+    let mut data_addrs = HashMap::new();
+    data_addrs.insert(dc_a, ra.data_addr.to_string());
+    data_addrs.insert(dc_b, rb.data_addr.to_string());
+    data_addrs.insert(r, "127.0.0.1:9".to_owned());
+
+    let wal =
+        std::env::temp_dir().join(format!("ncvnf-bench-autoscale-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    let (journal, _, _) = Journal::open(&wal).expect("open autoscale WAL");
+    let mut sender = SignalSender::new(1, SenderConfig::default()).expect("bind sender");
+    let mut auto = Autoscaler::new(
+        controller,
+        journal,
+        targets,
+        data_addrs,
+        AutoscaleConfig {
+            min_rel_change: 0.02,
+            telemetry_window: 1,
+            idle_tau_secs: 5.0,
+            drain_tau_secs: 30,
+        },
+    );
+    let mut link = ScriptedStatsLink {
+        inner: &mut sender,
+        stats: HashMap::new(),
+    };
+    auto.bootstrap(&mut link, 0.0).expect("bootstrap relays");
+
+    let a_addr = ra.control_addr;
+    let b_addr = rb.control_addr;
+    let mut polls = 0u64;
+    let mut now = 0.0f64;
+    let mut out = 0u64;
+    let poll = |auto: &mut Autoscaler,
+                link: &mut ScriptedStatsLink,
+                polls: &mut u64,
+                now: &mut f64,
+                out: &mut u64,
+                step: u64,
+                idle_ms: u64| {
+        *out += step;
+        *now += 1.0;
+        *polls += 1;
+        link.set_stats(a_addr, *out, idle_ms);
+        link.set_stats(b_addr, *out, idle_ms);
+        let t0 = Instant::now();
+        let report = auto.poll(link, *now).expect("autoscale poll");
+        (report, t0.elapsed().as_secs_f64() * 1e6)
+    };
+
+    // Steady state: baselines form, nothing changes.
+    const BASE_STEP: u64 = 10_000;
+    let mut steady_us = Vec::new();
+    for i in 0..8 {
+        let (report, us) = poll(
+            &mut auto, &mut link, &mut polls, &mut now, &mut out, BASE_STEP, 10,
+        );
+        assert!(!report.adopted, "steady poll adopted");
+        if i >= 3 {
+            steady_us.push(us);
+        }
+    }
+
+    // Collapse: a persistent 70% throughput drop must be adopted after
+    // τ1; `detect_polls` counts the collapsed polls it took.
+    let mut detect_polls = 0u64;
+    let adopt_us = loop {
+        let (report, us) = poll(
+            &mut auto, &mut link, &mut polls, &mut now, &mut out, 3_000, 10,
+        );
+        detect_polls += 1;
+        assert!(detect_polls <= 30, "collapse never adopted");
+        if report.adopted {
+            break us;
+        }
+    };
+
+    // Idle: frozen counters + an over-τ idle gauge drain the fleet.
+    let mut drained = 0u64;
+    for _ in 0..15 {
+        let (report, _) = poll(
+            &mut auto, &mut link, &mut polls, &mut now, &mut out, 0, 20_000,
+        );
+        drained += report.drained.len() as u64;
+        if drained >= 2 {
+            break;
+        }
+    }
+
+    // Wake: the first returning counter delta re-arms everything.
+    let (wake_report, wake_poll_us) = {
+        out += 500;
+        now += 1.0;
+        polls += 1;
+        link.set_stats(a_addr, out, 5);
+        let t0 = Instant::now();
+        let report = auto.poll(&mut link, now).expect("wake poll");
+        (report, t0.elapsed().as_secs_f64() * 1e6)
+    };
+
+    let adoptions = auto.decisions();
+    ra.shutdown();
+    rb.shutdown();
+    let _ = std::fs::remove_file(&wal);
+
+    AutoscaleBench {
+        polls,
+        steady_poll_us: median(&mut steady_us),
+        detect_polls,
+        adoptions,
+        adopt_us,
+        drained,
+        woken: wake_report.woken.len() as u64,
+        wake_poll_us,
+    }
+}
+
 struct ObsBench {
     bare_pps: f64,
     instrumented_pps: f64,
@@ -1059,6 +1327,8 @@ fn main() {
     let obs = bench_observability(&timing, relay_cfg);
     eprintln!("measuring crash-safe control plane (journal, replay, reconcile) ...");
     let control = bench_control(quick, relay_cfg);
+    eprintln!("measuring closed-loop autoscaler (poll, adopt, drain, wake) ...");
+    let autoscale = bench_autoscale(relay_cfg);
 
     let mbps = |pps: f64| pps * PAYLOAD_LEN as f64 * 8.0 / 1e6;
     let mut json = String::new();
@@ -1231,14 +1501,30 @@ fn main() {
         "    \"roundtrip_us\": {:.1}",
         control.reconcile_roundtrip_us
     );
+    json.push_str("  },\n");
+    json.push_str("  \"autoscale\": {\n");
+    let _ = writeln!(json, "    \"polls\": {},", autoscale.polls);
+    let _ = writeln!(
+        json,
+        "    \"steady_poll_us\": {:.1},",
+        autoscale.steady_poll_us
+    );
+    let _ = writeln!(json, "    \"detect_polls\": {},", autoscale.detect_polls);
+    let _ = writeln!(json, "    \"adoptions\": {},", autoscale.adoptions);
+    let _ = writeln!(json, "    \"adopt_us\": {:.1},", autoscale.adopt_us);
+    let _ = writeln!(json, "    \"drained\": {},", autoscale.drained);
+    let _ = writeln!(json, "    \"woken\": {},", autoscale.woken);
+    let _ = writeln!(json, "    \"wake_poll_us\": {:.1}", autoscale.wake_poll_us);
     json.push_str("  }\n}\n");
     std::fs::write("BENCH_control.json", &json).expect("write BENCH_control.json");
     println!("{json}");
     eprintln!(
-        "wrote BENCH_control.json in {:.1}s total (journal append {:.0} ns/record, replay {:.0} records/s, reconcile {:.0} us)",
+        "wrote BENCH_control.json in {:.1}s total (journal append {:.0} ns/record, replay {:.0} records/s, reconcile {:.0} us, autoscale adopt {:.0} us after {} collapsed polls)",
         started.elapsed().as_secs_f64(),
         control.append_ns_per_record,
         control.replay_records_per_sec,
-        control.reconcile_roundtrip_us
+        control.reconcile_roundtrip_us,
+        autoscale.adopt_us,
+        autoscale.detect_polls
     );
 }

@@ -52,6 +52,7 @@ const TAG_VNF_ENDED: u8 = 5;
 const TAG_VNF_REUSED: u8 = 6;
 const TAG_TABLE_PUSHED: u8 = 7;
 const TAG_POOL_EXPIRED: u8 = 8;
+const TAG_SCALE_DECISION: u8 = 9;
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) lookup table, built at
 /// compile time so the crate needs no checksum dependency.
@@ -152,6 +153,20 @@ pub enum ControlRecord {
         /// Node id.
         node: u32,
     },
+    /// The autoscaler adopted a new deployment. Journaled (and
+    /// committed) *before* any table or lifecycle signal of the
+    /// decision leaves the controller, so a crash mid-actuation leaves
+    /// an audit trail of what the scaling loop intended.
+    ScaleDecision {
+        /// Controller epoch the decision was made under.
+        epoch: u64,
+        /// Per-run decision counter (1-based).
+        seq: u64,
+        /// Total VNFs in the adopted deployment.
+        vnfs: u32,
+        /// Total multicast throughput of the adopted deployment (bps).
+        rate_bps: f64,
+    },
 }
 
 fn put_string(out: &mut Vec<u8>, s: &str) {
@@ -237,6 +252,18 @@ impl ControlRecord {
             ControlRecord::PoolExpired { node } => {
                 out.put_u8(TAG_POOL_EXPIRED);
                 out.put_u32(*node);
+            }
+            ControlRecord::ScaleDecision {
+                epoch,
+                seq,
+                vnfs,
+                rate_bps,
+            } => {
+                out.put_u8(TAG_SCALE_DECISION);
+                out.put_u64(*epoch);
+                out.put_u64(*seq);
+                out.put_u32(*vnfs);
+                out.put_u64(rate_bps.to_bits());
             }
         }
         out
@@ -350,6 +377,24 @@ impl ControlRecord {
                     node: body.get_u32(),
                 }
             }
+            TAG_SCALE_DECISION => {
+                if body.len() < 8 + 8 + 4 + 8 {
+                    return Err(SignalError::Truncated);
+                }
+                let epoch = body.get_u64();
+                let seq = body.get_u64();
+                let vnfs = body.get_u32();
+                let rate_bps = f64::from_bits(body.get_u64());
+                if !rate_bps.is_finite() {
+                    return Err(SignalError::Malformed("non-finite decision rate"));
+                }
+                ControlRecord::ScaleDecision {
+                    epoch,
+                    seq,
+                    vnfs,
+                    rate_bps,
+                }
+            }
             t => return Err(SignalError::UnknownTag(t)),
         };
         Ok((record, 1 + (before - body.len())))
@@ -407,6 +452,9 @@ pub struct ControllerState {
     pub sessions: BTreeMap<SessionId, SessionSpec>,
     /// Per-node beliefs, keyed by node id.
     pub nodes: BTreeMap<u32, NodeBelief>,
+    /// Highest autoscaler decision sequence journaled (0 if none); a
+    /// restarting autoscaler continues its decision counter from here.
+    pub scale_decisions: u64,
 }
 
 impl ControllerState {
@@ -486,6 +534,9 @@ impl ControllerState {
                 }
                 ControlRecord::PoolExpired { node } => {
                     state.nodes.remove(node);
+                }
+                ControlRecord::ScaleDecision { seq, .. } => {
+                    state.scale_decisions = state.scale_decisions.max(*seq);
                 }
             }
         }
@@ -721,6 +772,12 @@ mod tests {
                 linger_deadline_secs: 700.0,
             },
             ControlRecord::VnfReused { node: 1 },
+            ControlRecord::ScaleDecision {
+                epoch: 1,
+                seq: 1,
+                vnfs: 2,
+                rate_bps: 150e6,
+            },
         ]
     }
 
@@ -804,6 +861,8 @@ mod tests {
         );
         // Node 1 drained, then was reused: Active again.
         assert_eq!(state.nodes[&1].status, NodeStatus::Active);
+        // The autoscaler's decision counter resumes past the journal.
+        assert_eq!(state.scale_decisions, 1);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -30,11 +30,17 @@
 //!   a [`FencedSignal`] retried with exponential backoff until ACKed;
 //! * [`reconcile()`] — restart reconciliation: diff the replayed journal
 //!   belief against live `NC_STATS` observations, re-adopt healthy
-//!   VNFs, re-push diverged tables, expire overdue τ-pool entries.
+//!   VNFs, re-push diverged tables, expire overdue τ-pool entries;
+//! * [`autoscale`] — the closed control loop (DESIGN.md §15): polls live
+//!   relay stats, runs them through the scaling controller's ρ/τ
+//!   hysteresis, journals every adopted decision write-ahead, actuates
+//!   via fenced pushes, and winds idle VNFs to zero until traffic wakes
+//!   them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autoscale;
 pub mod daemon;
 pub mod diff;
 pub mod failover;
@@ -47,6 +53,9 @@ pub mod sender;
 pub mod signal;
 pub mod telemetry;
 
+pub use autoscale::{
+    AutoscaleConfig, AutoscaleError, Autoscaler, ControlLink, PollReport, RelayTarget,
+};
 pub use daemon::{Daemon, DaemonEvent, DaemonState};
 pub use failover::{failover_signals, plan_failover, reroute_table};
 pub use fwdtab::ForwardingTable;

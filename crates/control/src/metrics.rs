@@ -9,7 +9,9 @@
 //! [`LivenessTracker::poll`](crate::LivenessTracker::poll) events and
 //! table-push round trips.
 
-use ncvnf_obs::{desc, Counter, Histogram, MetricDesc, MetricKind, Registry, TraceKind, TraceRing};
+use ncvnf_obs::{
+    desc, Counter, Gauge, Histogram, MetricDesc, MetricKind, Registry, TraceKind, TraceRing,
+};
 
 use crate::liveness::LivenessEvent;
 
@@ -179,6 +181,70 @@ pub const RECONCILE_UNREACHABLE: MetricDesc = desc(
     "Journaled nodes that did not answer the reconciliation NC_STATS query",
 );
 
+/// `control.autoscale.polls` — NC_STATS polling sweeps completed.
+pub const AUTOSCALE_POLLS: MetricDesc = desc(
+    "control.autoscale.polls",
+    MetricKind::Counter,
+    "sweeps",
+    "control",
+    "Autoscaler NC_STATS polling sweeps over the relay fleet",
+);
+
+/// `control.autoscale.adoptions` — deployments adopted by the loop.
+pub const AUTOSCALE_ADOPTIONS: MetricDesc = desc(
+    "control.autoscale.adoptions",
+    MetricKind::Counter,
+    "deployments",
+    "control",
+    "New deployments adopted and actuated by the autoscaler",
+);
+
+/// `control.autoscale.drained` — VNFs wound into the τ-pool by
+/// scale-to-zero.
+pub const AUTOSCALE_DRAINED: MetricDesc = desc(
+    "control.autoscale.drained",
+    MetricKind::Counter,
+    "instances",
+    "control",
+    "Idle VNFs sent NC_VNF_END by the scale-to-zero policy",
+);
+
+/// `control.autoscale.woken` — drained VNFs re-armed on traffic.
+pub const AUTOSCALE_WOKEN: MetricDesc = desc(
+    "control.autoscale.woken",
+    MetricKind::Counter,
+    "instances",
+    "control",
+    "Draining VNFs re-armed after a wake request or traffic return",
+);
+
+/// `control.autoscale.draining` — targets currently draining.
+pub const AUTOSCALE_DRAINING: MetricDesc = desc(
+    "control.autoscale.draining",
+    MetricKind::Gauge,
+    "instances",
+    "control",
+    "Relay targets currently draining toward scale-to-zero",
+);
+
+/// `control.autoscale.detect_ms` — drift-to-adoption detection latency.
+pub const AUTOSCALE_DETECT_MS: MetricDesc = desc(
+    "control.autoscale.detect_ms",
+    MetricKind::Histogram,
+    "ms",
+    "control",
+    "Controller-clock latency from first drift observation to adoption",
+);
+
+/// `control.autoscale.decide_ns` — wall-clock decision latency.
+pub const AUTOSCALE_DECIDE_NS: MetricDesc = desc(
+    "control.autoscale.decide_ns",
+    MetricKind::Histogram,
+    "ns",
+    "control",
+    "Wall-clock latency of one adopting decision pass (observe to actuated)",
+);
+
 /// Registry-backed handles for control-plane metrics.
 #[derive(Debug, Clone)]
 pub struct ControlMetrics {
@@ -200,6 +266,13 @@ pub struct ControlMetrics {
     reconcile_repushed: Counter,
     reconcile_expired: Counter,
     reconcile_unreachable: Counter,
+    autoscale_polls: Counter,
+    autoscale_adoptions: Counter,
+    autoscale_drained: Counter,
+    autoscale_woken: Counter,
+    autoscale_draining: Gauge,
+    autoscale_detect_ms: Histogram,
+    autoscale_decide_ns: Histogram,
     trace: TraceRing,
 }
 
@@ -225,6 +298,13 @@ impl ControlMetrics {
             reconcile_repushed: registry.counter(RECONCILE_REPUSHED),
             reconcile_expired: registry.counter(RECONCILE_EXPIRED),
             reconcile_unreachable: registry.counter(RECONCILE_UNREACHABLE),
+            autoscale_polls: registry.counter(AUTOSCALE_POLLS),
+            autoscale_adoptions: registry.counter(AUTOSCALE_ADOPTIONS),
+            autoscale_drained: registry.counter(AUTOSCALE_DRAINED),
+            autoscale_woken: registry.counter(AUTOSCALE_WOKEN),
+            autoscale_draining: registry.gauge(AUTOSCALE_DRAINING),
+            autoscale_detect_ms: registry.histogram(AUTOSCALE_DETECT_MS),
+            autoscale_decide_ns: registry.histogram(AUTOSCALE_DECIDE_NS),
             trace: registry.trace(),
         }
     }
@@ -316,6 +396,37 @@ impl ControlMetrics {
         self.reconcile_expired.add(expired);
         self.reconcile_unreachable.add(unreachable);
     }
+
+    /// Records one completed autoscaler polling sweep.
+    pub fn record_autoscale_poll(&self) {
+        self.autoscale_polls.inc();
+    }
+
+    /// Records one adopted deployment, with the controller-clock
+    /// detection latency (first drift observation to adoption, when a
+    /// drift window was open) and the wall-clock decision latency.
+    pub fn record_autoscale_adoption(&self, detect_ms: Option<u64>, decide_ns: u64) {
+        self.autoscale_adoptions.inc();
+        if let Some(ms) = detect_ms {
+            self.autoscale_detect_ms.record(ms);
+        }
+        self.autoscale_decide_ns.record(decide_ns);
+    }
+
+    /// Records one VNF wound into the τ-pool by scale-to-zero.
+    pub fn record_autoscale_drained(&self) {
+        self.autoscale_drained.inc();
+    }
+
+    /// Records one draining VNF re-armed on returning traffic.
+    pub fn record_autoscale_woken(&self) {
+        self.autoscale_woken.inc();
+    }
+
+    /// Publishes the number of targets currently draining.
+    pub fn set_autoscale_draining(&self, n: u64) {
+        self.autoscale_draining.set(n as f64);
+    }
 }
 
 #[cfg(test)]
@@ -384,5 +495,35 @@ mod tests {
         assert_eq!(snap.counter("control.reconcile.repushed"), Some(1));
         assert_eq!(snap.counter("control.reconcile.expired"), Some(1));
         assert_eq!(snap.counter("control.reconcile.unreachable"), Some(0));
+    }
+
+    #[test]
+    fn autoscale_metrics_record() {
+        let registry = Registry::new();
+        let m = ControlMetrics::register(&registry);
+        m.record_autoscale_poll();
+        m.record_autoscale_poll();
+        m.record_autoscale_adoption(Some(1_200), 85_000);
+        m.record_autoscale_adoption(None, 40_000);
+        m.record_autoscale_drained();
+        m.record_autoscale_woken();
+        m.set_autoscale_draining(1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("control.autoscale.polls"), Some(2));
+        assert_eq!(snap.counter("control.autoscale.adoptions"), Some(2));
+        assert_eq!(snap.counter("control.autoscale.drained"), Some(1));
+        assert_eq!(snap.counter("control.autoscale.woken"), Some(1));
+        assert_eq!(snap.gauge("control.autoscale.draining"), Some(1.0));
+        assert_eq!(
+            snap.histogram("control.autoscale.detect_ms")
+                .map(|h| h.count),
+            Some(1),
+            "detection latency only recorded when a drift window was open"
+        );
+        assert_eq!(
+            snap.histogram("control.autoscale.decide_ns")
+                .map(|h| h.count),
+            Some(2)
+        );
     }
 }

@@ -35,6 +35,10 @@ pub struct NodeObservation {
     /// Digest of the node's live forwarding table
     /// ([`crate::ForwardingTable::digest`]), if the gauge was present.
     pub table_digest: Option<u64>,
+    /// The relay's `relay.daemon_state` gauge (0 Idle, 1 Running,
+    /// 2 Paused, 3 Draining, 4 Stopped), if present. Lets the planner
+    /// spot a journaled drain whose `NC_VNF_END` never landed.
+    pub daemon_state: Option<u8>,
 }
 
 /// Reads a numeric value out of a flat snapshot-JSON section by metric
@@ -56,6 +60,7 @@ pub fn observation_from_stats(node: u32, json: &str) -> NodeObservation {
         ctrl_epoch: snapshot_value(json, "relay.ctrl_epoch").unwrap_or(0.0) as u64,
         ctrl_seq: snapshot_value(json, "relay.ctrl_seq").unwrap_or(0.0) as u64,
         table_digest: snapshot_value(json, "relay.table_digest").map(|v| v as u64),
+        daemon_state: snapshot_value(json, "relay.daemon_state").map(|v| v as u8),
     }
 }
 
@@ -74,6 +79,10 @@ pub struct ReconcilePlan {
     /// Journaled nodes that did not answer the observe step — dead or
     /// partitioned; failover planning takes over from here.
     pub unreachable: Vec<u32>,
+    /// Nodes the journal believes are draining but whose live daemon
+    /// still reports another state — the `NC_VNF_END` the crash
+    /// interrupted never landed; re-push it with the remaining τ.
+    pub redrain: Vec<u32>,
 }
 
 /// Pure planning step: diffs the replayed state against observations
@@ -86,16 +95,27 @@ pub fn plan(
 ) -> ReconcilePlan {
     let mut plan = ReconcilePlan::default();
     for (&node, belief) in &state.nodes {
-        if let NodeStatus::Draining { deadline_secs } = belief.status {
+        let draining = if let NodeStatus::Draining { deadline_secs } = belief.status {
             if deadline_secs <= now_secs {
                 plan.expired.push(node);
                 continue;
             }
-        }
+            true
+        } else {
+            false
+        };
         let Some(obs) = observations.iter().find(|o| o.node == node) else {
             plan.unreachable.push(node);
             continue;
         };
+        // The journal says this node was sent NC_VNF_END, but its live
+        // daemon is still Idle/Running/Paused: the drain signal is the
+        // push the crash interrupted. (Draining or Stopped daemons need
+        // nothing; an absent gauge proves nothing either way.)
+        if draining && matches!(obs.daemon_state, Some(s) if s < 3) {
+            plan.redrain.push(node);
+            continue;
+        }
         if obs.table_digest == Some(belief.table.digest()) {
             plan.readopt.push(node);
         } else {
@@ -112,7 +132,11 @@ pub struct ReconcileReport {
     pub plan: ReconcilePlan,
     /// Diverged tables successfully re-pushed (fenced ACK received).
     pub repushed_ok: u32,
-    /// Re-pushes that failed, with the sender's error rendered.
+    /// Interrupted drains successfully re-sent (`NC_VNF_END` with the
+    /// remaining τ, fenced ACK received).
+    pub redrained_ok: u32,
+    /// Re-pushes (tables or drains) that failed, with the sender's
+    /// error rendered.
     pub repush_failures: Vec<(u32, String)>,
 }
 
@@ -163,6 +187,24 @@ pub fn reconcile(
             Err(e) => repush_failures.push((*node, e.to_string())),
         }
     }
+    let mut redrained_ok = 0;
+    for node in &plan.redrain {
+        let belief = &state.nodes[node];
+        let NodeStatus::Draining { deadline_secs } = belief.status else {
+            continue;
+        };
+        // Re-send the interrupted NC_VNF_END with the τ that remains.
+        let tau_secs = (deadline_secs - now_secs).ceil().max(1.0) as u32;
+        let outcome = belief
+            .control_addr
+            .parse::<SocketAddr>()
+            .map_err(|e| SendError::Rejected(format!("bad control addr: {e}")))
+            .and_then(|addr| sender.push(addr, &Signal::NcVnfEnd { tau_secs }));
+        match outcome {
+            Ok(_) => redrained_ok += 1,
+            Err(e) => repush_failures.push((*node, e.to_string())),
+        }
+    }
     if let Some(m) = metrics {
         m.record_reconcile(
             plan.readopt.len() as u64,
@@ -174,6 +216,7 @@ pub fn reconcile(
     ReconcileReport {
         plan,
         repushed_ok,
+        redrained_ok,
         repush_failures,
     }
 }
@@ -235,12 +278,14 @@ mod tests {
                 ctrl_epoch: 1,
                 ctrl_seq: 1,
                 table_digest: Some(healthy_digest),
+                daemon_state: Some(1),
             },
             NodeObservation {
                 node: 1,
                 ctrl_epoch: 1,
                 ctrl_seq: 0,
                 table_digest: Some(12345), // diverged
+                daemon_state: Some(1),
             },
             // node 2 answered nothing, node 3 expired at 500
         ];
@@ -259,15 +304,46 @@ mod tests {
             ctrl_epoch: 1,
             ctrl_seq: 0,
             table_digest: Some(state.nodes[&3].table.digest()),
+            daemon_state: Some(3),
         }];
         let p = plan(&state, &obs, 100.0);
         assert!(p.readopt.contains(&3), "lingerer still inside τ re-adopted");
         assert!(p.expired.is_empty());
+        assert!(p.redrain.is_empty());
+    }
+
+    #[test]
+    fn journaled_drain_that_never_landed_is_redrained() {
+        let state = replayed_state();
+        // The journal says node 3 drains until 500, but the live daemon
+        // still reports Running: the NC_VNF_END was the interrupted push.
+        let obs = vec![NodeObservation {
+            node: 3,
+            ctrl_epoch: 1,
+            ctrl_seq: 0,
+            table_digest: Some(state.nodes[&3].table.digest()),
+            daemon_state: Some(1),
+        }];
+        let p = plan(&state, &obs, 100.0);
+        assert_eq!(p.redrain, vec![3]);
+        assert!(p.readopt.is_empty());
+        assert!(p.expired.is_empty());
+        // A node whose gauge is missing proves nothing: not redrained.
+        let obs = vec![NodeObservation {
+            node: 3,
+            ctrl_epoch: 1,
+            ctrl_seq: 0,
+            table_digest: Some(state.nodes[&3].table.digest()),
+            daemon_state: None,
+        }];
+        let p = plan(&state, &obs, 100.0);
+        assert!(p.redrain.is_empty());
+        assert!(p.readopt.contains(&3));
     }
 
     #[test]
     fn snapshot_values_scan_the_json_shape() {
-        let json = r#"{"counters":{"relay.signals":4},"gauges":{"relay.ctrl_epoch":2,"relay.ctrl_seq":7,"relay.table_digest":8888123}}"#;
+        let json = r#"{"counters":{"relay.signals":4},"gauges":{"relay.ctrl_epoch":2,"relay.ctrl_seq":7,"relay.table_digest":8888123,"relay.daemon_state":3}}"#;
         assert_eq!(snapshot_value(json, "relay.ctrl_epoch"), Some(2.0));
         assert_eq!(snapshot_value(json, "relay.signals"), Some(4.0));
         assert_eq!(snapshot_value(json, "missing.metric"), None);
@@ -279,6 +355,7 @@ mod tests {
                 ctrl_epoch: 2,
                 ctrl_seq: 7,
                 table_digest: Some(8888123),
+                daemon_state: Some(3),
             }
         );
     }
@@ -291,6 +368,7 @@ mod tests {
             ctrl_epoch: 0,
             ctrl_seq: 0,
             table_digest: None,
+            daemon_state: None,
         }];
         let p = plan(&state, &obs, 0.0);
         assert_eq!(p.repush.len(), 1, "no digest means no proof: re-push");

@@ -19,11 +19,11 @@
 //! ```text
 //! byte 0      magic 0xFB
 //! byte 1      kind: 1 = GenerationAck, 2 = RetransmitRequest,
-//!             3 = Heartbeat
+//!             3 = Heartbeat, 4 = Wake
 //! bytes 2-3   session id, big endian
-//! bytes 4-7   generation id (heartbeats: node id), big endian
+//! bytes 4-7   generation id (heartbeats/wakes: node id), big endian
 //! bytes 8-9   count (packets requested; heartbeats: sequence number;
-//!             0 for ACK), big endian
+//!             0 for ACK and Wake), big endian
 //! bytes 10-13 missing-block bitmap (bit i = original block i missing;
 //!             zero when unknown), big endian
 //! ```
@@ -60,6 +60,11 @@ pub enum FeedbackKind {
     /// Periodic VNF liveness beacon: `generation` carries the node id,
     /// `count` a wrapping sequence number.
     Heartbeat,
+    /// A draining VNF saw traffic (a data packet or a NACK for one of
+    /// its sessions) and asks the controller to wake it: `generation`
+    /// carries the node id, `session` the session whose packet arrived
+    /// (zero when unknown). Sent once per drain window.
+    Wake,
 }
 
 /// Why a frame failed to decode as feedback.
@@ -144,7 +149,20 @@ impl Feedback {
         }
     }
 
-    /// The node id of a heartbeat (the generation field).
+    /// A scale-to-zero wake request from draining VNF `node`: traffic
+    /// for `session` arrived and the controller should re-arm the node
+    /// (dependency-ordered, recoders before decoders).
+    pub fn wake(node: u32, session: SessionId) -> Self {
+        Feedback {
+            kind: FeedbackKind::Wake,
+            session,
+            generation: node as u64,
+            count: 0,
+            missing_bitmap: 0,
+        }
+    }
+
+    /// The node id of a heartbeat or wake (the generation field).
     pub fn node_id(&self) -> u32 {
         self.generation as u32
     }
@@ -157,6 +175,7 @@ impl Feedback {
             FeedbackKind::GenerationAck => 1,
             FeedbackKind::RetransmitRequest => 2,
             FeedbackKind::Heartbeat => 3,
+            FeedbackKind::Wake => 4,
         });
         buf.put_u16(self.session.value());
         buf.put_u32(self.generation as u32);
@@ -185,6 +204,7 @@ impl Feedback {
             1 => FeedbackKind::GenerationAck,
             2 => FeedbackKind::RetransmitRequest,
             3 => FeedbackKind::Heartbeat,
+            4 => FeedbackKind::Wake,
             k => return Err(FeedbackError::UnknownKind(k)),
         };
         Ok(Feedback {
@@ -222,6 +242,16 @@ mod tests {
         assert_eq!(back.kind, FeedbackKind::Heartbeat);
         assert_eq!(back.node_id(), 42);
         assert_eq!(back.count, 65535);
+    }
+
+    #[test]
+    fn wake_roundtrip_carries_node_and_session() {
+        let wake = Feedback::wake(17, SessionId::new(21));
+        let back = Feedback::from_bytes(&wake.to_bytes()).unwrap();
+        assert_eq!(back.kind, FeedbackKind::Wake);
+        assert_eq!(back.node_id(), 17);
+        assert_eq!(back.session, SessionId::new(21));
+        assert_eq!(back.count, 0);
     }
 
     #[test]

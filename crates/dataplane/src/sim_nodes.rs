@@ -315,9 +315,9 @@ impl NodeBehavior for ObjectSource {
                     ctx.set_timer(SimDuration::ZERO, TOKEN_SEND);
                 }
             }
-            // Heartbeats are controller-facing liveness beacons; a source
-            // has no use for them.
-            FeedbackKind::Heartbeat => {}
+            // Heartbeats and wake requests are controller-facing; a
+            // source has no use for them.
+            FeedbackKind::Heartbeat | FeedbackKind::Wake => {}
         }
     }
 

@@ -121,9 +121,24 @@ pub struct ScalingController {
     params: ScalingParams,
     pools: HashMap<NodeId, VnfPool>,
     deployment: Option<Deployment>,
-    pending_bw: HashMap<NodeId, (VnfSpec, f64)>,
-    pending_delay: HashMap<(usize, usize), (f64, f64)>,
+    pending_bw: HashMap<NodeId, Pending<VnfSpec>>,
+    pending_delay: HashMap<(usize, usize), Pending<f64>>,
     history: Vec<Snapshot>,
+}
+
+/// A measurement deviation waiting out its persistence window.
+///
+/// `since` is when the *current* deviation was first observed — a new
+/// observation that disagrees with the pending value by ≥ ρ restarts it
+/// (a spike followed by a reversal is two changes, not one persisting
+/// change). `last_seen` is when the deviation was last confirmed; a
+/// stream that goes silent for a full τ is swept instead of applied,
+/// because a single unconfirmed reading never *persisted* for τ.
+#[derive(Debug, Clone, Copy)]
+struct Pending<T> {
+    value: T,
+    since: f64,
+    last_seen: f64,
 }
 
 impl ScalingController {
@@ -254,26 +269,35 @@ impl ScalingController {
     ///
     /// Propagates planning failures from applied changes.
     pub fn tick(&mut self, now: f64) -> Result<(), PlanError> {
+        // Sweep entries whose measurement stream went silent for a full
+        // τ: the deviation was observed, never contradicted, but also
+        // never re-confirmed — it did not *persist*, and keeping it
+        // around would let a later unrelated deviation inherit an
+        // ancient start time.
+        let tau1 = self.params.tau1_secs;
+        self.pending_bw.retain(|_, p| now - p.last_seen < tau1);
+        let tau2 = self.params.tau2_secs;
+        self.pending_delay.retain(|_, p| now - p.last_seen < tau2);
         let due_bw: Vec<NodeId> = self
             .pending_bw
             .iter()
-            .filter(|(_, (_, since))| now - since >= self.params.tau1_secs)
+            .filter(|(_, p)| now - p.since >= tau1)
             .map(|(&dc, _)| dc)
             .collect();
         for dc in due_bw {
-            let (spec, _) = self.pending_bw.remove(&dc).expect("present");
-            self.apply_bandwidth_change(dc, spec, now)?;
+            let p = self.pending_bw.remove(&dc).expect("present");
+            self.apply_bandwidth_change(dc, p.value, now)?;
         }
         let due_delay: Vec<(usize, usize)> = self
             .pending_delay
             .iter()
-            .filter(|(_, (_, since))| now - since >= self.params.tau2_secs)
+            .filter(|(_, p)| now - p.since >= tau2)
             .map(|(&k, _)| k)
             .collect();
         let had_delay_changes = !due_delay.is_empty();
         for key in due_delay {
-            let (delay, _) = self.pending_delay.remove(&key).expect("present");
-            self.set_link_delay(NodeId(key.0), NodeId(key.1), delay);
+            let p = self.pending_delay.remove(&key).expect("present");
+            self.set_link_delay(NodeId(key.0), NodeId(key.1), p.value);
         }
         if had_delay_changes {
             // Alg. 2: feasible path sets changed; re-solve on them. If the
@@ -305,8 +329,31 @@ impl ScalingController {
             self.pending_bw.remove(&dc);
             return;
         }
-        // Keep the earliest observation time of a persisting change.
-        self.pending_bw.entry(dc).or_insert((spec, now)).0 = spec;
+        match self.pending_bw.get_mut(&dc) {
+            Some(p) => {
+                // The window start survives only while observations keep
+                // agreeing with the pending value: a reading that
+                // disagrees with it by ≥ ρ1 is a *different* change and
+                // must wait out its own τ1.
+                let disagrees = relative_change(p.value.bin_bps, spec.bin_bps) >= self.params.rho1
+                    || relative_change(p.value.bout_bps, spec.bout_bps) >= self.params.rho1;
+                if disagrees {
+                    p.since = now;
+                }
+                p.value = spec;
+                p.last_seen = now;
+            }
+            None => {
+                self.pending_bw.insert(
+                    dc,
+                    Pending {
+                        value: spec,
+                        since: now,
+                        last_seen: now,
+                    },
+                );
+            }
+        }
     }
 
     fn apply_bandwidth_change(
@@ -330,7 +377,7 @@ impl ScalingController {
             // Capacity grew: "if the new objective value is larger than
             // the old one", scale out; otherwise retain.
             let current_obj = self.deployment.as_ref().map(|d| d.objective());
-            current_obj.is_none_or(|o| candidate.objective() > o + 1e-6)
+            current_obj.is_none_or(|o| objective_improved(o, candidate.objective()))
         };
         if adopt {
             self.apply_deployment(candidate, now);
@@ -349,10 +396,25 @@ impl ScalingController {
             self.pending_delay.remove(&(from.0, to.0));
             return;
         }
-        self.pending_delay
-            .entry((from.0, to.0))
-            .or_insert((delay_ms, now))
-            .0 = delay_ms;
+        match self.pending_delay.get_mut(&(from.0, to.0)) {
+            Some(p) => {
+                if relative_change(p.value, delay_ms) >= self.params.rho2 {
+                    p.since = now;
+                }
+                p.value = delay_ms;
+                p.last_seen = now;
+            }
+            None => {
+                self.pending_delay.insert(
+                    (from.0, to.0),
+                    Pending {
+                        value: delay_ms,
+                        since: now,
+                        last_seen: now,
+                    },
+                );
+            }
+        }
     }
 
     fn link_delay(&self, from: NodeId, to: NodeId) -> Option<f64> {
@@ -609,6 +671,15 @@ impl ScalingController {
     }
 }
 
+/// Whether `candidate` improves on `current` by more than solver float
+/// noise. Objectives are bps-scale (10⁸–10⁹), so the tolerance must
+/// scale with the value — a fixed absolute epsilon adopts churn-y
+/// replans whose objective differs only in the LP's low bits. The 1 bps
+/// floor keeps near-zero objectives from flapping on rounding noise.
+fn objective_improved(current: f64, candidate: f64) -> bool {
+    candidate - current > current.abs().max(1.0) * 1e-6
+}
+
 fn relative_change(old: f64, new: f64) -> f64 {
     if old == 0.0 {
         if new == 0.0 {
@@ -624,6 +695,7 @@ fn relative_change(old: f64, new: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::TopologyBuilder;
     use crate::presets::random_workload;
 
     fn controller() -> (ScalingController, Vec<SessionSpec>) {
@@ -678,7 +750,10 @@ mod tests {
         c.observe_bandwidth(dc, spec, 10.0);
         c.tick(20.0).unwrap();
         assert_eq!(c.topology().vnf_spec(dc).bin_bps, 920e6);
-        // After τ1 the change is applied and the plan recomputed.
+        // The measurement stream keeps confirming the drop...
+        c.observe_bandwidth(dc, spec, 40.0);
+        c.observe_bandwidth(dc, spec, 70.0);
+        // ...so after τ1 the change is applied and the plan recomputed.
         c.tick(80.0).unwrap();
         assert_eq!(c.topology().vnf_spec(dc).bin_bps, 460e6);
         let after = c.deployment().unwrap().total_rate_bps();
@@ -713,6 +788,7 @@ mod tests {
             .unwrap()
             .delay;
         assert!(d < 400.0);
+        c.observe_delay(dcs[0], dcs[1], 400.0, 55.0);
         c.tick(100.0).unwrap();
         let d = c
             .topology()
@@ -735,6 +811,7 @@ mod tests {
             let tos: Vec<_> = c.topology().graph.out_edges(from).map(|e| e.to).collect();
             for to in tos {
                 c.observe_delay(from, to, 10_000.0, 0.0);
+                c.observe_delay(from, to, 10_000.0, 70.0);
             }
         }
         // τ2 elapses; the replan would find no feasible path, but the
@@ -760,6 +837,158 @@ mod tests {
         c.receiver_quit(0, c.sessions()[0].receivers.len() - 1, 3.0)
             .unwrap();
         assert!(c.deployment().unwrap().rates[0] >= 0.0);
+    }
+
+    #[test]
+    fn spike_then_reverse_is_two_changes_not_one() {
+        let (mut c, sessions) = controller();
+        c.session_join(sessions[0].clone(), 0.0).unwrap();
+        let dc = c.topology().data_centers()[0];
+        let base = c.topology().vnf_spec(dc);
+        let mut up = base;
+        up.bin_bps *= 1.10;
+        up.bout_bps *= 1.10;
+        let mut down = base;
+        down.bin_bps *= 0.90;
+        down.bout_bps *= 0.90;
+        // A +10% spike at t=0 followed by a −10% drop at t=30 must not
+        // be treated as one deviation persisting since t=0: the drop
+        // disagrees with the pending spike by ≥ ρ1 and starts its own
+        // window.
+        c.observe_bandwidth(dc, up, 0.0);
+        c.observe_bandwidth(dc, down, 30.0);
+        c.tick(70.0).unwrap(); // 70 − 30 = 40 < τ1 = 60
+        assert_eq!(
+            c.topology().vnf_spec(dc).bin_bps,
+            base.bin_bps,
+            "reversed deviation applied before persisting for its own τ1"
+        );
+        // Once the drop itself persists for τ1 it is applied.
+        c.observe_bandwidth(dc, down, 60.0);
+        c.tick(95.0).unwrap(); // 95 − 30 = 65 ≥ τ1
+        assert_eq!(c.topology().vnf_spec(dc).bin_bps, down.bin_bps);
+    }
+
+    #[test]
+    fn delay_spike_then_reverse_restarts_window() {
+        let (mut c, sessions) = controller();
+        c.session_join(sessions[0].clone(), 0.0).unwrap();
+        let dcs = c.topology().data_centers();
+        let original = c
+            .topology()
+            .graph
+            .out_edges(dcs[0])
+            .find(|e| e.to == dcs[1])
+            .unwrap()
+            .delay;
+        c.observe_delay(dcs[0], dcs[1], original * 2.0, 0.0);
+        c.observe_delay(dcs[0], dcs[1], original * 1.3, 30.0);
+        c.tick(70.0).unwrap(); // the 1.3× reading only persisted 40 s
+        let d = c
+            .topology()
+            .graph
+            .out_edges(dcs[0])
+            .find(|e| e.to == dcs[1])
+            .unwrap()
+            .delay;
+        assert_eq!(d, original, "neither deviation persisted for τ2");
+    }
+
+    #[test]
+    fn silent_measurement_stream_is_swept_not_applied() {
+        let (mut c, sessions) = controller();
+        c.session_join(sessions[0].clone(), 0.0).unwrap();
+        let dc = c.topology().data_centers()[0];
+        let mut halved = c.topology().vnf_spec(dc);
+        halved.bin_bps *= 0.5;
+        halved.bout_bps *= 0.5;
+        // One deviating reading, then the stream goes quiet: a single
+        // unconfirmed observation never persisted and must be swept at
+        // the first tick a full τ1 after its last confirmation.
+        c.observe_bandwidth(dc, halved, 0.0);
+        c.tick(30.0).unwrap();
+        c.tick(120.0).unwrap();
+        assert_eq!(
+            c.topology().vnf_spec(dc).bin_bps,
+            920e6,
+            "stalled stream's reading applied as if it persisted"
+        );
+        // A later deviation must not inherit the ancient start time:
+        // observed at t=200, it is not due at t=210...
+        c.observe_bandwidth(dc, halved, 200.0);
+        c.tick(210.0).unwrap();
+        assert_eq!(c.topology().vnf_spec(dc).bin_bps, 920e6);
+        // ...and applies only after its own τ1, kept alive by fresh
+        // confirmations.
+        c.observe_bandwidth(dc, halved, 240.0);
+        c.tick(261.0).unwrap();
+        assert_eq!(c.topology().vnf_spec(dc).bin_bps, 460e6);
+    }
+
+    #[test]
+    fn objective_comparison_is_relative_not_absolute() {
+        // 1 bp of improvement on a Gbps-scale objective is LP float
+        // noise, not a better plan — the old `+ 1e-6` absolute epsilon
+        // adopted it.
+        assert!(!objective_improved(1e9, 1e9 + 1.0));
+        assert!(!objective_improved(1e9, 1e9 + 500.0));
+        assert!(objective_improved(1e9, 1.001e9));
+        // Decreases and ties are never improvements.
+        assert!(!objective_improved(1e9, 1e9));
+        assert!(!objective_improved(1e9, 0.9e9));
+        // Near zero the 1 bps floor absorbs rounding noise both ways.
+        assert!(!objective_improved(0.0, 5e-7));
+        assert!(objective_improved(0.0, 1.0));
+        assert!(!objective_improved(-1e9, -1e9 + 500.0));
+        assert!(objective_improved(-1e9, -0.99e9));
+    }
+
+    #[test]
+    fn noop_capacity_growth_is_not_adopted() {
+        // A topology where the source's 50 Mbps out-cap binds: growing
+        // DC capacity re-solves to the same rates and VNF count, so the
+        // re-solve is a no-op and the controller must keep the current
+        // deployment (no churn, hence no table push downstream).
+        let mut b = TopologyBuilder::new();
+        let dc = b.data_center(
+            "dc",
+            VnfSpec {
+                bin_bps: 920e6,
+                bout_bps: 920e6,
+                coding_bps: 1000e6,
+            },
+        );
+        let s = b.source("src", 50e6);
+        let r = b.receiver("rx", 200e6);
+        b.link(s, dc, 5.0).link(dc, r, 5.0);
+        let params = ScalingParams {
+            alpha: 20e6,
+            rho1: 0.05,
+            tau1_secs: 60.0,
+            rho2: 0.05,
+            tau2_secs: 60.0,
+            pool_tau_secs: 120.0,
+            launch_latency_secs: 35.0,
+        };
+        let mut c = ScalingController::new(b.build(), Planner::new(), params);
+        c.session_join(
+            SessionSpec::elastic(ncvnf_rlnc::SessionId::new(7), s, vec![r], 150.0),
+            0.0,
+        )
+        .unwrap();
+        let before_vnfs = c.deployment().unwrap().vnfs.clone();
+        let before_rates = c.deployment().unwrap().rates.clone();
+        let mut grown = c.topology().vnf_spec(dc);
+        grown.bin_bps *= 1.10;
+        grown.bout_bps *= 1.10;
+        c.observe_bandwidth(dc, grown, 0.0);
+        c.observe_bandwidth(dc, grown, 40.0);
+        c.observe_bandwidth(dc, grown, 70.0);
+        c.tick(80.0).unwrap();
+        assert_eq!(c.topology().vnf_spec(dc).bin_bps, grown.bin_bps);
+        let dep = c.deployment().unwrap();
+        assert_eq!(dep.vnfs, before_vnfs, "no-op re-solve changed the VNFs");
+        assert_eq!(dep.rates, before_rates, "no-op re-solve changed the rates");
     }
 
     #[test]

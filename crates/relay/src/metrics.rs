@@ -211,6 +211,35 @@ pub const CROSS_SHARD_PACKETS: MetricDesc = desc(
     "Datagrams received on one shard's socket but owned by another shard",
 );
 
+/// `relay.idle_ms` — milliseconds since the data socket last saw a
+/// datagram (refreshed on snapshot, so an `NC_STATS` poll reads the
+/// idle time as of the poll, not as of the last packet).
+pub const IDLE_MS: MetricDesc = desc(
+    "relay.idle_ms",
+    MetricKind::Gauge,
+    "ms",
+    "relay",
+    "Milliseconds since the data path last received a datagram (scale-to-zero input)",
+);
+
+/// `relay.daemon_state` — the daemon lifecycle state as a number.
+pub const DAEMON_STATE: MetricDesc = desc(
+    "relay.daemon_state",
+    MetricKind::Gauge,
+    "state",
+    "relay",
+    "Daemon lifecycle state: 0 Idle, 1 Running, 2 Paused, 3 Draining, 4 Stopped",
+);
+
+/// `relay.wake_signals` — wake requests emitted while draining.
+pub const WAKE_SIGNALS: MetricDesc = desc(
+    "relay.wake_signals",
+    MetricKind::Counter,
+    "frames",
+    "relay",
+    "Wake requests emitted toward the monitor (traffic arrived while draining)",
+);
+
 /// Registry-backed counters for a relay node's two socket loops.
 #[derive(Debug, Clone)]
 pub struct RelayNodeMetrics {
@@ -246,6 +275,12 @@ pub struct RelayNodeMetrics {
     pub table_digest: Gauge,
     /// Engine shards this node runs.
     pub shards: Gauge,
+    /// Milliseconds since the data path last saw a datagram.
+    pub idle_ms: Gauge,
+    /// Daemon lifecycle state (numeric encoding).
+    pub daemon_state: Gauge,
+    /// Wake requests emitted while draining.
+    pub wake_signals: Counter,
 }
 
 impl RelayNodeMetrics {
@@ -268,6 +303,9 @@ impl RelayNodeMetrics {
             ctrl_seq: registry.gauge(CTRL_SEQ),
             table_digest: registry.gauge(TABLE_DIGEST),
             shards: registry.gauge(SHARDS),
+            idle_ms: registry.gauge(IDLE_MS),
+            daemon_state: registry.gauge(DAEMON_STATE),
+            wake_signals: registry.counter(WAKE_SIGNALS),
         }
     }
 }

@@ -30,7 +30,7 @@
 //! §"Failure model").
 
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -39,14 +39,14 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use ncvnf_control::daemon::{Daemon, DaemonEvent};
+use ncvnf_control::daemon::{Daemon, DaemonEvent, DaemonState};
 use ncvnf_control::signal::{Signal, SignalFrame, VnfRoleWire};
 use ncvnf_control::telemetry::DataplaneHealth;
 use ncvnf_control::ForwardingTable;
 use ncvnf_dataplane::metrics::VnfMetrics;
 use ncvnf_dataplane::{CodingVnf, Feedback, VnfRole, VnfStats};
 use ncvnf_obs::{Counter, Registry, Snapshot, TraceKind};
-use ncvnf_rlnc::{GenerationConfig, PoolMetrics, PoolStats};
+use ncvnf_rlnc::{GenerationConfig, PoolMetrics, PoolStats, SessionId};
 
 use crate::engine::{relay_batch, BatchScratch, RelayEngine, RelayShard};
 use crate::metrics::{self, RelayNodeMetrics};
@@ -159,6 +159,9 @@ pub struct RelayStats {
     /// `(session, generation)` hash need not agree; correctness is
     /// unaffected — the owning shard's engine still processes them).
     pub cross_shard_packets: u64,
+    /// Wake requests emitted toward the monitor: the data path saw
+    /// traffic while the daemon was draining toward scale-to-zero.
+    pub wake_signals: u64,
 }
 
 /// Epoch/sequence fence state of the control socket: the highest
@@ -185,6 +188,17 @@ struct Shared {
     /// [`BatchScratch`] instances record into the same registry cells).
     batches: Counter,
     cross_shard: Counter,
+    /// Node start instant: the epoch of [`Shared::last_data_micros`].
+    started: Instant,
+    /// Microseconds since `started` when the data path last drained a
+    /// non-empty batch (0 = never); the scale-to-zero idle clock.
+    last_data_micros: AtomicU64,
+    /// Mirror of `daemon.state() == Draining`, kept by the control
+    /// thread so the data threads can test it without the daemon lock.
+    draining: AtomicBool,
+    /// One-shot latch: a single wake request per drain window (reset
+    /// when a new `NC_VNF_END` opens the next window).
+    wake_sent: AtomicBool,
 }
 
 impl Shared {
@@ -219,7 +233,30 @@ impl Shared {
         let (vnf, pool) = self.vnf_totals();
         self.vnf_metrics.publish(&vnf);
         self.pool_metrics.publish(&pool);
+        self.metrics.idle_ms.set(self.idle_ms() as f64);
         self.registry.snapshot()
+    }
+
+    /// Milliseconds since the data path last received a datagram (since
+    /// node start if it never has). This is what an `NC_STATS` poll
+    /// reports as `relay.idle_ms` — the autoscaler's scale-to-zero
+    /// input.
+    fn idle_ms(&self) -> u64 {
+        let now = self.started.elapsed().as_micros() as u64;
+        let last = self.last_data_micros.load(Ordering::Relaxed);
+        now.saturating_sub(last) / 1000
+    }
+}
+
+/// Numeric encoding of the daemon state for the `relay.daemon_state`
+/// gauge (and the controller's reconciliation probe).
+fn daemon_state_code(state: DaemonState) -> f64 {
+    match state {
+        DaemonState::Idle => 0.0,
+        DaemonState::Running => 1.0,
+        DaemonState::Paused => 2.0,
+        DaemonState::Draining => 3.0,
+        DaemonState::Stopped => 4.0,
     }
 }
 
@@ -258,7 +295,19 @@ impl RelayHandle {
             shards: self.shared.shards.len() as u64,
             batches: self.shared.batches.get(),
             cross_shard_packets: self.shared.cross_shard.get(),
+            wake_signals: m.wake_signals.get(),
         }
+    }
+
+    /// The daemon's current lifecycle state.
+    pub fn daemon_state(&self) -> DaemonState {
+        self.shared.daemon.lock().state()
+    }
+
+    /// Milliseconds since the data path last received a datagram (since
+    /// node start if it never has).
+    pub fn idle_ms(&self) -> u64 {
+        self.shared.idle_ms()
     }
 
     /// Number of engine shards the data path runs across.
@@ -404,8 +453,16 @@ impl RelayNode {
             pool_metrics,
             batches,
             cross_shard,
+            started: Instant::now(),
+            last_data_micros: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            wake_sent: AtomicBool::new(false),
         });
         shared.metrics.shards.set(shard_count as f64);
+        shared
+            .metrics
+            .daemon_state
+            .set(daemon_state_code(DaemonState::Idle));
         // Publish the empty table's digest so reconciliation can diff a
         // node that never received a push.
         shared
@@ -418,7 +475,9 @@ impl RelayNode {
         for (i, socket) in data_sockets.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             let home = i % shard_count;
-            threads.push(std::thread::spawn(move || data_loop(socket, shared, home)));
+            threads.push(std::thread::spawn(move || {
+                data_loop(socket, shared, home, heartbeat)
+            }));
         }
         {
             let shared = Arc::clone(&shared);
@@ -489,7 +548,12 @@ fn is_timeout(e: &std::io::Error) -> bool {
 /// flush the egress batch. `home` is the shard whose receive queue this
 /// thread's socket notionally is — the cross-shard counter measures how
 /// often the kernel's socket choice and the packet hash disagree.
-fn data_loop<S: DatagramSocket>(socket: S, shared: Arc<Shared>, home: usize) {
+fn data_loop<S: DatagramSocket>(
+    socket: S,
+    shared: Arc<Shared>,
+    home: usize,
+    heartbeat: Option<HeartbeatConfig>,
+) {
     let mut batch = RecvBatch::new(shared.batch, 65536);
     let mut scratch = BatchScratch::instrumented(shared.shards.len(), &shared.registry);
     let m = shared.metrics.clone();
@@ -508,6 +572,29 @@ fn data_loop<S: DatagramSocket>(socket: S, shared: Arc<Shared>, home: usize) {
         }
         if batch.is_empty() {
             continue;
+        }
+        // Stamp the idle clock (data packets and NACKs both count as
+        // traffic), then — if the daemon is draining toward
+        // scale-to-zero — ask the controller to wake this node. One
+        // frame per drain window: the latch is re-armed only by the
+        // next NC_VNF_END.
+        shared.last_data_micros.store(
+            shared.started.elapsed().as_micros() as u64,
+            Ordering::Relaxed,
+        );
+        if shared.draining.load(Ordering::Relaxed)
+            && !shared.wake_sent.swap(true, Ordering::Relaxed)
+        {
+            if let Some(hb) = heartbeat {
+                let frame = Feedback::wake(hb.node_id, SessionId::new(0)).to_bytes();
+                if socket.send_to(&frame, hb.monitor).is_ok() {
+                    m.wake_signals.inc();
+                } else {
+                    // Failed send: re-arm so the next batch retries.
+                    m.io_errors.inc();
+                    shared.wake_sent.store(false, Ordering::Relaxed);
+                }
+            }
         }
         m.datagrams_in.add(batch.len() as u64);
         let report = relay_batch(&shared.shards, home, &mut scratch, &batch);
@@ -620,7 +707,22 @@ fn control_loop<S: DatagramSocket>(
             let _ = socket.send_to(json.as_bytes(), src);
             continue;
         }
-        let events = shared.daemon.lock().handle(&signal, 0.0);
+        let (events, daemon_state) = {
+            let mut daemon = shared.daemon.lock();
+            let events = daemon.handle(&signal, 0.0);
+            (events, daemon.state())
+        };
+        // Mirror the lifecycle state where the data threads (draining
+        // flag) and NC_STATS pollers (gauge) can see it. A fresh
+        // NC_VNF_END re-arms the one-wake-per-window latch even if the
+        // node was already draining (each drain signal opens a new
+        // window); NC_SETTINGS cancels the drain, closing the window.
+        let draining = daemon_state == DaemonState::Draining;
+        shared.draining.store(draining, Ordering::Relaxed);
+        if matches!(signal, Signal::NcVnfEnd { .. }) && draining {
+            shared.wake_sent.store(false, Ordering::Relaxed);
+        }
+        m.daemon_state.set(daemon_state_code(daemon_state));
         // The daemon swallows an invalid table (bad parse → no events);
         // distinguish that rejection from signals that legitimately have
         // no local side effects (NC_VNF_START).

@@ -323,7 +323,9 @@ fn absorb_feedback(
         return false;
     };
     if fb.session != config.session || fb.generation >= gens.len() as u64 {
-        return matches!(fb.kind, FeedbackKind::Heartbeat);
+        // Heartbeats and wake requests address the controller, not this
+        // source; consume them without treating them as recovery state.
+        return matches!(fb.kind, FeedbackKind::Heartbeat | FeedbackKind::Wake);
     }
     let g = &mut gens[fb.generation as usize];
     match fb.kind {
@@ -352,7 +354,7 @@ fn absorb_feedback(
             g.pending_nack = Some(g.pending_nack.unwrap_or(0).max(fb.count));
             true
         }
-        FeedbackKind::Heartbeat => true,
+        FeedbackKind::Heartbeat | FeedbackKind::Wake => true,
     }
 }
 

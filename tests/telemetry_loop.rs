@@ -72,6 +72,13 @@ fn probe_to_controller_loop_applies_delay_change() {
         .unwrap()
         .delay;
     assert!((current - 10.0).abs() < 1.0, "applied too early: {current}");
+    // A pending change must stay *confirmed* through the persistence
+    // window: a deviation whose telemetry went silent for τ2 is swept,
+    // not adopted. The probes still measure 60 ms, so draining again
+    // re-confirms the same pending value without restarting its window.
+    for e in telemetry.drain_events(controller.topology(), 0.05) {
+        controller.handle(e, 150.0).unwrap();
+    }
     controller.tick(200.0).unwrap();
     let current = controller
         .topology()
