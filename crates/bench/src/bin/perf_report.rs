@@ -5,8 +5,10 @@
 //! (legacy per-packet-allocation pipeline vs the zero-alloc
 //! [`relay_step`] pipeline), and the observability layer's overhead
 //! (instrumented vs bare relay step, plus an `NC_STATS` round trip),
-//! and the crash-safe control plane (journal append/commit, replay,
-//! reconcile round trip), then writes `BENCH_rlnc.json`,
+//! the crash-safe control plane (journal append/commit, replay,
+//! reconcile round trip), and the overload regime (goodput vs offered
+//! load at 0.5x–4x of a provisioned quota, shed counts by class, and
+//! backpressure convergence time), then writes `BENCH_rlnc.json`,
 //! `BENCH_relay.json`, `BENCH_obs.json` and `BENCH_control.json` at the
 //! repository root. Run with:
 //!
@@ -658,6 +660,291 @@ fn bench_recovery(quick: bool) -> RecoveryBench {
         generations_recovered: c("recovery.generations_recovered"),
         unrecovered: c("recovery.unrecovered"),
         failover_ms,
+    }
+}
+
+struct OverloadPoint {
+    multiplier: f64,
+    offered: u64,
+    delivered: u64,
+    goodput_ratio: f64,
+}
+
+struct OverloadBench {
+    provisioned_pps: u32,
+    burst: u32,
+    curve: Vec<OverloadPoint>,
+    shed_quota: u64,
+    shed_overload: u64,
+    shed_redundancy: u64,
+    congestion_frames: u64,
+    backpressure_convergence_ms: f64,
+    in_quota_goodput_ratio: f64,
+    control_frames_lost: u64,
+}
+
+/// Goodput versus offered load through the admission regime, plus the
+/// backpressure loop's convergence time.
+///
+/// One session is provisioned at a fixed quota over the live `NC_QUOTA`
+/// control channel, then offered 0.5x/1x/2x/4x its quota; each point
+/// reports the goodput ratio at the session's next hop. During the 4x
+/// point a stream of heartbeat feedback frames shares the data socket —
+/// `control_frames_lost` must stay 0 because dispatch classifies them
+/// before admission. Finally, a greedy sender that honours `Congestion`
+/// frames (halving its rate per frame) is timed from first overload
+/// until the relay stops shedding it: `backpressure_convergence_ms`.
+fn bench_overload(quick: bool, config: GenerationConfig) -> OverloadBench {
+    use ncvnf_control::signal::Signal;
+    use ncvnf_dataplane::{Feedback, FeedbackKind};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const QUOTA_PPS: u32 = 2000;
+    const QUOTA_BURST: u32 = 64;
+    const SESSION: u16 = 50;
+
+    let relay = RelayNode::spawn(RelayConfig {
+        generation: config,
+        buffer_generations: 64,
+        seed: 0xBE7C_0050,
+        heartbeat: None,
+        registry: None,
+        ..RelayConfig::default()
+    })
+    .expect("spawn relay");
+    let control = UdpSocket::bind(("127.0.0.1", 0)).expect("bind control");
+    control
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .expect("control timeout");
+    let roundtrip = |sig: &Signal| {
+        let mut ack = [0u8; 32];
+        control
+            .send_to(&sig.to_bytes(), relay.control_addr)
+            .expect("send signal");
+        let (n, _) = control.recv_from(&mut ack).expect("relay acks");
+        assert!(ack[..n].starts_with(b"OK"), "signal applied");
+    };
+    roundtrip(&Signal::NcQuota {
+        session: SessionId::new(SESSION),
+        rate_pps: QUOTA_PPS,
+        burst: QUOTA_BURST,
+        priority: 0,
+    });
+    roundtrip(&Signal::NcSettings {
+        session: SessionId::new(SESSION),
+        role: ncvnf_control::signal::VnfRoleWire::Forwarder,
+        data_port: relay.data_addr.port(),
+        block_size: config.block_size() as u32,
+        generation_size: config.blocks_per_generation() as u32,
+        buffer_generations: 64,
+    });
+    let sink = UdpSocket::bind(("127.0.0.1", 0)).expect("bind sink");
+    sink.set_read_timeout(Some(Duration::from_millis(20)))
+        .expect("sink timeout");
+    let mut table = ForwardingTable::new();
+    table.set(
+        SessionId::new(SESSION),
+        vec![sink.local_addr().expect("sink addr").to_string()],
+    );
+    roundtrip(&Signal::NcForwardTab {
+        table: table.to_text(),
+    });
+
+    // Concurrent sink drain: delivered counts must reflect the relay's
+    // shedding, not this process's socket buffer.
+    let delivered = Arc::new(AtomicU64::new(0));
+    let drain_stop = Arc::new(AtomicBool::new(false));
+    let drainer = {
+        let delivered = Arc::clone(&delivered);
+        let drain_stop = Arc::clone(&drain_stop);
+        std::thread::spawn(move || {
+            let mut buf = vec![0u8; 2048];
+            while !drain_stop.load(Ordering::Relaxed) {
+                if sink.recv_from(&mut buf).is_ok() {
+                    delivered.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        })
+    };
+
+    let enc = GenerationEncoder::new(config, &vec![0x50u8; config.generation_payload()])
+        .expect("valid generation");
+    let mut rng = StdRng::seed_from_u64(0xBE7C_0051);
+    let sender = UdpSocket::bind(("127.0.0.1", 0)).expect("bind sender");
+    sender
+        .set_read_timeout(Some(Duration::from_millis(1)))
+        .expect("sender timeout");
+    let handle = relay.handle();
+    let window = Duration::from_millis(if quick { 250 } else { 500 });
+
+    let mut curve = Vec::new();
+    let mut control_frames_lost = 0u64;
+    let mut generation = 0u64;
+    for multiplier in [0.5f64, 1.0, 2.0, 4.0] {
+        // Let the previous point's bucket settle back to full burst.
+        std::thread::sleep(Duration::from_millis(50));
+        let rate = f64::from(QUOTA_PPS) * multiplier;
+        let gap = Duration::from_secs_f64(4.0 / rate);
+        let feedback_before = handle.stats().feedback_frames;
+        let delivered_before = delivered.load(Ordering::Relaxed);
+        let mut offered = 0u64;
+        let mut beats = 0u64;
+        let start = Instant::now();
+        let deadline = start + window;
+        // Absolute-deadline pacing with catch-up: sleep overhead cannot
+        // erode the offered rate, so every point truly offers its
+        // multiple of the quota.
+        let mut next = start;
+        while Instant::now() < deadline {
+            for _ in 0..4 {
+                let pkt = enc.coded_packet(SessionId::new(SESSION), generation, &mut rng);
+                if sender.send_to(&pkt.to_bytes(), relay.data_addr).is_ok() {
+                    offered += 1;
+                }
+            }
+            generation += 1;
+            if multiplier >= 4.0 && offered.is_multiple_of(64) {
+                // Control-plane traffic shares the flooded socket.
+                let beat = Feedback::heartbeat(9, beats as u16).to_bytes();
+                if sender.send_to(&beat, relay.data_addr).is_ok() {
+                    beats += 1;
+                }
+            }
+            next += gap;
+            let now = Instant::now();
+            if next > now {
+                std::thread::sleep(next - now);
+            } else if now - next > 16 * gap {
+                // Bound the catch-up burst after a scheduling hiccup:
+                // an unbounded burst can overflow the relay's kernel
+                // receive buffer, and a kernel drop of a heartbeat
+                // would read as control-frame loss the relay never
+                // caused.
+                next = now - 16 * gap;
+            }
+        }
+        // Grace for in-flight datagrams, then read the point.
+        std::thread::sleep(Duration::from_millis(100));
+        let got = delivered.load(Ordering::Relaxed) - delivered_before;
+        if beats > 0 {
+            let classified = handle.stats().feedback_frames - feedback_before;
+            control_frames_lost += beats.saturating_sub(classified);
+        }
+        curve.push(OverloadPoint {
+            multiplier,
+            offered,
+            delivered: got,
+            goodput_ratio: got as f64 / offered as f64,
+        });
+    }
+
+    // Backpressure convergence: a greedy sender at 4x honours the
+    // relay's Congestion frames by halving its rate; converged when a
+    // full window passes with no new sheds.
+    let base_shed = handle.stats().total_shed();
+    let mut shed_seen = base_shed;
+    let mut gap = Duration::from_secs_f64(4.0 / (f64::from(QUOTA_PPS) * 4.0));
+    let floor_gap = Duration::from_secs_f64(4.0 / (f64::from(QUOTA_PPS) * 0.8));
+    let t0 = Instant::now();
+    let mut last_shed_change = Instant::now();
+    let convergence_window = Duration::from_millis(150);
+    let mut fb = [0u8; 64];
+    let backpressure_convergence_ms = loop {
+        for _ in 0..4 {
+            let pkt = enc.coded_packet(SessionId::new(SESSION), generation, &mut rng);
+            let _ = sender.send_to(&pkt.to_bytes(), relay.data_addr);
+        }
+        generation += 1;
+        while let Ok((n, _)) = sender.recv_from(&mut fb) {
+            if let Ok(frame) = Feedback::from_bytes(&fb[..n]) {
+                if frame.kind == FeedbackKind::Congestion {
+                    gap = (gap * 2).min(floor_gap);
+                }
+            }
+        }
+        let shed_now = handle.stats().total_shed();
+        if shed_now != shed_seen {
+            shed_seen = shed_now;
+            last_shed_change = Instant::now();
+        } else if last_shed_change.elapsed() >= convergence_window {
+            break t0
+                .elapsed()
+                .saturating_sub(convergence_window)
+                .as_secs_f64()
+                * 1e3;
+        }
+        if t0.elapsed() > Duration::from_secs(10) {
+            break f64::NAN;
+        }
+        std::thread::sleep(gap);
+    };
+
+    // Fair share: a second provisioned session offered inside its quota
+    // while an unprovisioned flood (capped by the session-0 default
+    // bucket) hammers the same socket.
+    roundtrip(&Signal::NcQuota {
+        session: SessionId::new(0),
+        rate_pps: 300,
+        burst: 32,
+        priority: 200,
+    });
+    let flood_stop = Arc::new(AtomicBool::new(false));
+    let flooder = {
+        let flood_stop = Arc::clone(&flood_stop);
+        let data_addr = relay.data_addr;
+        let enc = GenerationEncoder::new(config, &vec![0x99u8; config.generation_payload()])
+            .expect("valid generation");
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xBE7C_0052);
+            let socket = UdpSocket::bind(("127.0.0.1", 0)).expect("bind flooder");
+            let mut g = 0u64;
+            while !flood_stop.load(Ordering::Relaxed) {
+                for _ in 0..16 {
+                    let pkt = enc.coded_packet(SessionId::new(99), g, &mut rng);
+                    let _ = socket.send_to(&pkt.to_bytes(), data_addr);
+                }
+                g += 1;
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    let delivered_before = delivered.load(Ordering::Relaxed);
+    let mut in_quota_offered = 0u64;
+    let deadline = Instant::now() + window;
+    let gap = Duration::from_secs_f64(4.0 / (f64::from(QUOTA_PPS) * 0.5));
+    while Instant::now() < deadline {
+        for _ in 0..4 {
+            let pkt = enc.coded_packet(SessionId::new(SESSION), generation, &mut rng);
+            if sender.send_to(&pkt.to_bytes(), relay.data_addr).is_ok() {
+                in_quota_offered += 1;
+            }
+        }
+        generation += 1;
+        std::thread::sleep(gap);
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let in_quota_delivered = delivered.load(Ordering::Relaxed) - delivered_before;
+    flood_stop.store(true, Ordering::Relaxed);
+    flooder.join().expect("flooder joins");
+
+    drain_stop.store(true, Ordering::Relaxed);
+    drainer.join().expect("drainer joins");
+    let stats = handle.stats();
+    relay.shutdown();
+
+    OverloadBench {
+        provisioned_pps: QUOTA_PPS,
+        burst: QUOTA_BURST,
+        curve,
+        shed_quota: stats.shed_quota,
+        shed_overload: stats.shed_overload,
+        shed_redundancy: stats.shed_redundancy,
+        congestion_frames: stats.congestion_frames,
+        backpressure_convergence_ms,
+        in_quota_goodput_ratio: in_quota_delivered as f64 / in_quota_offered as f64,
+        control_frames_lost,
     }
 }
 
@@ -1323,6 +1610,8 @@ fn main() {
     }
     eprintln!("measuring loss recovery and liveness failover ...");
     let recovery = bench_recovery(quick);
+    eprintln!("measuring overload admission, shedding, and backpressure ...");
+    let overload = bench_overload(quick, relay_cfg);
     eprintln!("measuring observability overhead (bare vs instrumented relay step) ...");
     let obs = bench_observability(&timing, relay_cfg);
     eprintln!("measuring crash-safe control plane (journal, replay, reconcile) ...");
@@ -1414,6 +1703,55 @@ fn main() {
     );
     let _ = writeln!(json, "    \"unrecovered\": {},", recovery.unrecovered);
     let _ = writeln!(json, "    \"failover_ms\": {:.1}", recovery.failover_ms);
+    json.push_str("  },\n");
+    json.push_str("  \"overload\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"provisioned_pps\": {},",
+        overload.provisioned_pps
+    );
+    let _ = writeln!(json, "    \"burst\": {},", overload.burst);
+    json.push_str("    \"curve\": [\n");
+    for (i, p) in overload.curve.iter().enumerate() {
+        let comma = if i + 1 == overload.curve.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "      {{\"multiplier\": {:.1}, \"offered\": {}, \"delivered\": {}, \"goodput_ratio\": {:.4}}}{comma}",
+            p.multiplier, p.offered, p.delivered, p.goodput_ratio
+        );
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"shed_quota\": {},", overload.shed_quota);
+    let _ = writeln!(json, "    \"shed_overload\": {},", overload.shed_overload);
+    let _ = writeln!(
+        json,
+        "    \"shed_redundancy\": {},",
+        overload.shed_redundancy
+    );
+    let _ = writeln!(
+        json,
+        "    \"congestion_frames\": {},",
+        overload.congestion_frames
+    );
+    let _ = writeln!(
+        json,
+        "    \"backpressure_convergence_ms\": {:.1},",
+        overload.backpressure_convergence_ms
+    );
+    let _ = writeln!(
+        json,
+        "    \"in_quota_goodput_ratio\": {:.4},",
+        overload.in_quota_goodput_ratio
+    );
+    let _ = writeln!(
+        json,
+        "    \"control_frames_lost\": {}",
+        overload.control_frames_lost
+    );
     json.push_str("  }\n}\n");
     std::fs::write("BENCH_relay.json", &json).expect("write BENCH_relay.json");
     println!("{json}");

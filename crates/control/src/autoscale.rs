@@ -138,6 +138,12 @@ struct TargetTrack {
     last_poll_secs: Option<f64>,
     /// `relay.datagrams_out` at the previous poll.
     last_out: u64,
+    /// Sum of the relay's shed counters at the previous poll. Shed
+    /// packets are demand the node *refused*, so they count toward the
+    /// offered rate: a node pinned at its admission ceiling looks
+    /// fully loaded rather than mysteriously idle, and overload drives
+    /// scale-out instead of masking it.
+    last_shed: u64,
     /// Highest packet rate ever observed (the "100% load" anchor the
     /// capability estimate scales the nominal spec by).
     baseline_pps: f64,
@@ -418,12 +424,21 @@ impl Autoscaler {
             };
             report.polled += 1;
             let out = snapshot_value(&stats, "relay.datagrams_out").unwrap_or(0.0) as u64;
+            let shed = [
+                "relay.shed_quota",
+                "relay.shed_overload",
+                "relay.shed_redundancy",
+            ]
+            .iter()
+            .map(|name| snapshot_value(&stats, name).unwrap_or(0.0) as u64)
+            .sum::<u64>();
             let idle_ms = snapshot_value(&stats, "relay.idle_ms").unwrap_or(0.0);
             let daemon_state = snapshot_value(&stats, "relay.daemon_state").map(|v| v as u8);
             let nominal = self.controller.topology().vnf_spec(dc);
             let track = self.tracks.entry(node).or_insert_with(|| TargetTrack {
                 last_poll_secs: None,
                 last_out: out,
+                last_shed: shed,
                 baseline_pps: 0.0,
                 nominal,
                 draining: false,
@@ -434,7 +449,10 @@ impl Autoscaler {
                 if dt > 0.0 {
                     let delta = out.saturating_sub(track.last_out);
                     out_delta = Some(delta);
-                    let pps = delta as f64 / dt;
+                    // Offered load = what the node forwarded plus what
+                    // it shed at the admission/overload gate.
+                    let shed_delta = shed.saturating_sub(track.last_shed);
+                    let pps = (delta + shed_delta) as f64 / dt;
                     track.baseline_pps = track.baseline_pps.max(pps);
                     if track.baseline_pps > 0.0 && !track.draining {
                         // Capability estimate: the nominal spec scaled
@@ -464,6 +482,7 @@ impl Autoscaler {
             }
             track.last_poll_secs = Some(now);
             track.last_out = out;
+            track.last_shed = shed;
         }
 
         // 2. Decide: run the smoothed estimates through the controller's

@@ -77,6 +77,19 @@ pub enum DaemonEvent {
         /// Absolute daemon-clock time of the shutdown.
         deadline_secs: f64,
     },
+    /// Provision a session's admission quota in the data path (fan the
+    /// budget out to every shard's admission table).
+    ProvisionQuota {
+        /// Session the quota applies to (0 = the default bucket for
+        /// unprovisioned sessions).
+        session: SessionId,
+        /// Token-bucket refill rate, packets per second (0 = block).
+        rate_pps: u32,
+        /// Bucket depth in packets.
+        burst: u32,
+        /// Shedding/eviction priority (0 = most important).
+        priority: u8,
+    },
 }
 
 /// The daemon: owns the live forwarding table and session settings.
@@ -203,6 +216,20 @@ impl Daemon {
             // NC_STATS is a read-only query; the transport layer builds
             // the snapshot reply, the daemon state machine is untouched.
             Signal::NcStats => Vec::new(),
+            // Quotas do not change the lifecycle state: a draining or
+            // idle daemon can still be (re)provisioned, and the hosting
+            // process applies the budget to its data path.
+            Signal::NcQuota {
+                session,
+                rate_pps,
+                burst,
+                priority,
+            } => vec![DaemonEvent::ProvisionQuota {
+                session: *session,
+                rate_pps: *rate_pps,
+                burst: *burst,
+                priority: *priority,
+            }],
         }
     }
 
@@ -306,6 +333,30 @@ mod tests {
         assert_eq!(d.state(), DaemonState::Stopped);
         // Stopped daemons ignore everything.
         assert!(d.handle(&settings(2), 701.0).is_empty());
+    }
+
+    #[test]
+    fn quota_signal_emits_provision_event_without_state_change() {
+        let mut d = Daemon::new();
+        let ev = d.handle(
+            &Signal::NcQuota {
+                session: SessionId::new(5),
+                rate_pps: 1000,
+                burst: 64,
+                priority: 1,
+            },
+            0.0,
+        );
+        assert_eq!(
+            ev,
+            vec![DaemonEvent::ProvisionQuota {
+                session: SessionId::new(5),
+                rate_pps: 1000,
+                burst: 64,
+                priority: 1,
+            }]
+        );
+        assert_eq!(d.state(), DaemonState::Idle, "quota leaves lifecycle alone");
     }
 
     #[test]

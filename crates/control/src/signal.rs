@@ -92,6 +92,22 @@ pub enum Signal {
     /// JSON object ([`ncvnf_obs::Snapshot::to_json`] format) instead of
     /// the usual `OK`/`ERR` acknowledgement.
     NcStats,
+    /// Provision (or revoke) a session's admission quota at a relay.
+    /// The first quota a relay receives arms its admission regime;
+    /// until then every datagram is admitted (pre-quota behavior).
+    NcQuota {
+        /// The session the quota applies to. Session 0 sets the default
+        /// bucket for sessions without their own provision.
+        session: SessionId,
+        /// Token-bucket refill rate in packets per second. Zero blocks
+        /// the session (or, for session 0, rejects unknown sessions).
+        rate_pps: u32,
+        /// Bucket depth in packets (burst tolerance).
+        burst: u32,
+        /// Shedding/eviction priority: 0 = most important, larger
+        /// values shed first.
+        priority: u8,
+    },
 }
 
 /// Wire-decoding errors.
@@ -124,6 +140,7 @@ const TAG_FORWARD_TAB: u8 = 4;
 const TAG_SETTINGS: u8 = 5;
 const TAG_STATS: u8 = 6;
 const TAG_FENCED: u8 = 7;
+const TAG_QUOTA: u8 = 8;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u16(s.len() as u16);
@@ -185,6 +202,18 @@ impl Signal {
                 TAG_SETTINGS
             }
             Signal::NcStats => TAG_STATS,
+            Signal::NcQuota {
+                session,
+                rate_pps,
+                burst,
+                priority,
+            } => {
+                body.put_u16(session.value());
+                body.put_u32(*rate_pps);
+                body.put_u32(*burst);
+                body.put_u8(*priority);
+                TAG_QUOTA
+            }
         };
         let mut frame = BytesMut::with_capacity(5 + body.len());
         frame.put_u8(tag);
@@ -267,6 +296,17 @@ impl Signal {
                 }
             }
             TAG_STATS => Signal::NcStats,
+            TAG_QUOTA => {
+                if body.len() < 2 + 4 + 4 + 1 {
+                    return Err(SignalError::Truncated);
+                }
+                Signal::NcQuota {
+                    session: SessionId::new(body.get_u16()),
+                    rate_pps: body.get_u32(),
+                    burst: body.get_u32(),
+                    priority: body.get_u8(),
+                }
+            }
             t => return Err(SignalError::UnknownTag(t)),
         };
         Ok((sig, 5 + len))
@@ -346,8 +386,8 @@ impl FencedSignal {
     }
 }
 
-/// Either wire shape a control socket can receive: a bare legacy frame
-/// (tags 1–6) or an epoch-fenced envelope (tag 7).
+/// Either wire shape a control socket can receive: a bare frame (any
+/// tag but 7) or an epoch-fenced envelope (tag 7).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SignalFrame {
     /// A pre-fencing frame with no delivery metadata.
@@ -400,6 +440,12 @@ mod tests {
                 buffer_generations: 1024,
             },
             Signal::NcStats,
+            Signal::NcQuota {
+                session: SessionId::new(11),
+                rate_pps: 50_000,
+                burst: 256,
+                priority: 2,
+            },
         ]
     }
 

@@ -78,6 +78,9 @@ pub struct DataplaneHealth {
     /// Generations that needed at least one retransmission round and
     /// still decoded.
     pub generations_recovered: u64,
+    /// Datagrams shed by admission control or overload protection
+    /// (sum of the quota, overload, and redundancy shed classes).
+    pub shed_packets: u64,
 }
 
 impl DataplaneHealth {
@@ -99,6 +102,9 @@ impl DataplaneHealth {
             nacks_sent: c("recovery.nacks_sent"),
             retransmit_packets: c("recovery.retransmit_packets"),
             generations_recovered: c("recovery.generations_recovered"),
+            shed_packets: c("relay.shed_quota")
+                + c("relay.shed_overload")
+                + c("relay.shed_redundancy"),
         }
     }
 
@@ -115,6 +121,7 @@ impl DataplaneHealth {
             nacks_sent: self.nacks_sent + other.nacks_sent,
             retransmit_packets: self.retransmit_packets + other.retransmit_packets,
             generations_recovered: self.generations_recovered + other.generations_recovered,
+            shed_packets: self.shed_packets + other.shed_packets,
         }
     }
 }
@@ -412,9 +419,28 @@ mod tests {
                 "test",
             ))
             .add(3);
+        registry
+            .counter(desc(
+                "relay.shed_quota",
+                MetricKind::Counter,
+                "datagrams",
+                "relay",
+                "test",
+            ))
+            .add(5);
+        registry
+            .counter(desc(
+                "relay.shed_overload",
+                MetricKind::Counter,
+                "datagrams",
+                "relay",
+                "test",
+            ))
+            .add(2);
         let health = DataplaneHealth::from_snapshot(&registry.snapshot());
         assert_eq!(health.datagrams_in, 42);
         assert_eq!(health.nacks_sent, 3);
+        assert_eq!(health.shed_packets, 7, "shed classes sum into one field");
         // Metrics the node never registered read as zero.
         assert_eq!(health.io_errors, 0);
         assert_eq!(health.retransmit_packets, 0);

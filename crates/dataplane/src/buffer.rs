@@ -95,6 +95,16 @@ impl SessionBuffer {
         self.entries.get_mut(&generation).expect("just ensured")
     }
 
+    /// Evicts the oldest buffered generation (pressure-driven eviction
+    /// under a memory budget, counted like a FIFO eviction); returns the
+    /// generation dropped, or `None` when the buffer is empty.
+    pub fn evict_oldest(&mut self) -> Option<u64> {
+        let evict = self.order.pop_front()?;
+        self.entries.remove(&evict);
+        self.stats.evictions += 1;
+        Some(evict)
+    }
+
     /// Looks up an existing generation without creating it.
     pub fn get(&self, generation: u64) -> Option<&Recoder> {
         self.entries.get(&generation)

@@ -19,13 +19,16 @@
 //! ```text
 //! byte 0      magic 0xFB
 //! byte 1      kind: 1 = GenerationAck, 2 = RetransmitRequest,
-//!             3 = Heartbeat, 4 = Wake
+//!             3 = Heartbeat, 4 = Wake, 5 = Congestion
 //! bytes 2-3   session id, big endian
-//! bytes 4-7   generation id (heartbeats/wakes: node id), big endian
+//! bytes 4-7   generation id (heartbeats/wakes: node id; congestion:
+//!             shard queue depth in percent of capacity), big endian
 //! bytes 8-9   count (packets requested; heartbeats: sequence number;
+//!             congestion: datagrams shed since the last frame;
 //!             0 for ACK and Wake), big endian
 //! bytes 10-13 missing-block bitmap (bit i = original block i missing;
-//!             zero when unknown), big endian
+//!             congestion: cumulative shed total; zero when unknown),
+//!             big endian
 //! ```
 //!
 //! The bitmap lets a systematic (non-NC) source retransmit exactly the
@@ -65,6 +68,14 @@ pub enum FeedbackKind {
     /// carries the node id, `session` the session whose packet arrived
     /// (zero when unknown). Sent once per drain window.
     Wake,
+    /// Backpressure from an overloaded relay shard toward the upstream
+    /// sender whose datagram it just shed: `session` names the throttled
+    /// session (zero = everyone), `generation` carries the shard's load
+    /// level (percent of capacity), `count` the datagrams shed since the
+    /// last frame and `missing_bitmap` the shard's cumulative shed total.
+    /// Sources fold this into their AIMD redundancy controller as a
+    /// multiplicative-decrease signal and pause their bursts.
+    Congestion,
 }
 
 /// Why a frame failed to decode as feedback.
@@ -162,8 +173,28 @@ impl Feedback {
         }
     }
 
+    /// A backpressure frame from an overloaded relay shard: `load_pct`
+    /// is the shard's load level in percent of capacity, `shed` the
+    /// datagrams shed since the last congestion frame and `total_shed`
+    /// the shard's cumulative shed count.
+    pub fn congestion(session: SessionId, load_pct: u32, shed: u16, total_shed: u32) -> Self {
+        Feedback {
+            kind: FeedbackKind::Congestion,
+            session,
+            generation: load_pct as u64,
+            count: shed,
+            missing_bitmap: total_shed,
+        }
+    }
+
     /// The node id of a heartbeat or wake (the generation field).
     pub fn node_id(&self) -> u32 {
+        self.generation as u32
+    }
+
+    /// The load level of a congestion frame, in percent of shard
+    /// capacity (the generation field).
+    pub fn load_pct(&self) -> u32 {
         self.generation as u32
     }
 
@@ -176,6 +207,7 @@ impl Feedback {
             FeedbackKind::RetransmitRequest => 2,
             FeedbackKind::Heartbeat => 3,
             FeedbackKind::Wake => 4,
+            FeedbackKind::Congestion => 5,
         });
         buf.put_u16(self.session.value());
         buf.put_u32(self.generation as u32);
@@ -205,6 +237,7 @@ impl Feedback {
             2 => FeedbackKind::RetransmitRequest,
             3 => FeedbackKind::Heartbeat,
             4 => FeedbackKind::Wake,
+            5 => FeedbackKind::Congestion,
             k => return Err(FeedbackError::UnknownKind(k)),
         };
         Ok(Feedback {
@@ -252,6 +285,17 @@ mod tests {
         assert_eq!(back.node_id(), 17);
         assert_eq!(back.session, SessionId::new(21));
         assert_eq!(back.count, 0);
+    }
+
+    #[test]
+    fn congestion_roundtrip_carries_load_and_shed_counts() {
+        let cg = Feedback::congestion(SessionId::new(9), 87, 12, 340);
+        let back = Feedback::from_bytes(&cg.to_bytes()).unwrap();
+        assert_eq!(back.kind, FeedbackKind::Congestion);
+        assert_eq!(back.session, SessionId::new(9));
+        assert_eq!(back.load_pct(), 87);
+        assert_eq!(back.count, 12);
+        assert_eq!(back.missing_bitmap, 340);
     }
 
     #[test]

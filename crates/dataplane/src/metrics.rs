@@ -73,6 +73,16 @@ pub const EVICTED_DECODERS: MetricDesc = desc(
     "Decoder generation states dropped by the FIFO retention bound",
 );
 
+/// `dataplane.budget_evictions` — generation states dropped by the
+/// byte-denominated memory budget.
+pub const BUDGET_EVICTIONS: MetricDesc = desc(
+    "dataplane.budget_evictions",
+    MetricKind::Counter,
+    "generations",
+    "dataplane",
+    "Generation states evicted to honor the memory budget",
+);
+
 /// Registry-backed republication handles for [`VnfStats`].
 #[derive(Debug, Clone)]
 pub struct VnfMetrics {
@@ -83,6 +93,7 @@ pub struct VnfMetrics {
     unknown_session: Counter,
     generations_decoded: Counter,
     evicted_decoders: Counter,
+    budget_evictions: Counter,
 }
 
 impl VnfMetrics {
@@ -96,6 +107,7 @@ impl VnfMetrics {
             unknown_session: registry.counter(UNKNOWN_SESSION),
             generations_decoded: registry.counter(GENERATIONS_DECODED),
             evicted_decoders: registry.counter(EVICTED_DECODERS),
+            budget_evictions: registry.counter(BUDGET_EVICTIONS),
         }
     }
 
@@ -108,6 +120,7 @@ impl VnfMetrics {
         self.unknown_session.publish(stats.unknown_session);
         self.generations_decoded.publish(stats.generations_decoded);
         self.evicted_decoders.publish(stats.evicted_decoders);
+        self.budget_evictions.publish(stats.budget_evictions);
     }
 }
 
@@ -127,6 +140,7 @@ mod tests {
             unknown_session: 3,
             generations_decoded: 7,
             evicted_decoders: 1,
+            budget_evictions: 4,
         };
         m.publish(&stats);
         let snap = registry.snapshot();
@@ -137,5 +151,6 @@ mod tests {
         assert_eq!(snap.counter("dataplane.unknown_session"), Some(3));
         assert_eq!(snap.counter("dataplane.generations_decoded"), Some(7));
         assert_eq!(snap.counter("dataplane.evicted_decoders"), Some(1));
+        assert_eq!(snap.counter("dataplane.budget_evictions"), Some(4));
     }
 }

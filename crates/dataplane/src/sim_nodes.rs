@@ -316,8 +316,10 @@ impl NodeBehavior for ObjectSource {
                 }
             }
             // Heartbeats and wake requests are controller-facing; a
-            // source has no use for them.
-            FeedbackKind::Heartbeat | FeedbackKind::Wake => {}
+            // simulated source has no use for them, and the simulator's
+            // ideal links never congest, so backpressure frames are
+            // inert here too (the live sender in `ncvnf-relay` reacts).
+            FeedbackKind::Heartbeat | FeedbackKind::Wake | FeedbackKind::Congestion => {}
         }
     }
 

@@ -32,6 +32,10 @@ pub struct VnfStats {
     /// long-lived decoder VNF leaks one `GenerationDecoder` per generation
     /// forever).
     pub evicted_decoders: u64,
+    /// Generation states dropped by the byte-denominated memory budget
+    /// (pressure eviction, ordered by session priority then generation
+    /// staleness — distinct from the per-session FIFO bound above).
+    pub budget_evictions: u64,
 }
 
 /// What a VNF produced for one input packet.
@@ -155,6 +159,12 @@ pub struct CodingVnf {
     /// path stops allocating once warm.
     pool: PayloadPool,
     stats: VnfStats,
+    /// Byte cap on live generation state (recoder buffers + decoder
+    /// matrices); `None` = unbounded (the pre-budget behavior).
+    memory_budget: Option<usize>,
+    /// Control-plane session priorities (0 = most important). Sessions
+    /// without an entry rank last and are evicted first under pressure.
+    priorities: HashMap<SessionId, u8>,
 }
 
 impl CodingVnf {
@@ -172,6 +182,98 @@ impl CodingVnf {
             sessions: HashMap::new(),
             pool: PayloadPool::new(),
             stats: VnfStats::default(),
+            memory_budget: None,
+            priorities: HashMap::new(),
+        }
+    }
+
+    /// Caps the bytes of live generation state (recoder buffers and
+    /// decoder matrices, estimated at full-generation cost). Exceeding
+    /// the cap evicts whole generations, lowest-priority session first,
+    /// stalest generation first within it. `None` removes the cap.
+    pub fn set_memory_budget(&mut self, budget: Option<usize>) {
+        self.memory_budget = budget;
+        if budget.is_some() {
+            self.enforce_memory_budget();
+        }
+    }
+
+    /// The configured generation-state byte cap, if any.
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.memory_budget
+    }
+
+    /// Caps the bytes the VNF's buffer pool may hold (idle + in flight);
+    /// see [`PayloadPool::set_byte_budget`].
+    pub fn set_pool_budget(&mut self, budget: Option<usize>) {
+        self.pool.set_byte_budget(budget);
+    }
+
+    /// Memory pressure of the VNF's buffer pool against its byte budget
+    /// (`0.0` when uncapped); see [`PayloadPool::pressure`].
+    pub fn pool_pressure(&self) -> f64 {
+        self.pool.pressure()
+    }
+
+    /// Assigns a control-plane priority for `session` (0 = most
+    /// important). Under memory pressure, generations of lower-priority
+    /// (higher-valued) sessions are evicted first.
+    pub fn set_session_priority(&mut self, session: SessionId, priority: u8) {
+        self.priorities.insert(session, priority);
+    }
+
+    /// The priority of `session` (sessions never provisioned rank last).
+    pub fn session_priority(&self, session: SessionId) -> u8 {
+        self.priorities.get(&session).copied().unwrap_or(u8::MAX)
+    }
+
+    /// Conservative byte cost of one live generation state: a full-rank
+    /// coefficient matrix plus the buffered payload blocks.
+    fn generation_state_cost(&self) -> usize {
+        let g = self.config.blocks_per_generation();
+        g * (g + self.config.block_size())
+    }
+
+    /// Live generation states across all sessions (recoder + decoder).
+    fn live_generation_states(&self) -> usize {
+        self.sessions
+            .values()
+            .map(|s| s.buffer.len() + s.decoders.len())
+            .sum()
+    }
+
+    /// Estimated bytes of live generation state.
+    pub fn estimated_state_bytes(&self) -> usize {
+        self.live_generation_states() * self.generation_state_cost()
+    }
+
+    /// Evicts whole generations until the state estimate fits the
+    /// budget: the victim is the lowest-priority session with live
+    /// state (ties broken toward the higher session id, so the order is
+    /// deterministic), and within it the stalest generation goes first.
+    fn enforce_memory_budget(&mut self) {
+        let Some(budget) = self.memory_budget else {
+            return;
+        };
+        let cost = self.generation_state_cost().max(1);
+        while self.live_generation_states() * cost > budget {
+            let priorities = &self.priorities;
+            let victim = self
+                .sessions
+                .iter()
+                .filter(|(_, s)| s.buffer.len() + s.decoders.len() > 0)
+                .max_by_key(|(id, _)| (priorities.get(*id).copied().unwrap_or(u8::MAX), id.value()))
+                .map(|(id, _)| *id);
+            let Some(victim) = victim else {
+                break;
+            };
+            let state = self.sessions.get_mut(&victim).expect("victim exists");
+            if let Some(evict) = state.decoder_order.pop_front() {
+                state.decoders.remove(&evict);
+            } else {
+                state.buffer.evict_oldest();
+            }
+            self.stats.budget_evictions += 1;
         }
     }
 
@@ -354,6 +456,22 @@ impl CodingVnf {
     }
 
     fn process_input_into<R: Rng + ?Sized>(
+        &mut self,
+        input: Input<'_>,
+        outputs: usize,
+        rng: &mut R,
+        out: &mut Vec<CodedPacket>,
+    ) -> VnfDecision {
+        let decision = self.process_input_inner(input, outputs, rng, out);
+        // Budgeted relays pay one branch here; the default (uncapped)
+        // hot path skips the enforcement scan entirely.
+        if self.memory_budget.is_some() {
+            self.enforce_memory_budget();
+        }
+        decision
+    }
+
+    fn process_input_inner<R: Rng + ?Sized>(
         &mut self,
         input: Input<'_>,
         outputs: usize,
@@ -611,6 +729,63 @@ mod tests {
             VnfOutput::Forward(out) => assert_eq!(out, vec![p2]),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn memory_budget_evicts_lowest_priority_session_first() {
+        let mut vnf = CodingVnf::new(cfg(), 8);
+        vnf.set_role(SessionId::new(1), VnfRole::Recoder);
+        vnf.set_role(SessionId::new(2), VnfRole::Recoder);
+        vnf.set_session_priority(SessionId::new(1), 0); // provisioned
+        assert_eq!(vnf.session_priority(SessionId::new(1)), 0);
+        assert_eq!(vnf.session_priority(SessionId::new(2)), u8::MAX);
+        let mut rng = StdRng::seed_from_u64(9);
+        let enc1 = encoder(&[1u8; 64]);
+        let enc2 = encoder(&[2u8; 64]);
+        // Open two generations per session.
+        for g in 0..2 {
+            let p = enc1.coded_packet(SessionId::new(1), g, &mut rng);
+            vnf.process_packet(&p, &mut rng);
+            let p = enc2.coded_packet(SessionId::new(2), g, &mut rng);
+            vnf.process_packet(&p, &mut rng);
+        }
+        assert_eq!(vnf.estimated_state_bytes(), 4 * (4 * (4 + 16)));
+        // Cap at two generations' worth: both of session 2's go first,
+        // oldest first.
+        vnf.set_memory_budget(Some(2 * 4 * (4 + 16)));
+        assert_eq!(vnf.stats().budget_evictions, 2);
+        assert!(vnf.generation_rank(SessionId::new(1), 0).is_some());
+        assert!(vnf.generation_rank(SessionId::new(1), 1).is_some());
+        assert!(vnf.generation_rank(SessionId::new(2), 0).is_none());
+        assert!(vnf.generation_rank(SessionId::new(2), 1).is_none());
+        // The next packet that would exceed the cap evicts as it lands.
+        let p = enc2.coded_packet(SessionId::new(2), 5, &mut rng);
+        vnf.process_packet(&p, &mut rng);
+        assert_eq!(
+            vnf.stats().budget_evictions,
+            3,
+            "the unprovisioned session keeps cannibalizing itself"
+        );
+        assert!(vnf.generation_rank(SessionId::new(1), 0).is_some());
+    }
+
+    #[test]
+    fn memory_budget_uses_staleness_within_a_session() {
+        let mut vnf = CodingVnf::new(cfg(), 8);
+        vnf.set_role(SessionId::new(1), VnfRole::Recoder);
+        let mut rng = StdRng::seed_from_u64(10);
+        let enc = encoder(&[3u8; 64]);
+        for g in 0..3 {
+            let p = enc.coded_packet(SessionId::new(1), g, &mut rng);
+            vnf.process_packet(&p, &mut rng);
+        }
+        vnf.set_memory_budget(Some(2 * 4 * (4 + 16)));
+        assert!(
+            vnf.generation_rank(SessionId::new(1), 0).is_none(),
+            "oldest evicted"
+        );
+        assert!(vnf.generation_rank(SessionId::new(1), 1).is_some());
+        assert!(vnf.generation_rank(SessionId::new(1), 2).is_some());
     }
 
     #[test]

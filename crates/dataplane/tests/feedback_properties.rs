@@ -14,6 +14,7 @@ fn arb_kind() -> impl Strategy<Value = FeedbackKind> {
         Just(FeedbackKind::RetransmitRequest),
         Just(FeedbackKind::Heartbeat),
         Just(FeedbackKind::Wake),
+        Just(FeedbackKind::Congestion),
     ]
 }
 
@@ -75,10 +76,10 @@ proptest! {
         }
     }
 
-    /// A kind byte outside 1..=4 is rejected as unknown, not mis-parsed
+    /// A kind byte outside 1..=5 is rejected as unknown, not mis-parsed
     /// into some other kind.
     #[test]
-    fn unknown_kind_is_rejected(fb in arb_feedback(), kind in 5u8..=255u8) {
+    fn unknown_kind_is_rejected(fb in arb_feedback(), kind in 6u8..=255u8) {
         let mut wire = fb.to_bytes().to_vec();
         wire[1] = kind;
         prop_assert_eq!(

@@ -4,18 +4,23 @@
 //! `netem`; this module is the same idea for the in-process testbed:
 //! [`FaultSocket`] wraps a real `UdpSocket` behind the
 //! [`DatagramSocket`] trait and injects seeded drop / duplicate /
-//! reorder / delay faults (mirroring `netsim::LossModel` semantics, but
-//! on the live socket path), plus crash-after-N-packets to simulate a
-//! VNF dying mid-transfer. Every decision is drawn from a seeded
-//! `StdRng` in packet order, so a test that replays the same traffic
-//! sees the same pathology.
+//! reorder / delay / corrupt / truncate faults (mirroring
+//! `netsim::LossModel` semantics, but on the live socket path), plus
+//! crash-after-N-packets to simulate a VNF dying mid-transfer and an
+//! egress bandwidth throttle to shape a bottleneck link. Every decision
+//! is drawn from a seeded `StdRng` in packet order, so a test that
+//! replays the same traffic sees the same pathology. Corruption and
+//! truncation *parameters* (which bytes flip, how short the prefix is)
+//! are derived from the gate draw's own mantissa bits rather than extra
+//! RNG calls, so per-datagram RNG consumption stays constant no matter
+//! which gates fire.
 //!
 //! Faults can be applied on egress (`send_to`), ingress (`recv_from`),
 //! or both — a chain test typically enables one direction per relay so
 //! each network hop is perturbed exactly once.
 //!
 //! **Batched paths.** The relay's batched loops go through the same
-//! four-gate draws, one per datagram, in arrival order:
+//! six-gate draws, one per datagram, in arrival order:
 //! `recv_batch` receives the first datagram exactly like `recv_from`,
 //! then drains the queue without blocking (ending the batch — without
 //! releasing the reorder stash, since no timeout expired — when the
@@ -28,7 +33,7 @@
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -47,8 +52,9 @@ pub struct FaultDirections {
 
 /// Fault plan for one socket. Rates are per-datagram probabilities; the
 /// gates are drawn independently in a fixed order (drop, duplicate,
-/// reorder, delay) and the first that fires wins, so the RNG consumption
-/// per datagram is constant and runs are reproducible.
+/// reorder, delay, corrupt, truncate) and the first that fires wins, so
+/// the RNG consumption per datagram is constant and runs are
+/// reproducible.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
     /// RNG seed for all fault decisions.
@@ -61,11 +67,21 @@ pub struct FaultConfig {
     pub reorder_rate: f64,
     /// Probability a datagram is delayed by [`delay`](Self::delay).
     pub delay_rate: f64,
+    /// Probability a datagram has 1–3 bytes flipped in place (positions
+    /// and masks derived from the gate draw, so runs are reproducible).
+    pub corrupt_rate: f64,
+    /// Probability a datagram is delivered as a strict prefix of itself
+    /// (possibly empty; the length is derived from the gate draw).
+    pub truncate_rate: f64,
     /// Extra latency applied to delayed datagrams.
     pub delay: Duration,
     /// After this many datagrams (sent + received), the socket "crashes":
     /// sends are blackholed and receives go silent, as if the VNF died.
     pub crash_after: Option<u64>,
+    /// Egress bandwidth ceiling in bits/sec: sends that would exceed it
+    /// sleep until the paced departure time, like a `netem` rate limit
+    /// on the bottleneck link. `None` leaves sends unpaced.
+    pub egress_bps: Option<f64>,
     /// Directions faults apply to.
     pub directions: FaultDirections,
 }
@@ -78,8 +94,11 @@ impl Default for FaultConfig {
             duplicate_rate: 0.0,
             reorder_rate: 0.0,
             delay_rate: 0.0,
+            corrupt_rate: 0.0,
+            truncate_rate: 0.0,
             delay: Duration::from_millis(2),
             crash_after: None,
+            egress_bps: None,
             directions: FaultDirections {
                 ingress: false,
                 egress: true,
@@ -130,10 +149,34 @@ impl FaultConfig {
         self
     }
 
+    /// Sets the byte-corruption probability.
+    #[must_use]
+    pub fn with_corrupt(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "corrupt rate out of range");
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Sets the truncation probability.
+    #[must_use]
+    pub fn with_truncate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "truncate rate out of range");
+        self.truncate_rate = rate;
+        self
+    }
+
     /// Crashes the socket after `n` datagrams.
     #[must_use]
     pub fn with_crash_after(mut self, n: u64) -> Self {
         self.crash_after = Some(n);
+        self
+    }
+
+    /// Caps egress at `bps` bits per second.
+    #[must_use]
+    pub fn with_egress_throttle(mut self, bps: f64) -> Self {
+        assert!(bps > 0.0, "throttle must be positive");
+        self.egress_bps = Some(bps);
         self
     }
 
@@ -159,12 +202,20 @@ pub struct FaultStats {
     pub reordered: u64,
     /// Datagrams delayed.
     pub delayed: u64,
+    /// Datagrams with bytes flipped.
+    pub corrupted: u64,
+    /// Datagrams delivered as a shortened prefix.
+    pub truncated: u64,
+    /// Sends that had to wait for the egress throttle.
+    pub throttled: u64,
     /// True once the socket crashed.
     pub crashed: bool,
 }
 
-/// The three per-datagram outcomes a fault draw can pick (besides clean
-/// delivery).
+/// The per-datagram outcomes a fault draw can pick (besides clean
+/// delivery). `Corrupt`/`Truncate` carry the raw bits of their gate
+/// draw, from which the mutation parameters are derived — no extra RNG
+/// consumption.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FaultDraw {
     Clean,
@@ -172,6 +223,33 @@ enum FaultDraw {
     Duplicate,
     Reorder,
     Delay,
+    Corrupt(u64),
+    Truncate(u64),
+}
+
+/// Flips 1–3 bytes of `data` in place, at positions and with XOR masks
+/// taken from `bits` (a gate draw's IEEE-754 bit pattern). Masks are
+/// forced odd so a flip never degenerates to a no-op.
+fn corrupt_bytes(data: &mut [u8], bits: u64) {
+    if data.is_empty() {
+        return;
+    }
+    let flips = 1 + (bits % 3) as usize;
+    for i in 0..flips {
+        let pos = ((bits >> (11 + 13 * i)) as usize) % data.len();
+        data[pos] ^= ((bits >> (7 * i)) as u8) | 1;
+    }
+}
+
+/// Length of the delivered prefix for a truncated `n`-byte datagram:
+/// strictly shorter than `n`, possibly zero (an empty UDP datagram is
+/// legal and the parse paths must survive it).
+fn truncated_len(n: usize, bits: u64) -> usize {
+    if n == 0 {
+        0
+    } else {
+        (bits as usize) % n
+    }
 }
 
 struct FaultState {
@@ -186,16 +264,23 @@ struct FaultState {
     /// (duplicates and released reorder stashes).
     pending_rx: Vec<(Vec<u8>, SocketAddr)>,
     read_timeout: Option<Duration>,
+    /// Earliest departure time the egress throttle allows next.
+    next_tx: Option<Instant>,
 }
 
 impl FaultState {
     /// Draws the per-datagram gates in fixed order; constant RNG
-    /// consumption keeps fault sequences reproducible.
+    /// consumption keeps fault sequences reproducible. The corrupt and
+    /// truncate gates reuse their own draw's bit pattern as the mutation
+    /// parameter, so firing (or not) never changes how much entropy a
+    /// datagram consumes.
     fn draw(&mut self, config: &FaultConfig) -> FaultDraw {
         let drop = self.rng.gen::<f64>() < config.drop_rate;
         let dup = self.rng.gen::<f64>() < config.duplicate_rate;
         let reorder = self.rng.gen::<f64>() < config.reorder_rate;
         let delay = self.rng.gen::<f64>() < config.delay_rate;
+        let corrupt = self.rng.gen::<f64>();
+        let truncate = self.rng.gen::<f64>();
         if drop {
             FaultDraw::Drop
         } else if dup {
@@ -204,9 +289,30 @@ impl FaultState {
             FaultDraw::Reorder
         } else if delay {
             FaultDraw::Delay
+        } else if corrupt < config.corrupt_rate {
+            FaultDraw::Corrupt(corrupt.to_bits())
+        } else if truncate < config.truncate_rate {
+            FaultDraw::Truncate(truncate.to_bits())
         } else {
             FaultDraw::Clean
         }
+    }
+
+    /// Reserves a departure slot for an `n`-byte datagram under the
+    /// egress throttle; returns how long the caller must sleep (outside
+    /// the lock) before putting it on the wire.
+    fn throttle_wait(&mut self, config: &FaultConfig, n: usize) -> Duration {
+        let Some(bps) = config.egress_bps else {
+            return Duration::ZERO;
+        };
+        let now = Instant::now();
+        let start = self.next_tx.map_or(now, |t| t.max(now));
+        let gap = Duration::from_secs_f64((n as f64 * 8.0) / bps);
+        self.next_tx = Some(start + gap);
+        if start > now {
+            self.stats.throttled += 1;
+        }
+        start.saturating_duration_since(now)
     }
 
     /// Counts one datagram toward the crash budget; returns true if the
@@ -264,6 +370,7 @@ impl FaultSocket {
             stash_rx: None,
             pending_rx: Vec::new(),
             read_timeout: None,
+            next_tx: None,
         }));
         let handle = FaultHandle {
             state: Arc::clone(&state),
@@ -349,6 +456,17 @@ impl FaultSocket {
                     std::thread::sleep(delay);
                     return Some((n, src));
                 }
+                FaultDraw::Corrupt(bits) => {
+                    st.stats.delivered += 1;
+                    st.stats.corrupted += 1;
+                    corrupt_bytes(&mut buf[..n], bits);
+                    return Some((n, src));
+                }
+                FaultDraw::Truncate(bits) => {
+                    st.stats.delivered += 1;
+                    st.stats.truncated += 1;
+                    return Some((truncated_len(n, bits), src));
+                }
                 FaultDraw::Clean => {
                     st.stats.delivered += 1;
                     if let Some(held) = st.stash_rx.take() {
@@ -367,15 +485,18 @@ const CRASHED_POLL: Duration = Duration::from_millis(20);
 
 impl DatagramSocket for FaultSocket {
     fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize> {
-        // Decide under the lock, do socket I/O outside it.
-        let (draw, release, crashed) = {
+        // Decide under the lock, do socket I/O (and sleeps) outside it.
+        let (draw, release, crashed, wait) = {
             let mut st = self.state.lock();
             if st.tick_crash(&self.config) {
                 st.stats.dropped += 1;
-                (FaultDraw::Drop, None, true)
+                (FaultDraw::Drop, None, true, Duration::ZERO)
             } else if !self.config.directions.egress {
                 st.stats.delivered += 1;
-                (FaultDraw::Clean, None, false)
+                // The throttle models the link, not a fault: it paces
+                // even when egress fault gates are off.
+                let wait = st.throttle_wait(&self.config, buf.len());
+                (FaultDraw::Clean, None, false, wait)
             } else {
                 let mut draw = st.draw(&self.config);
                 // A held-back datagram rides out with this send. If the
@@ -404,15 +525,44 @@ impl DatagramSocket for FaultSocket {
                         st.stats.delivered += 1;
                         st.stats.reordered += 1;
                     }
+                    FaultDraw::Corrupt(_) => {
+                        st.stats.delivered += 1;
+                        st.stats.corrupted += 1;
+                    }
+                    FaultDraw::Truncate(_) => {
+                        st.stats.delivered += 1;
+                        st.stats.truncated += 1;
+                    }
                     FaultDraw::Clean => st.stats.delivered += 1,
                 }
-                (draw, release, false)
+                // Reserve a paced departure slot per wire datagram this
+                // call will emit; slots are monotonic, so the last
+                // reservation's wait covers them all.
+                let mut wait = Duration::ZERO;
+                match draw {
+                    FaultDraw::Drop | FaultDraw::Reorder => {}
+                    FaultDraw::Duplicate => {
+                        st.throttle_wait(&self.config, buf.len());
+                        wait = st.throttle_wait(&self.config, buf.len());
+                    }
+                    FaultDraw::Truncate(bits) => {
+                        wait = st.throttle_wait(&self.config, truncated_len(buf.len(), bits));
+                    }
+                    _ => wait = st.throttle_wait(&self.config, buf.len()),
+                }
+                if let Some((held, _)) = &release {
+                    wait = st.throttle_wait(&self.config, held.len());
+                }
+                (draw, release, false, wait)
             }
         };
         if crashed {
             // Blackhole: pretend the bytes left, exactly like a dead VM
             // whose peers keep sending into the void.
             return Ok(buf.len());
+        }
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
         }
         match draw {
             FaultDraw::Drop => {}
@@ -426,6 +576,15 @@ impl DatagramSocket for FaultSocket {
             }
             FaultDraw::Reorder => {
                 // Held back: it leaves with the next datagram (below).
+            }
+            FaultDraw::Corrupt(bits) => {
+                let mut copy = buf.to_vec();
+                corrupt_bytes(&mut copy, bits);
+                self.inner.send_to(&copy, addr)?;
+            }
+            FaultDraw::Truncate(bits) => {
+                self.inner
+                    .send_to(&buf[..truncated_len(buf.len(), bits)], addr)?;
             }
             FaultDraw::Clean => {
                 self.inner.send_to(buf, addr)?;
@@ -509,6 +668,17 @@ impl DatagramSocket for FaultSocket {
                     std::thread::sleep(delay);
                     return Ok((n, src));
                 }
+                FaultDraw::Corrupt(bits) => {
+                    st.stats.delivered += 1;
+                    st.stats.corrupted += 1;
+                    corrupt_bytes(&mut buf[..n], bits);
+                    return Ok((n, src));
+                }
+                FaultDraw::Truncate(bits) => {
+                    st.stats.delivered += 1;
+                    st.stats.truncated += 1;
+                    return Ok((truncated_len(n, bits), src));
+                }
                 FaultDraw::Clean => {
                     st.stats.delivered += 1;
                     // A packet was successfully received: any held-back
@@ -532,7 +702,7 @@ impl DatagramSocket for FaultSocket {
     }
 
     // `send_batch` deliberately keeps the trait's `send_to`-loop default:
-    // each outgoing datagram takes its own four-gate draw in flush order,
+    // each outgoing datagram takes its own six-gate draw in flush order,
     // byte-identical to an unbatched run under the same seed.
 
     fn recv_batch(&self, batch: &mut RecvBatch) -> io::Result<usize> {
@@ -688,6 +858,106 @@ mod tests {
             got += 1;
         }
         assert_eq!(got, 1, "post-crash sends are blackholed");
+    }
+
+    #[test]
+    fn corruption_flips_bytes_deterministically() {
+        let payloads: Vec<Vec<Vec<u8>>> = (0..2)
+            .map(|_| {
+                let sink = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+                sink.set_read_timeout(Some(Duration::from_millis(100)))
+                    .unwrap();
+                let (sock, handle) =
+                    FaultSocket::bind_loopback(FaultConfig::new(17).with_corrupt(1.0)).unwrap();
+                let to = sink.local_addr().unwrap();
+                for i in 0..10u8 {
+                    sock.send_to(&[i, i, i, i], to).unwrap();
+                }
+                let mut buf = [0u8; 16];
+                let mut got = Vec::new();
+                while let Ok((n, _)) = sink.recv_from(&mut buf) {
+                    got.push(buf[..n].to_vec());
+                }
+                assert_eq!(got.len(), 10, "corruption never loses datagrams");
+                assert_eq!(handle.stats().corrupted, 10);
+                for (i, p) in got.iter().enumerate() {
+                    assert_eq!(p.len(), 4, "corruption preserves length");
+                    let clean = [i as u8; 4];
+                    assert_ne!(p[..], clean[..], "mask forced odd: never a no-op");
+                }
+                got
+            })
+            .collect();
+        assert_eq!(payloads[0], payloads[1], "same seed, same bit flips");
+    }
+
+    #[test]
+    fn truncation_shortens_never_lengthens() {
+        let sink = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sink.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let (sock, handle) =
+            FaultSocket::bind_loopback(FaultConfig::new(23).with_truncate(1.0)).unwrap();
+        let to = sink.local_addr().unwrap();
+        for i in 0..10u8 {
+            sock.send_to(&[i; 32], to).unwrap();
+        }
+        let mut buf = [0u8; 64];
+        let mut got = 0u64;
+        while let Ok((n, _)) = sink.recv_from(&mut buf) {
+            assert!(n < 32, "always a strict prefix, got {n}");
+            got += 1;
+        }
+        assert_eq!(got, 10, "truncation never loses datagrams");
+        assert_eq!(handle.stats().truncated, 10);
+    }
+
+    #[test]
+    fn ingress_corruption_mutates_received_bytes() {
+        let sender = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let (sock, handle) = FaultSocket::bind_loopback(
+            FaultConfig::new(29)
+                .with_corrupt(1.0)
+                .with_directions(true, false),
+        )
+        .unwrap();
+        sock.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let to = sock.local_addr().unwrap();
+        sender.send_to(&[7u8; 8], to).unwrap();
+        let mut buf = [0u8; 16];
+        let (n, _) = sock.recv_from(&mut buf).unwrap();
+        assert_eq!(n, 8);
+        assert_ne!(buf[..8], [7u8; 8], "ingress corruption flipped bytes");
+        assert_eq!(handle.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn egress_throttle_paces_the_wire() {
+        let sink = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sink.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        // 100 datagrams x 125 bytes = 100_000 bits; at 1 Mbit/s the tail
+        // datagram cannot depart before ~100ms.
+        let (sock, handle) =
+            FaultSocket::bind_loopback(FaultConfig::new(31).with_egress_throttle(1e6)).unwrap();
+        let to = sink.local_addr().unwrap();
+        let start = Instant::now();
+        for _ in 0..100 {
+            sock.send_to(&[0u8; 125], to).unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(80),
+            "throttle slowed the burst: {elapsed:?}"
+        );
+        let mut buf = [0u8; 256];
+        let mut got = 0u64;
+        while sink.recv_from(&mut buf).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, 100, "pacing never drops");
+        assert!(handle.stats().throttled > 50, "most sends queued");
     }
 
     #[test]

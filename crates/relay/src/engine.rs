@@ -28,11 +28,14 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 
 use ncvnf_control::ForwardingTable;
-use ncvnf_dataplane::{chunk_generation, CodingVnf, Feedback, VnfDecision, FEEDBACK_MAGIC};
+use ncvnf_dataplane::{
+    chunk_generation, CodingVnf, Feedback, FeedbackKind, VnfDecision, FEEDBACK_MAGIC,
+};
 use ncvnf_obs::Registry;
 use ncvnf_rlnc::{CodedPacket, NcHeader, SessionId};
 
 use crate::metrics::{BatchMetrics, StepMetrics, STEP_SAMPLE_EVERY};
+use crate::overload::{monotonic_secs, Admission, OverloadConfig, OverloadState, QuotaConfig};
 use crate::socket::RecvBatch;
 use crate::SendBatch;
 
@@ -89,12 +92,20 @@ impl RouteCache {
 pub struct RelayEngine {
     vnf: CodingVnf,
     rng: StdRng,
+    /// Admission/shedding gate. `None` (the default) means the overload
+    /// regime does not exist: the batch path pays one `Option` test and
+    /// behaves byte-identically to a relay without overload protection.
+    overload: Option<OverloadState>,
 }
 
 impl RelayEngine {
     /// Wraps a configured VNF and coefficient RNG.
     pub fn new(vnf: CodingVnf, rng: StdRng) -> Self {
-        RelayEngine { vnf, rng }
+        RelayEngine {
+            vnf,
+            rng,
+            overload: None,
+        }
     }
 
     /// The wrapped VNF (for stats and role configuration).
@@ -105,6 +116,34 @@ impl RelayEngine {
     /// Mutable access to the wrapped VNF (control-plane reconfiguration).
     pub fn vnf_mut(&mut self) -> &mut CodingVnf {
         &mut self.vnf
+    }
+
+    /// The admission gate, if the overload regime is armed.
+    pub fn overload(&self) -> Option<&OverloadState> {
+        self.overload.as_ref()
+    }
+
+    /// Mutable access to the admission gate.
+    pub fn overload_mut(&mut self) -> Option<&mut OverloadState> {
+        self.overload.as_mut()
+    }
+
+    /// Creates the admission gate with `config` (idempotent: an existing
+    /// gate keeps its budgets and counters).
+    pub fn enable_overload(&mut self, config: OverloadConfig) -> &mut OverloadState {
+        self.overload
+            .get_or_insert_with(|| OverloadState::new(config))
+    }
+
+    /// Provisions a session's admission quota, creating the gate with
+    /// default tunables on first use (the `NC_QUOTA` fanout path). Also
+    /// records the session's priority with the VNF so memory-pressure
+    /// eviction agrees with the shedding order.
+    pub fn provision_quota(&mut self, session: SessionId, quota: QuotaConfig) {
+        self.vnf.set_session_priority(session, quota.priority);
+        self.overload
+            .get_or_insert_with(|| OverloadState::new(OverloadConfig::default()))
+            .provision(session, quota, monotonic_secs());
     }
 }
 
@@ -340,6 +379,26 @@ struct ShardSlot {
     addrs: Vec<SocketAddr>,
 }
 
+/// One source owed a `Congestion` feedback frame for datagrams shed
+/// this batch.
+#[derive(Debug, Clone, Copy)]
+struct CongestTarget {
+    session: SessionId,
+    src: SocketAddr,
+    /// Datagrams of this (session, source) shed in the current batch.
+    shed: u16,
+    /// Shard pool pressure (percent) when the shed happened.
+    load_pct: u32,
+    /// The shedding shard's cumulative shed total (all classes).
+    total_shed: u32,
+}
+
+/// Most distinct (session, source) pairs notified per batch. A batch
+/// holds at most `MAX_BATCH` datagrams, so overflow only drops
+/// *duplicate* notifications; every source sheds again next batch and
+/// gets its frame then.
+const MAX_CONGEST_TARGETS: usize = 8;
+
 /// Reusable per-thread scratch for [`relay_batch`]: per-shard dispatch
 /// groups and recycle queues, plus the egress [`SendBatch`] the caller
 /// flushes after each call. Like [`RelayScratch`], every buffer's
@@ -349,6 +408,8 @@ struct ShardSlot {
 pub struct BatchScratch {
     slots: Vec<ShardSlot>,
     send: SendBatch,
+    /// Sources owed a congestion frame this batch (deduped, capped).
+    congest: Vec<CongestTarget>,
     obs: Option<BatchMetrics>,
 }
 
@@ -359,6 +420,7 @@ impl BatchScratch {
         BatchScratch {
             slots: (0..shards.max(1)).map(|_| ShardSlot::default()).collect(),
             send: SendBatch::new(),
+            congest: Vec::new(),
             obs: None,
         }
     }
@@ -403,6 +465,56 @@ pub struct BatchReport {
     /// another shard's socket; the kernel's `SO_REUSEPORT` hash and the
     /// relay's `(session, generation)` hash need not agree).
     pub cross_shard: u64,
+    /// Datagrams shed because the session's token bucket was dry.
+    pub shed_quota: u64,
+    /// Datagrams shed by the armed per-batch cap (newest first).
+    pub shed_overload: u64,
+    /// Datagrams shed while armed as pure redundancy (their generation
+    /// was already full rank).
+    pub shed_redundancy: u64,
+    /// `Congestion` feedback frames queued toward shed sources.
+    pub congestion_out: u64,
+    /// `Congestion` feedback frames received (counted within
+    /// `feedback_frames`; relays drop them like all feedback).
+    pub congestion_in: u64,
+}
+
+impl BatchReport {
+    /// Sum of the three shed classes.
+    #[must_use]
+    pub fn total_shed(&self) -> u64 {
+        self.shed_quota + self.shed_overload + self.shed_redundancy
+    }
+}
+
+/// Notes one shed datagram against its source's congestion-frame entry
+/// (deduped per batch, capped at [`MAX_CONGEST_TARGETS`]).
+fn note_congestion(
+    congest: &mut Vec<CongestTarget>,
+    session: SessionId,
+    src: SocketAddr,
+    load_pct: u32,
+    total_shed: u64,
+) {
+    let total_shed = total_shed.min(u32::MAX as u64) as u32;
+    if let Some(t) = congest
+        .iter_mut()
+        .find(|t| t.session == session && t.src == src)
+    {
+        t.shed = t.shed.saturating_add(1);
+        t.load_pct = load_pct;
+        t.total_shed = total_shed;
+        return;
+    }
+    if congest.len() < MAX_CONGEST_TARGETS {
+        congest.push(CongestTarget {
+            session,
+            src,
+            shed: 1,
+            load_pct,
+            total_shed,
+        });
+    }
 }
 
 /// Processes one received batch through the sharded relay data path.
@@ -425,7 +537,12 @@ pub fn relay_batch(
     scratch: &mut BatchScratch,
     batch: &RecvBatch,
 ) -> BatchReport {
-    let BatchScratch { slots, send, obs } = scratch;
+    let BatchScratch {
+        slots,
+        send,
+        congest,
+        obs,
+    } = scratch;
     debug_assert_eq!(slots.len(), shards.len(), "scratch/shard count mismatch");
     let mut report = BatchReport::default();
     let started = match obs {
@@ -433,16 +550,24 @@ pub fn relay_batch(
         None => None,
     };
     send.clear();
+    congest.clear();
     for slot in slots.iter_mut() {
         slot.group.clear();
     }
 
     // Dispatch: peek (session, generation) from the fixed header
-    // prefix and group datagram indices by owner shard.
+    // prefix and group datagram indices by owner shard. Feedback is
+    // classified *before* admission control — backpressure and
+    // liveness frames are never shed.
     for (i, (dg, _src)) in batch.iter().enumerate() {
         if dg.first() == Some(&FEEDBACK_MAGIC) {
             match Feedback::from_bytes(dg) {
-                Ok(_) => report.feedback_frames += 1,
+                Ok(fb) => {
+                    report.feedback_frames += 1;
+                    if fb.kind == FeedbackKind::Congestion {
+                        report.congestion_in += 1;
+                    }
+                }
                 Err(_) => report.malformed_feedback += 1,
             }
             continue;
@@ -473,7 +598,7 @@ pub fn relay_batch(
         }
 
         // Process under the shard's engine lock: one acquisition for
-        // recycle + the whole group.
+        // recycle + admission + the whole group.
         let block_size = {
             let mut guard = shard.engine.lock();
             let engine = &mut *guard;
@@ -481,8 +606,37 @@ pub fn relay_batch(
             for pkt in pending.drain(..) {
                 engine.vnf.recycle(pkt);
             }
+            let gen_size = engine.vnf.config().blocks_per_generation();
+            if let Some(ov) = engine.overload.as_mut() {
+                ov.begin_batch(engine.vnf.pool_pressure());
+            }
             for &idx in group.iter() {
-                let (dg, _src) = batch.get(idx as usize);
+                let (dg, src) = batch.get(idx as usize);
+                if let Some(ov) = engine.overload.as_mut() {
+                    if let Some((session, generation)) = NcHeader::peek_ids(dg) {
+                        let full_rank = engine
+                            .vnf
+                            .generation_rank(session, generation)
+                            .is_some_and(|r| r >= gen_size);
+                        let verdict = ov.admit(session, monotonic_secs(), full_rank);
+                        if !verdict.admitted() {
+                            match verdict {
+                                Admission::ShedQuota => report.shed_quota += 1,
+                                Admission::ShedOverload => report.shed_overload += 1,
+                                Admission::ShedRedundancy => report.shed_redundancy += 1,
+                                Admission::Admit => unreachable!("not admitted"),
+                            }
+                            note_congestion(
+                                congest,
+                                session,
+                                src,
+                                ov.load_pct(),
+                                ov.stats().total_shed(),
+                            );
+                            continue;
+                        }
+                    }
+                }
                 let start = out.len() as u32;
                 let decision = engine.vnf.process_wire_into(dg, 1, &mut engine.rng, out);
                 report.steps += 1;
@@ -527,6 +681,16 @@ pub fn relay_batch(
         }
         drop(routes);
         pending.append(out);
+    }
+
+    // Backpressure: one Congestion frame per shed (session, source)
+    // pair, flushed with the same egress batch as the coded traffic.
+    // This path only runs while shedding, so its small allocations
+    // never touch the non-shedding steady state.
+    for t in congest.drain(..) {
+        let frame = Feedback::congestion(t.session, t.load_pct, t.shed, t.total_shed).to_bytes();
+        send.push_bytes(&frame, std::slice::from_ref(&t.src));
+        report.congestion_out += 1;
     }
     report.queued = send.len() as u64;
 

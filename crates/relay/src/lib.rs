@@ -34,6 +34,7 @@ mod chaos;
 mod engine;
 pub mod metrics;
 mod node;
+pub mod overload;
 mod recovery;
 mod socket;
 mod transfer;
@@ -45,6 +46,7 @@ pub use engine::{
 };
 pub use metrics::{BatchMetrics, RecoveryMetrics, RelayNodeMetrics, StepMetrics, TransferObs};
 pub use node::{HeartbeatConfig, RelayConfig, RelayHandle, RelayNode, RelayStats};
+pub use overload::{Admission, OverloadConfig, OverloadState, OverloadStats, QuotaConfig};
 pub use recovery::{
     reliable_chain, send_object_reliable, RecoveryConfig, RecoveryStats, ReliableChainReport,
     ReliableReceiver,

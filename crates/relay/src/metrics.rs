@@ -240,6 +240,69 @@ pub const WAKE_SIGNALS: MetricDesc = desc(
     "Wake requests emitted toward the monitor (traffic arrived while draining)",
 );
 
+/// `relay.shed_quota` — datagrams shed by per-session admission.
+pub const SHED_QUOTA: MetricDesc = desc(
+    "relay.shed_quota",
+    MetricKind::Counter,
+    "datagrams",
+    "relay",
+    "Datagrams shed because the session's admission token bucket was dry",
+);
+
+/// `relay.shed_overload` — datagrams shed by the armed batch cap.
+pub const SHED_OVERLOAD: MetricDesc = desc(
+    "relay.shed_overload",
+    MetricKind::Counter,
+    "datagrams",
+    "relay",
+    "Datagrams shed newest-first by the armed per-batch admission cap",
+);
+
+/// `relay.shed_redundancy` — redundancy datagrams shed while armed.
+pub const SHED_REDUNDANCY: MetricDesc = desc(
+    "relay.shed_redundancy",
+    MetricKind::Counter,
+    "datagrams",
+    "relay",
+    "Datagrams shed while armed because their generation was already full rank",
+);
+
+/// `relay.congestion_frames` — backpressure frames emitted.
+pub const CONGESTION_FRAMES: MetricDesc = desc(
+    "relay.congestion_frames",
+    MetricKind::Counter,
+    "frames",
+    "relay",
+    "Congestion feedback frames emitted toward the sources of shed traffic",
+);
+
+/// `relay.quota_sessions` — sessions with a provisioned quota.
+pub const QUOTA_SESSIONS: MetricDesc = desc(
+    "relay.quota_sessions",
+    MetricKind::Gauge,
+    "sessions",
+    "relay",
+    "Sessions with an explicitly provisioned admission quota (NC_QUOTA)",
+);
+
+/// `relay.pool_pressure` — payload-pool byte pressure.
+pub const POOL_PRESSURE: MetricDesc = desc(
+    "relay.pool_pressure",
+    MetricKind::Gauge,
+    "ratio",
+    "relay",
+    "Highest per-shard payload-pool byte pressure (retained+outstanding over budget)",
+);
+
+/// `relay.shedding_shards` — shards currently in shedding mode.
+pub const SHEDDING_SHARDS: MetricDesc = desc(
+    "relay.shedding_shards",
+    MetricKind::Gauge,
+    "shards",
+    "relay",
+    "Engine shards whose overload latch is currently armed",
+);
+
 /// Registry-backed counters for a relay node's two socket loops.
 #[derive(Debug, Clone)]
 pub struct RelayNodeMetrics {
@@ -281,6 +344,20 @@ pub struct RelayNodeMetrics {
     pub daemon_state: Gauge,
     /// Wake requests emitted while draining.
     pub wake_signals: Counter,
+    /// Datagrams shed by per-session admission.
+    pub shed_quota: Counter,
+    /// Datagrams shed by the armed batch cap.
+    pub shed_overload: Counter,
+    /// Redundancy datagrams shed while armed.
+    pub shed_redundancy: Counter,
+    /// Congestion feedback frames emitted.
+    pub congestion_frames: Counter,
+    /// Sessions with a provisioned quota.
+    pub quota_sessions: Gauge,
+    /// Highest per-shard pool byte pressure.
+    pub pool_pressure: Gauge,
+    /// Shards whose overload latch is armed.
+    pub shedding_shards: Gauge,
 }
 
 impl RelayNodeMetrics {
@@ -306,6 +383,13 @@ impl RelayNodeMetrics {
             idle_ms: registry.gauge(IDLE_MS),
             daemon_state: registry.gauge(DAEMON_STATE),
             wake_signals: registry.counter(WAKE_SIGNALS),
+            shed_quota: registry.counter(SHED_QUOTA),
+            shed_overload: registry.counter(SHED_OVERLOAD),
+            shed_redundancy: registry.counter(SHED_REDUNDANCY),
+            congestion_frames: registry.counter(CONGESTION_FRAMES),
+            quota_sessions: registry.gauge(QUOTA_SESSIONS),
+            pool_pressure: registry.gauge(POOL_PRESSURE),
+            shedding_shards: registry.gauge(SHEDDING_SHARDS),
         }
     }
 }
@@ -630,6 +714,33 @@ pub const RECOVERY_BACKOFF_NS: MetricDesc = desc(
     "Exponential-backoff waits scheduled between retransmission rounds",
 );
 
+/// `recovery.congestion_events` — Congestion frames honoured.
+pub const RECOVERY_CONGESTION_EVENTS: MetricDesc = desc(
+    "recovery.congestion_events",
+    MetricKind::Counter,
+    "frames",
+    "relay",
+    "Congestion feedback frames honoured with a redundancy cut and pause (source)",
+);
+
+/// `recovery.backpressure_ns` — send pauses imposed by backpressure.
+pub const RECOVERY_BACKPRESSURE_NS: MetricDesc = desc(
+    "recovery.backpressure_ns",
+    MetricKind::Histogram,
+    "ns",
+    "relay",
+    "Pauses imposed on the paced pass and repair bursts by Congestion feedback",
+);
+
+/// `recovery.congestion_window` — last reported downstream load.
+pub const RECOVERY_CONGESTION_WINDOW: MetricDesc = desc(
+    "recovery.congestion_window",
+    MetricKind::Gauge,
+    "percent",
+    "relay",
+    "Downstream load percent carried by the most recent Congestion frame (source)",
+);
+
 /// Registry-backed counters for the reliable-transfer protocol.
 ///
 /// Field meanings mirror [`RecoveryStats`](crate::RecoveryStats); the
@@ -656,6 +767,12 @@ pub struct RecoveryMetrics {
     pub unrecovered: Counter,
     /// Backoff waits scheduled (source).
     pub backoff_ns: Histogram,
+    /// Congestion frames honoured (source).
+    pub congestion_events: Counter,
+    /// Backpressure pauses imposed on sends (source).
+    pub backpressure_ns: Histogram,
+    /// Last reported downstream load percent (source).
+    pub congestion_window: Gauge,
     /// Trace ring for repair-burst events.
     pub trace: TraceRing,
 }
@@ -674,6 +791,9 @@ impl RecoveryMetrics {
             generations_recovered: registry.counter(RECOVERY_GENERATIONS_RECOVERED),
             unrecovered: registry.counter(RECOVERY_UNRECOVERED),
             backoff_ns: registry.histogram(RECOVERY_BACKOFF_NS),
+            congestion_events: registry.counter(RECOVERY_CONGESTION_EVENTS),
+            backpressure_ns: registry.histogram(RECOVERY_BACKPRESSURE_NS),
+            congestion_window: registry.gauge(RECOVERY_CONGESTION_WINDOW),
             trace: registry.trace(),
         }
     }

@@ -50,6 +50,7 @@ use ncvnf_rlnc::{GenerationConfig, PoolMetrics, PoolStats, SessionId};
 
 use crate::engine::{relay_batch, BatchScratch, RelayEngine, RelayShard};
 use crate::metrics::{self, RelayNodeMetrics};
+use crate::overload::QuotaConfig;
 use crate::socket::{DatagramSocket, RecvBatch, MAX_BATCH};
 
 /// Liveness beaconing: where and how often a relay announces it is alive.
@@ -162,6 +163,22 @@ pub struct RelayStats {
     /// Wake requests emitted toward the monitor: the data path saw
     /// traffic while the daemon was draining toward scale-to-zero.
     pub wake_signals: u64,
+    /// Datagrams shed because a session's admission bucket was dry.
+    pub shed_quota: u64,
+    /// Datagrams shed newest-first by the armed per-batch cap.
+    pub shed_overload: u64,
+    /// Redundancy datagrams shed while the overload latch was armed.
+    pub shed_redundancy: u64,
+    /// Congestion feedback frames emitted toward shed traffic's sources.
+    pub congestion_frames: u64,
+}
+
+impl RelayStats {
+    /// Sum of the three shed classes.
+    #[must_use]
+    pub fn total_shed(&self) -> u64 {
+        self.shed_quota + self.shed_overload + self.shed_redundancy
+    }
 }
 
 /// Epoch/sequence fence state of the control socket: the highest
@@ -201,39 +218,67 @@ struct Shared {
     wake_sent: AtomicBool,
 }
 
+/// Aggregated per-shard engine state, gathered under each shard's
+/// engine lock in turn.
+#[derive(Debug, Default)]
+struct EngineTotals {
+    vnf: VnfStats,
+    pool: PoolStats,
+    /// Highest per-shard payload-pool byte pressure.
+    pressure: f64,
+    /// Shards whose overload latch is currently armed.
+    armed_shards: u64,
+    /// Sessions with a provisioned quota (the `NC_QUOTA` fanout reaches
+    /// every shard identically, so the max over shards is the count).
+    quota_sessions: u64,
+}
+
 impl Shared {
-    /// Sums the per-shard VNF and pool counters (each shard's engine
-    /// lock is held only for its two stats copies).
-    fn vnf_totals(&self) -> (VnfStats, PoolStats) {
-        let mut vnf = VnfStats::default();
-        let mut pool = PoolStats::default();
+    /// Sums the per-shard VNF and pool counters and the overload gauges
+    /// (each shard's engine lock is held only for its stats copies).
+    fn vnf_totals(&self) -> EngineTotals {
+        let mut t = EngineTotals::default();
         for shard in &self.shards {
             let guard = shard.engine().lock();
             let s = guard.vnf().stats();
             let p = guard.vnf().pool_stats();
+            t.pressure = t.pressure.max(guard.vnf().pool_pressure());
+            if let Some(ov) = guard.overload() {
+                if ov.armed() {
+                    t.armed_shards += 1;
+                }
+                t.quota_sessions = t.quota_sessions.max(ov.provisioned_sessions() as u64);
+            }
             drop(guard);
-            vnf.packets_in += s.packets_in;
-            vnf.packets_out += s.packets_out;
-            vnf.innovative_in += s.innovative_in;
-            vnf.malformed += s.malformed;
-            vnf.unknown_session += s.unknown_session;
-            vnf.generations_decoded += s.generations_decoded;
-            vnf.evicted_decoders += s.evicted_decoders;
-            pool.checkouts += p.checkouts;
-            pool.hits += p.hits;
-            pool.reclaimed += p.reclaimed;
-            pool.dropped += p.dropped;
+            t.vnf.packets_in += s.packets_in;
+            t.vnf.packets_out += s.packets_out;
+            t.vnf.innovative_in += s.innovative_in;
+            t.vnf.malformed += s.malformed;
+            t.vnf.unknown_session += s.unknown_session;
+            t.vnf.generations_decoded += s.generations_decoded;
+            t.vnf.evicted_decoders += s.evicted_decoders;
+            t.vnf.budget_evictions += s.budget_evictions;
+            t.pool.checkouts += p.checkouts;
+            t.pool.hits += p.hits;
+            t.pool.reclaimed += p.reclaimed;
+            t.pool.dropped += p.dropped;
+            t.pool.evicted += p.evicted;
         }
-        (vnf, pool)
+        t
     }
 
-    /// Publishes the aggregated VNF/pool counters into the registry,
-    /// then snapshots everything.
+    /// Publishes the aggregated VNF/pool counters and overload gauges
+    /// into the registry, then snapshots everything.
     fn snapshot(&self) -> Snapshot {
-        let (vnf, pool) = self.vnf_totals();
-        self.vnf_metrics.publish(&vnf);
-        self.pool_metrics.publish(&pool);
+        let totals = self.vnf_totals();
+        self.vnf_metrics.publish(&totals.vnf);
+        self.pool_metrics.publish(&totals.pool);
         self.metrics.idle_ms.set(self.idle_ms() as f64);
+        self.metrics.pool_pressure.set(totals.pressure);
+        self.metrics.shedding_shards.set(totals.armed_shards as f64);
+        self.metrics
+            .quota_sessions
+            .set(totals.quota_sessions as f64);
         self.registry.snapshot()
     }
 
@@ -296,6 +341,10 @@ impl RelayHandle {
             batches: self.shared.batches.get(),
             cross_shard_packets: self.shared.cross_shard.get(),
             wake_signals: m.wake_signals.get(),
+            shed_quota: m.shed_quota.get(),
+            shed_overload: m.shed_overload.get(),
+            shed_redundancy: m.shed_redundancy.get(),
+            congestion_frames: m.congestion_frames.get(),
         }
     }
 
@@ -337,14 +386,14 @@ impl RelayHandle {
     /// Snapshot of the coding VNF's counters, summed over every shard
     /// (each shard's engine lock is taken briefly in turn).
     pub fn vnf_stats(&self) -> VnfStats {
-        self.shared.vnf_totals().0
+        self.shared.vnf_totals().vnf
     }
 
     /// Snapshot of the VNF buffer pools' counters, summed over every
     /// shard (hit rate ≈ 1.0 once the forward/recode steady state is
     /// allocation-free).
     pub fn pool_stats(&self) -> PoolStats {
-        self.shared.vnf_totals().1
+        self.shared.vnf_totals().pool
     }
 
     /// The relay's current forwarding table (text form).
@@ -604,6 +653,18 @@ fn data_loop<S: DatagramSocket>(
         if report.malformed_feedback > 0 {
             m.malformed_feedback.add(report.malformed_feedback);
         }
+        if report.shed_quota > 0 {
+            m.shed_quota.add(report.shed_quota);
+        }
+        if report.shed_overload > 0 {
+            m.shed_overload.add(report.shed_overload);
+        }
+        if report.shed_redundancy > 0 {
+            m.shed_redundancy.add(report.shed_redundancy);
+        }
+        if report.congestion_out > 0 {
+            m.congestion_frames.add(report.congestion_out);
+        }
         if report.queued > 0 {
             let sent = socket.send_batch(scratch.send()).unwrap_or(0) as u64;
             m.sends.add(report.queued);
@@ -778,6 +839,26 @@ fn control_loop<S: DatagramSocket>(
                             m.table_digest.set(digest as f64);
                             trace.push(TraceKind::TableSwap, sessions, swap_ns);
                         }
+                    }
+                }
+                DaemonEvent::ProvisionQuota {
+                    session,
+                    rate_pps,
+                    burst,
+                    priority,
+                } => {
+                    // Fan the budget out to every shard's admission
+                    // gate (any shard can own any generation of this
+                    // session), arming the overload regime on first
+                    // use. Each shard's engine lock is held briefly,
+                    // exactly like a role change.
+                    let quota = QuotaConfig {
+                        rate_pps: f64::from(rate_pps),
+                        burst: f64::from(burst),
+                        priority,
+                    };
+                    for shard in &shared.shards {
+                        shard.engine().lock().provision_quota(session, quota);
                     }
                 }
                 _ => {}

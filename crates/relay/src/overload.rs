@@ -1,0 +1,477 @@
+//! Admission control and prioritized load shedding for the data path.
+//!
+//! Overload protection is opt-in and layered (DESIGN.md §16):
+//!
+//! 1. **Per-session admission.** Each shard keeps a token bucket
+//!    per session, provisioned by the control plane
+//!    via `NC_QUOTA` (session 0 sets the default bucket unknown
+//!    sessions are lazily cloned from). Refill is folded into the
+//!    admission check itself — O(1) per datagram, no timer thread.
+//! 2. **Prioritized shedding.** When the payload pool's byte pressure
+//!    crosses the high-water mark, the shard latches into shedding mode
+//!    (hysteresis: it disarms only below the low-water mark). While
+//!    armed, coded-data datagrams whose generation is already at full
+//!    rank are shed first (pure redundancy — they cannot advance the
+//!    decode), then admissions are capped per batch so the newest
+//!    arrivals are shed. Control signals live on the control socket and
+//!    feedback frames are classified before admission, so neither class
+//!    can ever be shed by this gate.
+//! 3. **Backpressure.** Every shed datagram nominates its source for a
+//!    `Congestion` feedback frame (kind 5), emitted by
+//!    [`relay_batch`](crate::relay_batch) with the same egress flush as
+//!    the coded traffic; senders react by cutting redundancy
+//!    multiplicatively and pausing bursts.
+//!
+//! Until the first quota arrives (or a relay explicitly enables it),
+//! the regime does not exist at all — the hot path pays a single
+//! `Option` test and behaves byte-identically to a relay without this
+//! module.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use ncvnf_rlnc::SessionId;
+
+/// Monotonic seconds since the first call in this process — the clock
+/// the token buckets refill against. Tests drive
+/// [`OverloadState::admit`] with explicit times instead.
+#[must_use]
+pub fn monotonic_secs() -> f64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// A session's provisioned admission quota.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuotaConfig {
+    /// Token refill rate, packets per second. `0` blocks the session.
+    pub rate_pps: f64,
+    /// Bucket depth in packets (the tolerated burst).
+    pub burst: f64,
+    /// Shedding/eviction priority: 0 is most important, 255 least.
+    pub priority: u8,
+}
+
+/// One session's token bucket. Refill happens lazily on each take: the
+/// elapsed time since the previous take converts to tokens, capped at
+/// the burst depth.
+#[derive(Debug, Clone, Copy)]
+struct SessionBudget {
+    tokens: f64,
+    last_refill_secs: f64,
+    quota: QuotaConfig,
+}
+
+impl SessionBudget {
+    fn new(quota: QuotaConfig, now_secs: f64) -> Self {
+        SessionBudget {
+            tokens: quota.burst,
+            last_refill_secs: now_secs,
+            quota,
+        }
+    }
+
+    /// Refills for the elapsed time and takes one token; false when the
+    /// bucket is dry (the datagram must be shed).
+    fn try_take(&mut self, now_secs: f64) -> bool {
+        if self.quota.rate_pps <= 0.0 && self.quota.burst <= 0.0 {
+            return false;
+        }
+        let dt = (now_secs - self.last_refill_secs).max(0.0);
+        self.last_refill_secs = now_secs;
+        self.tokens = (self.tokens + dt * self.quota.rate_pps).min(self.quota.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Tunables for one shard's overload regime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadConfig {
+    /// Pool byte pressure (see
+    /// [`PayloadPool::pressure`](ncvnf_rlnc::PayloadPool::pressure))
+    /// at which shedding arms.
+    pub high_water: f64,
+    /// Pressure at which an armed shard disarms (hysteresis: must be
+    /// below `high_water` to prevent flapping).
+    pub low_water: f64,
+    /// Maximum coded-data admissions per shard batch while armed; later
+    /// (newest) arrivals in the batch are shed.
+    pub armed_batch_cap: u32,
+    /// Bound on lazily-tracked unknown sessions; beyond it, sessions
+    /// without a provisioned quota are rejected outright.
+    pub max_tracked_sessions: usize,
+    /// Bucket unknown sessions are cloned from (`None` admits them
+    /// freely; a zero-rate quota rejects them).
+    pub default_quota: Option<QuotaConfig>,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            high_water: 0.85,
+            low_water: 0.6,
+            armed_batch_cap: 8,
+            max_tracked_sessions: 1024,
+            default_quota: None,
+        }
+    }
+}
+
+/// Running admission counters of one shard. The three shed classes are
+/// disjoint; their sum is every datagram this gate refused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Datagrams the gate admitted.
+    pub admitted: u64,
+    /// Shed because the session's token bucket was dry.
+    pub shed_quota: u64,
+    /// Shed by the armed per-batch cap (newest arrivals first).
+    pub shed_overload: u64,
+    /// Shed while armed because the generation was already full rank.
+    pub shed_redundancy: u64,
+}
+
+impl OverloadStats {
+    /// Sum of the three shed classes.
+    #[must_use]
+    pub fn total_shed(&self) -> u64 {
+        self.shed_quota + self.shed_overload + self.shed_redundancy
+    }
+}
+
+/// The admission gate's verdict for one coded-data datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Process the datagram.
+    Admit,
+    /// Shed: session token bucket dry (or session rejected).
+    ShedQuota,
+    /// Shed: armed batch cap reached (newest arrivals).
+    ShedOverload,
+    /// Shed: armed and the generation is already full rank.
+    ShedRedundancy,
+}
+
+impl Admission {
+    /// True when the datagram should be processed.
+    #[must_use]
+    pub fn admitted(&self) -> bool {
+        matches!(self, Admission::Admit)
+    }
+}
+
+/// Per-shard admission and shedding state, owned by the shard's
+/// [`RelayEngine`](crate::RelayEngine) so the existing engine lock
+/// covers it — no second mutex on the hot path.
+#[derive(Debug)]
+pub struct OverloadState {
+    config: OverloadConfig,
+    budgets: HashMap<SessionId, SessionBudget>,
+    /// Sessions with an explicitly provisioned quota (the rest of
+    /// `budgets` are lazy clones of the default bucket).
+    provisioned: usize,
+    /// Hysteresis latch: true while shedding mode is armed.
+    armed: bool,
+    /// Pool pressure observed at the last `begin_batch`.
+    pressure: f64,
+    /// Coded-data admissions so far in the current batch.
+    batch_admitted: u32,
+    stats: OverloadStats,
+}
+
+impl OverloadState {
+    /// A passive gate: no quotas, disarmed, admits everything.
+    #[must_use]
+    pub fn new(config: OverloadConfig) -> Self {
+        OverloadState {
+            config,
+            budgets: HashMap::new(),
+            provisioned: 0,
+            armed: false,
+            pressure: 0.0,
+            batch_admitted: 0,
+            stats: OverloadStats::default(),
+        }
+    }
+
+    /// The gate's tunables.
+    #[must_use]
+    pub fn config(&self) -> &OverloadConfig {
+        &self.config
+    }
+
+    /// (Re)provisions a session's quota. Session 0 sets the default
+    /// bucket unknown sessions are admitted against.
+    pub fn provision(&mut self, session: SessionId, quota: QuotaConfig, now_secs: f64) {
+        if session.value() == 0 {
+            self.config.default_quota = Some(quota);
+            return;
+        }
+        if self
+            .budgets
+            .insert(session, SessionBudget::new(quota, now_secs))
+            .is_none()
+        {
+            self.provisioned += 1;
+        }
+    }
+
+    /// Number of sessions with an explicitly provisioned quota.
+    #[must_use]
+    pub fn provisioned_sessions(&self) -> usize {
+        self.provisioned
+    }
+
+    /// A session's provisioned priority (0 = most important); unknown
+    /// sessions inherit the default bucket's priority, or least
+    /// important when there is no default.
+    #[must_use]
+    pub fn priority(&self, session: SessionId) -> u8 {
+        self.budgets
+            .get(&session)
+            .map(|b| b.quota.priority)
+            .or_else(|| self.config.default_quota.map(|q| q.priority))
+            .unwrap_or(u8::MAX)
+    }
+
+    /// True while shedding mode is armed.
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Pool pressure at the last batch start, as an integer percent
+    /// (what `Congestion` frames carry as their load field).
+    #[must_use]
+    pub fn load_pct(&self) -> u32 {
+        (self.pressure * 100.0).clamp(0.0, u32::MAX as f64) as u32
+    }
+
+    /// Running admission counters.
+    #[must_use]
+    pub fn stats(&self) -> OverloadStats {
+        self.stats
+    }
+
+    /// Starts a batch: updates the hysteresis latch from the pool's
+    /// current byte pressure and resets the per-batch admission count.
+    pub fn begin_batch(&mut self, pressure: f64) {
+        self.pressure = pressure;
+        if pressure >= self.config.high_water {
+            self.armed = true;
+        } else if pressure <= self.config.low_water {
+            self.armed = false;
+        }
+        self.batch_admitted = 0;
+    }
+
+    /// Judges one coded-data datagram. `full_rank` is whether the
+    /// datagram's generation already has all the rank it needs (the
+    /// datagram is pure redundancy).
+    pub fn admit(&mut self, session: SessionId, now_secs: f64, full_rank: bool) -> Admission {
+        // Redundancy first: an armed shard sheds packets that cannot
+        // advance a decode before it touches anyone's token budget.
+        if self.armed && full_rank {
+            self.stats.shed_redundancy += 1;
+            return Admission::ShedRedundancy;
+        }
+        if let Some(budget) = self.budgets.get_mut(&session) {
+            if !budget.try_take(now_secs) {
+                self.stats.shed_quota += 1;
+                return Admission::ShedQuota;
+            }
+        } else if let Some(default) = self.config.default_quota {
+            if self.budgets.len() >= self.config.max_tracked_sessions {
+                // Table full: reject rather than admit untracked.
+                self.stats.shed_quota += 1;
+                return Admission::ShedQuota;
+            }
+            let budget = self
+                .budgets
+                .entry(session)
+                .or_insert_with(|| SessionBudget::new(default, now_secs));
+            if !budget.try_take(now_secs) {
+                self.stats.shed_quota += 1;
+                return Admission::ShedQuota;
+            }
+        }
+        if self.armed && self.batch_admitted >= self.config.armed_batch_cap {
+            self.stats.shed_overload += 1;
+            return Admission::ShedOverload;
+        }
+        self.batch_admitted += 1;
+        self.stats.admitted += 1;
+        Admission::Admit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quota(rate: f64, burst: f64, priority: u8) -> QuotaConfig {
+        QuotaConfig {
+            rate_pps: rate,
+            burst,
+            priority,
+        }
+    }
+
+    #[test]
+    fn unprovisioned_sessions_pass_without_a_default() {
+        let mut ov = OverloadState::new(OverloadConfig::default());
+        ov.begin_batch(0.0);
+        for i in 0..100 {
+            assert_eq!(
+                ov.admit(SessionId::new(9), i as f64 * 0.001, false),
+                Admission::Admit
+            );
+        }
+        assert_eq!(ov.stats().admitted, 100);
+        assert_eq!(ov.stats().total_shed(), 0);
+    }
+
+    #[test]
+    fn token_bucket_sheds_beyond_burst_and_refills() {
+        let mut ov = OverloadState::new(OverloadConfig::default());
+        ov.provision(SessionId::new(1), quota(100.0, 4.0, 0), 0.0);
+        ov.begin_batch(0.0);
+        // Burst of 4 admitted at t=0, the 5th is over quota.
+        for _ in 0..4 {
+            assert!(ov.admit(SessionId::new(1), 0.0, false).admitted());
+        }
+        assert_eq!(
+            ov.admit(SessionId::new(1), 0.0, false),
+            Admission::ShedQuota
+        );
+        // 50 ms at 100 pps refills 5 tokens, capped at burst 4.
+        assert!(ov.admit(SessionId::new(1), 0.05, false).admitted());
+        assert_eq!(ov.stats().shed_quota, 1);
+    }
+
+    #[test]
+    fn zero_rate_quota_blocks_a_session() {
+        let mut ov = OverloadState::new(OverloadConfig::default());
+        ov.provision(SessionId::new(2), quota(0.0, 0.0, 0), 0.0);
+        ov.begin_batch(0.0);
+        assert_eq!(
+            ov.admit(SessionId::new(2), 10.0, false),
+            Admission::ShedQuota
+        );
+    }
+
+    #[test]
+    fn session_zero_provisions_the_default_bucket() {
+        let mut ov = OverloadState::new(OverloadConfig::default());
+        ov.provision(SessionId::new(0), quota(0.0, 0.0, 200), 0.0);
+        ov.begin_batch(0.0);
+        // Unknown sessions now inherit the zero default: rejected.
+        assert_eq!(
+            ov.admit(SessionId::new(7), 0.0, false),
+            Admission::ShedQuota
+        );
+        assert_eq!(ov.provisioned_sessions(), 0);
+        assert_eq!(ov.priority(SessionId::new(7)), 200);
+    }
+
+    #[test]
+    fn hysteresis_arms_high_disarms_low() {
+        let cfg = OverloadConfig {
+            high_water: 0.9,
+            low_water: 0.5,
+            ..OverloadConfig::default()
+        };
+        let mut ov = OverloadState::new(cfg);
+        ov.begin_batch(0.7);
+        assert!(!ov.armed(), "below high water: stays disarmed");
+        ov.begin_batch(0.95);
+        assert!(ov.armed());
+        ov.begin_batch(0.7);
+        assert!(ov.armed(), "between the marks: latch holds");
+        ov.begin_batch(0.4);
+        assert!(!ov.armed());
+    }
+
+    #[test]
+    fn armed_shard_sheds_redundancy_then_newest() {
+        let cfg = OverloadConfig {
+            high_water: 0.9,
+            low_water: 0.5,
+            armed_batch_cap: 2,
+            ..OverloadConfig::default()
+        };
+        let mut ov = OverloadState::new(cfg);
+        ov.begin_batch(1.2);
+        assert!(ov.armed());
+        // Full-rank packets are shed regardless of position or quota.
+        assert_eq!(
+            ov.admit(SessionId::new(1), 0.0, true),
+            Admission::ShedRedundancy
+        );
+        // Needed packets admit up to the cap, then the newest shed.
+        assert!(ov.admit(SessionId::new(1), 0.0, false).admitted());
+        assert!(ov.admit(SessionId::new(1), 0.0, false).admitted());
+        assert_eq!(
+            ov.admit(SessionId::new(1), 0.0, false),
+            Admission::ShedOverload
+        );
+        assert_eq!(ov.stats().shed_redundancy, 1);
+        assert_eq!(ov.stats().shed_overload, 1);
+        // Next batch resets the cap.
+        ov.begin_batch(1.2);
+        assert!(ov.admit(SessionId::new(1), 0.0, false).admitted());
+        assert_eq!(ov.load_pct(), 120);
+    }
+
+    #[test]
+    fn disarmed_shard_never_sheds_redundancy_or_caps() {
+        let mut ov = OverloadState::new(OverloadConfig::default());
+        ov.begin_batch(0.0);
+        for _ in 0..64 {
+            assert!(ov.admit(SessionId::new(3), 0.0, true).admitted());
+        }
+        assert_eq!(ov.stats().total_shed(), 0);
+    }
+
+    #[test]
+    fn tracked_session_table_is_bounded() {
+        let cfg = OverloadConfig {
+            max_tracked_sessions: 2,
+            default_quota: Some(quota(1000.0, 8.0, 10)),
+            ..OverloadConfig::default()
+        };
+        let mut ov = OverloadState::new(cfg);
+        ov.begin_batch(0.0);
+        assert!(ov.admit(SessionId::new(1), 0.0, false).admitted());
+        assert!(ov.admit(SessionId::new(2), 0.0, false).admitted());
+        // A third unknown session cannot be tracked: rejected.
+        assert_eq!(
+            ov.admit(SessionId::new(3), 0.0, false),
+            Admission::ShedQuota
+        );
+    }
+
+    #[test]
+    fn reprovision_resets_the_bucket() {
+        let mut ov = OverloadState::new(OverloadConfig::default());
+        ov.provision(SessionId::new(1), quota(1.0, 1.0, 0), 0.0);
+        ov.begin_batch(0.0);
+        assert!(ov.admit(SessionId::new(1), 0.0, false).admitted());
+        assert_eq!(
+            ov.admit(SessionId::new(1), 0.0, false),
+            Admission::ShedQuota
+        );
+        // The control plane raises the quota: fresh burst available.
+        ov.provision(SessionId::new(1), quota(100.0, 8.0, 0), 0.0);
+        assert_eq!(ov.provisioned_sessions(), 1, "re-provision, not a new row");
+        for _ in 0..8 {
+            assert!(ov.admit(SessionId::new(1), 0.0, false).admitted());
+        }
+    }
+}

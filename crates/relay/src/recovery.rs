@@ -59,6 +59,10 @@ pub struct RecoveryConfig {
     /// Source: abandon the repair loop after this long without any
     /// feedback (receiver death must not hang the source forever).
     pub idle_timeout: Duration,
+    /// Source: base pause imposed by one `Congestion` frame, scaled by
+    /// the reported load percent (0.5×–4×). Both the paced pass and the
+    /// repair bursts hold off until the pause expires.
+    pub congestion_pause: Duration,
     /// AIMD redundancy tuning (floor is overridden by the transfer's
     /// static policy).
     pub aimd: AimdConfig,
@@ -72,6 +76,7 @@ impl Default for RecoveryConfig {
             max_retries: 8,
             backoff_base: Duration::from_millis(20),
             idle_timeout: Duration::from_secs(2),
+            congestion_pause: Duration::from_millis(5),
             aimd: AimdConfig::default(),
         }
     }
@@ -148,6 +153,45 @@ fn recovery_delta(before: &RecoveryStats, after: &RecoveryStats) -> RecoveryStat
     }
 }
 
+/// Source-side backpressure state, driven by `Congestion` feedback
+/// frames (kind 5) from overloaded relays downstream.
+#[derive(Debug, Default)]
+struct Backpressure {
+    /// No data leaves the source before this instant.
+    pause_until: Option<Instant>,
+}
+
+impl Backpressure {
+    /// Extends the pause window (never shortens it).
+    fn pause_for(&mut self, pause: Duration) {
+        let until = Instant::now() + pause;
+        self.pause_until = Some(self.pause_until.map_or(until, |t| t.max(until)));
+    }
+
+    /// True while sends should hold off; clears the window once it
+    /// expires.
+    fn paused(&mut self, now: Instant) -> bool {
+        match self.pause_until {
+            Some(t) if now < t => true,
+            Some(_) => {
+                self.pause_until = None;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Sleeps out whatever remains of the pause window.
+    fn wait_out(&mut self) {
+        if let Some(t) = self.pause_until.take() {
+            let now = Instant::now();
+            if t > now {
+                std::thread::sleep(t - now);
+            }
+        }
+    }
+}
+
 /// Per-generation bookkeeping on the source side.
 struct GenState {
     acked: bool,
@@ -208,10 +252,13 @@ pub fn send_object_reliable<S: DatagramSocket>(
     socket.set_read_timeout(Some(Duration::from_millis(1)))?;
 
     // Initial paced pass, draining feedback between generations so early
-    // ACKs shrink the redundancy while the transfer is still going.
+    // ACKs shrink the redundancy (and Congestion frames pause the
+    // burst) while the transfer is still going.
+    let mut bp = Backpressure::default();
     let start = Instant::now();
     let mut sent = 0u64;
     for g in 0..generations {
+        bp.wait_out();
         let per_gen = adaptive.policy().packets_per_generation(blocks);
         for _ in 0..per_gen {
             let pkt = encoder.coded_packet(g, &mut rng);
@@ -224,7 +271,16 @@ pub fn send_object_reliable<S: DatagramSocket>(
                 std::thread::sleep(target - elapsed);
             }
         }
-        drain_feedback(socket, config, g + 1, &mut gens, &mut adaptive, &m);
+        drain_feedback(
+            socket,
+            config,
+            recovery,
+            g + 1,
+            &mut gens,
+            &mut adaptive,
+            &mut bp,
+            &m,
+        );
     }
     m.initial_packets.add(sent);
 
@@ -237,7 +293,16 @@ pub fn send_object_reliable<S: DatagramSocket>(
     while gens.iter().any(|g| !g.acked) {
         match socket.recv_from(&mut buf) {
             Ok((n, _)) => {
-                if absorb_feedback(&buf[..n], config, generations, &mut gens, &mut adaptive, &m) {
+                if absorb_feedback(
+                    &buf[..n],
+                    config,
+                    recovery,
+                    generations,
+                    &mut gens,
+                    &mut adaptive,
+                    &mut bp,
+                    &m,
+                ) {
                     last_feedback = Instant::now();
                 }
             }
@@ -245,6 +310,9 @@ pub fn send_object_reliable<S: DatagramSocket>(
             Err(_) => std::thread::sleep(Duration::from_millis(1)),
         }
         let now = Instant::now();
+        // Backpressure holds the repair bursts too: an overloaded relay
+        // gains nothing from retransmissions it would shed.
+        let paused = bp.paused(now);
         let mut progress_possible = false;
         for (g, st) in gens.iter_mut().enumerate() {
             if st.acked {
@@ -253,7 +321,8 @@ pub fn send_object_reliable<S: DatagramSocket>(
             if st.retries < recovery.max_retries {
                 progress_possible = true;
             }
-            if st.pending_nack.is_none()
+            if paused
+                || st.pending_nack.is_none()
                 || st.retries >= recovery.max_retries
                 || now < st.next_retry
             {
@@ -295,33 +364,67 @@ pub fn send_object_reliable<S: DatagramSocket>(
 }
 
 /// Non-blocking-ish drain of queued feedback during the initial pass.
+#[allow(clippy::too_many_arguments)]
 fn drain_feedback<S: DatagramSocket>(
     socket: &S,
     config: &TransferConfig,
+    recovery: &RecoveryConfig,
     gens_sent: u64,
     gens: &mut [GenState],
     adaptive: &mut AdaptiveRedundancy,
+    bp: &mut Backpressure,
     metrics: &RecoveryMetrics,
 ) {
     let mut buf = [0u8; 64];
     while let Ok((n, _)) = socket.recv_from(&mut buf) {
-        absorb_feedback(&buf[..n], config, gens_sent, gens, adaptive, metrics);
+        absorb_feedback(
+            &buf[..n],
+            config,
+            recovery,
+            gens_sent,
+            gens,
+            adaptive,
+            bp,
+            metrics,
+        );
     }
 }
 
 /// Applies one feedback frame to the source state. Returns true if the
 /// frame was valid feedback for this session.
+#[allow(clippy::too_many_arguments)]
 fn absorb_feedback(
     frame: &[u8],
     config: &TransferConfig,
+    recovery: &RecoveryConfig,
     gens_sent: u64,
     gens: &mut [GenState],
     adaptive: &mut AdaptiveRedundancy,
+    bp: &mut Backpressure,
     metrics: &RecoveryMetrics,
 ) -> bool {
     let Ok(fb) = Feedback::from_bytes(frame) else {
         return false;
     };
+    if fb.kind == FeedbackKind::Congestion {
+        // Handled before the generation guard: a Congestion frame's
+        // generation field carries the reporter's load percent, not a
+        // generation index. Session 0 is the wildcard for sheds the
+        // relay could not attribute.
+        if fb.session != config.session && fb.session.value() != 0 {
+            return false;
+        }
+        // Multiplicative decrease plus a send pause scaled by how
+        // overloaded the reporter says it is.
+        adaptive.on_congestion();
+        let scale = (f64::from(fb.load_pct()) / 100.0).clamp(0.5, 4.0);
+        let pause = recovery.congestion_pause.mul_f64(scale);
+        bp.pause_for(pause);
+        metrics.congestion_events.inc();
+        metrics.congestion_window.set(f64::from(fb.load_pct()));
+        metrics.backpressure_ns.record(pause.as_nanos() as u64);
+        return true;
+    }
     if fb.session != config.session || fb.generation >= gens.len() as u64 {
         // Heartbeats and wake requests address the controller, not this
         // source; consume them without treating them as recovery state.
@@ -355,6 +458,9 @@ fn absorb_feedback(
             true
         }
         FeedbackKind::Heartbeat | FeedbackKind::Wake => true,
+        // Congestion frames are consumed before the generation-bounds
+        // guard above; the generation field carries a load percent here.
+        FeedbackKind::Congestion => unreachable!("congestion handled before the generation guard"),
     }
 }
 
@@ -715,6 +821,107 @@ mod tests {
             backoff_base: Duration::from_millis(10),
             ..RecoveryConfig::default()
         }
+    }
+
+    #[test]
+    fn congestion_feedback_halves_redundancy_and_pauses() {
+        let cfg = config();
+        let rec = recovery();
+        let now = Instant::now();
+        let mut gens: Vec<GenState> = (0..4)
+            .map(|_| GenState {
+                acked: false,
+                pending_nack: None,
+                retries: 0,
+                next_retry: now,
+            })
+            .collect();
+        let mut adaptive = AdaptiveRedundancy::from_policy(cfg.redundancy, rec.aimd);
+        for _ in 0..6 {
+            adaptive.on_loss(3); // pump extra redundancy above the floor
+        }
+        let before = adaptive.current_extra();
+        let mut bp = Backpressure::default();
+        let obs = TransferObs::new();
+        let m = RecoveryMetrics::register(obs.registry());
+
+        // Relay reports 200% load for our session: multiplicative
+        // decrease plus a pause window at the 2.0x clamp point.
+        let frame = Feedback::congestion(cfg.session, 200, 7, 40).to_bytes();
+        assert!(absorb_feedback(
+            &frame,
+            &cfg,
+            &rec,
+            4,
+            &mut gens,
+            &mut adaptive,
+            &mut bp,
+            &m
+        ));
+        assert!(
+            adaptive.current_extra() < before,
+            "congestion is a multiplicative decrease: {} -> {}",
+            before,
+            adaptive.current_extra()
+        );
+        assert!(bp.paused(Instant::now()), "pause window armed");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("recovery.congestion_events"), Some(1));
+        assert_eq!(snap.gauge("recovery.congestion_window"), Some(200.0));
+
+        // Session 0 is the unattributed wildcard: also honoured.
+        let wild = Feedback::congestion(SessionId::new(0), 120, 1, 41).to_bytes();
+        assert!(absorb_feedback(
+            &wild,
+            &cfg,
+            &rec,
+            4,
+            &mut gens,
+            &mut adaptive,
+            &mut bp,
+            &m
+        ));
+        assert_eq!(snap_counter(&obs, "recovery.congestion_events"), 2);
+
+        // A congestion frame for some other session is ignored: no
+        // decrease, no pause extension, no event.
+        let other = Feedback::congestion(SessionId::new(99), 400, 9, 90).to_bytes();
+        let extra = adaptive.current_extra();
+        assert!(!absorb_feedback(
+            &other,
+            &cfg,
+            &rec,
+            4,
+            &mut gens,
+            &mut adaptive,
+            &mut bp,
+            &m
+        ));
+        assert_eq!(adaptive.current_extra(), extra);
+        assert_eq!(snap_counter(&obs, "recovery.congestion_events"), 2);
+    }
+
+    fn snap_counter(obs: &TransferObs, name: &str) -> u64 {
+        obs.snapshot().counter(name).unwrap_or(0)
+    }
+
+    #[test]
+    fn backpressure_window_extends_and_expires() {
+        let mut bp = Backpressure::default();
+        assert!(!bp.paused(Instant::now()), "starts unpaused");
+        bp.pause_for(Duration::from_millis(50));
+        bp.pause_for(Duration::from_millis(5)); // shorter: must not shrink
+        let now = Instant::now();
+        assert!(bp.paused(now));
+        assert!(
+            bp.paused(now + Duration::from_millis(20)),
+            "50ms window survives a later 5ms report"
+        );
+        assert!(!bp.paused(now + Duration::from_millis(60)), "expires");
+        assert!(
+            !bp.paused(now + Duration::from_millis(60)),
+            "expired window is cleared, not re-armed"
+        );
     }
 
     #[test]

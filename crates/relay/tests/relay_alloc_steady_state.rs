@@ -22,8 +22,8 @@ use ncvnf_control::ForwardingTable;
 use ncvnf_dataplane::{CodingVnf, VnfRole};
 use ncvnf_obs::Registry;
 use ncvnf_relay::{
-    relay_batch, relay_step, shard_of, BatchScratch, RecvBatch, RelayEngine, RelayScratch,
-    RelayShard, RouteCache, MAX_BATCH,
+    relay_batch, relay_step, shard_of, BatchScratch, QuotaConfig, RecvBatch, RelayEngine,
+    RelayScratch, RelayShard, RouteCache, MAX_BATCH,
 };
 use ncvnf_rlnc::{GenerationConfig, GenerationEncoder, SessionId};
 use parking_lot::Mutex;
@@ -296,4 +296,72 @@ fn warm_sharded_batch_does_not_allocate() {
         Some(batches * (MAX_BATCH - MAX_BATCH / SHARDS) as u64),
         "home shard 0 owns a quarter of each batch"
     );
+}
+
+/// The admission gate on the non-shedding path is heap-free too: with
+/// the overload regime armed by a provisioned quota (generous enough
+/// that every datagram is admitted), a warm batch — peek, token-bucket
+/// take, pressure check, then the usual recycle/recode/serialize — must
+/// still perform zero heap operations.
+#[test]
+fn warm_batch_with_admission_gate_does_not_allocate() {
+    let config = GenerationConfig::new(BLOCK, G).expect("valid layout");
+    let data: Vec<u8> = (0..config.generation_payload())
+        .map(|i| (i * 13 + 1) as u8)
+        .collect();
+    let enc = GenerationEncoder::new(config, &data).expect("valid generation");
+    let mut rng = StdRng::seed_from_u64(0xA110_C006);
+
+    let src: SocketAddr = ([127, 0, 0, 1], 4243).into();
+    let mut batch = RecvBatch::new(MAX_BATCH, 2048);
+    while batch.push(
+        &enc.coded_packet(SessionId::new(1), 0, &mut rng).to_bytes(),
+        src,
+    ) {}
+    assert_eq!(batch.len(), MAX_BATCH, "batch filled to capacity");
+
+    let mut table = ForwardingTable::new();
+    table.set(SessionId::new(1), vec!["127.0.0.1:9000".to_string()]);
+    let mut vnf = CodingVnf::new(config, 16);
+    vnf.set_role(SessionId::new(1), VnfRole::Forwarder);
+    let mut engine = RelayEngine::new(vnf, StdRng::seed_from_u64(0xA110_C007));
+    // A quota no warm batch can drain: the gate runs on every datagram
+    // but never sheds, which is the regime this test pins.
+    engine.provision_quota(
+        SessionId::new(1),
+        QuotaConfig {
+            rate_pps: 1e9,
+            burst: 1e6,
+            priority: 0,
+        },
+    );
+    let shards = [RelayShard::new(engine)];
+    shards[0].routes().lock().rebuild(&table);
+    let mut scratch = BatchScratch::new(1);
+
+    for _ in 0..8 {
+        relay_batch(&shards, 0, &mut scratch, &batch);
+    }
+
+    const MEASURED: u64 = 4;
+    let allocs = heap_ops_during(|| {
+        for _ in 0..MEASURED {
+            let report = relay_batch(&shards, 0, &mut scratch, &batch);
+            assert_eq!(report.steps, MAX_BATCH as u64);
+            assert_eq!(report.total_shed(), 0, "nothing shed at this quota");
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "the admission gate must not touch the heap while admitting"
+    );
+
+    let guard = shards[0].engine().lock();
+    let ov = guard.overload().expect("regime armed by the quota");
+    assert_eq!(
+        ov.stats().admitted,
+        (8 + MEASURED) * MAX_BATCH as u64,
+        "every datagram went through the token bucket"
+    );
+    assert_eq!(ov.stats().total_shed(), 0);
 }

@@ -58,7 +58,7 @@ pub use config::GenerationConfig;
 pub use decoder::{GenerationDecoder, ReceiveOutcome};
 pub use encoder::GenerationEncoder;
 pub use error::{CodecError, HeaderError};
-pub use header::{CodedPacket, NcHeader, PacketView, SessionId};
+pub use header::{CodedPacket, NcHeader, PacketView, SessionId, NC_MAGIC, NC_VERSION};
 pub use metrics::{PoolMetrics, RlncMetrics};
 pub use object::{ObjectDecoder, ObjectEncoder};
 pub use pool::{PayloadPool, PoolStats};

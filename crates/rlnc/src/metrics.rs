@@ -127,6 +127,15 @@ pub const POOL_DROPPED: MetricDesc = desc(
     "Reclaim attempts that failed because the buffer was still shared",
 );
 
+/// `rlnc.pool.evicted` — reclaims released to honor the byte budget.
+pub const POOL_EVICTED: MetricDesc = desc(
+    "rlnc.pool.evicted",
+    MetricKind::Counter,
+    "buffers",
+    "rlnc",
+    "Reclaimed buffers released instead of retained to honor the pool byte budget",
+);
+
 /// Registry-backed republication of [`PoolStats`].
 ///
 /// Pools are single-threaded and keep plain counters; call
@@ -138,6 +147,7 @@ pub struct PoolMetrics {
     hits: Counter,
     reclaimed: Counter,
     dropped: Counter,
+    evicted: Counter,
 }
 
 impl PoolMetrics {
@@ -148,6 +158,7 @@ impl PoolMetrics {
             hits: registry.counter(POOL_HITS),
             reclaimed: registry.counter(POOL_RECLAIMED),
             dropped: registry.counter(POOL_DROPPED),
+            evicted: registry.counter(POOL_EVICTED),
         }
     }
 
@@ -157,6 +168,7 @@ impl PoolMetrics {
         self.hits.publish(stats.hits);
         self.reclaimed.publish(stats.reclaimed);
         self.dropped.publish(stats.dropped);
+        self.evicted.publish(stats.evicted);
     }
 }
 
@@ -194,6 +206,7 @@ mod tests {
             hits: 8,
             reclaimed: 9,
             dropped: 1,
+            evicted: 2,
         };
         m.publish(&stats);
         m.publish(&stats); // republication is idempotent, not additive
@@ -202,5 +215,6 @@ mod tests {
         assert_eq!(snap.counter("rlnc.pool.hits"), Some(8));
         assert_eq!(snap.counter("rlnc.pool.reclaimed"), Some(9));
         assert_eq!(snap.counter("rlnc.pool.dropped"), Some(1));
+        assert_eq!(snap.counter("rlnc.pool.evicted"), Some(2));
     }
 }

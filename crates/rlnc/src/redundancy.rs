@@ -181,6 +181,33 @@ impl AdaptiveRedundancy {
         self.peak = self.peak.max(self.extra);
     }
 
+    /// Records a congestion signal from a downstream relay (a
+    /// `Congestion` feedback frame): redundancy is cut multiplicatively
+    /// toward the floor — halving the working headroom per signal — so
+    /// an overloaded mesh sheds the source's *extra* packets first,
+    /// before the relay has to. The TCP-style asymmetry (additive raise
+    /// on loss, multiplicative cut on congestion) keeps competing
+    /// senders converging instead of oscillating.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ncvnf_rlnc::{AdaptiveRedundancy, AimdConfig};
+    /// let mut r = AdaptiveRedundancy::new(AimdConfig::default());
+    /// r.on_loss(4);
+    /// r.on_loss(4);
+    /// let before = r.current_extra();
+    /// r.on_congestion();
+    /// assert!(r.current_extra() <= before / 2.0 + 1e-9);
+    /// ```
+    pub fn on_congestion(&mut self) {
+        let floor = self.config.floor as f64;
+        self.extra = (floor + (self.extra - floor) * 0.5).max(floor);
+        if self.extra - floor < 1e-6 {
+            self.extra = floor;
+        }
+    }
+
     /// Records a clean generation (decoded without any retransmission).
     pub fn on_clean(&mut self) {
         let floor = self.config.floor as f64;
@@ -280,6 +307,28 @@ mod tests {
         let mut huge = AdaptiveRedundancy::new(AimdConfig::default());
         huge.on_loss(u16::MAX);
         assert_eq!(huge.current_extra(), 4.0);
+    }
+
+    #[test]
+    fn congestion_cuts_multiplicatively_and_respects_floor() {
+        let mut r = AdaptiveRedundancy::from_policy(
+            RedundancyPolicy::NC2,
+            AimdConfig {
+                ceiling: 8,
+                ..AimdConfig::default()
+            },
+        );
+        for _ in 0..8 {
+            r.on_loss(2);
+        }
+        assert_eq!(r.current_extra(), 8.0);
+        r.on_congestion();
+        assert_eq!(r.current_extra(), 5.0, "floor 2 + (8-2)/2");
+        for _ in 0..64 {
+            r.on_congestion();
+        }
+        assert_eq!(r.current_extra(), 2.0, "never undershoots the floor");
+        assert_eq!(r.peak_extra(), 8.0, "peak is unaffected by the cut");
     }
 
     #[test]
