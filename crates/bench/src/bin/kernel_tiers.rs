@@ -1,0 +1,14 @@
+//! Prints the GF(2^8) kernel tiers this CPU supports, one per line,
+//! slowest first. CI uses this to drive the forced-tier sweep
+//! (`NCVNF_GF256_KERNEL=<tier> cargo test ...`) without hard-coding a
+//! tier list that would panic on hosts lacking AVX2 or GFNI.
+
+use ncvnf_gf256::bulk;
+
+fn main() {
+    for &tier in bulk::compiled_tiers() {
+        if tier.is_supported() {
+            println!("{}", tier.name());
+        }
+    }
+}

@@ -32,7 +32,8 @@ use ncvnf_gf256::bulk;
 use ncvnf_obs::Registry;
 use ncvnf_relay::{relay_step, RelayConfig, RelayEngine, RelayNode, RelayScratch, RouteCache};
 use ncvnf_rlnc::{
-    CodedPacket, GenerationConfig, GenerationEncoder, PayloadPool, Recoder, SessionId,
+    CodedPacket, CodingMode, GenerationConfig, GenerationEncoder, PayloadPool, Recoder, SessionId,
+    WindowConfig, WindowDecoder, WindowEncoder, WindowOutcome, WindowRecoder,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -98,6 +99,7 @@ struct KernelRow {
 }
 
 struct CodecRow {
+    mode: &'static str,
     path: &'static str,
     generation_size: usize,
     block_size: usize,
@@ -142,53 +144,150 @@ fn bench_kernels(timing: &Timing) -> Vec<KernelRow> {
 
 fn bench_codec(timing: &Timing) -> Vec<CodecRow> {
     let mut rows = Vec::new();
-    for &g in &[2usize, 4, 8, 16, 32] {
+    for &g in &[4usize, 8, 16, 32, 64] {
         let config = GenerationConfig::new(PAYLOAD_LEN, g).expect("valid layout");
         let mut rng = StdRng::seed_from_u64(0xBE7C_0002 ^ g as u64);
         let mut data = vec![0u8; config.generation_payload()];
         rng.fill(&mut data[..]);
         let enc = GenerationEncoder::new(config, &data).expect("valid generation");
         let session = SessionId::new(1);
+        // One epoch per systematic-first mode: the g source packets
+        // verbatim plus a 25% repair tail — the steady sender schedule.
+        let repair = (g / 4).max(1);
 
-        // Encode: one coded packet = one block of output, but `g` blocks of
-        // kernel input traversed.
-        let mut pool = PayloadPool::new();
-        let mut out = Vec::new();
-        let encode = timing.measure(PAYLOAD_LEN, || {
-            enc.coded_packets_into(session, 0, 1, &mut rng, &mut pool, &mut out);
-            for pkt in out.drain(..) {
-                pool.recycle(pkt);
+        for mode in [
+            CodingMode::Dense,
+            CodingMode::Systematic,
+            CodingMode::sparse_default(g),
+        ] {
+            let mut pool = PayloadPool::new();
+            let mut out = Vec::new();
+            // Dense has no systematic pass, so its unit of work is one
+            // coded packet; the systematic-first modes amortize a whole
+            // epoch (g verbatim + `repair` mode-coded packets).
+            let (first_seq, count) = match mode {
+                CodingMode::Dense => (g as u64, 1),
+                _ => (0, g + repair),
+            };
+            let encode = timing.measure(count * PAYLOAD_LEN, || {
+                enc.mode_packets_into(
+                    mode, session, 0, first_seq, count, &mut rng, &mut pool, &mut out,
+                );
+                for pkt in out.drain(..) {
+                    pool.recycle(pkt);
+                }
+            });
+            rows.push(CodecRow {
+                mode: mode.name(),
+                path: "encode",
+                generation_size: g,
+                block_size: PAYLOAD_LEN,
+                bytes_per_sec: encode,
+            });
+
+            // Recode at full rank: the relay hot path. Sparse traffic is
+            // recoded sparsely (density bounds the rows mixed per
+            // output); dense and systematic recode densely.
+            let mut recoder = Recoder::new(config, session, 0);
+            while recoder.rank() < g {
+                let pkt = enc.coded_packet(session, 0, &mut rng);
+                recoder
+                    .absorb(pkt.coefficients(), pkt.payload())
+                    .expect("layout matches");
             }
-        });
-        rows.push(CodecRow {
-            path: "encode",
-            generation_size: g,
-            block_size: PAYLOAD_LEN,
-            bytes_per_sec: encode,
-        });
-
-        // Recode at full rank: the relay hot path.
-        let mut recoder = Recoder::new(config, session, 0);
-        while recoder.rank() < g {
-            let pkt = enc.coded_packet(session, 0, &mut rng);
-            recoder
-                .absorb(pkt.coefficients(), pkt.payload())
-                .expect("layout matches");
+            let recode = timing.measure(PAYLOAD_LEN, || {
+                let pkt = recoder
+                    .recode_mode_into(mode, &mut rng, &mut pool)
+                    .expect("recoder is non-empty");
+                pool.recycle(pkt);
+            });
+            rows.push(CodecRow {
+                mode: mode.name(),
+                path: "recode",
+                generation_size: g,
+                block_size: PAYLOAD_LEN,
+                bytes_per_sec: recode,
+            });
         }
-        let recode = timing.measure(PAYLOAD_LEN, || {
-            let pkt = recoder
-                .recode_into(&mut rng, &mut pool)
-                .expect("recoder is non-empty");
-            pool.recycle(pkt);
-        });
-        rows.push(CodecRow {
-            path: "recode",
-            generation_size: g,
-            block_size: PAYLOAD_LEN,
-            bytes_per_sec: recode,
-        });
     }
     rows
+}
+
+struct WindowBench {
+    symbol_size: usize,
+    capacity: usize,
+    symbols: u64,
+    symbols_per_sec: f64,
+    bytes_per_sec: f64,
+    p50_latency_us: f64,
+    p99_latency_us: f64,
+}
+
+/// Sliding-window pipeline latency: source push + systematic emit →
+/// relay absorb + recode → receiver decode + in-order delivery, one
+/// symbol at a time, with cumulative acks sliding every stage's window
+/// every 8 symbols. The latency row is what a generational codec cannot
+/// offer: per-symbol delivery bounded by the window, not by a
+/// generation boundary.
+fn bench_window(quick: bool) -> WindowBench {
+    const CAPACITY: usize = 32;
+    const ACK_EVERY: u64 = 8;
+    let window = WindowConfig::new(PAYLOAD_LEN, CAPACITY).expect("valid window");
+    let session = SessionId::new(9);
+    let mut enc = WindowEncoder::new(window, session);
+    let mut recoder = WindowRecoder::new(window, session);
+    let mut dec = WindowDecoder::new(window);
+    let mut pool = PayloadPool::new();
+    let mut rng = StdRng::seed_from_u64(0xBE7C_0040);
+    let symbols: u64 = if quick { 2_000 } else { 20_000 };
+    let mut chunk = vec![0u8; PAYLOAD_LEN];
+    let mut lat_ns: Vec<f64> = Vec::with_capacity(symbols as usize);
+    let started = Instant::now();
+    for i in 0..symbols {
+        rng.fill(&mut chunk[..]);
+        let t0 = Instant::now();
+        let idx = enc.push(&chunk).expect("window has room");
+        let pkt = enc
+            .systematic_packet_pooled(idx, &mut pool)
+            .expect("symbol is live");
+        recoder
+            .absorb(pkt.base, &pkt.coefficients, &pkt.payload)
+            .expect("layout matches");
+        pool.recycle_window(pkt);
+        // A random recombination can miss the newest symbol (zero
+        // weight on its row, ~1/256); the stream just sends the next
+        // packet, so retry until the delivery cursor advances.
+        loop {
+            let out = recoder
+                .recode_into(&mut rng, &mut pool)
+                .expect("recoder is non-empty");
+            let outcome = dec
+                .receive(out.base, &out.coefficients, &out.payload)
+                .expect("layout matches");
+            pool.recycle_window(out);
+            if matches!(outcome, WindowOutcome::Delivered { .. }) {
+                break;
+            }
+        }
+        lat_ns.push(t0.elapsed().as_nanos() as f64);
+        if (i + 1) % ACK_EVERY == 0 {
+            let ack = dec.cumulative_ack();
+            enc.handle_ack(ack);
+            recoder.handle_ack(ack);
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    lat_ns.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pct = |p: f64| lat_ns[((lat_ns.len() - 1) as f64 * p) as usize] / 1e3;
+    WindowBench {
+        symbol_size: PAYLOAD_LEN,
+        capacity: CAPACITY,
+        symbols,
+        symbols_per_sec: symbols as f64 / secs,
+        bytes_per_sec: symbols as f64 * PAYLOAD_LEN as f64 / secs,
+        p50_latency_us: pct(0.50),
+        p99_latency_us: pct(0.99),
+    }
 }
 
 /// The relay buffer depth of the paper's configuration; the legacy
@@ -1539,8 +1638,12 @@ fn main() {
     let started = Instant::now();
     eprintln!("measuring GF(2^8) kernel tiers ...");
     let kernels = bench_kernels(&timing);
-    eprintln!("measuring encode/recode paths ...");
+    eprintln!("measuring encode/recode paths (dense / systematic / sparse, g=4..64) ...");
     let codec = bench_codec(&timing);
+    eprintln!("measuring sliding-window pipeline latency ...");
+    let quick_flag = std::env::args().any(|a| a == "--quick")
+        || std::env::var("NCVNF_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let window = bench_window(quick_flag);
 
     let scalar_mul_add = kernels
         .iter()
@@ -1572,12 +1675,29 @@ fn main() {
     for (i, r) in codec.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"path\": \"{}\", \"generation_size\": {}, \"block_size\": {}, \"bytes_per_sec\": {:.0}}}",
-            r.path, r.generation_size, r.block_size, r.bytes_per_sec
+            "    {{\"mode\": \"{}\", \"path\": \"{}\", \"generation_size\": {}, \"block_size\": {}, \"bytes_per_sec\": {:.0}}}",
+            r.mode, r.path, r.generation_size, r.block_size, r.bytes_per_sec
         );
         json.push_str(if i + 1 < codec.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"sliding_window\": {{");
+    let _ = writeln!(json, "    \"symbol_size\": {},", window.symbol_size);
+    let _ = writeln!(json, "    \"window_capacity\": {},", window.capacity);
+    let _ = writeln!(json, "    \"symbols\": {},", window.symbols);
+    let _ = writeln!(
+        json,
+        "    \"symbols_per_sec\": {:.0},",
+        window.symbols_per_sec
+    );
+    let _ = writeln!(json, "    \"bytes_per_sec\": {:.0},", window.bytes_per_sec);
+    let _ = writeln!(
+        json,
+        "    \"p50_latency_us\": {:.2},",
+        window.p50_latency_us
+    );
+    let _ = writeln!(json, "    \"p99_latency_us\": {:.2}", window.p99_latency_us);
+    json.push_str("  }\n}\n");
 
     std::fs::write("BENCH_rlnc.json", &json).expect("write BENCH_rlnc.json");
     println!("{json}");

@@ -83,6 +83,42 @@ pub const BUDGET_EVICTIONS: MetricDesc = desc(
     "Generation states evicted to honor the memory budget",
 );
 
+/// `dataplane.window_packets_in` — sliding-window data packets received.
+pub const WINDOW_PACKETS_IN: MetricDesc = desc(
+    "dataplane.window_packets_in",
+    MetricKind::Counter,
+    "packets",
+    "dataplane",
+    "Sliding-window data packets received (wire kind 2)",
+);
+
+/// `dataplane.window_packets_out` — sliding-window packets emitted.
+pub const WINDOW_PACKETS_OUT: MetricDesc = desc(
+    "dataplane.window_packets_out",
+    MetricKind::Counter,
+    "packets",
+    "dataplane",
+    "Sliding-window packets emitted (forwarded or recoded)",
+);
+
+/// `dataplane.window_symbols_delivered` — in-order windowed deliveries.
+pub const WINDOW_SYMBOLS_DELIVERED: MetricDesc = desc(
+    "dataplane.window_symbols_delivered",
+    MetricKind::Counter,
+    "symbols",
+    "dataplane",
+    "Stream symbols delivered in order by windowed decoders",
+);
+
+/// `dataplane.window_acks_in` — window acks absorbed.
+pub const WINDOW_ACKS_IN: MetricDesc = desc(
+    "dataplane.window_acks_in",
+    MetricKind::Counter,
+    "acks",
+    "dataplane",
+    "Window acks absorbed (each may slide a recoder's floor)",
+);
+
 /// Registry-backed republication handles for [`VnfStats`].
 #[derive(Debug, Clone)]
 pub struct VnfMetrics {
@@ -94,6 +130,10 @@ pub struct VnfMetrics {
     generations_decoded: Counter,
     evicted_decoders: Counter,
     budget_evictions: Counter,
+    window_packets_in: Counter,
+    window_packets_out: Counter,
+    window_symbols_delivered: Counter,
+    window_acks_in: Counter,
 }
 
 impl VnfMetrics {
@@ -108,6 +148,10 @@ impl VnfMetrics {
             generations_decoded: registry.counter(GENERATIONS_DECODED),
             evicted_decoders: registry.counter(EVICTED_DECODERS),
             budget_evictions: registry.counter(BUDGET_EVICTIONS),
+            window_packets_in: registry.counter(WINDOW_PACKETS_IN),
+            window_packets_out: registry.counter(WINDOW_PACKETS_OUT),
+            window_symbols_delivered: registry.counter(WINDOW_SYMBOLS_DELIVERED),
+            window_acks_in: registry.counter(WINDOW_ACKS_IN),
         }
     }
 
@@ -121,6 +165,11 @@ impl VnfMetrics {
         self.generations_decoded.publish(stats.generations_decoded);
         self.evicted_decoders.publish(stats.evicted_decoders);
         self.budget_evictions.publish(stats.budget_evictions);
+        self.window_packets_in.publish(stats.window_packets_in);
+        self.window_packets_out.publish(stats.window_packets_out);
+        self.window_symbols_delivered
+            .publish(stats.window_symbols_delivered);
+        self.window_acks_in.publish(stats.window_acks_in);
     }
 }
 
@@ -141,6 +190,10 @@ mod tests {
             generations_decoded: 7,
             evicted_decoders: 1,
             budget_evictions: 4,
+            window_packets_in: 11,
+            window_packets_out: 12,
+            window_symbols_delivered: 13,
+            window_acks_in: 14,
         };
         m.publish(&stats);
         let snap = registry.snapshot();
@@ -152,5 +205,9 @@ mod tests {
         assert_eq!(snap.counter("dataplane.generations_decoded"), Some(7));
         assert_eq!(snap.counter("dataplane.evicted_decoders"), Some(1));
         assert_eq!(snap.counter("dataplane.budget_evictions"), Some(4));
+        assert_eq!(snap.counter("dataplane.window_packets_in"), Some(11));
+        assert_eq!(snap.counter("dataplane.window_packets_out"), Some(12));
+        assert_eq!(snap.counter("dataplane.window_symbols_delivered"), Some(13));
+        assert_eq!(snap.counter("dataplane.window_acks_in"), Some(14));
     }
 }

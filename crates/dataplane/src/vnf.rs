@@ -4,9 +4,10 @@ use bytes::Bytes;
 use rand::Rng;
 use std::collections::{HashMap, VecDeque};
 
+use ncvnf_rlnc::window::{WindowConfig, WindowDecoder, WindowOutcome, WindowRecoder};
 use ncvnf_rlnc::{
     CodecError, CodedPacket, GenerationConfig, GenerationDecoder, HeaderError, PacketView,
-    PayloadPool, PoolStats, SessionId,
+    PayloadPool, PoolStats, SessionId, WindowAck, WindowPacket, WindowPacketView,
 };
 
 use crate::buffer::SessionBuffer;
@@ -36,6 +37,14 @@ pub struct VnfStats {
     /// (pressure eviction, ordered by session priority then generation
     /// staleness — distinct from the per-session FIFO bound above).
     pub budget_evictions: u64,
+    /// Sliding-window data packets received (wire kind 2).
+    pub window_packets_in: u64,
+    /// Sliding-window packets emitted (forwarded or recoded).
+    pub window_packets_out: u64,
+    /// Stream symbols delivered in order by windowed decoders.
+    pub window_symbols_delivered: u64,
+    /// Window acks absorbed (each may slide a recoder's floor forward).
+    pub window_acks_in: u64,
 }
 
 /// What a VNF produced for one input packet.
@@ -73,6 +82,26 @@ pub enum VnfDecision {
         payload: Vec<u8>,
     },
     /// Nothing to emit (redundant packet, or unknown/malformed input).
+    Nothing,
+}
+
+/// Result of processing one sliding-window datagram
+/// ([`CodingVnf::process_window_wire_into`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WindowDecision {
+    /// This many windowed packets were appended to the output buffer.
+    Forwarded(usize),
+    /// The windowed decoder delivered one or more in-order symbols.
+    Delivered {
+        /// Session of the windowed stream.
+        session: SessionId,
+        /// Absolute index of the first delivered symbol.
+        first: u64,
+        /// Delivered symbols, consecutive from `first`.
+        payloads: Vec<Vec<u8>>,
+    },
+    /// Nothing to emit (redundant/stale packet, or unknown/malformed
+    /// input).
     Nothing,
 }
 
@@ -133,6 +162,11 @@ struct SessionState {
     decoders: HashMap<u64, GenerationDecoder>,
     /// FIFO of decoder generations, oldest first.
     decoder_order: VecDeque<u64>,
+    /// Recoder role: sliding-window recode buffer (created on the first
+    /// windowed packet of the session).
+    window_recoder: Option<WindowRecoder>,
+    /// Decoder role: sliding-window in-order delivery state.
+    window_decoder: Option<WindowDecoder>,
 }
 
 /// The virtual network coding function: a packet-in/packets-out state
@@ -152,6 +186,9 @@ struct SessionState {
 #[derive(Debug)]
 pub struct CodingVnf {
     config: GenerationConfig,
+    /// Layout of sliding-window streams this VNF serves (symbol size
+    /// defaults to the generation block size).
+    window_config: WindowConfig,
     buffer_generations: usize,
     sessions: HashMap<SessionId, SessionState>,
     /// Recycled coefficient/payload buffers for emitted packets. Adapters
@@ -176,8 +213,11 @@ impl CodingVnf {
     /// Panics if `buffer_generations` is zero.
     pub fn new(config: GenerationConfig, buffer_generations: usize) -> Self {
         assert!(buffer_generations > 0, "buffer capacity must be positive");
+        let window_config = WindowConfig::new(config.block_size(), Self::DEFAULT_WINDOW_CAPACITY)
+            .expect("block size is validated positive");
         CodingVnf {
             config,
+            window_config,
             buffer_generations,
             sessions: HashMap::new(),
             pool: PayloadPool::new(),
@@ -301,6 +341,8 @@ impl CodingVnf {
                 buffer: SessionBuffer::new(self.config, session, self.buffer_generations),
                 decoders: HashMap::new(),
                 decoder_order: VecDeque::new(),
+                window_recoder: None,
+                window_decoder: None,
             },
         );
     }
@@ -453,6 +495,175 @@ impl CodingVnf {
             return VnfDecision::Nothing;
         };
         self.process_input_into(Input::View(view), outputs, rng, out)
+    }
+
+    /// Default in-flight window for sliding-window sessions (symbols).
+    pub const DEFAULT_WINDOW_CAPACITY: usize = 32;
+
+    /// The sliding-window layout this VNF applies to windowed streams.
+    pub fn window_config(&self) -> WindowConfig {
+        self.window_config
+    }
+
+    /// Replaces the sliding-window layout. Sessions keep their existing
+    /// windowed state; the new layout applies to windows created after
+    /// this call (push it before traffic starts, like a role).
+    pub fn set_window_config(&mut self, window: WindowConfig) {
+        self.window_config = window;
+    }
+
+    /// Processes one sliding-window datagram (wire kind 2) without
+    /// materializing the input: forwarders copy it onward, recoders
+    /// absorb it into the session's [`WindowRecoder`] and emit fresh
+    /// combinations (pipelined — the first packet of an empty buffer
+    /// travels verbatim), decoders feed their [`WindowDecoder`] and
+    /// surface in-order deliveries. Emitted packets draw buffers from
+    /// the VNF's pool; return them via
+    /// [`recycle_window`](Self::recycle_window) after sending.
+    pub fn process_window_wire_into<R: Rng + ?Sized>(
+        &mut self,
+        data: &[u8],
+        outputs: usize,
+        rng: &mut R,
+        out: &mut Vec<WindowPacket>,
+    ) -> WindowDecision {
+        let Ok(view) = WindowPacketView::parse(data) else {
+            self.stats.malformed += 1;
+            return WindowDecision::Nothing;
+        };
+        self.stats.window_packets_in += 1;
+        let session = view.session();
+        let Some(state) = self.sessions.get_mut(&session) else {
+            self.stats.unknown_session += 1;
+            return WindowDecision::Nothing;
+        };
+        match state.role {
+            VnfRole::Forwarder => {
+                out.push(view.to_owned_pooled(&mut self.pool));
+                self.stats.window_packets_out += 1;
+                WindowDecision::Forwarded(1)
+            }
+            VnfRole::Recoder => {
+                let recoder = state
+                    .window_recoder
+                    .get_or_insert_with(|| WindowRecoder::new(self.window_config, session));
+                let first = recoder.rank() == 0;
+                match recoder.absorb(view.base(), view.coefficients(), view.payload()) {
+                    Ok(innovative) => {
+                        if innovative {
+                            self.stats.innovative_in += 1;
+                        }
+                        if outputs == 0 {
+                            return WindowDecision::Nothing;
+                        }
+                        out.reserve(outputs);
+                        let mut emitted = 0;
+                        for i in 0..outputs {
+                            if first && i == 0 {
+                                out.push(view.to_owned_pooled(&mut self.pool));
+                                emitted += 1;
+                                continue;
+                            }
+                            match recoder.recode_into(rng, &mut self.pool) {
+                                Ok(p) => {
+                                    out.push(p);
+                                    emitted += 1;
+                                }
+                                Err(CodecError::EmptyRecoder) => {
+                                    out.push(view.to_owned_pooled(&mut self.pool));
+                                    emitted += 1;
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        self.stats.window_packets_out += emitted as u64;
+                        WindowDecision::Forwarded(emitted)
+                    }
+                    Err(_) => {
+                        self.stats.malformed += 1;
+                        WindowDecision::Nothing
+                    }
+                }
+            }
+            VnfRole::Decoder => {
+                let decoder = state
+                    .window_decoder
+                    .get_or_insert_with(|| WindowDecoder::new(self.window_config));
+                match decoder.receive(view.base(), view.coefficients(), view.payload()) {
+                    Ok(WindowOutcome::Delivered { first, payloads }) => {
+                        self.stats.innovative_in += 1;
+                        self.stats.window_symbols_delivered += payloads.len() as u64;
+                        WindowDecision::Delivered {
+                            session,
+                            first,
+                            payloads,
+                        }
+                    }
+                    Ok(WindowOutcome::Innovative) => {
+                        self.stats.innovative_in += 1;
+                        WindowDecision::Nothing
+                    }
+                    Ok(WindowOutcome::Redundant | WindowOutcome::Stale) => WindowDecision::Nothing,
+                    Err(_) => {
+                        self.stats.malformed += 1;
+                        WindowDecision::Nothing
+                    }
+                }
+            }
+        }
+    }
+
+    /// Absorbs a window ack (wire kind 3): a recoder slides its buffer
+    /// floor so symbols the receiver already has stop occupying rows.
+    /// Returns `false` if the session is unknown (the ack should still
+    /// be forwarded upstream — acks are addressed to the sender, relays
+    /// only eavesdrop).
+    pub fn handle_window_ack(&mut self, ack: &WindowAck) -> bool {
+        let Some(state) = self.sessions.get_mut(&ack.session) else {
+            self.stats.unknown_session += 1;
+            return false;
+        };
+        self.stats.window_acks_in += 1;
+        if let Some(recoder) = state.window_recoder.as_mut() {
+            recoder.handle_ack(ack.cumulative);
+        }
+        true
+    }
+
+    /// The cumulative ack a windowed decoder session should report (the
+    /// next in-order symbol index it needs), if the session has windowed
+    /// state.
+    pub fn window_cumulative_ack(&self, session: SessionId) -> Option<u64> {
+        self.sessions
+            .get(&session)?
+            .window_decoder
+            .as_ref()
+            .map(|d| d.cumulative_ack())
+    }
+
+    /// Undelivered rank a windowed decoder holds beyond its delivery
+    /// point (> 0 means a gap is blocking in-order delivery and repair
+    /// packets would help).
+    pub fn window_pending_rank(&self, session: SessionId) -> Option<usize> {
+        self.sessions
+            .get(&session)?
+            .window_decoder
+            .as_ref()
+            .map(|d| d.pending_rank())
+    }
+
+    /// Buffered rank of a session's windowed recoder, if present.
+    pub fn window_rank(&self, session: SessionId) -> Option<usize> {
+        self.sessions
+            .get(&session)?
+            .window_recoder
+            .as_ref()
+            .map(|r| r.rank())
+    }
+
+    /// Returns a finished windowed packet's buffers to the VNF's pool.
+    pub fn recycle_window(&mut self, pkt: WindowPacket) {
+        self.pool.recycle_window(pkt);
     }
 
     fn process_input_into<R: Rng + ?Sized>(
@@ -786,6 +997,98 @@ mod tests {
         );
         assert!(vnf.generation_rank(SessionId::new(1), 1).is_some());
         assert!(vnf.generation_rank(SessionId::new(1), 2).is_some());
+    }
+
+    #[test]
+    fn windowed_stream_recodes_and_delivers_end_to_end() {
+        use ncvnf_rlnc::window::{WindowConfig, WindowEncoder};
+        use ncvnf_rlnc::PayloadPool;
+
+        let wcfg = WindowConfig::new(16, 4).unwrap();
+        let mut relay = CodingVnf::new(cfg(), 8);
+        relay.set_window_config(wcfg);
+        relay.set_role(SessionId::new(7), VnfRole::Recoder);
+        let mut sink = CodingVnf::new(cfg(), 8);
+        sink.set_window_config(wcfg);
+        sink.set_role(SessionId::new(7), VnfRole::Decoder);
+
+        let mut enc = WindowEncoder::new(wcfg, SessionId::new(7));
+        let mut pool = PayloadPool::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut relayed = Vec::new();
+        let mut delivered = Vec::new();
+        for tag in 0..6u8 {
+            let idx = enc.push(&[tag; 16]).unwrap();
+            let pkt = enc.systematic_packet_pooled(idx, &mut pool).unwrap();
+            relayed.clear();
+            let d = relay.process_window_wire_into(&pkt.to_bytes(), 1, &mut rng, &mut relayed);
+            assert_eq!(d, WindowDecision::Forwarded(1));
+            for out in relayed.drain(..) {
+                let mut unused = Vec::new();
+                if let WindowDecision::Delivered { payloads, .. } =
+                    sink.process_window_wire_into(&out.to_bytes(), 1, &mut rng, &mut unused)
+                {
+                    delivered.extend(payloads);
+                }
+                relay.recycle_window(out);
+            }
+            // The sink acks; the relay's recode buffer and the source
+            // window both slide forward.
+            if let Some(cum) = sink.window_cumulative_ack(SessionId::new(7)) {
+                let ack = WindowAck {
+                    session: SessionId::new(7),
+                    cumulative: cum,
+                    repair_wanted: 0,
+                };
+                assert!(relay.handle_window_ack(&ack));
+                enc.handle_ack(ack.cumulative);
+            }
+        }
+        assert_eq!(delivered.len(), 6);
+        for (tag, sym) in delivered.iter().enumerate() {
+            assert_eq!(sym, &vec![tag as u8; 16]);
+        }
+        assert_eq!(relay.stats().window_packets_in, 6);
+        assert_eq!(relay.stats().window_acks_in, 6);
+        assert_eq!(sink.stats().window_symbols_delivered, 6);
+    }
+
+    #[test]
+    fn window_forwarder_and_unknown_session_paths() {
+        use ncvnf_rlnc::window::{WindowConfig, WindowEncoder};
+        use ncvnf_rlnc::PayloadPool;
+
+        let wcfg = WindowConfig::new(16, 4).unwrap();
+        let mut vnf = CodingVnf::new(cfg(), 8);
+        vnf.set_window_config(wcfg);
+        assert_eq!(vnf.window_config(), wcfg);
+        let mut enc = WindowEncoder::new(wcfg, SessionId::new(5));
+        let mut pool = PayloadPool::new();
+        let mut rng = StdRng::seed_from_u64(22);
+        let idx = enc.push(&[9u8; 16]).unwrap();
+        let pkt = enc.systematic_packet_pooled(idx, &mut pool).unwrap();
+        let wire = pkt.to_bytes();
+        let mut out = Vec::new();
+        // No role for session 5 yet: counted, nothing emitted.
+        assert_eq!(
+            vnf.process_window_wire_into(&wire, 1, &mut rng, &mut out),
+            WindowDecision::Nothing
+        );
+        assert_eq!(vnf.stats().unknown_session, 1);
+        // Forwarder role: verbatim pass-through.
+        vnf.set_role(SessionId::new(5), VnfRole::Forwarder);
+        assert_eq!(
+            vnf.process_window_wire_into(&wire, 1, &mut rng, &mut out),
+            WindowDecision::Forwarded(1)
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload.as_ref(), &[9u8; 16]);
+        // Garbage is counted malformed.
+        assert_eq!(
+            vnf.process_window_wire_into(b"junk", 1, &mut rng, &mut out),
+            WindowDecision::Nothing
+        );
+        assert_eq!(vnf.stats().malformed, 1);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! GFNI + AVX-512 kernel: GF(2^8) constant multiplication via
+//! `vgf2p8affineqb` on 64-byte registers.
+//!
+//! GFNI's dedicated multiply (`gf2p8mulb`) hardwires the AES polynomial
+//! 0x11B, but this crate's field uses the Reed-Solomon polynomial 0x11D
+//! (see `gf256::POLY`) — using the multiply instruction directly would be
+//! silently wrong. Multiplication by a *constant* is a GF(2)-linear map on
+//! the bits of the input byte, though, so it can be expressed as an 8×8
+//! bit matrix and evaluated with the polynomial-agnostic affine
+//! instruction (`vgf2p8affineqb`): one instruction per 64 bytes, no
+//! nibble tables, no shuffles. This is the ISA-L / klauspost-reedsolomon
+//! approach to GFNI over non-AES polynomials.
+//!
+//! The matrix for coefficient `c` is derived from the product table: its
+//! column `j` is `c · x^j` in the field, so `matrix · bits(x) = bits(c·x)`
+//! for every `x`.
+//!
+//! Safety: each `#[target_feature]` function is only reachable through the
+//! dispatch table after `is_x86_feature_detected!` confirmed GFNI and the
+//! AVX-512 foundation (see `KernelTier::is_supported`), and all memory
+//! access goes through `loadu`/`storeu` on ranges the safe callers have
+//! bounds-checked.
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::*;
+
+use super::Ops;
+use crate::gf256::Gf256;
+
+pub(super) static GFNI_OPS: Ops = Ops {
+    mul: super::MulFn(mul_slice_gfni_entry),
+    mul_add: super::MulFn(mul_add_slice_gfni_entry),
+    scale: super::ScaleFn(scale_slice_gfni_entry),
+};
+
+/// The 8×8 GF(2) bit matrix `A` with `A · bits(x) = bits(c·x)`, packed in
+/// the qword layout `vgf2p8affineqb` expects: result bit `i` is
+/// `parity(A.byte[7-i] & x)`, so byte `7-i` holds the mask of input bits
+/// feeding output bit `i`.
+#[inline]
+fn affine_matrix(c: u8) -> u64 {
+    let row = Gf256::mul_row(c);
+    let mut bytes = [0u8; 8];
+    for i in 0..8 {
+        let mut mask = 0u8;
+        for j in 0..8 {
+            // Column j of the matrix is c * x^j; take its bit i.
+            if row[1usize << j] & (1 << i) != 0 {
+                mask |= 1 << j;
+            }
+        }
+        bytes[7 - i] = mask;
+    }
+    u64::from_le_bytes(bytes)
+}
+
+macro_rules! gfni_entry {
+    ($entry:ident, $inner:ident) => {
+        fn $entry(dst: &mut [u8], src: &[u8], c: u8) {
+            // SAFETY: this entry is only installed in `GFNI_OPS`, which the
+            // dispatcher hands out strictly after `is_supported()` returned
+            // true for GFNI + AVX-512 on this CPU.
+            unsafe { $inner(dst, src, c) }
+        }
+    };
+}
+
+gfni_entry!(mul_slice_gfni_entry, mul_slice_gfni);
+gfni_entry!(mul_add_slice_gfni_entry, mul_add_slice_gfni);
+
+fn scale_slice_gfni_entry(dst: &mut [u8], c: u8) {
+    // SAFETY: see `gfni_entry!` — feature presence is established by the
+    // dispatcher before this pointer is reachable.
+    unsafe { scale_slice_gfni(dst, c) }
+}
+
+macro_rules! gfni_kernel {
+    ($name:ident, $tail:ident, |$acc:ident, $prod:ident| $combine:expr) => {
+        #[target_feature(enable = "gfni,avx512f,avx512bw")]
+        unsafe fn $name(dst: &mut [u8], src: &[u8], c: u8) {
+            let matrix = _mm512_set1_epi64(affine_matrix(c) as i64);
+            let split = dst.len() - dst.len() % 64;
+            let (dst_body, dst_tail) = dst.split_at_mut(split);
+            let (src_body, src_tail) = src.split_at(split);
+            for (d, s) in dst_body.chunks_exact_mut(64).zip(src_body.chunks_exact(64)) {
+                let v = _mm512_loadu_si512(s.as_ptr().cast());
+                let $prod = _mm512_gf2p8affine_epi64_epi8::<0>(v, matrix);
+                let $acc = _mm512_loadu_si512(d.as_ptr().cast());
+                _mm512_storeu_si512(d.as_mut_ptr().cast(), $combine);
+            }
+            super::scalar::$tail(dst_tail, src_tail, c);
+        }
+    };
+}
+
+gfni_kernel!(mul_slice_gfni, mul_slice, |_acc, prod| prod);
+gfni_kernel!(mul_add_slice_gfni, mul_add_slice, |acc, prod| {
+    _mm512_xor_si512(acc, prod)
+});
+
+#[target_feature(enable = "gfni,avx512f,avx512bw")]
+unsafe fn scale_slice_gfni(dst: &mut [u8], c: u8) {
+    let matrix = _mm512_set1_epi64(affine_matrix(c) as i64);
+    let split = dst.len() - dst.len() % 64;
+    let (body, tail) = dst.split_at_mut(split);
+    for d in body.chunks_exact_mut(64) {
+        let v = _mm512_loadu_si512(d.as_ptr().cast());
+        let prod = _mm512_gf2p8affine_epi64_epi8::<0>(v, matrix);
+        _mm512_storeu_si512(d.as_mut_ptr().cast(), prod);
+    }
+    super::scalar::scale_slice(tail, c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_matrix_is_the_multiplication_map() {
+        // Evaluate the matrix by hand (parity of masked bits) against the
+        // product table, for every (coefficient, byte) pair.
+        for c in 0..=255u8 {
+            let m = affine_matrix(c).to_le_bytes();
+            let row = Gf256::mul_row(c);
+            for x in 0..=255u8 {
+                let mut y = 0u8;
+                for i in 0..8 {
+                    if (m[7 - i] & x).count_ones() % 2 == 1 {
+                        y |= 1 << i;
+                    }
+                }
+                assert_eq!(y, row[x as usize], "c={c} x={x}");
+            }
+        }
+    }
+}

@@ -12,17 +12,22 @@
 //! * [`KernelTier::Ssse3`] / [`KernelTier::Avx2`] — explicit x86_64
 //!   `pshufb` kernels using 16-entry low/high-nibble product tables,
 //!   16 (SSSE3) or 32 (AVX2) bytes per shuffle pair.
+//! * [`KernelTier::Gfni`] — GFNI + AVX-512 `vgf2p8affineqb` kernel, 64
+//!   bytes per instruction via a per-coefficient 8×8 bit matrix (the
+//!   field's 0x11D polynomial rules out the hardwired-0x11B `gf2p8mulb`).
 //!
 //! The fastest tier the CPU supports is selected once per process (see
 //! [`kernel_tier`]); every public entry point below then routes through it.
-//! Set `NCVNF_GF256_KERNEL=scalar|swar|ssse3|avx2` before first use to pin
-//! a specific tier (benchmarking, differential testing); forcing a tier
-//! the CPU cannot run panics rather than silently falling back.
+//! Set `NCVNF_GF256_KERNEL=scalar|swar|ssse3|avx2|gfni` before first use
+//! to pin a specific tier (benchmarking, differential testing); forcing a
+//! tier the CPU cannot run panics rather than silently falling back.
 //!
 //! All functions interpret `&[u8]` as a vector of GF(2^8) elements.
 
 use std::sync::OnceLock;
 
+#[cfg(target_arch = "x86_64")]
+mod gfni;
 mod scalar;
 mod swar;
 #[cfg(target_arch = "x86_64")]
@@ -42,6 +47,8 @@ pub enum KernelTier {
     Ssse3,
     /// x86_64 AVX2 `vpshufb` nibble-table kernel (32 bytes per step).
     Avx2,
+    /// x86_64 GFNI + AVX-512 `vgf2p8affineqb` kernel (64 bytes per step).
+    Gfni,
 }
 
 impl KernelTier {
@@ -52,6 +59,7 @@ impl KernelTier {
             KernelTier::Swar => "swar",
             KernelTier::Ssse3 => "ssse3",
             KernelTier::Avx2 => "avx2",
+            KernelTier::Gfni => "gfni",
         }
     }
 
@@ -62,6 +70,7 @@ impl KernelTier {
             "swar" => Some(KernelTier::Swar),
             "ssse3" => Some(KernelTier::Ssse3),
             "avx2" => Some(KernelTier::Avx2),
+            "gfni" => Some(KernelTier::Gfni),
             _ => None,
         }
     }
@@ -74,6 +83,12 @@ impl KernelTier {
             KernelTier::Ssse3 => std::arch::is_x86_feature_detected!("ssse3"),
             #[cfg(target_arch = "x86_64")]
             KernelTier::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Gfni => {
+                std::arch::is_x86_feature_detected!("gfni")
+                    && std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+            }
             #[cfg(not(target_arch = "x86_64"))]
             _ => false,
         }
@@ -134,6 +149,8 @@ impl KernelTier {
             KernelTier::Ssse3 => &x86::SSSE3_OPS,
             #[cfg(target_arch = "x86_64")]
             KernelTier::Avx2 => &x86::AVX2_OPS,
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Gfni => &gfni::GFNI_OPS,
             #[cfg(not(target_arch = "x86_64"))]
             _ => unreachable!("unsupported tiers rejected above"),
         }
@@ -193,6 +210,7 @@ pub fn compiled_tiers() -> &'static [KernelTier] {
             KernelTier::Swar,
             KernelTier::Ssse3,
             KernelTier::Avx2,
+            KernelTier::Gfni,
         ]
     }
     #[cfg(not(target_arch = "x86_64"))]
@@ -204,7 +222,7 @@ pub fn compiled_tiers() -> &'static [KernelTier] {
 fn select_tier() -> KernelTier {
     if let Ok(name) = std::env::var("NCVNF_GF256_KERNEL") {
         let tier = KernelTier::from_name(name.trim()).unwrap_or_else(|| {
-            panic!("NCVNF_GF256_KERNEL={name:?} is not one of scalar|swar|ssse3|avx2")
+            panic!("NCVNF_GF256_KERNEL={name:?} is not one of scalar|swar|ssse3|avx2|gfni")
         });
         assert!(
             tier.is_supported(),

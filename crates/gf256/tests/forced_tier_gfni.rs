@@ -1,0 +1,43 @@
+//! `NCVNF_GF256_KERNEL=gfni` pins dispatch to the GFNI/AVX-512 tier.
+//!
+//! Own test binary for the same reason as `forced_tier_env.rs`: the tier
+//! is resolved once per process, so the variable must be set before
+//! anything touches `bulk`. Unlike SWAR, GFNI is not universally
+//! available — on hosts without it the test skips (prints and returns)
+//! rather than failing, so the suite stays green on older CPUs.
+
+use ncvnf_gf256::{bulk, Gf256};
+
+#[test]
+fn env_var_pins_the_gfni_tier_and_matches_the_field() {
+    if !bulk::KernelTier::Gfni.is_supported() {
+        eprintln!("skipping: CPU lacks GFNI/AVX-512 (gfni+avx512f+avx512bw)");
+        return;
+    }
+    std::env::set_var("NCVNF_GF256_KERNEL", "gfni");
+
+    assert_eq!(bulk::kernel_tier(), bulk::KernelTier::Gfni);
+
+    // The dispatched entry points now run on the GFNI kernel and must
+    // match the scalar field arithmetic, including the non-multiple-of-64
+    // tail of a 1461-byte slice.
+    let c = 0x9Du8;
+    let src: Vec<u8> = (0..1461u32)
+        .map(|i| (i.wrapping_mul(7) >> 2) as u8)
+        .collect();
+    let mut dst = vec![0u8; src.len()];
+    bulk::mul_slice(&mut dst, &src, c);
+    for (&d, &s) in dst.iter().zip(&src) {
+        assert_eq!(d, (Gf256::new(c) * Gf256::new(s)).value());
+    }
+
+    let mut acc = vec![0xA5u8; src.len()];
+    bulk::mul_add_slice(&mut acc, &src, c);
+    for (&a, &d) in acc.iter().zip(&dst) {
+        assert_eq!(a, 0xA5 ^ d);
+    }
+
+    let mut scaled = src.clone();
+    bulk::scale_slice(&mut scaled, c);
+    assert_eq!(scaled, dst);
+}

@@ -11,9 +11,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Lengths that stress kernel edge handling: empty, below/at/past the
-/// 8-byte SWAR word, the 16-byte SSSE3 and 32-byte AVX2 shuffle widths,
-/// and the paper's 1460-byte MTU payload plus one.
-const EDGE_LENGTHS: &[usize] = &[0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 1460, 1461];
+/// 8-byte SWAR word, the 16-byte SSSE3, 32-byte AVX2, and 64-byte
+/// GFNI/AVX-512 vector widths, and the paper's 1460-byte MTU payload
+/// plus one.
+const EDGE_LENGTHS: &[usize] = &[
+    0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 1460, 1461,
+];
 
 fn supported_tiers() -> Vec<bulk::KernelTier> {
     bulk::compiled_tiers()

@@ -29,10 +29,14 @@ use rand::rngs::StdRng;
 
 use ncvnf_control::ForwardingTable;
 use ncvnf_dataplane::{
-    chunk_generation, CodingVnf, Feedback, FeedbackKind, VnfDecision, FEEDBACK_MAGIC,
+    chunk_generation, CodingVnf, Feedback, FeedbackKind, VnfDecision, WindowDecision,
+    FEEDBACK_MAGIC,
 };
 use ncvnf_obs::Registry;
-use ncvnf_rlnc::{CodedPacket, NcHeader, SessionId};
+use ncvnf_rlnc::{
+    wire_kind, CodedPacket, NcHeader, SessionId, WindowAck, WindowPacket, WindowPacketView,
+    WireKind,
+};
 
 use crate::metrics::{BatchMetrics, StepMetrics, STEP_SAMPLE_EVERY};
 use crate::overload::{monotonic_secs, Admission, OverloadConfig, OverloadState, QuotaConfig};
@@ -377,6 +381,16 @@ struct ShardSlot {
     pending: Vec<CodedPacket>,
     /// Resolved next hops of the session being serialized.
     addrs: Vec<SocketAddr>,
+    /// Indices of sliding-window datagrams (wire kind 2) this shard owns.
+    wgroup: Vec<u32>,
+    /// Per-datagram windowed decisions, tagged with their start in `wout`.
+    wdecisions: Vec<(u32, WindowDecision)>,
+    /// Windowed packets emitted by this batch.
+    wout: Vec<WindowPacket>,
+    /// Emitted windowed packets awaiting recycling.
+    wpending: Vec<WindowPacket>,
+    /// Window acks (wire kind 3) addressed to this shard's sessions.
+    acks: Vec<WindowAck>,
 }
 
 /// One source owed a `Congestion` feedback frame for datagrams shed
@@ -477,6 +491,13 @@ pub struct BatchReport {
     /// `Congestion` feedback frames received (counted within
     /// `feedback_frames`; relays drop them like all feedback).
     pub congestion_in: u64,
+    /// Sliding-window datagrams (wire kind 2) run through a shard engine
+    /// (counted within `steps`).
+    pub window_steps: u64,
+    /// Window acks (wire kind 3) absorbed into shard recoders. Like
+    /// feedback frames, acks travel receiver → source directly and are
+    /// not routed onward; relays only eavesdrop to slide their floors.
+    pub window_acks: u64,
 }
 
 impl BatchReport {
@@ -553,12 +574,16 @@ pub fn relay_batch(
     congest.clear();
     for slot in slots.iter_mut() {
         slot.group.clear();
+        slot.wgroup.clear();
+        slot.acks.clear();
     }
 
     // Dispatch: peek (session, generation) from the fixed header
     // prefix and group datagram indices by owner shard. Feedback is
     // classified *before* admission control — backpressure and
-    // liveness frames are never shed.
+    // liveness frames are never shed. Sliding-window traffic (wire
+    // kinds 2/3) shards by session alone: a stream's window state is
+    // one object, so every packet of the stream must reach one shard.
     for (i, (dg, _src)) in batch.iter().enumerate() {
         if dg.first() == Some(&FEEDBACK_MAGIC) {
             match Feedback::from_bytes(dg) {
@@ -571,6 +596,27 @@ pub fn relay_batch(
                 Err(_) => report.malformed_feedback += 1,
             }
             continue;
+        }
+        match wire_kind(dg) {
+            Some(WireKind::Window) => {
+                let owner = match WindowPacketView::parse(dg) {
+                    Ok(view) => shard_of(view.session(), 0, shards.len()),
+                    Err(_) => home,
+                };
+                if owner != home {
+                    report.cross_shard += 1;
+                }
+                slots[owner].wgroup.push(i as u32);
+                continue;
+            }
+            Some(WireKind::WindowAck) => {
+                if let Ok(ack) = WindowAck::parse(dg) {
+                    let owner = shard_of(ack.session, 0, shards.len());
+                    slots[owner].acks.push(ack);
+                }
+                continue;
+            }
+            _ => {}
         }
         let owner = match NcHeader::peek_ids(dg) {
             Some((session, generation)) => shard_of(session, generation, shards.len()),
@@ -592,8 +638,18 @@ pub fn relay_batch(
             out,
             pending,
             addrs,
+            wgroup,
+            wdecisions,
+            wout,
+            wpending,
+            acks,
         } = &mut slots[s];
-        if group.is_empty() && pending.is_empty() {
+        if group.is_empty()
+            && pending.is_empty()
+            && wgroup.is_empty()
+            && wpending.is_empty()
+            && acks.is_empty()
+        {
             continue;
         }
 
@@ -605,6 +661,26 @@ pub fn relay_batch(
             recycled_total += pending.len() as u64;
             for pkt in pending.drain(..) {
                 engine.vnf.recycle(pkt);
+            }
+            recycled_total += wpending.len() as u64;
+            for pkt in wpending.drain(..) {
+                engine.vnf.recycle_window(pkt);
+            }
+            // Window acks slide recoder floors before this batch's
+            // windowed data is coded, so freed rows are gone already.
+            for ack in acks.drain(..) {
+                engine.vnf.handle_window_ack(&ack);
+                report.window_acks += 1;
+            }
+            for &idx in wgroup.iter() {
+                let (dg, _src) = batch.get(idx as usize);
+                let start = wout.len() as u32;
+                let decision = engine
+                    .vnf
+                    .process_window_wire_into(dg, 1, &mut engine.rng, wout);
+                report.steps += 1;
+                report.window_steps += 1;
+                wdecisions.push((start, decision));
             }
             let gen_size = engine.vnf.config().blocks_per_generation();
             if let Some(ov) = engine.overload.as_mut() {
@@ -679,8 +755,38 @@ pub fn relay_batch(
                 VnfDecision::Forwarded(_) | VnfDecision::Nothing => {}
             }
         }
+        for (start, decision) in wdecisions.drain(..) {
+            match decision {
+                WindowDecision::Forwarded(n) if n > 0 => {
+                    report.emitted += n as u64;
+                    let pkts = &wout[start as usize..start as usize + n];
+                    routes.lookup_into(pkts[0].session, addrs);
+                    if !addrs.is_empty() {
+                        for pkt in pkts {
+                            send.push_wire(|w| pkt.write_into(w), addrs);
+                        }
+                    }
+                }
+                WindowDecision::Delivered {
+                    session, payloads, ..
+                } => {
+                    // Windowed decoder egress: in-order symbols leave as
+                    // plain datagrams (per-delivery allocation, like the
+                    // generational decode path).
+                    routes.lookup_into(session, addrs);
+                    if !addrs.is_empty() {
+                        for payload in &payloads {
+                            report.emitted += 1;
+                            send.push_bytes(payload, addrs);
+                        }
+                    }
+                }
+                WindowDecision::Forwarded(_) | WindowDecision::Nothing => {}
+            }
+        }
         drop(routes);
         pending.append(out);
+        wpending.append(wout);
     }
 
     // Backpressure: one Congestion frame per shed (session, source)

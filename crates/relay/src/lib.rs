@@ -48,8 +48,9 @@ pub use metrics::{BatchMetrics, RecoveryMetrics, RelayNodeMetrics, StepMetrics, 
 pub use node::{HeartbeatConfig, RelayConfig, RelayHandle, RelayNode, RelayStats};
 pub use overload::{Admission, OverloadConfig, OverloadState, OverloadStats, QuotaConfig};
 pub use recovery::{
-    reliable_chain, send_object_reliable, RecoveryConfig, RecoveryStats, ReliableChainReport,
-    ReliableReceiver,
+    reliable_chain, send_object_reliable, send_window_reliable, RecoveryConfig, RecoveryStats,
+    ReliableChainReport, ReliableReceiver, WindowSendStats, WindowStreamReceiver,
+    WindowStreamReport,
 };
 pub use socket::{DatagramSocket, RecvBatch, SendBatch, MAX_BATCH};
 pub use transfer::{chain, send_object, ObjectReceiver, ReceiverReport, TransferConfig};

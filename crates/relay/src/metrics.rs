@@ -211,6 +211,24 @@ pub const CROSS_SHARD_PACKETS: MetricDesc = desc(
     "Datagrams received on one shard's socket but owned by another shard",
 );
 
+/// `relay.window_packets` — sliding-window datagrams processed.
+pub const WINDOW_PACKETS: MetricDesc = desc(
+    "relay.window_packets",
+    MetricKind::Counter,
+    "datagrams",
+    "relay",
+    "Sliding-window datagrams (wire kind 2) run through a shard engine",
+);
+
+/// `relay.window_acks` — window acks absorbed by shard recoders.
+pub const WINDOW_ACKS: MetricDesc = desc(
+    "relay.window_acks",
+    MetricKind::Counter,
+    "acks",
+    "relay",
+    "Window acks (wire kind 3) absorbed to slide recoder floors",
+);
+
 /// `relay.idle_ms` — milliseconds since the data socket last saw a
 /// datagram (refreshed on snapshot, so an `NC_STATS` poll reads the
 /// idle time as of the poll, not as of the last packet).
@@ -581,6 +599,8 @@ pub struct BatchMetrics {
     pub(crate) batch_fill: Histogram,
     pub(crate) batch_ns: Histogram,
     pub(crate) cross_shard: Counter,
+    pub(crate) window_packets: Counter,
+    pub(crate) window_acks: Counter,
 }
 
 impl BatchMetrics {
@@ -592,6 +612,8 @@ impl BatchMetrics {
             batch_fill: registry.histogram(BATCH_FILL),
             batch_ns: registry.histogram(BATCH_NS),
             cross_shard: registry.counter(CROSS_SHARD_PACKETS),
+            window_packets: registry.counter(WINDOW_PACKETS),
+            window_acks: registry.counter(WINDOW_ACKS),
         }
     }
 
@@ -615,6 +637,12 @@ impl BatchMetrics {
         self.batch_fill.record(fill);
         if report.cross_shard > 0 {
             self.cross_shard.add(report.cross_shard);
+        }
+        if report.window_steps > 0 {
+            self.window_packets.add(report.window_steps);
+        }
+        if report.window_acks > 0 {
+            self.window_acks.add(report.window_acks);
         }
         if let Some(ns) = elapsed_ns {
             self.batch_ns.record(ns);

@@ -35,7 +35,11 @@ use ncvnf_control::signal::{Signal, VnfRoleWire};
 use ncvnf_control::ForwardingTable;
 use ncvnf_dataplane::{Feedback, FeedbackKind, FEEDBACK_MAGIC};
 use ncvnf_obs::{Snapshot, TraceKind};
-use ncvnf_rlnc::{AdaptiveRedundancy, AimdConfig, CodedPacket, ObjectDecoder, ObjectEncoder};
+use ncvnf_rlnc::window::{WindowConfig, WindowDecoder, WindowEncoder, WindowOutcome};
+use ncvnf_rlnc::{
+    wire_kind, AdaptiveRedundancy, AimdConfig, CodedPacket, ObjectDecoder, ObjectEncoder,
+    PayloadPool, SessionId, WindowAck, WindowPacketView, WireKind,
+};
 
 use crate::chaos::{FaultConfig, FaultSocket, FaultStats};
 use crate::metrics::{RecoveryMetrics, TransferObs};
@@ -469,6 +473,291 @@ fn is_timeout(e: &io::Error) -> bool {
         e.kind(),
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
     )
+}
+
+/// Counters from one reliable sliding-window stream (source side).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowSendStats {
+    /// Systematic data packets sent (one per symbol, first pass).
+    pub data_packets: u64,
+    /// Coded repair packets sent answering NACK bursts from the live
+    /// window.
+    pub repair_packets: u64,
+    /// Cumulative acks received.
+    pub acks_received: u64,
+    /// Acks carrying `repair_wanted > 0` (window NACKs) received.
+    pub nacks_received: u64,
+    /// Whether every symbol was acknowledged before the budgets ran out.
+    pub completed: bool,
+}
+
+/// Streams `data` over a sliding window: each symbol goes out verbatim
+/// (systematic, width-1), and receiver NACKs — [`WindowAck`] frames with
+/// `repair_wanted > 0` — are answered with that many fresh random
+/// combinations of exactly the *unacknowledged* symbols. Unlike
+/// [`send_object_reliable`], loss never stalls a whole generation:
+/// repair coverage tracks the live window as acks slide it forward.
+///
+/// Feedback arrives on `socket` itself; metrics land in `obs` under the
+/// same `recovery.*` names as the generational protocol
+/// (`initial_packets` = systematic pass, `retransmit_packets` = repair
+/// bursts).
+///
+/// # Errors
+///
+/// Propagates socket errors from the data path.
+///
+/// # Panics
+///
+/// Panics if `next_hops` or `data` is empty.
+pub fn send_window_reliable<S: DatagramSocket>(
+    socket: &S,
+    window: WindowConfig,
+    session: SessionId,
+    recovery: &RecoveryConfig,
+    data: &[u8],
+    next_hops: &[SocketAddr],
+    obs: &TransferObs,
+) -> io::Result<WindowSendStats> {
+    assert!(!next_hops.is_empty(), "need at least one next hop");
+    assert!(!data.is_empty(), "nothing to stream");
+    let m = obs.recovery.clone();
+    let mut enc = WindowEncoder::new(window, session);
+    let mut rng = StdRng::seed_from_u64(0x5EED_u64 ^ u64::from(session.value()));
+    let mut pool = PayloadPool::new();
+    let mut stats = WindowSendStats::default();
+    let mut chunks = data.chunks(window.symbol_size());
+    let total = data.len().div_ceil(window.symbol_size()) as u64;
+    let mut sent_all = false;
+    let mut last_feedback = Instant::now();
+    let mut buf = [0u8; 64];
+    socket.set_read_timeout(Some(Duration::from_millis(1)))?;
+    loop {
+        // Fill the window and emit each new symbol systematically.
+        while !sent_all && enc.live() < window.capacity() {
+            let Some(chunk) = chunks.next() else {
+                sent_all = true;
+                break;
+            };
+            let idx = enc.push(chunk).expect("window has room");
+            let pkt = enc
+                .systematic_packet_pooled(idx, &mut pool)
+                .expect("symbol is live");
+            let hop = next_hops[(stats.data_packets as usize) % next_hops.len()];
+            socket.send_to(&pkt.to_bytes(), hop)?;
+            stats.data_packets += 1;
+        }
+        if sent_all && enc.live() == 0 {
+            stats.completed = true;
+            break;
+        }
+        // Drain feedback: cumulative acks slide the window; NACKs ask
+        // for repair bursts from whatever is still unacknowledged.
+        match socket.recv_from(&mut buf) {
+            Ok((n, _)) => {
+                if wire_kind(&buf[..n]) == Some(WireKind::WindowAck) {
+                    if let Ok(ack) = WindowAck::parse(&buf[..n]) {
+                        if ack.session == session {
+                            last_feedback = Instant::now();
+                            stats.acks_received += 1;
+                            m.acks_received.inc();
+                            enc.handle_ack(ack.cumulative);
+                            if ack.cumulative >= total {
+                                stats.completed = true;
+                                break;
+                            }
+                            if ack.repair_wanted > 0 && enc.live() > 0 {
+                                stats.nacks_received += 1;
+                                m.nacks_received.inc();
+                                let burst = usize::from(ack.repair_wanted);
+                                for _ in 0..burst {
+                                    let pkt = enc
+                                        .coded_packet_pooled(&mut rng, &mut pool)
+                                        .expect("window is non-empty");
+                                    let hop = next_hops
+                                        [(stats.repair_packets as usize) % next_hops.len()];
+                                    let _ = socket.send_to(&pkt.to_bytes(), hop);
+                                    stats.repair_packets += 1;
+                                }
+                                m.retransmit_packets.add(burst as u64);
+                                m.retransmit_rounds.inc();
+                                m.trace
+                                    .push(TraceKind::RepairBurst, enc.base(), burst as u64);
+                            }
+                        }
+                    }
+                }
+            }
+            Err(ref e) if is_timeout(e) => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+        if last_feedback.elapsed() >= recovery.idle_timeout {
+            break; // receiver went silent
+        }
+    }
+    m.initial_packets.add(stats.data_packets);
+    Ok(stats)
+}
+
+/// Outcome of a reliable sliding-window receive.
+#[derive(Debug)]
+pub struct WindowStreamReport {
+    /// The delivered symbols, concatenated in order (zero-padded tail
+    /// included — the stream layer does not know the original length).
+    pub data: Vec<u8>,
+    /// Data packets received (systematic + repair).
+    pub packets: u64,
+    /// Cumulative acks sent (including NACK-bearing ones).
+    pub acks_sent: u64,
+    /// Acks sent with `repair_wanted > 0`.
+    pub nacks_sent: u64,
+    /// Wall-clock duration until the last symbol was delivered.
+    pub elapsed: Duration,
+}
+
+/// A background receiver for a sliding-window stream: delivers symbols
+/// in order, acks cumulatively after every delivery, and NACKs gaps —
+/// an ack with `repair_wanted` set to exactly the number of missing
+/// symbols blocking the delivery cursor.
+pub struct WindowStreamReceiver {
+    /// The UDP address the receiver listens on.
+    pub addr: SocketAddr,
+    done: ChanReceiver<WindowStreamReport>,
+    running: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WindowStreamReceiver {
+    /// Spawns a receiver expecting `total_symbols` in-order symbols,
+    /// sending [`WindowAck`] frames to `source`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn(
+        window: WindowConfig,
+        session: SessionId,
+        total_symbols: u64,
+        source: SocketAddr,
+        obs: &TransferObs,
+    ) -> io::Result<WindowStreamReceiver> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_read_timeout(Some(Duration::from_millis(5)))?;
+        let addr = socket.local_addr()?;
+        let (tx, rx) = bounded(1);
+        let running = Arc::new(AtomicBool::new(true));
+        let run = Arc::clone(&running);
+        let m = obs.recovery.clone();
+        let nack_interval = Duration::from_millis(10);
+        let thread = std::thread::spawn(move || {
+            let mut dec = WindowDecoder::new(window);
+            let mut data = Vec::new();
+            let mut packets = 0u64;
+            let mut acks_sent = 0u64;
+            let mut nacks_sent = 0u64;
+            // Highest absolute symbol index referenced by any packet —
+            // the NACK sizing baseline: everything at or below it was
+            // sent, so `undelivered - pending_rank` packets are missing.
+            let mut max_seen: Option<u64> = None;
+            let mut last_arrival: Option<Instant> = None;
+            let mut last_nack: Option<Instant> = None;
+            let start = Instant::now();
+            let mut buf = vec![0u8; 65536];
+            while run.load(Ordering::Relaxed) && dec.delivered() < total_symbols {
+                match socket.recv_from(&mut buf) {
+                    Ok((n, _)) => {
+                        let Ok(view) = WindowPacketView::parse(&buf[..n]) else {
+                            continue;
+                        };
+                        if view.session() != session {
+                            continue;
+                        }
+                        packets += 1;
+                        last_arrival = Some(Instant::now());
+                        let top = view.base() + view.coefficients().len() as u64 - 1;
+                        max_seen = Some(max_seen.map_or(top, |m: u64| m.max(top)));
+                        let outcome = dec.receive(view.base(), view.coefficients(), view.payload());
+                        if let Ok(WindowOutcome::Delivered { payloads, .. }) = outcome {
+                            for p in payloads {
+                                data.extend_from_slice(&p);
+                            }
+                            let ack = WindowAck {
+                                session,
+                                cumulative: dec.delivered(),
+                                repair_wanted: 0,
+                            };
+                            let _ = socket.send_to(&ack.encode(), source);
+                            acks_sent += 1;
+                            m.acks_sent.inc();
+                        }
+                    }
+                    Err(ref e) if is_timeout(e) => {}
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+                // NACK scan: a gap (undelivered symbols at or below the
+                // highest index seen) that stalls past the decode
+                // timeout asks for exactly the missing count.
+                let now = Instant::now();
+                let stalled = last_arrival
+                    .is_some_and(|t| now.duration_since(t) >= Duration::from_millis(10));
+                // Tail losses leave no trace in `max_seen`, so any stall
+                // short of completion asks for at least one repair.
+                let missing = max_seen
+                    .map(|m| (m + 1 - dec.delivered()).saturating_sub(dec.pending_rank() as u64))
+                    .unwrap_or(0)
+                    .max(u64::from(stalled));
+                if stalled
+                    && missing > 0
+                    && last_nack.is_none_or(|t| now.duration_since(t) >= nack_interval)
+                {
+                    let ack = WindowAck {
+                        session,
+                        cumulative: dec.delivered(),
+                        repair_wanted: missing.min(255) as u8,
+                    };
+                    let _ = socket.send_to(&ack.encode(), source);
+                    acks_sent += 1;
+                    nacks_sent += 1;
+                    m.nacks_sent.inc();
+                    last_nack = Some(now);
+                }
+            }
+            // Final ack so the source's window closes out; repeated a
+            // few times because a dropped final ack would otherwise
+            // leave the source waiting out its idle timeout.
+            let ack = WindowAck {
+                session,
+                cumulative: dec.delivered(),
+                repair_wanted: 0,
+            };
+            for _ in 0..3 {
+                let _ = socket.send_to(&ack.encode(), source);
+            }
+            let _ = tx.send(WindowStreamReport {
+                data,
+                packets,
+                acks_sent: acks_sent + 1,
+                nacks_sent,
+                elapsed: start.elapsed(),
+            });
+        });
+        Ok(WindowStreamReceiver {
+            addr,
+            done: rx,
+            running,
+            thread: Some(thread),
+        })
+    }
+
+    /// Waits up to `timeout` for the stream to finish.
+    pub fn wait(mut self, timeout: Duration) -> Option<WindowStreamReport> {
+        let report = self.done.recv_timeout(timeout).ok();
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        report
+    }
 }
 
 /// Outcome of a reliable receive.
@@ -1000,6 +1289,68 @@ mod tests {
             .events
             .iter()
             .any(|e| e.kind == ncvnf_obs::TraceKind::RepairBurst));
+    }
+
+    #[test]
+    fn lossy_window_stream_recovers_via_repair_bursts() {
+        let window = WindowConfig::new(128, 8).unwrap();
+        let session = SessionId::new(9);
+        let rec = recovery();
+        let data: Vec<u8> = (0..4096u32).map(|i| (i * 11 % 251) as u8).collect();
+        let total = data.len().div_ceil(window.symbol_size()) as u64;
+        // 25% egress loss on the source's own socket: the stream must
+        // heal from NACK-driven repair bursts over the live window.
+        let (source_socket, fault) =
+            FaultSocket::bind_loopback(FaultConfig::new(0xD00F).with_drop(0.25)).unwrap();
+        let obs = TransferObs::new();
+        let receiver = WindowStreamReceiver::spawn(
+            window,
+            session,
+            total,
+            source_socket.local_addr().unwrap(),
+            &obs,
+        )
+        .unwrap();
+        let hops = [receiver.addr];
+        let stats = send_window_reliable(&source_socket, window, session, &rec, &data, &hops, &obs)
+            .unwrap();
+        let report = receiver.wait(Duration::from_secs(30)).expect("completes");
+        assert_eq!(report.data, data, "byte-identical in-order delivery");
+        assert!(stats.completed, "source saw the stream acknowledged");
+        assert_eq!(stats.data_packets, total);
+        assert!(fault.stats().dropped > 0, "faults actually fired");
+        assert!(report.nacks_sent > 0, "receiver NACKed stalls");
+        assert!(stats.repair_packets > 0, "repairs answered from the window");
+        let snap = obs.snapshot();
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == ncvnf_obs::TraceKind::RepairBurst));
+    }
+
+    #[test]
+    fn clean_window_stream_is_pure_systematic() {
+        let window = WindowConfig::new(64, 4).unwrap();
+        let session = SessionId::new(10);
+        let rec = recovery();
+        let data: Vec<u8> = (0..640u32).map(|i| (i % 241) as u8).collect();
+        let total = data.len().div_ceil(window.symbol_size()) as u64;
+        let socket = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let obs = TransferObs::new();
+        let receiver =
+            WindowStreamReceiver::spawn(window, session, total, socket.local_addr().unwrap(), &obs)
+                .unwrap();
+        let hops = [receiver.addr];
+        let stats =
+            send_window_reliable(&socket, window, session, &rec, &data, &hops, &obs).unwrap();
+        let report = receiver.wait(Duration::from_secs(10)).expect("completes");
+        assert_eq!(report.data, data);
+        assert!(stats.completed);
+        assert_eq!(
+            stats.data_packets, total,
+            "one systematic packet per symbol"
+        );
+        assert_eq!(stats.repair_packets, 0, "no loss, no repairs");
     }
 
     #[test]

@@ -109,6 +109,36 @@ impl GenerationDecoder {
             return Ok(ReceiveOutcome::AlreadyComplete);
         }
 
+        // Structured elimination, part 1: a systematic packet (single
+        // nonzero coefficient) either lands directly in an empty pivot
+        // slot, or — when that slot's pivot row is itself a unit vector —
+        // is a scalar duplicate of a block we already hold. Neither case
+        // needs the full elimination pass, and the duplicate case (common
+        // under systematic retransmission) costs no payload work at all.
+        if let Some(col) = single_nonzero_column(coefficients) {
+            match self.pivot_of_col[col] {
+                Some(row) if is_unit_row(&self.coeff_rows[row], col) => {
+                    return Ok(ReceiveOutcome::Redundant);
+                }
+                None => {
+                    self.coeff_scratch.fill(0);
+                    self.coeff_scratch[col] = 1;
+                    self.data_scratch.copy_from_slice(payload);
+                    let c = coefficients[col];
+                    if c != 1 {
+                        let inv = Gf256::new(c).inv().value();
+                        bulk::scale_slice(&mut self.data_scratch, inv);
+                    }
+                    self.install_scratch_row(col);
+                    return Ok(ReceiveOutcome::Innovative { rank: self.rank() });
+                }
+                // The pivot row carries mass outside its pivot column, so
+                // eliminating the incoming unit vector against it exposes
+                // that mass — fall through to the general pass.
+                Some(_) => {}
+            }
+        }
+
         // Reduce into the reusable scratch row: redundant packets never
         // touch the heap, innovative ones (at most `g` per generation) are
         // copied out of the scratch when installed.
@@ -216,6 +246,28 @@ impl GenerationDecoder {
     }
 }
 
+/// The index of the single nonzero coefficient, or `None` if there are
+/// zero or several (part 2 of structured elimination: recognizing
+/// systematic packets without scanning payloads).
+fn single_nonzero_column(coefficients: &[u8]) -> Option<usize> {
+    let mut found = None;
+    for (i, &c) in coefficients.iter().enumerate() {
+        if c != 0 {
+            if found.is_some() {
+                return None;
+            }
+            found = Some(i);
+        }
+    }
+    found
+}
+
+/// True when `row` is the unit vector for `col` (pivot rows are
+/// normalized, so the pivot entry is 1 whenever this returns true).
+fn is_unit_row(row: &[u8], col: usize) -> bool {
+    row.iter().enumerate().all(|(i, &c)| (i == col) == (c != 0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +325,59 @@ mod tests {
         );
         assert_eq!(dec.rank(), 1);
         assert_eq!(dec.packets_seen(), 2);
+    }
+
+    #[test]
+    fn duplicate_systematic_packets_do_not_consume_rank() {
+        let data: Vec<u8> = (0..128).collect();
+        let enc = GenerationEncoder::new(cfg(), &data).unwrap();
+        let mut dec = GenerationDecoder::new(cfg());
+        let pkt = enc.systematic_packet(SessionId::new(0), 0, 2);
+        assert!(matches!(
+            dec.receive(pkt.coefficients(), pkt.payload()).unwrap(),
+            ReceiveOutcome::Innovative { rank: 1 }
+        ));
+        // The same source block arriving verbatim again (systematic
+        // retransmission) must be flagged redundant without consuming
+        // rank — and so must a scalar multiple of it.
+        assert_eq!(
+            dec.receive(pkt.coefficients(), pkt.payload()).unwrap(),
+            ReceiveOutcome::Redundant
+        );
+        let mut coeffs = pkt.coefficients().to_vec();
+        let mut payload = pkt.payload().to_vec();
+        bulk::scale_slice(&mut coeffs, 9);
+        bulk::scale_slice(&mut payload, 9);
+        assert_eq!(
+            dec.receive(&coeffs, &payload).unwrap(),
+            ReceiveOutcome::Redundant
+        );
+        assert_eq!(dec.rank(), 1);
+        // The decoder still converges on the remaining blocks.
+        for i in [0usize, 1, 3] {
+            let pkt = enc.systematic_packet(SessionId::new(0), 0, i);
+            dec.receive(pkt.coefficients(), pkt.payload()).unwrap();
+        }
+        assert_eq!(dec.decoded_payload().unwrap(), data);
+    }
+
+    #[test]
+    fn systematic_after_dense_falls_through_to_general_elimination() {
+        // A unit vector whose column already has a (non-unit) pivot row
+        // must take the general path and still decode correctly.
+        let data: Vec<u8> = (0..128).map(|i| (i * 13 + 5) as u8).collect();
+        let enc = GenerationEncoder::new(cfg(), &data).unwrap();
+        let mut dec = GenerationDecoder::new(cfg());
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..2 {
+            let pkt = enc.coded_packet(SessionId::new(0), 0, &mut rng);
+            dec.receive(pkt.coefficients(), pkt.payload()).unwrap();
+        }
+        for i in 0..4 {
+            let pkt = enc.systematic_packet(SessionId::new(0), 0, i);
+            dec.receive(pkt.coefficients(), pkt.payload()).unwrap();
+        }
+        assert_eq!(dec.decoded_payload().unwrap(), data);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use rand::Rng;
 
 use ncvnf_gf256::bulk;
 
-use crate::config::GenerationConfig;
+use crate::config::{CodingMode, GenerationConfig};
 use crate::error::CodecError;
 use crate::header::{CodedPacket, NcHeader, SessionId};
 use crate::pool::PayloadPool;
@@ -18,6 +18,35 @@ use crate::pool::PayloadPool;
 /// combination. [`systematic_packet`](Self::systematic_packet) emits an
 /// original block with a unit coefficient vector (the optional systematic
 /// first pass).
+///
+/// # Encoding modes
+///
+/// [`mode_packet_pooled`](Self::mode_packet_pooled) drives a whole
+/// generation through a [`CodingMode`]: packet sequence numbers `0..g`
+/// come out verbatim in the systematic modes, and everything after that
+/// is a repair packet — dense or [`sparse`](Self::sparse_packet_pooled)
+/// per the mode. A typical systematic+sparse emission loop:
+///
+/// ```
+/// use ncvnf_rlnc::{CodingMode, GenerationConfig, GenerationEncoder, PayloadPool, SessionId};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let config = GenerationConfig::new(64, 8).unwrap();
+/// let encoder = GenerationEncoder::new(config, &[7u8; 512]).unwrap();
+/// let mode = CodingMode::sparse_default(8);
+/// let (mut rng, mut pool) = (StdRng::seed_from_u64(1), PayloadPool::new());
+/// // First 8 packets are the source blocks; the rest are sparse repair.
+/// for seq in 0..10u64 {
+///     let pkt = encoder.mode_packet_pooled(mode, SessionId::new(1), 0, seq, &mut rng, &mut pool);
+///     let nonzeros = pkt.coefficients().iter().filter(|&&c| c != 0).count();
+///     if seq < 8 {
+///         assert_eq!(nonzeros, 1);
+///     } else {
+///         assert!(nonzeros <= mode.repair_nonzeros(8));
+///     }
+/// }
+/// ```
 #[derive(Debug, Clone)]
 pub struct GenerationEncoder {
     config: GenerationConfig,
@@ -160,6 +189,127 @@ impl GenerationEncoder {
             },
             Bytes::from(self.blocks[index].clone()),
         )
+    }
+
+    /// Like [`systematic_packet`](Self::systematic_packet), but both
+    /// buffers come from `pool` — the zero-copy-cost first pass of the
+    /// systematic and sparse modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= blocks_per_generation`.
+    pub fn systematic_packet_pooled(
+        &self,
+        session: SessionId,
+        generation: u64,
+        index: usize,
+        pool: &mut PayloadPool,
+    ) -> CodedPacket {
+        assert!(
+            index < self.config.blocks_per_generation(),
+            "systematic index out of range"
+        );
+        let mut coefficients = pool.checkout_zeroed(self.config.blocks_per_generation());
+        coefficients[index] = 1;
+        let payload = pool.checkout_copy(&self.blocks[index]);
+        CodedPacket::new(
+            NcHeader {
+                session,
+                generation,
+                coefficients: coefficients.freeze(),
+            },
+            payload.freeze(),
+        )
+    }
+
+    /// Emits one sparse repair packet: `nonzeros` distinct blocks chosen
+    /// uniformly at random, each with a uniformly random nonzero
+    /// coefficient — O(`nonzeros` · block) coding work instead of
+    /// O(g · block).
+    ///
+    /// `nonzeros` is clamped to `1..=g`. The combination is never
+    /// all-zero by construction (every chosen coefficient is nonzero).
+    pub fn sparse_packet_pooled<R: Rng + ?Sized>(
+        &self,
+        session: SessionId,
+        generation: u64,
+        nonzeros: usize,
+        rng: &mut R,
+        pool: &mut PayloadPool,
+    ) -> CodedPacket {
+        let g = self.config.blocks_per_generation();
+        let d = nonzeros.clamp(1, g);
+        let mut coefficients = pool.checkout_zeroed(g);
+        let mut payload = pool.checkout_zeroed(self.config.block_size());
+        // Floyd's algorithm gives d distinct positions without an aux
+        // set proportional to g: for j in g-d..g, pick t in 0..=j; take t
+        // unless already taken, else take j.
+        for j in (g - d)..g {
+            let t = rng.gen_range(0..=j);
+            let pos = if coefficients[t] != 0 { j } else { t };
+            let c = rng.gen_range(1..=255u8);
+            coefficients[pos] = c;
+            bulk::mul_add_slice(&mut payload, &self.blocks[pos], c);
+        }
+        CodedPacket::new(
+            NcHeader {
+                session,
+                generation,
+                coefficients: coefficients.freeze(),
+            },
+            payload.freeze(),
+        )
+    }
+
+    /// Emits the packet with sequence number `seq` under `mode`.
+    ///
+    /// In the systematic-first modes ([`CodingMode::Systematic`] and
+    /// [`CodingMode::Sparse`]), `seq < g` yields source block `seq`
+    /// verbatim; later sequence numbers yield repair packets (dense or
+    /// sparse per the mode). [`CodingMode::Dense`] always yields a dense
+    /// random combination.
+    pub fn mode_packet_pooled<R: Rng + ?Sized>(
+        &self,
+        mode: CodingMode,
+        session: SessionId,
+        generation: u64,
+        seq: u64,
+        rng: &mut R,
+        pool: &mut PayloadPool,
+    ) -> CodedPacket {
+        let g = self.config.blocks_per_generation() as u64;
+        if mode.is_systematic_first() && seq < g {
+            return self.systematic_packet_pooled(session, generation, seq as usize, pool);
+        }
+        match mode {
+            CodingMode::Sparse { nonzeros } => {
+                self.sparse_packet_pooled(session, generation, nonzeros, rng, pool)
+            }
+            CodingMode::Dense | CodingMode::Systematic => {
+                self.coded_packet_pooled(session, generation, rng, pool)
+            }
+        }
+    }
+
+    /// Batch emit under a mode: appends packets for sequence numbers
+    /// `first_seq..first_seq + count` to `out` (the mode-aware analogue
+    /// of [`coded_packets_into`](Self::coded_packets_into)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn mode_packets_into<R: Rng + ?Sized>(
+        &self,
+        mode: CodingMode,
+        session: SessionId,
+        generation: u64,
+        first_seq: u64,
+        count: usize,
+        rng: &mut R,
+        pool: &mut PayloadPool,
+        out: &mut Vec<CodedPacket>,
+    ) {
+        out.reserve(count);
+        for i in 0..count as u64 {
+            out.push(self.mode_packet_pooled(mode, session, generation, first_seq + i, rng, pool));
+        }
     }
 
     /// Computes `Σ coefficients[i] * block[i]` into `out` (which must be

@@ -35,6 +35,14 @@ pub enum CodecError {
     },
     /// A recoder was asked for a coded packet before buffering any input.
     EmptyRecoder,
+    /// A sliding-window encoder was pushed a symbol while its window was
+    /// already at capacity (the sender must wait for an ack to advance),
+    /// or a windowed packet referenced symbols beyond what a decoder's
+    /// window can hold.
+    WindowFull {
+        /// Configured window capacity in symbols.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -59,6 +67,9 @@ impl fmt::Display for CodecError {
                 write!(f, "generation not decoded yet: rank {rank} of {needed}")
             }
             CodecError::EmptyRecoder => write!(f, "recoder buffer is empty"),
+            CodecError::WindowFull { capacity } => {
+                write!(f, "sliding window full at {capacity} symbols")
+            }
         }
     }
 }
@@ -80,6 +91,14 @@ pub enum HeaderError {
         /// The byte found where the magic was expected.
         found: u8,
     },
+    /// The packet-kind byte did not match the expected wire kind (e.g. a
+    /// legacy generational packet fed to the windowed parser).
+    BadKind {
+        /// The kind the parser was asked for.
+        expected: u8,
+        /// The kind byte found on the wire.
+        found: u8,
+    },
 }
 
 impl fmt::Display for HeaderError {
@@ -93,6 +112,12 @@ impl fmt::Display for HeaderError {
             }
             HeaderError::BadMagic { found } => {
                 write!(f, "not an NC packet: bad magic byte {found:#04x}")
+            }
+            HeaderError::BadKind { expected, found } => {
+                write!(
+                    f,
+                    "wrong NC packet kind: expected {expected:#04x}, found {found:#04x}"
+                )
             }
         }
     }

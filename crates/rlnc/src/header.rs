@@ -13,6 +13,39 @@
 //! bytes 4-7   generation id, big endian
 //! bytes 8..   one GF(2^8) coefficient per block in the generation
 //! ```
+//!
+//! # Sliding-window wire kinds
+//!
+//! Byte 1 doubles as a packet *kind*: the legacy generational layout above
+//! carries [`NC_VERSION`] (1) there, and two additional kinds share the
+//! same magic byte for finite-window streaming (see
+//! [`window`](crate::window) for the codec):
+//!
+//! ```text
+//! windowed data packet (kind 2, NC_KIND_WINDOW):
+//! byte 0       magic 0xAC
+//! byte 1       kind 2
+//! bytes 2-3    session id, big endian
+//! bytes 4-11   window base: absolute index of the first symbol the
+//!              coefficient vector refers to, big endian
+//! byte 12      window width w (1-255): coefficient count; coefficient i
+//!              applies to symbol base + i
+//! bytes 13..   w GF(2^8) coefficients, then the coded payload
+//!
+//! window ack/nack frame (kind 3, NC_KIND_WINDOW_ACK), 14 bytes:
+//! byte 0       magic 0xAC
+//! byte 1       kind 3
+//! bytes 2-3    session id, big endian
+//! bytes 4-11   cumulative: next symbol index the receiver needs
+//!              (everything below it was delivered in order), big endian
+//! byte 12      repair packets wanted (0 = pure ack, >0 = NACK burst ask)
+//! byte 13      reserved (0)
+//! ```
+//!
+//! Legacy kinds remain decodable: [`NcHeader::parse`] checks only the
+//! magic byte, and [`wire_kind`] lets dispatchers classify a datagram
+//! before picking a parser — unknown kind bytes classify as legacy, so
+//! pre-window peers interoperate unchanged.
 
 use bytes::{BufMut, Bytes, BytesMut};
 
@@ -23,6 +56,38 @@ use crate::pool::PayloadPool;
 pub const NC_MAGIC: u8 = 0xAC;
 /// Protocol version encoded in byte 1.
 pub const NC_VERSION: u8 = 1;
+/// Kind byte of a sliding-window data packet.
+pub const NC_KIND_WINDOW: u8 = 2;
+/// Kind byte of a sliding-window ack/nack frame.
+pub const NC_KIND_WINDOW_ACK: u8 = 3;
+
+/// Classification of an NC datagram by its kind byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireKind {
+    /// Legacy generational coded packet ([`NcHeader`] layout).
+    Generation,
+    /// Sliding-window data packet ([`WindowPacket`] layout).
+    Window,
+    /// Sliding-window ack/nack frame ([`WindowAck`] layout).
+    WindowAck,
+}
+
+/// Classifies a datagram by magic + kind byte without parsing it.
+///
+/// `None` means the buffer is not an NC packet at all. Unknown kind
+/// bytes classify as [`WireKind::Generation`], matching the legacy
+/// parser's behavior of ignoring the version byte.
+#[must_use]
+pub fn wire_kind(data: &[u8]) -> Option<WireKind> {
+    if data.len() < 2 || data[0] != NC_MAGIC {
+        return None;
+    }
+    Some(match data[1] {
+        NC_KIND_WINDOW => WireKind::Window,
+        NC_KIND_WINDOW_ACK => WireKind::WindowAck,
+        _ => WireKind::Generation,
+    })
+}
 
 /// Identifier of a multicast session, assigned by the controller.
 ///
@@ -341,6 +406,236 @@ impl<'a> PacketView<'a> {
     }
 }
 
+/// One sliding-window coded packet: a combination of up to 255
+/// consecutive stream symbols starting at an absolute `base` index.
+///
+/// Unlike the generational [`CodedPacket`], the coefficient count is
+/// self-describing on the wire (the width byte), so windowed streams
+/// need no out-of-band generation-size agreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowPacket {
+    /// Session this packet belongs to.
+    pub session: SessionId,
+    /// Absolute index of the first symbol the coefficients refer to.
+    pub base: u64,
+    /// GF(2^8) coefficients; entry `i` applies to symbol `base + i`.
+    pub coefficients: Bytes,
+    /// The coded payload (one symbol's worth of bytes).
+    pub payload: Bytes,
+}
+
+impl WindowPacket {
+    /// Length of the fixed prefix before the coefficient vector.
+    pub const FIXED_LEN: usize = 13;
+    /// Maximum coefficient count the width byte can express.
+    pub const MAX_WIDTH: usize = 255;
+
+    /// Total wire length of this packet.
+    pub fn wire_len(&self) -> usize {
+        Self::FIXED_LEN + self.coefficients.len() + self.payload.len()
+    }
+
+    /// Appends the wire form to `out` (allocation-free with a reused
+    /// buffer, like [`CodedPacket::write_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient vector is empty or longer than
+    /// [`Self::MAX_WIDTH`].
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        let w = self.coefficients.len();
+        assert!(
+            (1..=Self::MAX_WIDTH).contains(&w),
+            "window width {w} outside 1..=255"
+        );
+        out.push(NC_MAGIC);
+        out.push(NC_KIND_WINDOW);
+        out.extend_from_slice(&self.session.value().to_be_bytes());
+        out.extend_from_slice(&self.base.to_be_bytes());
+        out.push(w as u8);
+        out.extend_from_slice(&self.coefficients);
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// Serializes the packet into a fresh wire buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.write_into(&mut out);
+        Bytes::from(out)
+    }
+
+    /// Parses a wire buffer produced by [`WindowPacket::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`HeaderError::BadMagic`] / [`HeaderError::BadKind`] if the buffer
+    /// is not a windowed NC packet; [`HeaderError::Truncated`] if it is
+    /// too short for its declared width.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, HeaderError> {
+        let view = WindowPacketView::parse(data)?;
+        Ok(WindowPacket {
+            session: view.session,
+            base: view.base,
+            coefficients: Bytes::copy_from_slice(view.coefficients),
+            payload: Bytes::copy_from_slice(view.payload),
+        })
+    }
+}
+
+/// A zero-copy view of a [`WindowPacket`] still in a receive buffer
+/// (the windowed twin of [`PacketView`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowPacketView<'a> {
+    session: SessionId,
+    base: u64,
+    coefficients: &'a [u8],
+    payload: &'a [u8],
+}
+
+impl<'a> WindowPacketView<'a> {
+    /// Parses a windowed data packet without copying anything.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WindowPacket::from_bytes`].
+    pub fn parse(data: &'a [u8]) -> Result<Self, HeaderError> {
+        if data.is_empty() {
+            return Err(HeaderError::Truncated {
+                needed: WindowPacket::FIXED_LEN,
+                available: 0,
+            });
+        }
+        if data[0] != NC_MAGIC {
+            return Err(HeaderError::BadMagic { found: data[0] });
+        }
+        if data.len() < WindowPacket::FIXED_LEN {
+            return Err(HeaderError::Truncated {
+                needed: WindowPacket::FIXED_LEN,
+                available: data.len(),
+            });
+        }
+        if data[1] != NC_KIND_WINDOW {
+            return Err(HeaderError::BadKind {
+                expected: NC_KIND_WINDOW,
+                found: data[1],
+            });
+        }
+        let width = data[12] as usize;
+        let needed = WindowPacket::FIXED_LEN + width;
+        if width == 0 || data.len() < needed {
+            return Err(HeaderError::Truncated {
+                needed,
+                available: data.len(),
+            });
+        }
+        Ok(WindowPacketView {
+            session: SessionId::new(u16::from_be_bytes([data[2], data[3]])),
+            base: u64::from_be_bytes(data[4..12].try_into().expect("8 bytes")),
+            coefficients: &data[WindowPacket::FIXED_LEN..needed],
+            payload: &data[needed..],
+        })
+    }
+
+    /// The session this packet belongs to.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Absolute index of the first symbol the coefficients refer to.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The coefficient vector (entry `i` applies to symbol `base + i`).
+    pub fn coefficients(&self) -> &'a [u8] {
+        self.coefficients
+    }
+
+    /// The coded payload.
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// Copies the view into an owned packet backed by recycled buffers
+    /// from `pool` (recycle both buffers once sent).
+    pub fn to_owned_pooled(&self, pool: &mut PayloadPool) -> WindowPacket {
+        WindowPacket {
+            session: self.session,
+            base: self.base,
+            coefficients: pool.checkout_copy(self.coefficients).freeze(),
+            payload: pool.checkout_copy(self.payload).freeze(),
+        }
+    }
+}
+
+/// A sliding-window ack/nack frame: cumulative in-order delivery point
+/// plus an optional repair ask (the windowed analogue of the
+/// generational feedback NACK, answered from the live window instead of
+/// a whole generation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowAck {
+    /// Session being acknowledged.
+    pub session: SessionId,
+    /// Next symbol index the receiver needs: all symbols below it were
+    /// delivered in order. The sender slides its window base up to here.
+    pub cumulative: u64,
+    /// Repair packets the receiver wants (0 = pure ack; >0 turns the
+    /// frame into a NACK asking for a burst of fresh combinations).
+    pub repair_wanted: u8,
+}
+
+impl WindowAck {
+    /// Fixed wire length of an ack frame.
+    pub const WIRE_LEN: usize = 14;
+
+    /// Serializes the frame.
+    pub fn encode(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[0] = NC_MAGIC;
+        out[1] = NC_KIND_WINDOW_ACK;
+        out[2..4].copy_from_slice(&self.session.value().to_be_bytes());
+        out[4..12].copy_from_slice(&self.cumulative.to_be_bytes());
+        out[12] = self.repair_wanted;
+        out
+    }
+
+    /// Parses an ack frame.
+    ///
+    /// # Errors
+    ///
+    /// [`HeaderError::BadMagic`] / [`HeaderError::BadKind`] on foreign
+    /// bytes; [`HeaderError::Truncated`] if shorter than
+    /// [`Self::WIRE_LEN`].
+    pub fn parse(data: &[u8]) -> Result<Self, HeaderError> {
+        if data.is_empty() {
+            return Err(HeaderError::Truncated {
+                needed: Self::WIRE_LEN,
+                available: 0,
+            });
+        }
+        if data[0] != NC_MAGIC {
+            return Err(HeaderError::BadMagic { found: data[0] });
+        }
+        if data.len() < Self::WIRE_LEN {
+            return Err(HeaderError::Truncated {
+                needed: Self::WIRE_LEN,
+                available: data.len(),
+            });
+        }
+        if data[1] != NC_KIND_WINDOW_ACK {
+            return Err(HeaderError::BadKind {
+                expected: NC_KIND_WINDOW_ACK,
+                found: data[1],
+            });
+        }
+        Ok(WindowAck {
+            session: SessionId::new(u16::from_be_bytes([data[2], data[3]])),
+            cumulative: u64::from_be_bytes(data[4..12].try_into().expect("8 bytes")),
+            repair_wanted: data[12],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +718,81 @@ mod tests {
         assert!(matches!(err, HeaderError::Truncated { .. }));
         let err = NcHeader::parse(&[], 4).unwrap_err();
         assert!(matches!(err, HeaderError::Truncated { available: 0, .. }));
+    }
+
+    #[test]
+    fn window_packet_roundtrip_and_classification() {
+        let pkt = WindowPacket {
+            session: SessionId::new(9),
+            base: 0x1_0000_0007,
+            coefficients: Bytes::from(vec![3, 0, 5]),
+            payload: Bytes::from_static(b"window payload"),
+        };
+        let wire = pkt.to_bytes();
+        assert_eq!(wire.len(), 13 + 3 + 14);
+        assert_eq!(wire_kind(&wire), Some(WireKind::Window));
+        let back = WindowPacket::from_bytes(&wire).unwrap();
+        assert_eq!(back, pkt);
+        let view = WindowPacketView::parse(&wire).unwrap();
+        assert_eq!(view.session(), pkt.session);
+        assert_eq!(view.base(), pkt.base);
+        assert_eq!(view.coefficients(), &pkt.coefficients[..]);
+        assert_eq!(view.payload(), &pkt.payload[..]);
+        let mut pool = PayloadPool::new();
+        assert_eq!(view.to_owned_pooled(&mut pool), pkt);
+    }
+
+    #[test]
+    fn window_ack_roundtrip_and_classification() {
+        let ack = WindowAck {
+            session: SessionId::new(4),
+            cumulative: 77,
+            repair_wanted: 3,
+        };
+        let wire = ack.encode();
+        assert_eq!(wire_kind(&wire), Some(WireKind::WindowAck));
+        assert_eq!(WindowAck::parse(&wire).unwrap(), ack);
+        assert!(WindowAck::parse(&wire[..10]).is_err());
+    }
+
+    #[test]
+    fn legacy_packets_classify_as_generation() {
+        let wire = sample().to_bytes();
+        assert_eq!(wire_kind(&wire), Some(WireKind::Generation));
+        assert_eq!(wire_kind(b"zz"), None);
+        assert_eq!(wire_kind(&[NC_MAGIC]), None);
+        // Unknown future kinds fall back to the legacy classification.
+        assert_eq!(wire_kind(&[NC_MAGIC, 9, 0, 0]), Some(WireKind::Generation));
+    }
+
+    #[test]
+    fn window_parsers_reject_foreign_and_truncated_bytes() {
+        let pkt = WindowPacket {
+            session: SessionId::new(1),
+            base: 5,
+            coefficients: Bytes::from(vec![1, 2]),
+            payload: Bytes::from_static(b"xy"),
+        };
+        let wire = pkt.to_bytes();
+        // Legacy packet fed to the windowed parser: kind mismatch.
+        let legacy = sample().to_bytes();
+        assert!(matches!(
+            WindowPacketView::parse(&legacy),
+            Err(HeaderError::BadKind { .. })
+        ));
+        assert!(matches!(
+            WindowPacketView::parse(&wire[..12]),
+            Err(HeaderError::Truncated { .. })
+        ));
+        assert!(matches!(
+            WindowPacketView::parse(b"\x00nope"),
+            Err(HeaderError::BadMagic { .. })
+        ));
+        // Windowed packet fed to the ack parser: kind mismatch.
+        assert!(matches!(
+            WindowAck::parse(&wire),
+            Err(HeaderError::BadKind { .. })
+        ));
     }
 
     #[test]

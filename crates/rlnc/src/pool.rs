@@ -11,7 +11,7 @@
 
 use bytes::{Bytes, BytesMut};
 
-use crate::header::CodedPacket;
+use crate::header::{CodedPacket, WindowPacket};
 
 /// Counters exposed by a [`PayloadPool`]: how often checkouts were served
 /// from recycled buffers versus fresh allocations, and how reclamation
@@ -195,6 +195,12 @@ impl PayloadPool {
     pub fn recycle(&mut self, packet: CodedPacket) -> usize {
         let (header, payload) = packet.into_parts();
         usize::from(self.reclaim(header.coefficients)) + usize::from(self.reclaim(payload))
+    }
+
+    /// Reclaims both buffers of a finished sliding-window packet; returns
+    /// how many were recovered (0–2).
+    pub fn recycle_window(&mut self, packet: WindowPacket) -> usize {
+        usize::from(self.reclaim(packet.coefficients)) + usize::from(self.reclaim(packet.payload))
     }
 }
 

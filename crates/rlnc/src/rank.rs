@@ -50,11 +50,14 @@ impl RankTracker {
     /// Returns whether `coefficients` would increase the rank, without
     /// absorbing it.
     pub fn is_innovative(&mut self, coefficients: &[u8]) -> bool {
-        self.reduce(coefficients).is_some()
+        !self.is_unit_duplicate(coefficients) && self.reduce(coefficients).is_some()
     }
 
     /// Absorb a coefficient vector; returns `true` if it increased the rank.
     pub fn absorb(&mut self, coefficients: &[u8]) -> bool {
+        if self.is_unit_duplicate(coefficients) {
+            return false;
+        }
         match self.reduce(coefficients) {
             Some(lead) => {
                 let pivot = self.scratch[lead];
@@ -72,6 +75,36 @@ impl RankTracker {
             }
             None => false,
         }
+    }
+
+    /// Fast rejection for duplicate systematic vectors: a single-nonzero
+    /// vector whose column is already covered by a stored *unit* row is a
+    /// scalar multiple of it — no elimination pass or scratch-row work
+    /// needed. (Verbatim source packets arriving twice are the common
+    /// case under systematic retransmission.)
+    fn is_unit_duplicate(&self, coefficients: &[u8]) -> bool {
+        assert_eq!(
+            coefficients.len(),
+            self.generation_size,
+            "coefficient vector length must match the generation size"
+        );
+        let mut nonzero = coefficients.iter().enumerate().filter(|(_, &c)| c != 0);
+        let Some((col, _)) = nonzero.next() else {
+            return false;
+        };
+        if nonzero.next().is_some() {
+            return false;
+        }
+        // Rows are sorted by leading index; a stored row leading at `col`
+        // is a unit row iff nothing follows the (normalized) pivot.
+        let pos = self
+            .rows
+            .partition_point(|r| leading_index(r).unwrap_or(usize::MAX) < col);
+        matches!(
+            self.rows.get(pos),
+            Some(row) if leading_index(row) == Some(col)
+                && row[col + 1..].iter().all(|&v| v == 0)
+        )
     }
 
     /// Eliminate `coefficients` against the stored rows into `self.scratch`;
@@ -145,6 +178,32 @@ mod tests {
         assert!(t.absorb(&[1, 1]));
         assert!(t.is_innovative(&[1, 0]));
         assert_eq!(t.rank(), 1);
+    }
+
+    #[test]
+    fn duplicate_systematic_vectors_are_rejected_without_rank_cost() {
+        let mut t = RankTracker::new(4);
+        assert!(t.absorb(&[0, 0, 1, 0]));
+        // Verbatim duplicate and scalar multiple of a held unit row:
+        // rejected by the fast path, rank unchanged.
+        assert!(!t.is_innovative(&[0, 0, 1, 0]));
+        assert!(!t.absorb(&[0, 0, 1, 0]));
+        assert!(!t.absorb(&[0, 0, 7, 0]));
+        assert_eq!(t.rank(), 1);
+        // A unit vector for a different column is still innovative.
+        assert!(t.absorb(&[0, 1, 0, 0]));
+        assert_eq!(t.rank(), 2);
+    }
+
+    #[test]
+    fn unit_vector_against_non_unit_row_is_still_innovative() {
+        let mut t = RankTracker::new(4);
+        assert!(t.absorb(&[1, 2, 3, 0]));
+        // Stored row leads at column 0 but carries trailing mass, so the
+        // unit vector e0 is NOT in its span.
+        assert!(t.is_innovative(&[1, 0, 0, 0]));
+        assert!(t.absorb(&[1, 0, 0, 0]));
+        assert_eq!(t.rank(), 2);
     }
 
     #[test]

@@ -11,7 +11,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ncvnf_rlnc::{GenerationConfig, GenerationEncoder, PayloadPool, Recoder, SessionId};
+use ncvnf_rlnc::{
+    CodingMode, GenerationConfig, GenerationEncoder, PayloadPool, Recoder, SessionId, WindowConfig,
+    WindowEncoder, WindowRecoder,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -137,5 +140,141 @@ fn warm_encode_and_recode_paths_do_not_allocate() {
     assert_eq!(
         recode_allocs, 0,
         "warm recode must not touch the heap (256 packets recoded)"
+    );
+}
+
+#[test]
+fn warm_sparse_emission_does_not_allocate() {
+    const BLOCK: usize = 256;
+    const G: usize = 16;
+    const BATCH: usize = 4;
+
+    let config = GenerationConfig::new(BLOCK, G).expect("valid layout");
+    let mut rng = StdRng::seed_from_u64(0x5AA5_1DEA);
+    let mut data = vec![0u8; config.generation_payload()];
+    rng.fill(&mut data[..]);
+    let encoder = GenerationEncoder::new(config, &data).expect("valid generation");
+    let session = SessionId::new(43);
+    let mode = CodingMode::sparse_default(G);
+
+    let mut pool = PayloadPool::new();
+    let mut out = Vec::with_capacity(BATCH);
+
+    // Warm-up covers both halves of the mode: the systematic first pass
+    // (seq < g) and the sparse repair tail.
+    for cycle in 0..16u64 {
+        let first_seq = (cycle * BATCH as u64) % (2 * G as u64);
+        encoder.mode_packets_into(
+            mode, session, 0, first_seq, BATCH, &mut rng, &mut pool, &mut out,
+        );
+        for pkt in out.drain(..) {
+            pool.recycle(pkt);
+        }
+    }
+    let idle_before = pool.idle();
+
+    let sparse_allocs = heap_ops_during(|| {
+        for cycle in 0..64u64 {
+            let first_seq = (cycle * BATCH as u64) % (2 * G as u64);
+            encoder.mode_packets_into(
+                mode, session, 0, first_seq, BATCH, &mut rng, &mut pool, &mut out,
+            );
+            for pkt in out.drain(..) {
+                pool.recycle(pkt);
+            }
+        }
+    });
+    assert_eq!(
+        sparse_allocs, 0,
+        "warm sparse/systematic emission must not touch the heap"
+    );
+    assert_eq!(
+        pool.idle(),
+        idle_before,
+        "every buffer returned to the pool"
+    );
+}
+
+#[test]
+fn warm_window_emission_and_recode_do_not_allocate() {
+    const SYMBOL: usize = 256;
+    const CAPACITY: usize = 16;
+
+    let window = WindowConfig::new(SYMBOL, CAPACITY).expect("valid window");
+    let session = SessionId::new(44);
+    let mut rng = StdRng::seed_from_u64(0xD0_511DE);
+    let mut encoder = WindowEncoder::new(window, session);
+    let mut symbol = vec![0u8; SYMBOL];
+    for _ in 0..CAPACITY {
+        rng.fill(&mut symbol[..]);
+        encoder.push(&symbol).expect("window has room");
+    }
+
+    let mut pool = PayloadPool::new();
+
+    // Warm-up: systematic and coded emission settle the pool buffers.
+    for i in 0..16u64 {
+        let pkt = encoder
+            .systematic_packet_pooled(i % CAPACITY as u64, &mut pool)
+            .expect("symbol is live");
+        pool.recycle_window(pkt);
+        let pkt = encoder
+            .coded_packet_pooled(&mut rng, &mut pool)
+            .expect("window is non-empty");
+        pool.recycle_window(pkt);
+    }
+    let idle_before = pool.idle();
+
+    let emit_allocs = heap_ops_during(|| {
+        for i in 0..64u64 {
+            let pkt = encoder
+                .systematic_packet_pooled(i % CAPACITY as u64, &mut pool)
+                .expect("symbol is live");
+            pool.recycle_window(pkt);
+            let pkt = encoder
+                .coded_packet_pooled(&mut rng, &mut pool)
+                .expect("window is non-empty");
+            pool.recycle_window(pkt);
+        }
+    });
+    assert_eq!(
+        emit_allocs, 0,
+        "warm window emission must not touch the heap"
+    );
+    assert_eq!(
+        pool.idle(),
+        idle_before,
+        "every buffer returned to the pool"
+    );
+
+    // Relay steady state: a full recoder re-mixing the live window.
+    let mut recoder = WindowRecoder::new(window, session);
+    for _ in 0..CAPACITY {
+        let pkt = encoder
+            .coded_packet_pooled(&mut rng, &mut pool)
+            .expect("window is non-empty");
+        recoder
+            .absorb(pkt.base, &pkt.coefficients, &pkt.payload)
+            .expect("layout matches");
+        pool.recycle_window(pkt);
+    }
+    for _ in 0..16 {
+        let pkt = recoder
+            .recode_into(&mut rng, &mut pool)
+            .expect("recoder is non-empty");
+        pool.recycle_window(pkt);
+    }
+
+    let recode_allocs = heap_ops_during(|| {
+        for _ in 0..256 {
+            let pkt = recoder
+                .recode_into(&mut rng, &mut pool)
+                .expect("recoder is non-empty");
+            pool.recycle_window(pkt);
+        }
+    });
+    assert_eq!(
+        recode_allocs, 0,
+        "warm window recode must not touch the heap (256 packets recoded)"
     );
 }
